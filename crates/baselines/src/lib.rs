@@ -1,0 +1,30 @@
+//! Comparator algorithms for timing-driven routing.
+//!
+//! Everything the paper evaluates PatLabor against, implemented from
+//! scratch on the same substrates:
+//!
+//! * [`rsmt`] — rectilinear Steiner *minimum* trees: Prim MST, iterated
+//!   1-Steiner (Kahng–Robins) and an exact small-degree path. Stands in
+//!   for FLUTE (wirelength normalization + local-search initialization).
+//! * [`rsma`] — rectilinear Steiner *arborescences*: a Córdova–Lee-style
+//!   per-quadrant merge heuristic. All paths are shortest, so it pins the
+//!   delay normalization `d(CL)` of Fig. 7.
+//! * [`pd`] — Prim–Dijkstra (Alpert et al.): the classic `α`-blend of Prim
+//!   and Dijkstra keys, plus the PD-II style refinement pass.
+//! * [`salt`] — SALT (Chen & Young): shallow-light construction with an
+//!   `ε` bound on per-sink path stretch, plus post-processing.
+//! * [`weighted_sum`] — the YSD stand-in: scalarized `(1−β)w + βd`
+//!   optimization (exact on small degrees, divide-and-conquer on large
+//!   ones). Like the real YSD it can only discover *convex* frontier
+//!   points — exactly the weakness the paper exploits (§I-B). See
+//!   DESIGN.md §4 for the substitution rationale.
+//!
+//! Each method exposes a single-tree constructor and a `*_pareto` sweep
+//! that runs a parameter list and prunes the results into a Pareto set —
+//! the way the paper produces "Pareto curves" for parameterized baselines.
+
+pub mod pd;
+pub mod rsma;
+pub mod rsmt;
+pub mod salt;
+pub mod weighted_sum;

@@ -1,0 +1,189 @@
+//! Prim–Dijkstra and PD-II (Alpert et al., ISPD 2018).
+//!
+//! Prim grows an MST (key = edge length); Dijkstra grows a shortest-path
+//! tree (key = root path length). Prim–Dijkstra interpolates:
+//! attach the off-tree pin `v` minimizing `α · pl(u) + ‖u − v‖₁` over tree
+//! nodes `u`, with `α ∈ [0, 1]` trading wirelength (α = 0 ⇒ Prim) against
+//! delay (α = 1 ⇒ Dijkstra). PD-II adds a post-pass of detour-aware edge
+//! rewrites; we reuse the safe reconnection passes from
+//! [`patlabor_tree::reconnect_pass_with`], which implement the same move
+//! set.
+
+use patlabor_geom::Net;
+use patlabor_pareto::{Cost, ParetoSet};
+use patlabor_tree::{reconnect_pass_with, ReconnectMoves, RefineObjective, RoutingTree};
+
+/// The default `α` sweep used to produce PD "Pareto curves".
+pub const DEFAULT_ALPHAS: [f64; 7] = [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0];
+
+/// Builds one Prim–Dijkstra tree for a blend factor `alpha ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `[0, 1]` or not finite.
+pub fn pd_tree(net: &Net, alpha: f64) -> RoutingTree {
+    assert!(
+        alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+        "alpha must be in [0, 1], got {alpha}"
+    );
+    let pts = net.pins();
+    let n = pts.len();
+    let mut in_tree = vec![false; n];
+    let mut path_len = vec![0i64; n];
+    let mut parent = vec![0usize; n];
+    in_tree[0] = true;
+    for _ in 1..n {
+        // Attach the pin with the smallest blended key.
+        let mut best: Option<(f64, usize, usize)> = None; // (key, v, u)
+        for v in 1..n {
+            if in_tree[v] {
+                continue;
+            }
+            for u in 0..n {
+                if !in_tree[u] {
+                    continue;
+                }
+                let key = alpha * path_len[u] as f64 + pts[v].l1(pts[u]) as f64;
+                let better = match best {
+                    None => true,
+                    Some((bk, bv, _)) => key < bk || (key == bk && (v, u) < (bv, usize::MAX)),
+                };
+                if better {
+                    best = Some((key, v, u));
+                }
+            }
+        }
+        let (_, v, u) = best.expect("some pin is outside the tree");
+        in_tree[v] = true;
+        parent[v] = u;
+        path_len[v] = path_len[u] + pts[v].l1(pts[u]);
+    }
+    RoutingTree::from_parents(pts.to_vec(), parent, n).expect("PD produces a tree")
+}
+
+/// PD-II: Prim–Dijkstra plus the detour-aware refinement pass.
+///
+/// PD-II's published move set swaps a node's tree edge for a connection to
+/// another *node* (no Steiner insertion — that is SALT/PatLabor
+/// territory), so the refinement runs with
+/// [`ReconnectMoves::NodesOnly`].
+pub fn pd2_tree(net: &Net, alpha: f64) -> RoutingTree {
+    let tree = pd_tree(net, alpha);
+    let tree = reconnect_pass_with(&tree, RefineObjective::Delay, ReconnectMoves::NodesOnly);
+    reconnect_pass_with(&tree, RefineObjective::Wirelength, ReconnectMoves::NodesOnly)
+}
+
+/// Sweeps `alphas` (PD-II variant) and prunes into a Pareto set — the way
+/// parameterized baselines produce candidate frontiers in the paper's
+/// experiments.
+pub fn pd_pareto(net: &Net, alphas: &[f64]) -> ParetoSet<RoutingTree> {
+    alphas
+        .iter()
+        .map(|&a| {
+            let t = pd2_tree(net, a);
+            let (w, d) = t.objectives();
+            (Cost::new(w, d), t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patlabor_geom::Point;
+
+    fn net(pts: &[(i64, i64)]) -> Net {
+        Net::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {
+        let mut rng = move || {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            *seed
+        };
+        Net::new(
+            (0..degree)
+                .map(|_| Point::new((rng() % span) as i64, (rng() % span) as i64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alpha_zero_is_prim() {
+        let n = net(&[(0, 0), (10, 0), (11, 1), (12, 0)]);
+        let pd = pd_tree(&n, 0.0);
+        let mst = crate::rsmt::prim_mst(&n);
+        assert_eq!(pd.wirelength(), mst.wirelength());
+    }
+
+    #[test]
+    fn alpha_one_is_shortest_paths() {
+        let mut seed = 5u64;
+        for _ in 0..10 {
+            let n = random_net(&mut seed, 8, 50);
+            let t = pd_tree(&n, 1.0);
+            // Dijkstra on the complete graph = star distances: every pin's
+            // path equals its L1 distance.
+            assert_eq!(t.delay(), n.delay_lower_bound());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn rejects_bad_alpha() {
+        let _ = pd_tree(&net(&[(0, 0), (1, 1)]), 1.5);
+    }
+
+    #[test]
+    fn alpha_trades_wirelength_for_delay() {
+        let mut seed = 77u64;
+        let mut w_prim_total = 0i64;
+        let mut w_dij_total = 0i64;
+        let mut d_prim_total = 0i64;
+        let mut d_dij_total = 0i64;
+        for _ in 0..10 {
+            let n = random_net(&mut seed, 12, 100);
+            let prim = pd_tree(&n, 0.0);
+            let dij = pd_tree(&n, 1.0);
+            w_prim_total += prim.wirelength();
+            w_dij_total += dij.wirelength();
+            d_prim_total += prim.delay();
+            d_dij_total += dij.delay();
+        }
+        assert!(w_prim_total <= w_dij_total);
+        assert!(d_dij_total <= d_prim_total);
+    }
+
+    #[test]
+    fn pd2_refinement_never_hurts() {
+        let mut seed = 13u64;
+        for _ in 0..10 {
+            let n = random_net(&mut seed, 10, 80);
+            let base = pd_tree(&n, 0.3);
+            let refined = pd2_tree(&n, 0.3);
+            refined.validate(&n).unwrap();
+            // The two passes optimize d then w; the final tree must not be
+            // dominated by the base tree.
+            let (wb, db) = base.objectives();
+            let (wr, dr) = refined.objectives();
+            assert!(wr <= wb || dr <= db);
+            assert!(dr <= db);
+        }
+    }
+
+    #[test]
+    fn pareto_sweep_is_a_frontier() {
+        let mut seed = 21u64;
+        let n = random_net(&mut seed, 15, 100);
+        let set = pd_pareto(&n, &DEFAULT_ALPHAS);
+        assert!(!set.is_empty());
+        let costs = set.cost_vec();
+        for w in costs.windows(2) {
+            assert!(w[0].wirelength < w[1].wirelength);
+            assert!(w[0].delay > w[1].delay);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Rectilinear Steiner minimum arborescences — the Córdova–Lee substitute.
+//!
+//! An arborescence routes every sink along a *shortest* rectilinear path
+//! from the source, so its delay equals the trivial lower bound
+//! `maxᵢ ‖r − pᵢ‖₁`; the interesting objective is its wirelength. The
+//! classic practical construction (Córdova & Lee, 1994; Rao et al., 1992)
+//! greedily merges the pair of nodes whose *meet* (component-wise move
+//! toward the source) is farthest from the source — each merge shares the
+//! maximum amount of wire while preserving path monotonicity.
+//!
+//! Sinks are partitioned into the four quadrants around the source and
+//! each quadrant is solved independently (monotone paths cannot cross
+//! quadrants).
+
+use patlabor_geom::{Net, Point};
+use patlabor_tree::{remove_redundant_steiner, RoutingTree};
+
+/// Builds a shortest-path (arborescence) routing tree with the
+/// Córdova–Lee-style merge heuristic.
+///
+/// Every source→sink path has exactly length `‖r − pᵢ‖₁` (asserted in
+/// debug builds); wirelength is within 2× of the optimal arborescence per
+/// the CL analysis.
+pub fn cl_arborescence(net: &Net) -> RoutingTree {
+    let r = net.source();
+    // Partition sinks into quadrants (relative, boundary goes to the first
+    // matching quadrant).
+    let mut quadrants: [Vec<Point>; 4] = Default::default();
+    for s in net.sinks() {
+        let dx = s.x - r.x;
+        let dy = s.y - r.y;
+        let q = match (dx >= 0, dy >= 0) {
+            (true, true) => 0,
+            (false, true) => 1,
+            (false, false) => 2,
+            (true, false) => 3,
+        };
+        quadrants[q].push(s);
+    }
+
+    let mut edges: Vec<(Point, Point)> = Vec::new();
+    for (q, sinks) in quadrants.iter().enumerate() {
+        if sinks.is_empty() {
+            continue;
+        }
+        // Normalize into the first quadrant around the origin.
+        let norm = |p: Point| -> Point {
+            let dx = p.x - r.x;
+            let dy = p.y - r.y;
+            match q {
+                0 => Point::new(dx, dy),
+                1 => Point::new(-dx, dy),
+                2 => Point::new(-dx, -dy),
+                _ => Point::new(dx, -dy),
+            }
+        };
+        let denorm = |p: Point| -> Point {
+            match q {
+                0 => Point::new(r.x + p.x, r.y + p.y),
+                1 => Point::new(r.x - p.x, r.y + p.y),
+                2 => Point::new(r.x - p.x, r.y - p.y),
+                _ => Point::new(r.x + p.x, r.y - p.y),
+            }
+        };
+        let local: Vec<Point> = sinks.iter().map(|&s| norm(s)).collect();
+        for (a, b) in first_quadrant_rsa(&local) {
+            edges.push((denorm(a), denorm(b)));
+        }
+    }
+
+    let tree = patlabor_tree::extract_from_union(net, &edges)
+        .expect("per-quadrant arborescences connect every sink to the source");
+    let tree = remove_redundant_steiner(&tree);
+    debug_assert_eq!(tree.delay(), net.delay_lower_bound());
+    tree
+}
+
+/// RSA over first-quadrant points (source at the origin). Returns edges.
+fn first_quadrant_rsa(sinks: &[Point]) -> Vec<(Point, Point)> {
+    let mut active: Vec<Point> = sinks.to_vec();
+    active.sort_unstable();
+    active.dedup();
+    let mut edges = Vec::new();
+    while active.len() > 1 {
+        // Merge the pair whose meet is farthest from the origin.
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, -1i64);
+        for i in 0..active.len() {
+            for j in i + 1..active.len() {
+                let meet = active[i].min(active[j]);
+                let score = meet.x + meet.y;
+                if score > best {
+                    best = score;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let (a, b) = (active[bi], active[bj]);
+        let meet = a.min(b);
+        if meet != a {
+            edges.push((meet, a));
+        }
+        if meet != b {
+            edges.push((meet, b));
+        }
+        active.remove(bj);
+        active.remove(bi);
+        active.push(meet);
+        // Keep the list duplicate-free: a meet may coincide with another
+        // active node.
+        active.sort_unstable();
+        active.dedup();
+    }
+    let last = active[0];
+    let origin = Point::new(0, 0);
+    if last != origin {
+        edges.push((origin, last));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(pts: &[(i64, i64)]) -> Net {
+        Net::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_sink_is_direct() {
+        let n = net(&[(0, 0), (5, 7)]);
+        let t = cl_arborescence(&n);
+        assert_eq!(t.wirelength(), 12);
+        assert_eq!(t.delay(), 12);
+    }
+
+    #[test]
+    fn first_quadrant_sharing() {
+        // Sinks (4,2) and (2,4) meet at (2,2): shared trunk of length 4.
+        let n = net(&[(0, 0), (4, 2), (2, 4)]);
+        let t = cl_arborescence(&n);
+        assert_eq!(t.delay(), 6);
+        assert_eq!(t.wirelength(), 4 + 2 + 2);
+    }
+
+    #[test]
+    fn all_four_quadrants() {
+        let n = net(&[(0, 0), (3, 3), (-3, 3), (-3, -3), (3, -3)]);
+        let t = cl_arborescence(&n);
+        t.validate(&n).unwrap();
+        assert_eq!(t.delay(), 6);
+        assert_eq!(t.wirelength(), 4 * 6); // no sharing across quadrants
+    }
+
+    #[test]
+    fn paths_are_always_shortest_on_random_nets() {
+        let mut seed = 99u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..40 {
+            let degree = 3 + (trial % 10) as usize;
+            let pins: Vec<Point> = (0..degree)
+                .map(|_| {
+                    Point::new((rng() % 60) as i64 - 30, (rng() % 60) as i64 - 30)
+                })
+                .collect();
+            let n = Net::new(pins).unwrap();
+            let t = cl_arborescence(&n);
+            t.validate(&n).unwrap();
+            assert_eq!(t.delay(), n.delay_lower_bound());
+            for pin in 1..n.degree() {
+                assert_eq!(
+                    t.pin_path_length(pin),
+                    n.source().l1(n.pins()[pin]),
+                    "non-monotone path on {:?}",
+                    n.pins()
+                );
+            }
+            // Arborescence shares wire: never worse than the star.
+            let star: i64 = n.sinks().map(|s| n.source().l1(s)).sum();
+            assert!(t.wirelength() <= star);
+        }
+    }
+
+    #[test]
+    fn duplicate_sinks_are_fine() {
+        let n = net(&[(0, 0), (4, 4), (4, 4), (2, 2)]);
+        let t = cl_arborescence(&n);
+        t.validate(&n).unwrap();
+        assert_eq!(t.delay(), 8);
+        assert_eq!(t.wirelength(), 8);
+    }
+}

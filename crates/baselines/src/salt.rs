@@ -1,0 +1,180 @@
+//! SALT — Steiner shallow-light trees (Chen & Young, TCAD 2020).
+//!
+//! SALT starts from a light tree (an RSMT) and enforces a *shallowness*
+//! bound: every pin's root path may stretch at most `(1 + ε)` beyond its
+//! `l₁` distance. A DFS accumulates path lengths; when a pin breaks the
+//! bound it becomes a **breakpoint** and is reconnected through a direct
+//! shortest connection, resetting the accumulated stretch for its subtree
+//! (the Khuller–Raghavachari–Young construction the SALT paper builds on).
+//! Post-processing then recovers wirelength with the safe refinement
+//! passes.
+//!
+//! `ε → 0` approaches a shortest-path tree, `ε → ∞` keeps the RSMT, so a
+//! sweep over `ε` traces the method's achievable tradeoff curve.
+
+use patlabor_geom::Net;
+use patlabor_pareto::{Cost, ParetoSet};
+use patlabor_tree::{
+    reconnect_pass, remove_redundant_steiner, RefineObjective, RoutingTree,
+};
+
+use crate::rsmt::rsmt_tree;
+
+/// The default `ε` sweep used to produce SALT "Pareto curves".
+pub const DEFAULT_EPSILONS: [f64; 8] = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8, 1.5, 3.0];
+
+/// Builds one SALT tree with shallowness bound `epsilon ≥ 0`.
+///
+/// The breakpointed tree satisfies the per-pin bound
+/// `pl(pin) ≤ (1 + ε) · ‖r − pin‖₁`; the post-processing passes preserve
+/// the implied *global* bound `d(T) ≤ (1 + ε) · maxᵢ ‖r − pᵢ‖₁` (checked
+/// in debug builds) while recovering wirelength.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is negative or not finite.
+pub fn salt_tree(net: &Net, epsilon: f64) -> RoutingTree {
+    let light = rsmt_tree(net);
+    salt_from_light(net, &light, epsilon)
+}
+
+/// SALT starting from a caller-provided light tree (useful when the RSMT
+/// is already available).
+pub fn salt_from_light(net: &Net, light: &RoutingTree, epsilon: f64) -> RoutingTree {
+    assert!(
+        epsilon.is_finite() && epsilon >= 0.0,
+        "epsilon must be >= 0, got {epsilon}"
+    );
+    let mut parent: Vec<usize> = (0..light.num_nodes()).map(|v| light.parent(v)).collect();
+    let pts = light.points().to_vec();
+    let r = net.source();
+
+    // DFS with running path lengths; reconnect violating pins to the root.
+    let children = light.children();
+    let mut stack = vec![(0usize, 0i64)];
+    let mut order_guard = 0usize;
+    while let Some((u, pl)) = stack.pop() {
+        order_guard += 1;
+        assert!(order_guard <= 2 * pts.len(), "DFS must terminate");
+        for &c in &children[u] {
+            let step = pts[c].l1(pts[u]);
+            let mut cpl = pl + step;
+            let direct = r.l1(pts[c]);
+            let is_pin = c < light.num_pins();
+            if is_pin && cpl as f64 > (1.0 + epsilon) * direct as f64 {
+                // Breakpoint: route this pin directly from the source.
+                parent[c] = 0;
+                cpl = direct;
+            }
+            stack.push((c, cpl));
+        }
+    }
+
+    let tree = RoutingTree::from_parents(pts, parent, light.num_pins())
+        .expect("reparenting to the root cannot create cycles");
+    let tree = remove_redundant_steiner(&tree);
+    // SALT post-processing: recover wirelength, then tighten delay, while
+    // never violating the shallowness bound (both passes are safe).
+    let tree = reconnect_pass(&tree, RefineObjective::Wirelength);
+    let tree = reconnect_pass(&tree, RefineObjective::Delay);
+    debug_assert!(shallowness_ok(net, &tree, epsilon));
+    tree
+}
+
+fn shallowness_ok(net: &Net, tree: &RoutingTree, epsilon: f64) -> bool {
+    tree.delay() as f64 <= (1.0 + epsilon) * net.delay_lower_bound() as f64 + 1e-9
+}
+
+/// Sweeps `epsilons` and prunes into a Pareto set.
+pub fn salt_pareto(net: &Net, epsilons: &[f64]) -> ParetoSet<RoutingTree> {
+    let light = rsmt_tree(net);
+    epsilons
+        .iter()
+        .map(|&e| {
+            let t = salt_from_light(net, &light, e);
+            let (w, d) = t.objectives();
+            (Cost::new(w, d), t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patlabor_geom::Point;
+
+    fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {
+        let mut rng = move || {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            *seed
+        };
+        Net::new(
+            (0..degree)
+                .map(|_| Point::new((rng() % span) as i64, (rng() % span) as i64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn epsilon_zero_gives_shortest_paths() {
+        let mut seed = 3u64;
+        for _ in 0..10 {
+            let n = random_net(&mut seed, 9, 60);
+            let t = salt_tree(&n, 0.0);
+            t.validate(&n).unwrap();
+            assert_eq!(t.delay(), n.delay_lower_bound());
+        }
+    }
+
+    #[test]
+    fn huge_epsilon_keeps_the_light_tree() {
+        let mut seed = 11u64;
+        for _ in 0..10 {
+            let n = random_net(&mut seed, 9, 60);
+            let light = rsmt_tree(&n);
+            let t = salt_tree(&n, 1e6);
+            assert!(t.wirelength() <= light.wirelength());
+        }
+    }
+
+    #[test]
+    fn shallowness_bound_holds_across_sweep() {
+        let mut seed = 17u64;
+        for _ in 0..5 {
+            let n = random_net(&mut seed, 12, 80);
+            for &eps in &DEFAULT_EPSILONS {
+                let t = salt_tree(&n, eps);
+                assert!(
+                    shallowness_ok(&n, &t, eps),
+                    "bound violated at eps={eps} on {:?}",
+                    n.pins()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be")]
+    fn rejects_negative_epsilon() {
+        let n = Net::new(vec![Point::new(0, 0), Point::new(1, 1)]).unwrap();
+        let _ = salt_tree(&n, -0.5);
+    }
+
+    #[test]
+    fn sweep_produces_a_tradeoff() {
+        let mut seed = 29u64;
+        let mut tradeoffs = 0;
+        for _ in 0..10 {
+            let n = random_net(&mut seed, 14, 120);
+            let set = salt_pareto(&n, &DEFAULT_EPSILONS);
+            assert!(!set.is_empty());
+            if set.len() >= 2 {
+                tradeoffs += 1;
+            }
+        }
+        assert!(tradeoffs >= 3, "SALT sweep should often find tradeoffs");
+    }
+}

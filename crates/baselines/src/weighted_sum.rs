@@ -1,0 +1,233 @@
+//! Weighted-sum scalarization — the YSD stand-in.
+//!
+//! YSD (Yang, Sun & Ding, ICCAD 2023) trains a neural model per degree and
+//! per weighted-sum parameter to minimize `(1−β)·w + β·d`, with a
+//! divide-and-conquer framework for large degrees. The training pipeline
+//! and weights are unavailable, so this module substitutes the *method
+//! shape* the paper actually compares against (see DESIGN.md §4):
+//!
+//! * small degrees — the exact scalarization optimum (an idealized YSD:
+//!   the best any weighted-sum method could do), found by scanning the
+//!   exact Pareto frontier;
+//! * large degrees — a median-split divide-and-conquer, mirroring YSD's
+//!   framework (and inheriting its wirelength weakness the paper notes for
+//!   Fig. 7(c)).
+//!
+//! Because a weighted sum is linear in `(w, d)`, **only convex-hull points
+//! of the frontier are reachable** no matter how many `β` are swept —
+//! the structural limitation §I-B highlights.
+
+use patlabor_dw::{numeric, DwConfig};
+use patlabor_geom::{Net, Point};
+use patlabor_pareto::{Cost, ParetoSet};
+use patlabor_tree::{extract_from_union, remove_redundant_steiner, RoutingTree};
+
+/// Largest degree solved exactly.
+pub const EXACT_MAX_DEGREE: usize = 7;
+
+/// The default `β` sweep used to produce weighted-sum "Pareto curves".
+pub const DEFAULT_BETAS: [f64; 7] = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+
+/// Builds the weighted-sum tree for `beta ∈ [0, 1]`
+/// (`minimize (1−β)·w + β·d`).
+///
+/// # Panics
+///
+/// Panics if `beta` is outside `[0, 1]` or not finite.
+pub fn weighted_sum_tree(net: &Net, beta: f64) -> RoutingTree {
+    assert!(
+        beta.is_finite() && (0.0..=1.0).contains(&beta),
+        "beta must be in [0, 1], got {beta}"
+    );
+    if net.degree() <= EXACT_MAX_DEGREE {
+        exact_scalarized(net, beta)
+    } else {
+        divide_and_conquer(net, beta)
+    }
+}
+
+/// Exact scalarization optimum: the frontier point minimizing the weighted
+/// sum (a linear objective attains its optimum on the Pareto frontier).
+fn exact_scalarized(net: &Net, beta: f64) -> RoutingTree {
+    let frontier = numeric::pareto_frontier(net, &DwConfig::default());
+    let (w_weight, d_weight) = integer_weights(beta);
+    frontier
+        .iter()
+        .min_by_key(|(c, _)| c.weighted(w_weight, d_weight))
+        .map(|(_, t)| t.clone())
+        .expect("frontier is never empty")
+}
+
+/// `(1−β, β)` scaled to exact integer weights.
+fn integer_weights(beta: f64) -> (i64, i64) {
+    let d = (beta * 10_000.0).round() as i64;
+    (10_000 - d, d)
+}
+
+/// YSD-style divide and conquer: median split on alternating axes, exact
+/// scalarized solutions at the leaves, subtree roots chained together.
+fn divide_and_conquer(net: &Net, beta: f64) -> RoutingTree {
+    let r = net.source();
+    let pts: Vec<Point> = net.pins().to_vec();
+    let mut edges = Vec::new();
+    let top_source = solve_rec(&pts, r, beta, true, &mut edges);
+    debug_assert_eq!(top_source, r, "the global source is closest to itself");
+    let tree = extract_from_union(net, &edges)
+        .expect("divide-and-conquer connects every pin");
+    remove_redundant_steiner(&tree)
+}
+
+/// Solves the subproblem over `pts`, appends its edges, and returns its
+/// local source (the point closest to the global source `r`).
+fn solve_rec(
+    pts: &[Point],
+    r: Point,
+    beta: f64,
+    split_on_x: bool,
+    edges: &mut Vec<(Point, Point)>,
+) -> Point {
+    let local_source = *pts
+        .iter()
+        .min_by_key(|p| (p.l1(r), p.x, p.y))
+        .expect("subproblem is non-empty");
+    if pts.len() == 1 {
+        return local_source;
+    }
+    if pts.len() <= EXACT_MAX_DEGREE {
+        // Local net rooted at the pin closest to the global source.
+        let mut pins = vec![local_source];
+        let mut used_source = false;
+        for &p in pts {
+            if p == local_source && !used_source {
+                used_source = true;
+                continue;
+            }
+            pins.push(p);
+        }
+        let local = Net::new(pins).expect("at least two pins");
+        let tree = exact_scalarized(&local, beta);
+        edges.extend(tree.edge_points());
+        return local_source;
+    }
+    // Median split.
+    let mut sorted = pts.to_vec();
+    if split_on_x {
+        sorted.sort_by_key(|p| (p.x, p.y));
+    } else {
+        sorted.sort_by_key(|p| (p.y, p.x));
+    }
+    let mid = sorted.len() / 2;
+    let (p1, p2) = sorted.split_at(mid);
+    let s1 = solve_rec(p1, r, beta, !split_on_x, edges);
+    let s2 = solve_rec(p2, r, beta, !split_on_x, edges);
+    edges.push((s1, s2));
+    if s1.l1(r) <= s2.l1(r) {
+        s1
+    } else {
+        s2
+    }
+}
+
+/// Sweeps `betas` and prunes into a Pareto set.
+pub fn weighted_sum_pareto(net: &Net, betas: &[f64]) -> ParetoSet<RoutingTree> {
+    betas
+        .iter()
+        .map(|&b| {
+            let t = weighted_sum_tree(net, b);
+            let (w, d) = t.objectives();
+            (Cost::new(w, d), t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {
+        let mut rng = move || {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            *seed
+        };
+        Net::new(
+            (0..degree)
+                .map(|_| Point::new((rng() % span) as i64, (rng() % span) as i64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn beta_extremes_match_frontier_ends() {
+        let mut seed = 31u64;
+        for _ in 0..10 {
+            let n = random_net(&mut seed, 6, 60);
+            let frontier = numeric::pareto_frontier(&n, &DwConfig::default());
+            let w_tree = weighted_sum_tree(&n, 0.0);
+            assert_eq!(
+                w_tree.wirelength(),
+                frontier.min_wirelength().unwrap().0.wirelength
+            );
+            let d_tree = weighted_sum_tree(&n, 1.0);
+            assert_eq!(d_tree.delay(), frontier.min_delay().unwrap().0.delay);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_misses_concave_frontier_points() {
+        // A frontier {(10,30), (14,18), (20,16)} has (14,18) strictly
+        // inside the segment (10,30)–(20,16)? Check: at (14,18): hull from
+        // (10,30) to (20,16): interpolation at w=14: 30 - 4*(14/10) = 24.4
+        // > 18 → (14,18) is BELOW the chord, i.e. convex → reachable.
+        // Instead verify the structural property on synthetic costs: every
+        // β-optimum lies on the lower convex hull of the frontier.
+        let frontier = [
+            Cost::new(10, 30),
+            Cost::new(13, 27), // concave bump: above the (10,30)-(20,16) chord
+            Cost::new(20, 16),
+        ];
+        for beta in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let (ww, dw) = integer_weights(beta);
+            let best = frontier.iter().min_by_key(|c| c.weighted(ww, dw)).unwrap();
+            assert_ne!(
+                *best,
+                Cost::new(13, 27),
+                "a weighted sum must never select the concave point (β={beta})"
+            );
+        }
+    }
+
+    #[test]
+    fn divide_and_conquer_produces_valid_trees() {
+        let mut seed = 47u64;
+        for _ in 0..5 {
+            let n = random_net(&mut seed, 25, 200);
+            for beta in [0.0, 0.5, 1.0] {
+                let t = weighted_sum_tree(&n, beta);
+                t.validate(&n).unwrap();
+                assert!(t.delay() >= n.delay_lower_bound());
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_a_frontier() {
+        let mut seed = 53u64;
+        let n = random_net(&mut seed, 30, 200);
+        let set = weighted_sum_pareto(&n, &DEFAULT_BETAS);
+        assert!(!set.is_empty());
+        let costs = set.cost_vec();
+        for w in costs.windows(2) {
+            assert!(w[0].wirelength < w[1].wirelength && w[0].delay > w[1].delay);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be")]
+    fn rejects_bad_beta() {
+        let n = Net::new(vec![Point::new(0, 0), Point::new(1, 1)]).unwrap();
+        let _ = weighted_sum_tree(&n, -0.1);
+    }
+}

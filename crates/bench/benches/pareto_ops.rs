@@ -1,0 +1,67 @@
+//! Microbenchmarks of the Pareto-set substrate: `Pareto(S)` pruning and
+//! the Pareto sum `⊕` — the inner-loop operations of Pareto-DW whose cost
+//! drives the `|S|²` factor in Theorems 3 and 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patlabor_pareto::{Cost, ParetoSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_costs(rng: &mut StdRng, count: usize) -> Vec<Cost> {
+    (0..count)
+        .map(|_| Cost::new(rng.gen_range(0..100_000), rng.gen_range(0..100_000)))
+        .collect()
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_prune");
+    for size in [100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let costs = random_costs(&mut rng, size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &costs, |b, costs| {
+            b.iter(|| {
+                let set: ParetoSet<()> = costs.iter().map(|&c| (c, ())).collect();
+                std::hint::black_box(set.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_insert");
+    for size in [100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let costs = random_costs(&mut rng, size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &costs, |b, costs| {
+            b.iter(|| {
+                let mut set = ParetoSet::new();
+                for &c in costs {
+                    set.insert(c, ());
+                }
+                std::hint::black_box(set.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pareto_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_sum");
+    for size in [10usize, 30, 100] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: ParetoSet<()> = random_costs(&mut rng, size * 20).into_iter().collect();
+        let b_set: ParetoSet<()> = random_costs(&mut rng, size * 20).into_iter().collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", a.len(), b_set.len())),
+            &(a, b_set),
+            |bencher, (a, b_set)| {
+                bencher.iter(|| std::hint::black_box(a.pareto_sum(b_set, |_, _| ()).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune, bench_incremental_insert, bench_pareto_sum);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Theorem 2: smoothed analysis of frontier sizes.
+//!
+//! Perturbing an adversarial instance (the Theorem-1 gadget chain) with
+//! κ-smoothed noise must collapse its frontier toward the typical
+//! polynomial (here: near-constant) size, with the effect strengthening as
+//! κ decreases (more noise). We also report E[|F|] for uniform random
+//! instances against the paper's `O(n³κ)` bound.
+
+use patlabor_bench::{paper_note, render_table, scaled};
+use patlabor_dw::{numeric::pareto_frontier, DwConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let trials = scaled(25, 5);
+    println!("Theorem 2 — smoothed frontier sizes ({trials} trials/kappa)\n");
+
+    // Adversarial base: 3 chained gadgets (degree 10), scaled up so the
+    // perturbation resolution is meaningful.
+    let base = patlabor_netgen::exponential_frontier_net(3)
+        .map_points(|p| patlabor_geom::Point::new(p.x * 100, p.y * 100));
+    let resolution = 8_000i64; // ≈ the instance span
+    let worst = pareto_frontier(&base, &DwConfig::default()).len();
+    println!("adversarial base: degree {}, |F| = {worst}\n", base.degree());
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5007);
+    let mut rows = Vec::new();
+    for kappa in [1000.0f64, 100.0, 30.0, 10.0, 3.0] {
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for _ in 0..trials {
+            let net =
+                patlabor_netgen::smoothed_perturbation(&mut rng, &base, kappa, resolution);
+            let f = pareto_frontier(&net, &DwConfig::default());
+            total += f.len();
+            max = max.max(f.len());
+        }
+        rows.push(vec![
+            format!("{kappa:.0}"),
+            format!("{:.2}", total as f64 / trials as f64),
+            max.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["kappa", "E[|F|]", "max |F|"], &rows)
+    );
+
+    // Average-case reference: uniform random nets per degree.
+    println!("\nuniform random instances (average case, kappa = 1):");
+    let mut rows = Vec::new();
+    for degree in [6usize, 8, 10] {
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let net = patlabor_netgen::uniform_net(&mut rng, degree, 10_000);
+            total += pareto_frontier(&net, &DwConfig::default()).len();
+        }
+        rows.push(vec![
+            degree.to_string(),
+            format!("{:.2}", total as f64 / trials as f64),
+            format!("{}", degree.pow(3)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["degree", "E[|F|]", "n^3 bound (kappa=1)"], &rows)
+    );
+    paper_note(
+        "paper Thm 2: E[|F|] = O(n^3 * kappa) for kappa-smoothed instances — \
+         polynomial, explaining why Pareto-DW is fast in practice. Expect E[|F|] to \
+         stay small (single digits) at every kappa and to sit orders of magnitude \
+         below the n^3 bound; our DP-verifiable adversarial base (|F| = 3) is mild, \
+         so perturbation randomizes it rather than collapsing it — the paper's \
+         exponential construction would show the collapse more dramatically.",
+    );
+}

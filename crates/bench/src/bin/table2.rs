@@ -1,0 +1,80 @@
+//! Table II: lookup-table statistics per degree.
+//!
+//! `#Index` (stored canonical patterns), `#Topo` (average potentially
+//! optimal topologies per pattern), serialized size, generation wall time,
+//! and generation throughput (topologies/second — the basis of the
+//! paper's "441× faster than FLUTE" comparison).
+//!
+//! Default λ = 6 finishes in seconds; set `PATLABOR_TABLE2_LAMBDA=7` (or
+//! 8) for the bigger offline runs.
+
+use std::time::Instant;
+
+use patlabor::LutBuilder;
+use patlabor_bench::{paper_note, render_table};
+
+fn main() {
+    let lambda: u8 = std::env::var("PATLABOR_TABLE2_LAMBDA")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|l| (3..=9).contains(l))
+        .unwrap_or(6);
+    println!("Table II — lookup-table statistics (lambda = {lambda})\n");
+
+    let mut rows = Vec::new();
+    let mut total_topos = 0usize;
+    let mut total_bytes = 0usize;
+    let mut total_secs = 0.0f64;
+    for degree in 4..=lambda {
+        let start = Instant::now();
+        let table = LutBuilder::new(degree).build();
+        let secs = start.elapsed().as_secs_f64();
+        let stats = table
+            .stats()
+            .into_iter()
+            .find(|s| s.degree == degree)
+            .expect("degree was generated");
+        let mut bytes = Vec::new();
+        table.write_to(&mut bytes).expect("in-memory write");
+        // Subtract the sub-degree payload so sizes are per degree.
+        let sub = if degree > 4 {
+            let prev = LutBuilder::new(degree - 1).build();
+            let mut b = Vec::new();
+            prev.write_to(&mut b).expect("in-memory write");
+            b.len()
+        } else {
+            0
+        };
+        let degree_bytes = bytes.len().saturating_sub(sub);
+        total_topos += stats.total_topologies;
+        total_bytes += degree_bytes;
+        total_secs += secs;
+        rows.push(vec![
+            degree.to_string(),
+            stats.num_patterns.to_string(),
+            format!("{:.2}", stats.avg_topologies),
+            format!("{:.1} KiB", degree_bytes as f64 / 1024.0),
+            format!("{secs:.2}s"),
+            format!("{:.0}/s", stats.total_topologies as f64 / secs.max(1e-9)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["degree", "#Index", "#Topo", "size", "gen time", "throughput"],
+            &rows
+        )
+    );
+    println!(
+        "total: {total_topos} topologies, {:.1} KiB, {total_secs:.2}s",
+        total_bytes as f64 / 1024.0
+    );
+    paper_note(
+        "paper Table II (lambda = 9, 16 cores): #Index 24/220/1008/5824/46880/429516 for \
+         degrees 4..9, avg #Topo 1.67..378, 246 MB total, 4.76 h parallel. Our #Index is \
+         smaller (full-D4 orbit canonicalization: 16/89/579/4549 for 4..7) and #Topo \
+         differs because we store deduplicated topology sets; the shape to check is \
+         super-exponential growth of #Index and #Topo with degree, and throughput far \
+         above FLUTE's ~2.1 topologies/s (450k topologies / 58.2 h).",
+    );
+}

@@ -1,0 +1,49 @@
+//! Theorem 1: worst-case instances with growing Pareto frontiers.
+//!
+//! The paper constructs chained "S" gadgets (their Fig. 4) whose frontier
+//! is `2^Ω(n)`. We chain pass-through hairpin gadgets at geometric scales
+//! (see `patlabor_netgen::exponential_frontier_net` and DESIGN.md §4) and
+//! verify the frontier growth with the exact Pareto-DW, contrasting it
+//! with the flat frontiers of typical random instances of the same degree.
+
+use patlabor_bench::{paper_note, render_table};
+use patlabor_dw::{numeric::pareto_frontier, DwConfig};
+use rand::SeedableRng;
+
+fn main() {
+    println!("Theorem 1 — adversarial frontier growth (exact Pareto-DW)\n");
+    let mut rows = Vec::new();
+    for gadgets in 1..=4usize {
+        let net = patlabor_netgen::exponential_frontier_net(gadgets);
+        let n = net.degree();
+        let f = pareto_frontier(&net, &DwConfig::default());
+        // Random instances of the same degree for contrast.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7e0 + gadgets as u64);
+        let trials = if n <= 10 { 20 } else { 5 };
+        let mut random_max = 0usize;
+        for _ in 0..trials {
+            let r = patlabor_netgen::uniform_net(&mut rng, n, 1000);
+            random_max = random_max.max(pareto_frontier(&r, &DwConfig::default()).len());
+        }
+        rows.push(vec![
+            gadgets.to_string(),
+            n.to_string(),
+            f.len().to_string(),
+            random_max.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["gadgets m", "degree n", "|F| gadget chain", "max |F| random"],
+            &rows
+        )
+    );
+    paper_note(
+        "paper Thm 1: there exist instances with 2^Omega(n) frontier solutions, built \
+         from chained gadgets; real instances stay polynomial (Thm 2). The Fig-4 11-pin \
+         S-gadget geometry is not in the paper text; our verified hairpin chain grows \
+         |F| = m with m gadgets (super-constant, unlike typical random nets of the same \
+         degree) and demonstrates the same serial pass-through mechanism.",
+    );
+}

@@ -1,0 +1,73 @@
+//! §V-B policy training: reproduces the reinforcement-style fitting of the
+//! pin-selection weights α and reports how the learned policy compares
+//! against random and default selection on held-out nets.
+
+use patlabor::policy::{train::TrainConfig, Policy};
+use patlabor::{LutBuilder, PatLabor};
+use patlabor_bench::{paper_note, render_table, scaled};
+use patlabor_pareto::metrics::hypervolume;
+use patlabor_pareto::Cost;
+use rand::SeedableRng;
+
+fn main() {
+    let degrees: Vec<usize> = vec![10, 14, 20, 30];
+    let config = TrainConfig {
+        instances_per_degree: scaled(10, 3),
+        rollouts_per_instance: scaled(16, 6),
+        ..TrainConfig::default()
+    };
+    println!(
+        "policy iteration over degrees {degrees:?} \
+         ({} instances x {} rollouts each)\n",
+        config.instances_per_degree, config.rollouts_per_instance
+    );
+    let learned = patlabor::policy::train::train(&degrees, 5, &config);
+
+    let mut rows = Vec::new();
+    for &d in &degrees {
+        let a = learned.alphas(d);
+        rows.push(vec![
+            d.to_string(),
+            format!("{:.3}", a[0]),
+            format!("{:.3}", a[1]),
+            format!("{:.3}", a[2]),
+            format!("{:.3}", a[3]),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["degree", "a1 (|r-p|)", "a2 (dist_T)", "a3 (min-sel)", "a4 (HPWL)"], &rows)
+    );
+
+    // Held-out evaluation: average frontier hypervolume when the router
+    // uses the learned policy vs. the shipped default.
+    let table = LutBuilder::new(5).build();
+    let eval_nets = scaled(20, 5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9e1d);
+    let mut hv = [0i128; 2];
+    for _ in 0..eval_nets {
+        let net = patlabor_netgen::clustered_net(&mut rng, 18, 2_000, 2);
+        let seed = patlabor_baselines::rsmt::rsmt_tree(&net);
+        let (w0, d0) = seed.objectives();
+        let reference = Cost::new(w0 * 2, d0 * 2);
+        for (i, policy) in [learned.clone(), Policy::default()].into_iter().enumerate() {
+            let router = PatLabor::with_table(table.clone()).with_policy(policy);
+            let frontier = router.route(&net);
+            hv[i] += hypervolume(&frontier, reference);
+        }
+    }
+    println!("held-out hypervolume ({eval_nets} degree-18 nets, higher is better):");
+    println!("  learned policy: {}", hv[0]);
+    println!("  default policy: {}", hv[1]);
+    println!(
+        "  learned/default: {:.4}",
+        hv[0] as f64 / hv[1].max(1) as f64
+    );
+    paper_note(
+        "paper §V-B trains alpha per degree (10..100) by policy iteration with \
+         curriculum warm starts; Theorem 5 bounds the generalization gap by \
+         O~(sqrt(n/m)). Expect non-negative learned weights with the source-distance \
+         and tree-distance terms dominant, and held-out quality within a few percent \
+         of (or better than) the shipped default.",
+    );
+}

@@ -1,0 +1,394 @@
+//! Bookshelf placement-format parsing (the format the ICCAD-15 benchmark
+//! ships in).
+//!
+//! The paper evaluates on ICCAD-15, which we cannot redistribute; this
+//! crate closes the gap from the user's side: anyone holding the
+//! benchmark can parse its `.aux` / `.nodes` / `.pl` / `.nets` files into
+//! [`Net`]s and run every experiment on the real data.
+//!
+//! Supported subset (what routing needs):
+//!
+//! * `.nodes` — cell names and dimensions (`terminal` flag accepted);
+//! * `.pl` — placed cell positions (orientation tokens accepted,
+//!   offsets are applied from cell centers);
+//! * `.nets` — net pin lists with `I`/`O` directions and pin offsets;
+//!   the `O` (driver) pin becomes the net's source;
+//! * `.aux` — the index file tying the above together.
+//!
+//! # Example
+//!
+//! ```
+//! use patlabor_bookshelf::parse_design_strs;
+//!
+//! let nodes = "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n a 2 2\n b 2 2\n";
+//! let pl = "UCLA pl 1.0\n a 10 20 : N\n b 40 50 : N\n";
+//! let nets = "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n\
+//!             NetDegree : 2 n0\n a O : 0 0\n b I : 0 0\n";
+//! let design = parse_design_strs(nodes, pl, nets)?;
+//! assert_eq!(design.nets.len(), 1);
+//! assert_eq!(design.nets[0].source(), patlabor_geom::Point::new(11, 21));
+//! # Ok::<(), patlabor_bookshelf::ParseBookshelfError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+use patlabor_geom::{Net, Point};
+
+/// A parsed design: placed cells and routable nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Design {
+    /// Net list; each net's source pin is the `O`-direction pin (or the
+    /// first pin when no direction is given).
+    pub nets: Vec<Net>,
+    /// Net names, aligned with `nets`.
+    pub net_names: Vec<String>,
+    /// Number of placed cells.
+    pub num_cells: usize,
+}
+
+/// Error from parsing Bookshelf files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBookshelfError {
+    /// Which file the error is in (`nodes`, `pl`, `nets`, `aux`).
+    pub file: &'static str,
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} line {}: {}", self.file, self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBookshelfError {}
+
+fn err(file: &'static str, line: usize, message: impl Into<String>) -> ParseBookshelfError {
+    ParseBookshelfError {
+        file,
+        line,
+        message: message.into(),
+    }
+}
+
+/// Lines of a Bookshelf file that carry content: strips the `UCLA` header,
+/// comments (`#`) and blanks; yields `(line_number, content)`.
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(i, raw)| {
+        let s = raw.split('#').next().unwrap_or("").trim();
+        if s.is_empty() || s.starts_with("UCLA") {
+            None
+        } else {
+            Some((i + 1, s))
+        }
+    })
+}
+
+/// Parses a `Key : value` header line; returns the value.
+fn header_value(s: &str) -> Option<&str> {
+    let (_, v) = s.split_once(':')?;
+    Some(v.trim())
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    width: i64,
+    height: i64,
+    x: i64,
+    y: i64,
+}
+
+fn parse_nodes(text: &str) -> Result<HashMap<String, Cell>, ParseBookshelfError> {
+    let mut cells = HashMap::new();
+    for (line, s) in content_lines(text) {
+        if s.starts_with("NumNodes") || s.starts_with("NumTerminals") {
+            continue;
+        }
+        let mut it = s.split_whitespace();
+        let name = it
+            .next()
+            .ok_or_else(|| err("nodes", line, "missing node name"))?;
+        let width: i64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("nodes", line, "missing/invalid width"))?;
+        let height: i64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("nodes", line, "missing/invalid height"))?;
+        // Optional trailing "terminal" / "terminal_NI" token is ignored.
+        cells.insert(
+            name.to_string(),
+            Cell {
+                width,
+                height,
+                x: 0,
+                y: 0,
+            },
+        );
+    }
+    Ok(cells)
+}
+
+fn parse_pl(text: &str, cells: &mut HashMap<String, Cell>) -> Result<(), ParseBookshelfError> {
+    for (line, s) in content_lines(text) {
+        let mut it = s.split_whitespace();
+        let name = it
+            .next()
+            .ok_or_else(|| err("pl", line, "missing node name"))?;
+        let x: i64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("pl", line, "missing/invalid x"))?;
+        let y: i64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("pl", line, "missing/invalid y"))?;
+        let cell = cells
+            .get_mut(name)
+            .ok_or_else(|| err("pl", line, format!("unknown node `{name}`")))?;
+        cell.x = x;
+        cell.y = y;
+    }
+    Ok(())
+}
+
+fn parse_nets(
+    text: &str,
+    cells: &HashMap<String, Cell>,
+) -> Result<(Vec<Net>, Vec<String>), ParseBookshelfError> {
+    let mut nets = Vec::new();
+    let mut names = Vec::new();
+    let mut lines = content_lines(text).peekable();
+    let mut anonymous = 0usize;
+    while let Some((line, s)) = lines.next() {
+        if s.starts_with("NumNets") || s.starts_with("NumPins") {
+            continue;
+        }
+        if !s.starts_with("NetDegree") {
+            return Err(err("nets", line, format!("expected `NetDegree`, got `{s}`")));
+        }
+        let rest = header_value(s).ok_or_else(|| err("nets", line, "malformed NetDegree"))?;
+        let mut it = rest.split_whitespace();
+        let degree: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("nets", line, "NetDegree needs a count"))?;
+        let name = it.next().map(str::to_string).unwrap_or_else(|| {
+            anonymous += 1;
+            format!("net_{anonymous}")
+        });
+        let mut source: Option<Point> = None;
+        let mut sinks: Vec<Point> = Vec::new();
+        for _ in 0..degree {
+            let (pin_line, pin) = lines
+                .next()
+                .ok_or_else(|| err("nets", line, "net truncated"))?;
+            let mut pt = pin.split_whitespace();
+            let node = pt
+                .next()
+                .ok_or_else(|| err("nets", pin_line, "missing pin node"))?;
+            let direction = pt.next().unwrap_or("I");
+            // Optional ": dx dy" offsets from the cell center.
+            let mut dx = 0i64;
+            let mut dy = 0i64;
+            let offsets: Vec<&str> = pt.filter(|t| *t != ":").collect();
+            if offsets.len() >= 2 {
+                dx = parse_offset(offsets[0], pin_line)?;
+                dy = parse_offset(offsets[1], pin_line)?;
+            }
+            let cell = cells
+                .get(node)
+                .ok_or_else(|| err("nets", pin_line, format!("unknown node `{node}`")))?;
+            let pos = Point::new(
+                cell.x + cell.width / 2 + dx,
+                cell.y + cell.height / 2 + dy,
+            );
+            if direction.eq_ignore_ascii_case("O") && source.is_none() {
+                source = Some(pos);
+            } else {
+                sinks.push(pos);
+            }
+        }
+        let mut pins = Vec::with_capacity(degree);
+        match source {
+            Some(src) => pins.push(src),
+            // No driver listed: keep pin order, first pin drives.
+            None => {}
+        }
+        pins.append(&mut sinks);
+        if pins.len() < 2 {
+            // Single-pin nets exist in real benchmarks; skip them (they
+            // need no routing).
+            continue;
+        }
+        let net = Net::new(pins).expect("length checked above");
+        nets.push(net);
+        names.push(name);
+    }
+    Ok((nets, names))
+}
+
+fn parse_offset(token: &str, line: usize) -> Result<i64, ParseBookshelfError> {
+    // Offsets may be fractional in some generations of the format; round
+    // toward zero to stay on the integer grid.
+    if let Ok(v) = token.parse::<i64>() {
+        return Ok(v);
+    }
+    token
+        .parse::<f64>()
+        .map(|v| v as i64)
+        .map_err(|_| err("nets", line, format!("bad offset `{token}`")))
+}
+
+/// Parses a design from in-memory file contents.
+///
+/// # Errors
+///
+/// Returns the first syntax or cross-reference error.
+pub fn parse_design_strs(
+    nodes: &str,
+    pl: &str,
+    nets: &str,
+) -> Result<Design, ParseBookshelfError> {
+    let mut cells = parse_nodes(nodes)?;
+    parse_pl(pl, &mut cells)?;
+    let (nets, net_names) = parse_nets(nets, &cells)?;
+    Ok(Design {
+        nets,
+        net_names,
+        num_cells: cells.len(),
+    })
+}
+
+/// Loads a design from an `.aux` file (resolving the `.nodes`, `.pl` and
+/// `.nets` files it references, relative to the `.aux` location).
+///
+/// # Errors
+///
+/// I/O problems and parse errors are both reported as
+/// [`ParseBookshelfError`] (I/O uses line 0).
+pub fn load_design(aux_path: impl AsRef<Path>) -> Result<Design, ParseBookshelfError> {
+    let aux_path = aux_path.as_ref();
+    let aux = std::fs::read_to_string(aux_path)
+        .map_err(|e| err("aux", 0, format!("{}: {e}", aux_path.display())))?;
+    let dir = aux_path.parent().unwrap_or_else(|| Path::new("."));
+    let mut nodes = None;
+    let mut pl = None;
+    let mut nets = None;
+    for token in aux.split_whitespace() {
+        let lower = token.to_ascii_lowercase();
+        let slot = if lower.ends_with(".nodes") {
+            &mut nodes
+        } else if lower.ends_with(".pl") {
+            &mut pl
+        } else if lower.ends_with(".nets") {
+            &mut nets
+        } else {
+            continue;
+        };
+        *slot = Some(dir.join(token));
+    }
+    let read = |path: Option<std::path::PathBuf>, what: &'static str| {
+        let path = path.ok_or_else(|| err("aux", 0, format!("no .{what} file referenced")))?;
+        std::fs::read_to_string(&path)
+            .map_err(|e| err("aux", 0, format!("{}: {e}", path.display())))
+    };
+    parse_design_strs(
+        &read(nodes, "nodes")?,
+        &read(pl, "pl")?,
+        &read(nets, "nets")?,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODES: &str = "UCLA nodes 1.0\n# comment\nNumNodes : 3\nNumTerminals : 1\n\
+                         a 2 2\n b 4 2\n pad 0 0 terminal\n";
+    const PL: &str = "UCLA pl 1.0\n a 10 20 : N\n b 40 50 : FS\n pad 0 0 : N\n";
+    const NETS: &str = "UCLA nets 1.0\nNumNets : 2\nNumPins : 5\n\
+                        NetDegree : 3 clk\n a O : 0 0\n b I : 1 -1\n pad I\n\
+                        NetDegree : 2\n b O : 0 0\n a I : 0 0\n";
+
+    #[test]
+    fn parses_a_full_design() {
+        let d = parse_design_strs(NODES, PL, NETS).unwrap();
+        assert_eq!(d.num_cells, 3);
+        assert_eq!(d.nets.len(), 2);
+        assert_eq!(d.net_names, vec!["clk", "net_1"]);
+        // clk: source = a center (11, 21); sinks = b center + (1,-1) =
+        // (43, 50), pad (0,0).
+        assert_eq!(d.nets[0].source(), Point::new(11, 21));
+        assert_eq!(d.nets[0].pins()[1], Point::new(43, 50));
+        assert_eq!(d.nets[0].pins()[2], Point::new(0, 0));
+        // Second net: source = b center (42, 51).
+        assert_eq!(d.nets[1].source(), Point::new(42, 51));
+    }
+
+    #[test]
+    fn single_pin_nets_are_skipped() {
+        let nets = "NumNets : 1\nNetDegree : 1 lonely\n a O : 0 0\n";
+        let d = parse_design_strs(NODES, PL, nets).unwrap();
+        assert!(d.nets.is_empty());
+    }
+
+    #[test]
+    fn fractional_offsets_round() {
+        let nets = "NetDegree : 2 n\n a O : 0.5 -0.5\n b I : 0 0\n";
+        let d = parse_design_strs(NODES, PL, nets).unwrap();
+        assert_eq!(d.nets[0].source(), Point::new(11, 21));
+    }
+
+    #[test]
+    fn unknown_node_is_reported_with_location() {
+        let nets = "NetDegree : 2 n\n ghost O : 0 0\n b I : 0 0\n";
+        let e = parse_design_strs(NODES, PL, nets).unwrap_err();
+        assert_eq!(e.file, "nets");
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn truncated_net_is_an_error() {
+        let nets = "NetDegree : 3 n\n a O : 0 0\n b I : 0 0\n";
+        let e = parse_design_strs(NODES, PL, nets).unwrap_err();
+        assert!(e.message.contains("truncated"));
+    }
+
+    #[test]
+    fn garbage_header_is_an_error() {
+        let nets = "definitely not bookshelf\n";
+        let e = parse_design_strs(NODES, PL, nets).unwrap_err();
+        assert!(e.message.contains("NetDegree"));
+    }
+
+    #[test]
+    fn missing_driver_keeps_pin_order() {
+        let nets = "NetDegree : 2 n\n a I : 0 0\n b I : 0 0\n";
+        let d = parse_design_strs(NODES, PL, nets).unwrap();
+        assert_eq!(d.nets[0].source(), Point::new(11, 21)); // a first
+    }
+
+    #[test]
+    fn aux_loading_roundtrip() {
+        let dir = std::env::temp_dir().join("patlabor_bookshelf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("d.nodes"), NODES).unwrap();
+        std::fs::write(dir.join("d.pl"), PL).unwrap();
+        std::fs::write(dir.join("d.nets"), NETS).unwrap();
+        std::fs::write(
+            dir.join("d.aux"),
+            "RowBasedPlacement : d.nodes d.nets d.pl\n",
+        )
+        .unwrap();
+        let d = load_design(dir.join("d.aux")).unwrap();
+        assert_eq!(d.nets.len(), 2);
+        let e = load_design(dir.join("missing.aux")).unwrap_err();
+        assert_eq!(e.file, "aux");
+    }
+}

@@ -1,0 +1,375 @@
+//! Library backing the `patlabor` command-line tool.
+//!
+//! Kept separate from `main.rs` so the net-list parser and the command
+//! implementations are unit-testable. The CLI covers the three workflows
+//! a user needs:
+//!
+//! * `patlabor route <nets.txt>` — route a net list, print each net's
+//!   Pareto frontier (optionally picking one tree per delay budget);
+//! * `patlabor gen-tables --lambda L -o tables.plut` — generate lookup
+//!   tables offline;
+//! * `patlabor stats <tables.plut>` — Table II style statistics of a
+//!   table file.
+//!
+//! # Net-list format
+//!
+//! One net per line: whitespace-separated `x,y` pins, source first.
+//! `#` starts a comment; blank lines are ignored.
+//!
+//! ```text
+//! # three nets
+//! 0,0 40,15 12,33
+//! 5,5 25,5
+//! 0,0 9,1 8,8 1,9
+//! ```
+
+use std::fmt;
+
+use patlabor::{LutBuilder, Net, PatLabor, Point};
+use patlabor_lut::LookupTable;
+
+/// Error from parsing a net list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetsError {}
+
+/// Parses the net-list format described in the crate docs.
+///
+/// # Errors
+///
+/// Returns the first offending line with a description.
+pub fn parse_nets(text: &str) -> Result<Vec<Net>, ParseNetsError> {
+    let mut nets = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut pins = Vec::new();
+        for token in content.split_whitespace() {
+            let (x, y) = token.split_once(',').ok_or_else(|| ParseNetsError {
+                line,
+                message: format!("expected `x,y`, got `{token}`"),
+            })?;
+            let parse = |s: &str| -> Result<i64, ParseNetsError> {
+                s.trim().parse().map_err(|_| ParseNetsError {
+                    line,
+                    message: format!("`{s}` is not an integer coordinate"),
+                })
+            };
+            pins.push(Point::new(parse(x)?, parse(y)?));
+        }
+        let net = Net::new(pins).map_err(|e| ParseNetsError {
+            line,
+            message: e.to_string(),
+        })?;
+        nets.push(net);
+    }
+    Ok(nets)
+}
+
+/// Options of the `route` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOptions {
+    /// λ of the freshly built tables (ignored when `tables` is given).
+    pub lambda: u8,
+    /// Pre-generated table file to load instead of building.
+    pub tables: Option<String>,
+    /// When set, also print the single tree picked per net: the lightest
+    /// frontier member within `slack ×` the net's delay lower bound.
+    pub pick_slack: Option<f64>,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            lambda: 5,
+            tables: None,
+            pick_slack: None,
+        }
+    }
+}
+
+/// Runs the `route` command; returns the rendered output.
+///
+/// # Errors
+///
+/// Propagates table-loading problems as strings (the CLI prints them).
+pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, String> {
+    let router = match &options.tables {
+        Some(path) => {
+            let table = LookupTable::load(path).map_err(|e| e.to_string())?;
+            PatLabor::with_table(table)
+        }
+        None => PatLabor::with_config(patlabor::RouterConfig {
+            lambda: options.lambda,
+            ..patlabor::RouterConfig::default()
+        }),
+    };
+    let mut out = String::new();
+    for (i, net) in nets.iter().enumerate() {
+        let frontier = router.route(net);
+        out.push_str(&format!(
+            "net {i} (degree {}): {} Pareto solutions\n",
+            net.degree(),
+            frontier.len()
+        ));
+        for (cost, _) in frontier.iter() {
+            out.push_str(&format!("  w={} d={}\n", cost.wirelength, cost.delay));
+        }
+        if let Some(slack) = options.pick_slack {
+            let budget = (net.delay_lower_bound() as f64 * slack).floor() as i64;
+            let pick = frontier
+                .iter()
+                .find(|(c, _)| c.delay <= budget)
+                .or_else(|| frontier.min_delay());
+            if let Some((cost, tree)) = pick {
+                out.push_str(&format!("  pick (budget {budget}): w={} d={}\n", cost.wirelength, cost.delay));
+                for (a, b) in tree.edge_points() {
+                    out.push_str(&format!("    {},{} -- {},{}\n", a.x, a.y, b.x, b.y));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the `gen-tables` command.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as strings.
+pub fn gen_tables_command(lambda: u8, output: &str) -> Result<String, String> {
+    if !(3..=9).contains(&lambda) {
+        return Err(format!("--lambda must be 3..=9, got {lambda}"));
+    }
+    let start = std::time::Instant::now();
+    let table = LutBuilder::new(lambda).build();
+    table.save(output).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "generated lambda={lambda} tables in {:?} → {output}\n",
+        start.elapsed()
+    ))
+}
+
+/// Runs the `stats` command on a table file.
+///
+/// # Errors
+///
+/// Propagates loading problems as strings.
+pub fn stats_command(path: &str) -> Result<String, String> {
+    let table = LookupTable::load(path).map_err(|e| e.to_string())?;
+    let mut out = format!("lambda = {}\n", table.lambda());
+    out.push_str("degree  #Index  avg #Topo  total topologies  unique (clustered)\n");
+    for s in table.stats() {
+        out.push_str(&format!(
+            "{:>6}  {:>6}  {:>9.2}  {:>16}  {:>18}\n",
+            s.degree, s.num_patterns, s.avg_topologies, s.total_topologies, s.unique_topologies
+        ));
+    }
+    Ok(out)
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+patlabor — Pareto optimization of timing-driven routing trees
+
+USAGE:
+  patlabor route [--lambda L] [--tables FILE] [--pick SLACK] <nets.txt>
+  patlabor route [...] --bookshelf DESIGN.aux
+  patlabor gen-tables --lambda L -o FILE
+  patlabor stats FILE
+
+Net list: one net per line, `x,y` pins separated by spaces, source first;
+`#` comments.
+";
+
+/// Parses CLI arguments and dispatches; returns the output to print or an
+/// error message (exit code 2 territory).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown commands, malformed flags,
+/// unreadable files and malformed net lists.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("route") => {
+            let mut options = RouteOptions::default();
+            let mut file = None;
+            let mut bookshelf = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--lambda" => {
+                        options.lambda = next_value(&mut it, "--lambda")?
+                            .parse()
+                            .map_err(|_| "--lambda expects an integer".to_string())?;
+                    }
+                    "--tables" => options.tables = Some(next_value(&mut it, "--tables")?),
+                    "--pick" => {
+                        options.pick_slack = Some(
+                            next_value(&mut it, "--pick")?
+                                .parse()
+                                .map_err(|_| "--pick expects a number".to_string())?,
+                        );
+                    }
+                    "--bookshelf" => bookshelf = Some(next_value(&mut it, "--bookshelf")?),
+                    other if !other.starts_with('-') => file = Some(other.to_string()),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            let nets = match (bookshelf, file) {
+                (Some(aux), _) => {
+                    let design =
+                        patlabor_bookshelf::load_design(&aux).map_err(|e| e.to_string())?;
+                    design.nets
+                }
+                (None, Some(file)) => {
+                    let text =
+                        std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+                    parse_nets(&text).map_err(|e| e.to_string())?
+                }
+                (None, None) => {
+                    return Err("route needs a net-list file or --bookshelf AUX".to_string())
+                }
+            };
+            route_command(&nets, &options)
+        }
+        Some("gen-tables") => {
+            let mut lambda = None;
+            let mut output = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--lambda" => {
+                        lambda = Some(
+                            next_value(&mut it, "--lambda")?
+                                .parse::<u8>()
+                                .map_err(|_| "--lambda expects an integer".to_string())?,
+                        );
+                    }
+                    "-o" | "--output" => output = Some(next_value(&mut it, "-o")?),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            let lambda = lambda.ok_or_else(|| "gen-tables needs --lambda".to_string())?;
+            let output = output.ok_or_else(|| "gen-tables needs -o FILE".to_string())?;
+            gen_tables_command(lambda, &output)
+        }
+        Some("stats") => {
+            let path = args.get(1).ok_or_else(|| "stats needs a file".to_string())?;
+            stats_command(path)
+        }
+        Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_nets_happy_path() {
+        let nets = parse_nets("# demo\n0,0 40,15 12,33\n\n5,5 25,5 # trailing\n").unwrap();
+        assert_eq!(nets.len(), 2);
+        assert_eq!(nets[0].degree(), 3);
+        assert_eq!(nets[1].pins()[1], Point::new(25, 5));
+    }
+
+    #[test]
+    fn parse_nets_reports_line_numbers() {
+        let err = parse_nets("0,0 1,1\nbroken\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("x,y"));
+        let err = parse_nets("0,0 1,x\n").unwrap_err();
+        assert!(err.message.contains("not an integer"));
+        let err = parse_nets("0,0\n").unwrap_err();
+        assert!(err.message.contains("at least two pins"));
+    }
+
+    #[test]
+    fn route_command_prints_frontiers_and_picks() {
+        let nets = parse_nets("19,2 8,4 4,3 5,4 13,12\n").unwrap();
+        let options = RouteOptions {
+            lambda: 5,
+            pick_slack: Some(1.2),
+            ..RouteOptions::default()
+        };
+        let out = route_command(&nets, &options).unwrap();
+        assert!(out.contains("2 Pareto solutions"));
+        assert!(out.contains("w=26 d=18"));
+        assert!(out.contains("pick (budget 19): w=26 d=18"));
+        assert!(out.contains(" -- "));
+    }
+
+    #[test]
+    fn gen_and_stats_roundtrip() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.plut").to_string_lossy().into_owned();
+        let msg = gen_tables_command(4, &path).unwrap();
+        assert!(msg.contains("lambda=4"));
+        let stats = stats_command(&path).unwrap();
+        assert!(stats.contains("lambda = 4"));
+        assert!(stats.contains("16")); // degree-4 #Index
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gen_tables_rejects_bad_lambda() {
+        assert!(gen_tables_command(2, "/tmp/x").is_err());
+        assert!(gen_tables_command(10, "/tmp/x").is_err());
+    }
+
+    #[test]
+    fn run_dispatch_and_usage() {
+        let help = run(&[]).unwrap();
+        assert!(help.contains("USAGE"));
+        let err = run(&["bogus".into()]).unwrap_err();
+        assert!(err.contains("unknown command"));
+        let err = run(&["route".into()]).unwrap_err();
+        assert!(err.contains("net-list file"));
+        let err = run(&["route".into(), "--bookshelf".into(), "/nonexistent.aux".into()])
+            .unwrap_err();
+        assert!(err.contains("nonexistent"));
+        let err = run(&["route".into(), "--lambda".into()]).unwrap_err();
+        assert!(err.contains("expects a value"));
+    }
+
+    #[test]
+    fn run_route_end_to_end_via_tempfile() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("nets.txt");
+        std::fs::write(&file, "0,0 9,1 8,8 1,9\n").unwrap();
+        let out = run(&[
+            "route".into(),
+            "--lambda".into(),
+            "4".into(),
+            file.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("net 0 (degree 4)"));
+        std::fs::remove_file(&file).ok();
+    }
+}

@@ -1,0 +1,85 @@
+//! Multithreaded batch routing.
+//!
+//! VLSI designs contain millions of nets and every net routes
+//! independently, so the paper evaluates all methods with multithreading
+//! (its footnote 4 chides YSD for comparing GPU batches against serial
+//! SALT). This module provides the embarrassingly-parallel driver: a work
+//! queue over a shared [`PatLabor`] instance (the lookup tables are
+//! immutable after construction, so one router serves every thread).
+
+use patlabor_geom::Net;
+use patlabor_pareto::ParetoSet;
+use patlabor_tree::RoutingTree;
+
+use crate::PatLabor;
+
+impl PatLabor {
+    /// Routes every net, spreading work over `threads` OS threads.
+    ///
+    /// Results are in input order and identical to calling
+    /// [`PatLabor::route`] per net (routing is deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn route_batch(&self, nets: &[Net], threads: usize) -> Vec<ParetoSet<RoutingTree>> {
+        assert!(threads >= 1, "need at least one thread");
+        if threads == 1 || nets.len() <= 1 {
+            return nets.iter().map(|n| self.route(n)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<std::sync::Mutex<Option<ParetoSet<RoutingTree>>>> =
+            (0..nets.len()).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(nets.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(net) = nets.get(i) else {
+                        break;
+                    };
+                    let frontier = self.route(net);
+                    *results[i].lock().expect("no panics while routing") = Some(frontier);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no panics while routing")
+                    .expect("every index was processed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouterConfig;
+
+    #[test]
+    fn batch_matches_sequential_and_is_order_stable() {
+        let router = PatLabor::with_config(RouterConfig {
+            lambda: 4,
+            ..RouterConfig::default()
+        });
+        let nets = patlabor_netgen::iccad_like_suite(0xba7c4, 24, 12);
+        let sequential: Vec<_> = nets.iter().map(|n| router.route(n).cost_vec()).collect();
+        for threads in [1, 2, 4] {
+            let batch = router.route_batch(&nets, threads);
+            let got: Vec<_> = batch.iter().map(|f| f.cost_vec()).collect();
+            assert_eq!(got, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let router = PatLabor::with_config(RouterConfig {
+            lambda: 4,
+            ..RouterConfig::default()
+        });
+        let _ = router.route_batch(&[], 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Pareto-KS: the divide-and-conquer approximation (paper §IV-B).
+//!
+//! The Kalpakis–Sherman partitioning heuristic lifted to Pareto sets:
+//! split the pin set at the median (alternating axes), solve each side
+//! recursively — exactly (lookup table) once small enough — and return the
+//! pairwise *combination* of the two sides' Pareto sets, pruned. With
+//! lookup tables at the leaves this is an `O(√(n/λ))`-approximation
+//! (Remark 1); PatLabor's local search supersedes it in practice, but it
+//! is implemented both as the theoretical baseline and because the local
+//! search restricted to touch-each-pin-once *is* a Pareto-KS variant.
+
+use patlabor_geom::{Net, Point};
+use patlabor_lut::LookupTable;
+use patlabor_pareto::{Cost, ParetoSet};
+use patlabor_tree::{extract_from_union, RoutingTree};
+
+/// A sub-solution: edge set over the subproblem's points plus its local
+/// source.
+type SubSolution = (Vec<(Point, Point)>, Point);
+
+/// Runs Pareto-KS over a net, using `table` for the base cases.
+///
+/// Returns the combined Pareto set of whole-net trees.
+pub fn pareto_ks(net: &Net, table: &LookupTable) -> ParetoSet<RoutingTree> {
+    let pts: Vec<Point> = net.pins().to_vec();
+    let subs = solve_rec(&pts, net.source(), table, true);
+    let mut out: Vec<(Cost, RoutingTree)> = Vec::new();
+    for (edges, _src) in subs.into_payloads() {
+        if let Ok(tree) = extract_from_union(net, &edges) {
+            let (w, d) = tree.objectives();
+            out.push((Cost::new(w, d), tree));
+        }
+    }
+    ParetoSet::from_unpruned(out)
+}
+
+/// Recursively solves the subproblem over `pts`; the returned Pareto set
+/// is keyed by the sub-solution objectives measured from the local source.
+fn solve_rec(
+    pts: &[Point],
+    r: Point,
+    table: &LookupTable,
+    split_on_x: bool,
+) -> ParetoSet<SubSolution> {
+    let local_source = *pts
+        .iter()
+        .min_by_key(|p| (p.l1(r), p.x, p.y))
+        .expect("subproblem is non-empty");
+    if pts.len() == 1 {
+        let mut set = ParetoSet::new();
+        set.insert(Cost::new(0, 0), (Vec::new(), local_source));
+        return set;
+    }
+    if pts.len() <= table.lambda() as usize {
+        // Base case: exact Pareto set from the lookup table, rooted at the
+        // pin closest to the (global) source.
+        let mut pins = vec![local_source];
+        let mut skipped_source = false;
+        for &p in pts {
+            if p == local_source && !skipped_source {
+                skipped_source = true;
+                continue;
+            }
+            pins.push(p);
+        }
+        let subnet = Net::new(pins).expect("at least two pins");
+        let frontier = table
+            .query(&subnet)
+            .expect("base case degree is within lambda");
+        return frontier
+            .into_entries()
+            .into_iter()
+            .map(|(c, t)| (c, (t.edge_points().collect(), local_source)))
+            .collect();
+    }
+
+    // Median split (paper step 2): at least ⌊|P|/2⌋ − 1 pins per side.
+    let mut sorted = pts.to_vec();
+    if split_on_x {
+        sorted.sort_by_key(|p| (p.x, p.y));
+    } else {
+        sorted.sort_by_key(|p| (p.y, p.x));
+    }
+    let mid = sorted.len() / 2;
+    let (p1, p2) = sorted.split_at(mid);
+    let s1 = solve_rec(p1, r, table, !split_on_x);
+    let s2 = solve_rec(p2, r, table, !split_on_x);
+
+    // Combination (paper step 4): pairwise union + a connecting edge,
+    // re-evaluated from the combined local source and pruned.
+    let mut combined: Vec<(Cost, SubSolution)> = Vec::new();
+    for (_, (e1, src1)) in s1.iter() {
+        for (_, (e2, src2)) in s2.iter() {
+            let mut edges = e1.clone();
+            edges.extend_from_slice(e2);
+            if src1 != src2 {
+                edges.push((*src1, *src2));
+            }
+            let combined_src = if src1.l1(r) <= src2.l1(r) { *src1 } else { *src2 };
+            match evaluate(pts, combined_src, &edges) {
+                Some(cost) => combined.push((cost, (edges, combined_src))),
+                None => continue,
+            }
+        }
+    }
+    ParetoSet::from_unpruned(combined)
+}
+
+/// Objectives of an edge set spanning `pts`, measured from `src`.
+fn evaluate(pts: &[Point], src: Point, edges: &[(Point, Point)]) -> Option<Cost> {
+    let mut pins = vec![src];
+    let mut skipped = false;
+    for &p in pts {
+        if p == src && !skipped {
+            skipped = true;
+            continue;
+        }
+        pins.push(p);
+    }
+    let net = Net::new(pins).ok()?;
+    let tree = extract_from_union(&net, edges).ok()?;
+    let (w, d) = tree.objectives();
+    Some(Cost::new(w, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patlabor_lut::LutBuilder;
+
+    fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {
+        let mut rng = move || {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            *seed
+        };
+        Net::new(
+            (0..degree)
+                .map(|_| Point::new((rng() % span) as i64, (rng() % span) as i64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn base_case_is_exact() {
+        let table = LutBuilder::new(5).threads(2).build();
+        let mut seed = 3u64;
+        let net = random_net(&mut seed, 5, 40);
+        let ks = pareto_ks(&net, &table);
+        let exact = table.query(&net).unwrap();
+        assert_eq!(ks.cost_vec(), exact.cost_vec());
+    }
+
+    #[test]
+    fn trees_are_valid_and_costs_exact() {
+        let table = LutBuilder::new(4).threads(2).build();
+        let mut seed = 9u64;
+        for _ in 0..4 {
+            let net = random_net(&mut seed, 13, 100);
+            let ks = pareto_ks(&net, &table);
+            assert!(!ks.is_empty());
+            for (c, t) in ks.iter() {
+                t.validate(&net).unwrap();
+                assert_eq!((c.wirelength, c.delay), t.objectives());
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_is_reasonable_vs_exact_small() {
+        // Degree 7 still fits the exact DW: Pareto-KS (forced to split by a
+        // λ=4 table) must stay within a small constant of the frontier.
+        let table = LutBuilder::new(4).threads(2).build();
+        let mut seed = 31u64;
+        for _ in 0..4 {
+            let net = random_net(&mut seed, 7, 60);
+            let exact =
+                patlabor_dw::numeric::pareto_frontier(&net, &patlabor_dw::DwConfig::default());
+            let ks = pareto_ks(&net, &table);
+            let factor = patlabor_pareto::metrics::approximation_factor(&ks, &exact);
+            assert!(
+                factor < 2.0,
+                "Pareto-KS approximation factor {factor} too large on {:?}",
+                net.pins()
+            );
+        }
+    }
+}

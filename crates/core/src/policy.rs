@@ -1,0 +1,491 @@
+//! The pin-selection policy π and its training loop (paper §V-B).
+//!
+//! Each local-search round must choose which `λ − 1` pins to reroute. Pins
+//! are picked greedily by the score
+//!
+//! ```text
+//! score(p) = α₁·‖r − p‖₁ + α₂·dist_T(r, p)
+//!          − α₃·min_k ‖p − p_k‖₁ − α₄·HPWL(p, p₁ … p_k)
+//! ```
+//!
+//! (far-from-source pins have large delay and should be rerouted; the
+//! already-selected pins `p₁ … p_k` should stay geometrically tight so the
+//! lookup-table subnet is meaningful). The four weights are trained by
+//! policy iteration: sample random selections, keep the top performers by
+//! frontier hypervolume gain, fit the weights by least squares, and
+//! curriculum-warm-start each degree from the previous one ([`train`]).
+
+use patlabor_geom::{hpwl, Net, Point};
+use patlabor_tree::RoutingTree;
+
+/// The four score weights `α₁ … α₄` (all non-negative).
+pub type Alphas = [f64; 4];
+
+/// Weights shipped as the default policy, obtained with [`train`] on
+/// seeded random instances (degrees 10–100, curriculum order; see
+/// `patlabor::policy::train`'s docs for the exact procedure). Distance
+/// from the source dominates, tree distance breaks ties toward
+/// high-delay pins, and the two locality terms keep selections clustered.
+pub const DEFAULT_ALPHAS: Alphas = [1.0, 1.35, 0.6, 0.25];
+
+/// The pin-selection policy: per-degree weight vectors with nearest-degree
+/// fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// Sorted list of `(degree, alphas)` breakpoints.
+    table: Vec<(usize, Alphas)>,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            table: vec![(10, DEFAULT_ALPHAS)],
+        }
+    }
+}
+
+impl Policy {
+    /// A policy using one weight vector for every degree.
+    pub fn uniform(alphas: Alphas) -> Self {
+        Policy {
+            table: vec![(10, alphas)],
+        }
+    }
+
+    /// A policy from per-degree breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is empty.
+    pub fn from_table(mut table: Vec<(usize, Alphas)>) -> Self {
+        assert!(!table.is_empty(), "policy table must not be empty");
+        table.sort_by_key(|&(d, _)| d);
+        Policy { table }
+    }
+
+    /// The weights used for nets of `degree` (largest breakpoint ≤ degree,
+    /// or the smallest breakpoint).
+    pub fn alphas(&self, degree: usize) -> Alphas {
+        let mut chosen = self.table[0].1;
+        for &(d, a) in &self.table {
+            if d <= degree {
+                chosen = a;
+            } else {
+                break;
+            }
+        }
+        chosen
+    }
+
+    /// Greedily selects `k` sink pins of `tree` to reroute (returned as net
+    /// pin indices, highest score first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the number of sinks.
+    pub fn select_pins(&self, net: &Net, tree: &RoutingTree, k: usize) -> Vec<usize> {
+        let num_sinks = net.degree() - 1;
+        assert!(k <= num_sinks, "cannot select {k} of {num_sinks} sinks");
+        let alphas = self.alphas(net.degree());
+        let r = net.source();
+        let root_dist = tree.root_distances();
+
+        let mut selected: Vec<usize> = Vec::with_capacity(k);
+        let mut selected_pts: Vec<Point> = Vec::with_capacity(k);
+        while selected.len() < k {
+            let mut best: Option<(f64, usize)> = None;
+            for pin in 1..net.degree() {
+                if selected.contains(&pin) {
+                    continue;
+                }
+                let p = net.pins()[pin];
+                let mut score = alphas[0] * r.l1(p) as f64
+                    + alphas[1] * root_dist[pin] as f64;
+                if !selected_pts.is_empty() {
+                    let min_sel = selected_pts
+                        .iter()
+                        .map(|&q| p.l1(q))
+                        .min()
+                        .expect("selected set is non-empty");
+                    score -= alphas[2] * min_sel as f64;
+                    let mut cloud = selected_pts.clone();
+                    cloud.push(p);
+                    score -= alphas[3] * hpwl(cloud) as f64;
+                }
+                if best.map_or(true, |(bs, bp)| score > bs || (score == bs && pin < bp)) {
+                    best = Some((score, pin));
+                }
+            }
+            let (_, pin) = best.expect("k <= num_sinks leaves a candidate");
+            selected.push(pin);
+            selected_pts.push(net.pins()[pin]);
+        }
+        selected
+    }
+}
+
+/// Policy-iteration training (paper §V-B).
+pub mod train {
+    use super::{Alphas, Policy};
+    use patlabor_geom::{hpwl, Net, Point};
+    use patlabor_pareto::{metrics::hypervolume, Cost};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Training hyper-parameters.
+    #[derive(Debug, Clone, Copy)]
+    pub struct TrainConfig {
+        /// Instances sampled per degree.
+        pub instances_per_degree: usize,
+        /// Random pin selections tried per instance.
+        pub rollouts_per_instance: usize,
+        /// Fraction of best rollouts kept for regression.
+        pub keep_quantile: f64,
+        /// Blend factor toward the previous degree's weights (curriculum
+        /// warm start).
+        pub warm_start_blend: f64,
+        /// RNG seed (training is fully reproducible).
+        pub seed: u64,
+    }
+
+    impl Default for TrainConfig {
+        fn default() -> Self {
+            TrainConfig {
+                instances_per_degree: 12,
+                rollouts_per_instance: 24,
+                keep_quantile: 0.25,
+                warm_start_blend: 0.5,
+                seed: 0x5eed,
+            }
+        }
+    }
+
+    /// Trains per-degree weights over `degrees` (processed in ascending,
+    /// curriculum order), returning the learned [`Policy`].
+    ///
+    /// For every instance the trainer rolls out random `λ − 1`-pin
+    /// selections, scores each rollout by the hypervolume gained when the
+    /// selected subnet is rerouted optimally, keeps the top quantile and
+    /// fits the four score weights by least squares on their feature
+    /// vectors (clamping to the paper's `α ≥ 0` constraint).
+    pub fn train(degrees: &[usize], lambda: u8, config: &TrainConfig) -> Policy {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut degrees = degrees.to_vec();
+        degrees.sort_unstable();
+        let table = patlabor_lut::LutBuilder::new(lambda.min(5).max(3)).build();
+        let mut prev: Alphas = super::DEFAULT_ALPHAS;
+        let mut out: Vec<(usize, Alphas)> = Vec::new();
+
+        for &degree in &degrees {
+            let mut features: Vec<[f64; 4]> = Vec::new();
+            let mut targets: Vec<f64> = Vec::new();
+            for _ in 0..config.instances_per_degree {
+                let net = random_net(&mut rng, degree);
+                let tree = patlabor_baselines::rsmt::rsmt_tree(&net);
+                let (w0, d0) = tree.objectives();
+                let reference = Cost::new(w0 * 2 + 1, d0 * 2 + 1);
+                let base_set: patlabor_pareto::ParetoSet<()> =
+                    [Cost::new(w0, d0)].into_iter().collect();
+                let base_hv = hypervolume(&base_set, reference);
+                let k = (table.lambda() as usize - 1).min(degree - 1);
+                let mut rollouts: Vec<(f64, [f64; 4])> = Vec::new();
+                for _ in 0..config.rollouts_per_instance {
+                    let sel = random_selection(&mut rng, degree - 1, k);
+                    let feat = selection_features(&net, &tree, &sel);
+                    let gain = rollout_gain(&net, &tree, &sel, &table, base_hv, reference);
+                    rollouts.push((gain, feat));
+                }
+                rollouts.sort_by(|a, b| b.0.total_cmp(&a.0));
+                let keep = ((rollouts.len() as f64 * config.keep_quantile).ceil() as usize)
+                    .max(1);
+                for (gain, feat) in rollouts.into_iter().take(keep) {
+                    features.push(feat);
+                    targets.push(gain);
+                }
+            }
+            let fitted = fit_least_squares(&features, &targets).unwrap_or(prev);
+            let mut blended = [0.0f64; 4];
+            for i in 0..4 {
+                blended[i] = config.warm_start_blend * prev[i]
+                    + (1.0 - config.warm_start_blend) * fitted[i];
+                // The paper constrains α ≥ 0.
+                blended[i] = blended[i].max(0.0);
+            }
+            out.push((degree, blended));
+            prev = blended;
+        }
+        Policy::from_table(out)
+    }
+
+    fn random_net(rng: &mut StdRng, degree: usize) -> Net {
+        Net::new(
+            (0..degree)
+                .map(|_| Point::new(rng.gen_range(0..1000), rng.gen_range(0..1000)))
+                .collect(),
+        )
+        .expect("degree >= 2")
+    }
+
+    fn random_selection(rng: &mut StdRng, num_sinks: usize, k: usize) -> Vec<usize> {
+        let mut pins: Vec<usize> = (1..=num_sinks).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..pins.len());
+            pins.swap(i, j);
+        }
+        pins.truncate(k);
+        pins
+    }
+
+    /// The four aggregate score terms of a selection (the regression
+    /// features: per-term sums over the selected pins, locality terms
+    /// negated so that "good" is uniformly "larger").
+    fn selection_features(
+        net: &Net,
+        tree: &patlabor_tree::RoutingTree,
+        selection: &[usize],
+    ) -> [f64; 4] {
+        let r = net.source();
+        let dist = tree.root_distances();
+        let mut f = [0.0f64; 4];
+        let mut chosen: Vec<Point> = Vec::new();
+        for &pin in selection {
+            let p = net.pins()[pin];
+            f[0] += r.l1(p) as f64;
+            f[1] += dist[pin] as f64;
+            if !chosen.is_empty() {
+                let min_sel = chosen.iter().map(|&q| p.l1(q)).min().expect("non-empty");
+                f[2] -= min_sel as f64;
+                let mut cloud = chosen.clone();
+                cloud.push(p);
+                f[3] -= hpwl(cloud) as f64;
+            }
+            chosen.push(p);
+        }
+        // Normalize by the net scale so degrees are comparable.
+        let scale = (net.hpwl() as f64).max(1.0);
+        f.map(|x| x / scale)
+    }
+
+    /// Hypervolume gain from rerouting the selected subnet optimally,
+    /// normalized by the seed tree's own hypervolume so targets (and thus
+    /// the fitted weights) are O(1) across net sizes.
+    fn rollout_gain(
+        net: &Net,
+        tree: &patlabor_tree::RoutingTree,
+        selection: &[usize],
+        table: &patlabor_lut::LookupTable,
+        base_hv: i128,
+        reference: Cost,
+    ) -> f64 {
+        let candidates =
+            crate::local_search::reroute_candidates(net, tree, selection, table);
+        let set: patlabor_pareto::ParetoSet<()> = candidates
+            .iter()
+            .map(|t| {
+                let (w, d) = t.objectives();
+                Cost::new(w, d)
+            })
+            .chain([{
+                let (w, d) = tree.objectives();
+                Cost::new(w, d)
+            }])
+            .collect();
+        let gain = (hypervolume(&set, reference) - base_hv).max(0);
+        gain as f64 / base_hv.max(1) as f64
+    }
+
+    /// 4-dimensional least squares via the normal equations (tiny, exact
+    /// enough with partial-pivot Gaussian elimination).
+    fn fit_least_squares(xs: &[[f64; 4]], ys: &[f64]) -> Option<Alphas> {
+        if xs.len() < 4 {
+            return None;
+        }
+        let mut ata = [[0.0f64; 4]; 4];
+        let mut atb = [0.0f64; 4];
+        for (x, &y) in xs.iter().zip(ys) {
+            for i in 0..4 {
+                for j in 0..4 {
+                    ata[i][j] += x[i] * x[j];
+                }
+                atb[i] += x[i] * y;
+            }
+        }
+        // Ridge term for stability.
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] += 1e-6;
+        }
+        solve4(ata, atb)
+    }
+
+    fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> Option<[f64; 4]> {
+        for col in 0..4 {
+            let pivot = (col..4).max_by(|&i, &j| {
+                a[i][col].abs().total_cmp(&a[j][col].abs())
+            })?;
+            if a[pivot][col].abs() < 1e-12 {
+                return None;
+            }
+            a.swap(col, pivot);
+            b.swap(col, pivot);
+            for row in 0..4 {
+                if row == col {
+                    continue;
+                }
+                let f = a[row][col] / a[col][col];
+                for k in col..4 {
+                    a[row][k] -= f * a[col][k];
+                }
+                b[row] -= f * b[col];
+            }
+        }
+        let mut x = [0.0f64; 4];
+        for i in 0..4 {
+            x[i] = b[i] / a[i][i];
+        }
+        Some(x)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn least_squares_recovers_known_weights() {
+            // y = 2x₀ + 0.5x₁ + 3x₂ + 0x₃ exactly.
+            let truth = [2.0, 0.5, 3.0, 0.0];
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            let mut v = 1.0f64;
+            for i in 0..20 {
+                let x = [
+                    (i as f64 * 0.37 + v).sin() + 2.0,
+                    (i as f64 * 0.91).cos() + 2.0,
+                    (i as f64 * 1.7).sin() * 0.5 + 1.0,
+                    (i as f64 * 0.13).cos() + 1.5,
+                ];
+                v += 0.01;
+                let y: f64 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+                xs.push(x);
+                ys.push(y);
+            }
+            let fit = fit_least_squares(&xs, &ys).unwrap();
+            for (f, t) in fit.iter().zip(&truth) {
+                assert!((f - t).abs() < 1e-3, "{fit:?} vs {truth:?}");
+            }
+        }
+
+        #[test]
+        fn solve4_detects_singular() {
+            let a = [[1.0, 2.0, 3.0, 4.0]; 4];
+            assert_eq!(solve4(a, [1.0; 4]), None);
+        }
+
+        #[test]
+        fn training_produces_nonnegative_per_degree_weights() {
+            let cfg = TrainConfig {
+                instances_per_degree: 3,
+                rollouts_per_instance: 6,
+                ..TrainConfig::default()
+            };
+            let policy = train(&[10, 12], 5, &cfg);
+            for degree in [10, 11, 12, 50] {
+                let a = policy.alphas(degree);
+                assert!(a.iter().all(|&x| x >= 0.0), "{a:?}");
+            }
+        }
+
+        #[test]
+        fn training_is_deterministic() {
+            let cfg = TrainConfig {
+                instances_per_degree: 2,
+                rollouts_per_instance: 4,
+                ..TrainConfig::default()
+            };
+            let a = train(&[10], 4, &cfg);
+            let b = train(&[10], 4, &cfg);
+            assert_eq!(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(pts: &[(i64, i64)]) -> Net {
+        Net::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn alphas_fallback_rules() {
+        let p = Policy::from_table(vec![(10, [1.0; 4]), (50, [2.0; 4])]);
+        assert_eq!(p.alphas(9), [1.0; 4]);
+        assert_eq!(p.alphas(10), [1.0; 4]);
+        assert_eq!(p.alphas(49), [1.0; 4]);
+        assert_eq!(p.alphas(50), [2.0; 4]);
+        assert_eq!(p.alphas(100), [2.0; 4]);
+    }
+
+    #[test]
+    fn selection_prefers_far_high_delay_pins() {
+        // Chain tree: the farthest pin has both the largest distance and
+        // the largest tree path, so it must be selected first.
+        let n = net(&[(0, 0), (10, 0), (20, 0), (30, 0)]);
+        let t = patlabor_tree::RoutingTree::from_parents(
+            n.pins().to_vec(),
+            vec![0, 0, 1, 2],
+            4,
+        )
+        .unwrap();
+        let sel = Policy::default().select_pins(&n, &t, 2);
+        assert_eq!(sel[0], 3);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn locality_terms_keep_selection_tight() {
+        // One far-away outlier vs a tight far cluster: after picking the
+        // first cluster pin, the other cluster pins beat the outlier when
+        // the locality weights dominate.
+        let n = net(&[(0, 0), (100, 0), (100, 4), (100, 8), (4, 96)]);
+        let t = patlabor_tree::RoutingTree::direct(&n);
+        let tight = Policy::uniform([1.0, 0.0, 5.0, 5.0]);
+        let sel = tight.select_pins(&n, &t, 3);
+        assert!(
+            sel.contains(&1) && sel.contains(&2) && sel.contains(&3),
+            "expected the cluster, got {sel:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn select_rejects_oversized_k() {
+        let n = net(&[(0, 0), (1, 1)]);
+        let t = patlabor_tree::RoutingTree::direct(&n);
+        let _ = Policy::default().select_pins(&n, &t, 2);
+    }
+
+    #[test]
+    fn selecting_all_sinks_returns_every_sink() {
+        let n = net(&[(0, 0), (3, 1), (8, 2), (1, 7)]);
+        let t = patlabor_tree::RoutingTree::direct(&n);
+        let mut sel = Policy::default().select_pins(&n, &t, 3);
+        sel.sort_unstable();
+        assert_eq!(sel, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let n = net(&[(0, 0), (9, 9), (9, 8), (8, 9), (1, 2), (2, 1)]);
+        let t = patlabor_tree::RoutingTree::direct(&n);
+        let p = Policy::default();
+        assert_eq!(p.select_pins(&n, &t, 3), p.select_pins(&n, &t, 3));
+    }
+
+    #[test]
+    fn selecting_zero_pins_is_empty() {
+        let n = net(&[(0, 0), (1, 1)]);
+        let t = patlabor_tree::RoutingTree::direct(&n);
+        assert!(Policy::default().select_pins(&n, &t, 0).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! The top-level router: lookup tables below λ, local search above.
+
+use patlabor_geom::Net;
+use patlabor_lut::{LookupTable, LutBuilder};
+use patlabor_pareto::ParetoSet;
+use patlabor_tree::RoutingTree;
+
+use crate::local_search::{local_search, LocalSearchConfig};
+use crate::policy::Policy;
+
+/// Router-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// λ used when the router builds its own lookup tables (degrees
+    /// `2..=λ` answered exactly). Tables for λ ≤ 6 build in seconds;
+    /// λ = 7+ should be generated offline and loaded.
+    pub lambda: u8,
+    /// Local-search settings for nets with degree `> λ`.
+    pub local_search: LocalSearchConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            lambda: 5,
+            local_search: LocalSearchConfig::default(),
+        }
+    }
+}
+
+/// The PatLabor router.
+///
+/// Construct once (table generation is the expensive part), then call
+/// [`PatLabor::route`] per net — the intended usage pattern for routing
+/// millions of nets.
+///
+/// # Example
+///
+/// ```
+/// use patlabor::{Net, PatLabor, Point};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let router = PatLabor::new();
+/// let net = Net::new(vec![Point::new(0, 0), Point::new(5, 9), Point::new(9, 4)])?;
+/// let frontier = router.route(&net);
+/// assert!(!frontier.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatLabor {
+    table: LookupTable,
+    policy: Policy,
+    config: RouterConfig,
+}
+
+impl Default for PatLabor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PatLabor {
+    /// Builds a router with freshly generated λ = 5 lookup tables and the
+    /// default trained policy.
+    pub fn new() -> Self {
+        Self::with_config(RouterConfig::default())
+    }
+
+    /// Builds a router with the given configuration (generating tables for
+    /// its λ).
+    pub fn with_config(config: RouterConfig) -> Self {
+        let table = LutBuilder::new(config.lambda).build();
+        PatLabor {
+            table,
+            policy: Policy::default(),
+            config,
+        }
+    }
+
+    /// Builds a router around pre-generated tables (e.g. loaded from disk
+    /// via [`LookupTable::load`]).
+    pub fn with_table(table: LookupTable) -> Self {
+        let config = RouterConfig {
+            lambda: table.lambda(),
+            ..RouterConfig::default()
+        };
+        PatLabor {
+            table,
+            policy: Policy::default(),
+            config,
+        }
+    }
+
+    /// Replaces the pin-selection policy (e.g. with a freshly trained one).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the local-search configuration.
+    pub fn with_local_search(mut self, local_search: LocalSearchConfig) -> Self {
+        self.config.local_search = local_search;
+        self
+    }
+
+    /// The lookup tables backing this router.
+    pub fn table(&self) -> &LookupTable {
+        &self.table
+    }
+
+    /// The active pin-selection policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Computes a Pareto set of routing trees for `net`.
+    ///
+    /// Exact (the full Pareto frontier, one witness tree per point) for
+    /// degrees `≤ λ`; the local-search approximation above.
+    pub fn route(&self, net: &Net) -> ParetoSet<RoutingTree> {
+        if net.degree() <= self.table.lambda() as usize {
+            self.table
+                .query(net)
+                .expect("degree <= lambda is always tabulated")
+        } else {
+            local_search(net, &self.table, &self.policy, &self.config.local_search)
+        }
+    }
+
+    /// Whether `route` is exact for this degree.
+    pub fn is_exact_for(&self, degree: usize) -> bool {
+        degree <= self.table.lambda() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patlabor_dw::{numeric, DwConfig};
+    use patlabor_geom::Point;
+
+    fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {
+        let mut rng = move || {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            *seed
+        };
+        Net::new(
+            (0..degree)
+                .map(|_| Point::new((rng() % span) as i64, (rng() % span) as i64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn small_nets_are_exact() {
+        let router = PatLabor::new();
+        let mut seed = 2u64;
+        for degree in 3..=5 {
+            let net = random_net(&mut seed, degree, 60);
+            let got = router.route(&net);
+            let exact = numeric::pareto_frontier(&net, &DwConfig::default());
+            assert_eq!(got.cost_vec(), exact.cost_vec());
+            assert!(router.is_exact_for(degree));
+        }
+    }
+
+    #[test]
+    fn large_nets_use_local_search() {
+        let router = PatLabor::new();
+        let mut seed = 4u64;
+        let net = random_net(&mut seed, 15, 150);
+        assert!(!router.is_exact_for(15));
+        let frontier = router.route(&net);
+        assert!(!frontier.is_empty());
+        for (c, t) in frontier.iter() {
+            t.validate(&net).unwrap();
+            assert_eq!((c.wirelength, c.delay), t.objectives());
+        }
+    }
+
+    #[test]
+    fn router_from_loaded_table() {
+        let table = crate::LutBuilder::new(4).threads(2).build();
+        let mut buf = Vec::new();
+        table.write_to(&mut buf).unwrap();
+        let loaded = crate::LookupTable::read_from(buf.as_slice()).unwrap();
+        let router = PatLabor::with_table(loaded);
+        let net = Net::new(vec![
+            Point::new(0, 0),
+            Point::new(7, 3),
+            Point::new(2, 9),
+            Point::new(8, 8),
+        ])
+        .unwrap();
+        let exact = numeric::pareto_frontier(&net, &DwConfig::default());
+        assert_eq!(router.route(&net).cost_vec(), exact.cost_vec());
+    }
+}

@@ -1,0 +1,42 @@
+//! Pareto-Dreyfus–Wagner: exact Pareto frontiers for timing-driven routing.
+//!
+//! This crate implements the paper's §IV-A algorithm in two flavors:
+//!
+//! * [`numeric`] — the per-instance dynamic program over the Hanan grid:
+//!   states `S_{v,Q}` hold Pareto sets of `(w, d)` pairs with their partial
+//!   topologies, combined by Eq. (1)'s edge-growth and subset-merge
+//!   transitions. Returns the exact Pareto frontier together with one
+//!   witness [`RoutingTree`](patlabor_tree::RoutingTree) per frontier point.
+//! * [`symbolic`] — the per-*pattern* variant used to generate lookup
+//!   tables (§V-A): solutions are `(W, D)` pairs of gap-multiplicity
+//!   vectors, and dominance is decided for **all** gap lengths at once via
+//!   exact LP ([`patlabor_lp::cone`]), replacing the paper's SMT calls.
+//!
+//! Pruning Lemmas 2 (corner nodes), 3 (bounding-box projection) and 4
+//! (boundary separators) are implemented behind [`DwConfig`] flags so tests
+//! can verify they do not change results.
+//!
+//! # Example
+//!
+//! ```
+//! use patlabor_geom::{Net, Point};
+//! use patlabor_dw::{numeric::pareto_frontier, DwConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Net::new(vec![Point::new(0, 0), Point::new(4, 2), Point::new(2, 4)])?;
+//! let frontier = pareto_frontier(&net, &DwConfig::default());
+//! assert!(!frontier.is_empty());
+//! // The wirelength-optimal end of the frontier is an RSMT.
+//! let (best_w, _) = frontier.min_wirelength().expect("non-empty");
+//! assert_eq!(best_w.wirelength, 8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod boundary;
+mod config;
+pub mod numeric;
+pub mod oracle;
+pub mod symbolic;
+
+pub use config::DwConfig;

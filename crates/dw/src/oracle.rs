@@ -1,0 +1,271 @@
+//! Brute-force reference frontier for tiny nets.
+//!
+//! Exhaustively enumerates every Steiner topology on the Hanan grid —
+//! all subsets of up to `n − 2` candidate Steiner points and all labeled
+//! spanning trees over pins + chosen points (via Prüfer sequences) — and
+//! returns the exact Pareto frontier. Any Pareto-optimal tree can be
+//! brought to this form: Steiner nodes of degree ≤ 2 splice away without
+//! worsening either objective, leaving at most `n − 2` branching Steiner
+//! nodes, all on the Hanan grid.
+//!
+//! Cost is super-exponential; the functions guard against degrees above 5.
+//! This module exists to validate [`crate::numeric`] and the lookup tables,
+//! not for production routing.
+
+use patlabor_geom::{HananGrid, Net, Point};
+use patlabor_pareto::{Cost, ParetoSet};
+use patlabor_tree::RoutingTree;
+
+/// Exhaustive exact frontier for nets of degree ≤ 5.
+///
+/// # Panics
+///
+/// Panics if the degree exceeds 5 (the enumeration would take hours).
+pub fn exhaustive_frontier(net: &Net) -> ParetoSet<RoutingTree> {
+    let n = net.degree();
+    assert!(n <= 5, "oracle supports degree <= 5, got {n}");
+    exhaustive_frontier_with(net, n.saturating_sub(2))
+}
+
+/// Exhaustive frontier with an explicit cap on Steiner-point count.
+///
+/// With `max_steiner ≥ n − 2` the result is the exact frontier; smaller
+/// caps yield a (still useful) restricted frontier.
+///
+/// # Panics
+///
+/// Panics if the degree exceeds 6.
+pub fn exhaustive_frontier_with(net: &Net, max_steiner: usize) -> ParetoSet<RoutingTree> {
+    let n = net.degree();
+    assert!(n <= 6, "oracle supports degree <= 6, got {n}");
+    let grid = HananGrid::new(net);
+    let pin_pts: Vec<Point> = net.pins().to_vec();
+    let candidates: Vec<Point> = grid
+        .nodes()
+        .map(|nd| grid.point(nd))
+        .filter(|p| !pin_pts.contains(p))
+        .collect();
+
+    let mut frontier: ParetoSet<Vec<Point>> = ParetoSet::new();
+    // `payload` = full node list whose best tree achieved the cost; we
+    // rebuild the witness tree at the end.
+    let mut best_trees: Vec<(Cost, Vec<Point>, Vec<usize>)> = Vec::new();
+
+    for s in 0..=max_steiner.min(candidates.len()) {
+        for combo in combinations(candidates.len(), s) {
+            let mut pts = pin_pts.clone();
+            pts.extend(combo.iter().map(|&i| candidates[i]));
+            let k = pts.len();
+            for_each_labeled_tree(k, |parent| {
+                let (w, d) = evaluate(&pts, parent, n);
+                let cost = Cost::new(w, d);
+                if frontier.insert(cost, pts.clone()) {
+                    best_trees.push((cost, pts.clone(), parent.to_vec()));
+                }
+            });
+        }
+    }
+
+    // Build witness trees for surviving frontier points (last insert wins
+    // per cost; scan from the back).
+    let mut out: Vec<(Cost, RoutingTree)> = Vec::new();
+    for cost in frontier.costs() {
+        let (_, pts, parent) = best_trees
+            .iter()
+            .rev()
+            .find(|(c, _, _)| *c == cost)
+            .expect("frontier cost must come from an enumerated tree");
+        let tree = RoutingTree::from_parents(pts.clone(), parent.clone(), n)
+            .expect("enumerated parent vectors are valid trees");
+        out.push((cost, tree));
+    }
+    ParetoSet::from_unpruned(out)
+}
+
+/// Evaluates `(w, d)` of the tree given by `parent` over `pts`
+/// (`parent[0]` ignored; pins are `0..num_pins`).
+fn evaluate(pts: &[Point], parent: &[usize], num_pins: usize) -> (i64, i64) {
+    let k = pts.len();
+    let mut w = 0;
+    for v in 1..k {
+        w += pts[v].l1(pts[parent[v]]);
+    }
+    let mut dist = vec![-1i64; k];
+    dist[0] = 0;
+    fn resolve(v: usize, pts: &[Point], parent: &[usize], dist: &mut [i64]) -> i64 {
+        if dist[v] >= 0 {
+            return dist[v];
+        }
+        let d = resolve(parent[v], pts, parent, dist) + pts[v].l1(pts[parent[v]]);
+        dist[v] = d;
+        d
+    }
+    let mut d = 0;
+    for pin in 1..num_pins {
+        d = d.max(resolve(pin, pts, parent, &mut dist));
+    }
+    (w, d)
+}
+
+/// Calls `f` with the parent vector of every labeled tree on `k` nodes
+/// rooted at node 0, enumerated through Prüfer sequences.
+fn for_each_labeled_tree<F: FnMut(&[usize])>(k: usize, mut f: F) {
+    if k == 2 {
+        f(&[0, 0]);
+        return;
+    }
+    let len = k - 2;
+    let mut seq = vec![0usize; len];
+    loop {
+        let parent = prufer_to_parents(&seq, k);
+        f(&parent);
+        // Increment the sequence in base k.
+        let mut i = 0;
+        loop {
+            if i == len {
+                return;
+            }
+            seq[i] += 1;
+            if seq[i] < k {
+                break;
+            }
+            seq[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Decodes a Prüfer sequence into a parent vector rooted at 0.
+fn prufer_to_parents(seq: &[usize], k: usize) -> Vec<usize> {
+    let mut degree = vec![1usize; k];
+    for &v in seq {
+        degree[v] += 1;
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(k - 1);
+    let mut degree_work = degree.clone();
+    let mut seq_iter = seq.iter();
+    // Standard O(k²) decode (k ≤ 8 here).
+    let mut used = vec![false; k];
+    for &v in seq_iter.by_ref() {
+        let leaf = (0..k)
+            .find(|&u| degree_work[u] == 1 && !used[u])
+            .expect("valid Prüfer sequence");
+        edges.push((leaf, v));
+        used[leaf] = true;
+        degree_work[leaf] -= 1;
+        degree_work[v] -= 1;
+    }
+    let rest: Vec<usize> = (0..k).filter(|&u| !used[u] && degree_work[u] == 1).collect();
+    debug_assert_eq!(rest.len(), 2);
+    edges.push((rest[0], rest[1]));
+
+    // Orient toward root 0 with BFS.
+    let mut adj = vec![Vec::new(); k];
+    for &(a, b) in &edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut parent = vec![usize::MAX; k];
+    parent[0] = 0;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if parent[v] == usize::MAX {
+                parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// All `C(n, k)` index combinations.
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, k, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{numeric, DwConfig};
+
+    fn net(pts: &[(i64, i64)]) -> Net {
+        Net::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn prufer_covers_all_trees() {
+        // Cayley: 4 nodes → 16 labeled trees.
+        let mut count = 0;
+        let mut seen = std::collections::HashSet::new();
+        for_each_labeled_tree(4, |parent| {
+            count += 1;
+            let mut edges: Vec<(usize, usize)> = (1..4)
+                .map(|v| (v.min(parent[v]), v.max(parent[v])))
+                .collect();
+            edges.sort_unstable();
+            seen.insert(edges);
+        });
+        assert_eq!(count, 16);
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn combinations_counts() {
+        assert_eq!(combinations(5, 2).len(), 10);
+        assert_eq!(combinations(4, 0).len(), 1);
+        assert_eq!(combinations(3, 3).len(), 1);
+    }
+
+    #[test]
+    fn oracle_degree_2_and_3() {
+        let f2 = exhaustive_frontier(&net(&[(0, 0), (3, 4)]));
+        assert_eq!(f2.cost_vec(), vec![Cost::new(7, 7)]);
+        let f3 = exhaustive_frontier(&net(&[(0, 0), (4, 2), (2, 4)]));
+        assert_eq!(f3.cost_vec(), vec![Cost::new(8, 6)]);
+    }
+
+    #[test]
+    fn oracle_agrees_with_numeric_dw_on_degree_4() {
+        let nets = [
+            net(&[(0, 0), (6, 6), (7, 5), (2, 8)]),
+            net(&[(3, 3), (0, 7), (7, 0), (9, 9)]),
+            net(&[(5, 0), (0, 5), (9, 4), (4, 9)]),
+            net(&[(0, 0), (1, 9), (9, 1), (8, 8)]),
+        ];
+        for n in &nets {
+            let oracle = exhaustive_frontier(n);
+            let dw = numeric::pareto_frontier(n, &DwConfig::default());
+            assert_eq!(
+                oracle.cost_vec(),
+                dw.cost_vec(),
+                "oracle/DW mismatch on {n:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_witnesses_are_valid() {
+        let n = net(&[(0, 0), (6, 6), (7, 5), (2, 8)]);
+        let f = exhaustive_frontier(&n);
+        for (c, t) in f.iter() {
+            t.validate(&n).unwrap();
+            // Witness cost may only be equal (frontier stores exact costs).
+            assert_eq!((c.wirelength, c.delay), t.objectives());
+        }
+    }
+}

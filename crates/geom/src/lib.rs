@@ -1,0 +1,45 @@
+//! Rectilinear geometry substrate for the PatLabor timing-driven routing
+//! reproduction.
+//!
+//! This crate provides the geometric vocabulary shared by every other crate
+//! in the workspace:
+//!
+//! * [`Point`] — integer points in the rectilinear plane `(Z², ‖·‖₁)`;
+//! * [`BoundingBox`] and half-perimeter wirelength ([`hpwl`]);
+//! * [`Net`] — a routing instance `(r, P)` with the source pin first;
+//! * [`HananGrid`] — the Hanan grid of a net together with its gap lengths
+//!   `l₁ … l₂ₙ₋₂` (paper §II, Fig. 3);
+//! * [`Pattern`] — the rank-space abstraction of a net used to index the
+//!   lookup tables (paper §V-A), together with the dihedral symmetry group
+//!   [`Transform`] used to reduce the number of stored patterns.
+//!
+//! # Example
+//!
+//! ```
+//! use patlabor_geom::{Net, Point};
+//!
+//! # fn main() -> Result<(), patlabor_geom::InvalidNetError> {
+//! let net = Net::new(vec![
+//!     Point::new(0, 0),   // source
+//!     Point::new(4, 7),   // sink
+//!     Point::new(9, 2),   // sink
+//! ])?;
+//! assert_eq!(net.degree(), 3);
+//! assert_eq!(net.source(), Point::new(0, 0));
+//! # Ok(())
+//! # }
+//! ```
+
+mod bbox;
+mod grid;
+mod net;
+mod pattern;
+mod point;
+mod transform;
+
+pub use bbox::{hpwl, BoundingBox};
+pub use grid::{GridEdge, GridNode, HananGrid};
+pub use net::{InvalidNetError, Net};
+pub use pattern::{Pattern, PatternKey, RankNode};
+pub use point::{l1, Point};
+pub use transform::{Transform, ALL_TRANSFORMS};

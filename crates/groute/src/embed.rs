@@ -1,0 +1,201 @@
+//! Embedding routing trees into the gcell grid.
+//!
+//! Each abstract tree edge becomes a rectilinear L-shaped route between
+//! its endpoints' gcells; of the two L orientations the cheaper one under
+//! the current congestion cost is taken (the standard pattern-routing
+//! step of global routers).
+
+use patlabor_tree::RoutingTree;
+
+use crate::grid::{GcellEdge, RoutingGrid};
+
+/// A routed net: the grid edges its embedding occupies (with
+/// multiplicity).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EmbeddedNet {
+    /// Occupied gcell edges (one entry per track used).
+    pub edges: Vec<GcellEdge>,
+}
+
+impl EmbeddedNet {
+    /// Applies the embedding to the grid (adds usage).
+    pub fn commit(&self, grid: &mut RoutingGrid) {
+        for &e in &self.edges {
+            grid.adjust(e, 1);
+        }
+    }
+
+    /// Removes the embedding from the grid (rip-up).
+    pub fn rip_up(&self, grid: &mut RoutingGrid) {
+        for &e in &self.edges {
+            grid.adjust(e, -1);
+        }
+    }
+
+    /// Congestion cost of this embedding if it were added to `grid` now.
+    pub fn cost(&self, grid: &RoutingGrid) -> u64 {
+        self.edges.iter().map(|&e| grid.edge_cost(e)).sum()
+    }
+}
+
+/// Embeds a tree into the grid, greedily choosing per tree edge the
+/// cheaper of the two L-shapes under the current congestion costs.
+///
+/// Pure with respect to the grid: the returned embedding is **not**
+/// committed (call [`EmbeddedNet::commit`]).
+pub fn embed_tree(grid: &RoutingGrid, tree: &RoutingTree) -> EmbeddedNet {
+    let mut out = EmbeddedNet::default();
+    for (child, parent) in tree.edges() {
+        let a = grid.gcell_of(tree.point(child));
+        let b = grid.gcell_of(tree.point(parent));
+        let l1 = l_route(a, b, true);
+        let l2 = l_route(a, b, false);
+        let c1: u64 = l1.iter().map(|&e| grid.edge_cost(e)).sum();
+        let c2: u64 = l2.iter().map(|&e| grid.edge_cost(e)).sum();
+        out.edges.extend(if c1 <= c2 { l1 } else { l2 });
+    }
+    out
+}
+
+/// The gcell edges of an L route from `a` to `b`; `x_first` picks the
+/// orientation.
+fn l_route(a: (usize, usize), b: (usize, usize), x_first: bool) -> Vec<GcellEdge> {
+    let mut edges = Vec::new();
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let h_span = |y: usize, edges: &mut Vec<GcellEdge>| {
+        for col in ax.min(bx)..ax.max(bx) {
+            edges.push(GcellEdge {
+                col,
+                row: y,
+                horizontal: true,
+            });
+        }
+    };
+    let v_span = |x: usize, edges: &mut Vec<GcellEdge>| {
+        for row in ay.min(by)..ay.max(by) {
+            edges.push(GcellEdge {
+                col: x,
+                row,
+                horizontal: false,
+            });
+        }
+    };
+    if x_first {
+        h_span(ay, &mut edges);
+        v_span(bx, &mut edges);
+    } else {
+        v_span(ax, &mut edges);
+        h_span(by, &mut edges);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridConfig;
+    use patlabor_geom::{Net, Point};
+
+    fn grid() -> RoutingGrid {
+        RoutingGrid::new(GridConfig::square(8, 800, 2))
+    }
+
+    fn tree(pts: &[(i64, i64)]) -> RoutingTree {
+        let net = Net::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap();
+        RoutingTree::direct(&net)
+    }
+
+    #[test]
+    fn l_route_lengths_match_manhattan_distance() {
+        for (a, b) in [((0, 0), (3, 2)), ((5, 5), (5, 1)), ((2, 2), (2, 2))] {
+            for x_first in [true, false] {
+                let r = l_route(a, b, x_first);
+                let expect = a.0.abs_diff(b.0) + a.1.abs_diff(b.1);
+                assert_eq!(r.len(), expect, "{a:?}→{b:?} x_first={x_first}");
+            }
+        }
+    }
+
+    #[test]
+    fn commit_and_rip_up_are_inverse() {
+        let mut g = grid();
+        let t = tree(&[(50, 50), (550, 350)]);
+        let e = embed_tree(&g, &t);
+        assert!(!e.edges.is_empty());
+        e.commit(&mut g);
+        assert!(g.max_usage() > 0);
+        e.rip_up(&mut g);
+        assert_eq!(g.max_usage(), 0);
+        assert_eq!(g.total_overflow(), 0);
+    }
+
+    #[test]
+    fn embedding_avoids_congested_l() {
+        let mut g = grid();
+        // Saturate the x-first L's horizontal corridor at row 0.
+        for col in 0..7 {
+            for _ in 0..4 {
+                g.adjust(
+                    GcellEdge {
+                        col,
+                        row: 0,
+                        horizontal: true,
+                    },
+                    1,
+                );
+            }
+        }
+        let t = tree(&[(10, 10), (750, 550)]);
+        let e = embed_tree(&g, &t);
+        // The embedding must not add usage on the saturated corridor.
+        let used_row0: usize = e
+            .edges
+            .iter()
+            .filter(|e| e.horizontal && e.row == 0)
+            .count();
+        assert_eq!(used_row0, 0, "picked the congested L: {e:?}");
+    }
+
+    #[test]
+    fn same_gcell_edge_costs_nothing() {
+        let g = grid();
+        let t = tree(&[(10, 10), (20, 20)]); // same gcell
+        let e = embed_tree(&g, &t);
+        assert!(e.edges.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every embedding uses exactly the gcell-Manhattan length of
+            /// its tree edges, regardless of L choices, and commit/rip-up
+            /// round-trips leave the grid untouched.
+            #[test]
+            fn prop_embedding_length_and_reversibility(
+                pts in proptest::collection::vec((0i64..800, 0i64..800), 2..7),
+            ) {
+                let net = patlabor_geom::Net::new(
+                    pts.into_iter().map(patlabor_geom::Point::from).collect(),
+                ).unwrap();
+                let t = RoutingTree::direct(&net);
+                let mut g = grid();
+                let e = embed_tree(&g, &t);
+                let expect: usize = t
+                    .edges()
+                    .map(|(v, p)| {
+                        let a = g.gcell_of(t.point(v));
+                        let b = g.gcell_of(t.point(p));
+                        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+                    })
+                    .sum();
+                prop_assert_eq!(e.edges.len(), expect);
+                e.commit(&mut g);
+                e.rip_up(&mut g);
+                prop_assert_eq!(g.max_usage(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The gcell grid and its congestion accounting.
+
+use patlabor_geom::Point;
+
+/// Grid geometry and capacity configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Number of gcell columns.
+    pub cols: usize,
+    /// Number of gcell rows.
+    pub rows: usize,
+    /// Plane width covered by the grid (coordinates `0..width`).
+    pub width: i64,
+    /// Plane height covered by the grid.
+    pub height: i64,
+    /// Routing tracks per horizontal gcell boundary.
+    pub h_capacity: u32,
+    /// Routing tracks per vertical gcell boundary.
+    pub v_capacity: u32,
+}
+
+impl GridConfig {
+    /// A square grid covering `span × span` with uniform capacity.
+    pub fn square(cells: usize, span: i64, capacity: u32) -> Self {
+        GridConfig {
+            cols: cells,
+            rows: cells,
+            width: span,
+            height: span,
+            h_capacity: capacity,
+            v_capacity: capacity,
+        }
+    }
+}
+
+/// One gcell-boundary edge, identified by the gcell on its lower/left
+/// side and its direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GcellEdge {
+    /// Gcell column of the lower/left endpoint.
+    pub col: usize,
+    /// Gcell row of the lower/left endpoint.
+    pub row: usize,
+    /// `true` for a horizontal edge (to `(col+1, row)`), `false` for a
+    /// vertical edge (to `(col, row+1)`).
+    pub horizontal: bool,
+}
+
+/// A gcell grid with usage tracking.
+///
+/// # Example
+///
+/// ```
+/// use patlabor_groute::{GridConfig, RoutingGrid};
+/// use patlabor_geom::Point;
+///
+/// let mut grid = RoutingGrid::new(GridConfig::square(8, 800, 4));
+/// let cell = grid.gcell_of(Point::new(99, 700));
+/// assert_eq!(cell, (0, 7));
+/// assert_eq!(grid.total_overflow(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingGrid {
+    config: GridConfig,
+    /// `h_usage[row][col]` = usage of the horizontal edge from
+    /// `(col,row)` to `(col+1,row)`.
+    h_usage: Vec<Vec<u32>>,
+    /// `v_usage[row][col]` = usage of the vertical edge from `(col,row)`
+    /// to `(col,row+1)`.
+    v_usage: Vec<Vec<u32>>,
+}
+
+impl RoutingGrid {
+    /// Creates an empty grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no cells or area).
+    pub fn new(config: GridConfig) -> Self {
+        assert!(config.cols >= 2 && config.rows >= 2, "grid needs 2x2 cells");
+        assert!(config.width > 0 && config.height > 0, "grid needs area");
+        RoutingGrid {
+            config,
+            h_usage: vec![vec![0; config.cols - 1]; config.rows],
+            v_usage: vec![vec![0; config.cols]; config.rows - 1],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GridConfig {
+        &self.config
+    }
+
+    /// The gcell `(col, row)` containing a plane point (out-of-range
+    /// points clamp to the border cells).
+    pub fn gcell_of(&self, p: Point) -> (usize, usize) {
+        let col = (p.x * self.config.cols as i64 / self.config.width)
+            .clamp(0, self.config.cols as i64 - 1) as usize;
+        let row = (p.y * self.config.rows as i64 / self.config.height)
+            .clamp(0, self.config.rows as i64 - 1) as usize;
+        (col, row)
+    }
+
+    /// Usage of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is outside the grid.
+    pub fn usage(&self, e: GcellEdge) -> u32 {
+        if e.horizontal {
+            self.h_usage[e.row][e.col]
+        } else {
+            self.v_usage[e.row][e.col]
+        }
+    }
+
+    /// Capacity of an edge.
+    pub fn capacity(&self, e: GcellEdge) -> u32 {
+        if e.horizontal {
+            self.config.h_capacity
+        } else {
+            self.config.v_capacity
+        }
+    }
+
+    /// Overflow of an edge (`usage − capacity`, clamped at 0).
+    pub fn overflow(&self, e: GcellEdge) -> u32 {
+        self.usage(e).saturating_sub(self.capacity(e))
+    }
+
+    /// Adds (`delta = +1`) or removes (`delta = -1`) one track of usage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when removing from an unused edge.
+    pub fn adjust(&mut self, e: GcellEdge, delta: i32) {
+        let slot = if e.horizontal {
+            &mut self.h_usage[e.row][e.col]
+        } else {
+            &mut self.v_usage[e.row][e.col]
+        };
+        if delta >= 0 {
+            *slot += delta as u32;
+        } else {
+            *slot = slot
+                .checked_sub((-delta) as u32)
+                .expect("usage accounting went negative");
+        }
+    }
+
+    /// Sum of overflows over every edge — the primary congestion metric.
+    pub fn total_overflow(&self) -> u64 {
+        let mut total = 0u64;
+        for (row, cols) in self.h_usage.iter().enumerate() {
+            for (col, _) in cols.iter().enumerate() {
+                total += self.overflow(GcellEdge {
+                    col,
+                    row,
+                    horizontal: true,
+                }) as u64;
+            }
+        }
+        for (row, cols) in self.v_usage.iter().enumerate() {
+            for (col, _) in cols.iter().enumerate() {
+                total += self.overflow(GcellEdge {
+                    col,
+                    row,
+                    horizontal: false,
+                }) as u64;
+            }
+        }
+        total
+    }
+
+    /// Maximum edge usage (for congestion maps).
+    pub fn max_usage(&self) -> u32 {
+        let h = self.h_usage.iter().flatten().copied().max().unwrap_or(0);
+        let v = self.v_usage.iter().flatten().copied().max().unwrap_or(0);
+        h.max(v)
+    }
+
+    /// The cost of adding one track to `e` under a congestion-aware cost
+    /// model: 1 plus a quadratic penalty as the edge approaches / exceeds
+    /// capacity.
+    pub fn edge_cost(&self, e: GcellEdge) -> u64 {
+        let usage = self.usage(e) as u64;
+        let cap = self.capacity(e) as u64;
+        if usage < cap {
+            1
+        } else {
+            let over = usage - cap + 1;
+            1 + 16 * over * over
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RoutingGrid {
+        RoutingGrid::new(GridConfig::square(4, 400, 2))
+    }
+
+    #[test]
+    fn gcell_mapping_and_clamping() {
+        let g = grid();
+        assert_eq!(g.gcell_of(Point::new(0, 0)), (0, 0));
+        assert_eq!(g.gcell_of(Point::new(399, 399)), (3, 3));
+        assert_eq!(g.gcell_of(Point::new(-50, 4000)), (0, 3));
+        assert_eq!(g.gcell_of(Point::new(100, 100)), (1, 1));
+    }
+
+    #[test]
+    fn usage_and_overflow_accounting() {
+        let mut g = grid();
+        let e = GcellEdge {
+            col: 1,
+            row: 2,
+            horizontal: true,
+        };
+        assert_eq!(g.usage(e), 0);
+        for _ in 0..3 {
+            g.adjust(e, 1);
+        }
+        assert_eq!(g.usage(e), 3);
+        assert_eq!(g.overflow(e), 1); // capacity 2
+        assert_eq!(g.total_overflow(), 1);
+        g.adjust(e, -1);
+        assert_eq!(g.total_overflow(), 0);
+        assert_eq!(g.max_usage(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_usage_panics() {
+        let mut g = grid();
+        g.adjust(
+            GcellEdge {
+                col: 0,
+                row: 0,
+                horizontal: false,
+            },
+            -1,
+        );
+    }
+
+    #[test]
+    fn edge_cost_grows_with_congestion() {
+        let mut g = grid();
+        let e = GcellEdge {
+            col: 0,
+            row: 0,
+            horizontal: true,
+        };
+        let c0 = g.edge_cost(e);
+        g.adjust(e, 2); // at capacity
+        let c_at = g.edge_cost(e);
+        g.adjust(e, 2); // over capacity
+        let c_over = g.edge_cost(e);
+        assert!(c0 < c_at && c_at < c_over);
+    }
+}

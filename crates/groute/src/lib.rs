@@ -1,0 +1,27 @@
+//! Global-routing integration substrate.
+//!
+//! The paper motivates Pareto sets with global routing (§I): "selecting
+//! net topologies from a candidate solution set may improve the
+//! performance of global routers" (citing DGR). This crate builds the
+//! minimal substrate needed to demonstrate that claim end-to-end:
+//!
+//! * [`RoutingGrid`] — a gcell grid with per-edge capacities and usage
+//!   accounting (the standard global-routing congestion model);
+//! * [`embed_tree`] — embedding a [`RoutingTree`](patlabor_tree::RoutingTree)
+//!   into grid edges, choosing each edge's L-shape against current
+//!   congestion;
+//! * [`GlobalRouter`] — a sequential router with rip-up-and-reroute that
+//!   picks, per net, one tree from its PatLabor Pareto set under a
+//!   congestion/delay-aware [`SelectionStrategy`].
+//!
+//! The `global_routing` example compares single-solution routing (always
+//! RSMT, always SPT) against Pareto-candidate selection on overflow,
+//! wirelength and delay-budget violations.
+
+mod embed;
+mod grid;
+mod router;
+
+pub use embed::{embed_tree, EmbeddedNet};
+pub use grid::{GcellEdge, GridConfig, RoutingGrid};
+pub use router::{GlobalRouter, RouteReport, SelectionStrategy};

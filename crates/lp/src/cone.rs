@@ -1,0 +1,178 @@
+//! Strict feasibility of homogeneous systems — the query behind Lemma 1.
+//!
+//! Symbolic dominance checking reduces to: *given integer rows
+//! `a₁ … aₘ ∈ Zᵏ`, does some `l ≥ 0` satisfy `aᵢ·l > 0` for every `i`?*
+//! (If yes, the candidate solution is strictly better somewhere in gap
+//! space and must be kept; if no, it can be pruned.)
+//!
+//! By homogeneity we may normalize `Σ l = 1` and ask for the maximum `t`
+//! with `aᵢ·l ≥ t` — the system is strictly feasible iff that optimum is
+//! positive. This turns the question into one exact LP.
+
+use crate::{solve, LpOutcome, Problem, Rational, Relation};
+
+/// Decides whether some `l ≥ 0` satisfies `row · l > 0` for **every** row.
+///
+/// Rows must all have the same length `k ≥ 1`. An empty row set is
+/// vacuously feasible (returns `true`).
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths or length zero.
+///
+/// # Example
+///
+/// ```
+/// use patlabor_lp::cone::strictly_feasible;
+///
+/// // l₀ > l₁ and l₁ > l₀ cannot hold simultaneously …
+/// assert!(!strictly_feasible(&[vec![1, -1], vec![-1, 1]]));
+/// // … but a single strict inequality is easy to satisfy.
+/// assert!(strictly_feasible(&[vec![1, -1]]));
+/// ```
+pub fn strictly_feasible(rows: &[Vec<i64>]) -> bool {
+    if rows.is_empty() {
+        return true;
+    }
+    let k = rows[0].len();
+    assert!(k >= 1, "rows must have at least one column");
+    assert!(
+        rows.iter().all(|r| r.len() == k),
+        "rows must share one length"
+    );
+
+    // Fast path: a row that is ≤ 0 everywhere can never be made positive.
+    if rows.iter().any(|r| r.iter().all(|&v| v <= 0)) {
+        return false;
+    }
+    // Fast path: if every row has all-nonnegative entries and at least one
+    // positive, l = all-ones works.
+    if rows.iter().all(|r| r.iter().all(|&v| v >= 0)) {
+        return true;
+    }
+
+    // Variables: l₀ … l_{k-1}, t  (all ≥ 0).
+    // maximize t   s.t.  Σ l = 1,  row·l − t ≥ 0 for every row.
+    let mut p = Problem::new(k + 1);
+    let mut objective = vec![Rational::ZERO; k + 1];
+    objective[k] = Rational::ONE;
+    p.maximize(&objective);
+
+    let mut sum = vec![Rational::ONE; k + 1];
+    sum[k] = Rational::ZERO;
+    p.constrain(&sum, Relation::Eq, Rational::ONE);
+
+    for row in rows {
+        let mut coeffs: Vec<Rational> = row.iter().map(|&v| Rational::from(v)).collect();
+        coeffs.push(-Rational::ONE);
+        p.constrain(&coeffs, Relation::Ge, Rational::ZERO);
+    }
+
+    match solve(&p) {
+        LpOutcome::Optimal { value, .. } => value.is_positive(),
+        // Restricting t ≥ 0 can make the LP infeasible exactly when no
+        // l ≥ 0 on the simplex satisfies row·l ≥ 0 for all rows — certainly
+        // not strictly feasible then.
+        LpOutcome::Infeasible => false,
+        // t is bounded by max row entry on the simplex; unbounded cannot
+        // happen for well-formed inputs.
+        LpOutcome::Unbounded => unreachable!("t is bounded on the simplex"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_row_cases() {
+        assert!(strictly_feasible(&[vec![1]]));
+        assert!(!strictly_feasible(&[vec![0]]));
+        assert!(!strictly_feasible(&[vec![-1]]));
+        assert!(strictly_feasible(&[vec![-5, 1]]));
+    }
+
+    #[test]
+    fn empty_is_vacuously_feasible() {
+        assert!(strictly_feasible(&[]));
+    }
+
+    #[test]
+    fn contradictory_rows() {
+        assert!(!strictly_feasible(&[vec![1, -1], vec![-1, 1]]));
+        // Sum of the three rows is the zero vector → infeasible.
+        assert!(!strictly_feasible(&[
+            vec![1, -1, 0],
+            vec![0, 1, -1],
+            vec![-1, 0, 1],
+        ]));
+    }
+
+    #[test]
+    fn compatible_rows() {
+        assert!(strictly_feasible(&[vec![2, -1], vec![-1, 2]])); // l = (1,1)
+        assert!(strictly_feasible(&[vec![1, 0], vec![0, 1]]));
+    }
+
+    #[test]
+    fn zero_row_blocks_feasibility() {
+        assert!(!strictly_feasible(&[vec![1, 1], vec![0, 0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn mismatched_lengths_panic() {
+        let _ = strictly_feasible(&[vec![1], vec![1, 2]]);
+    }
+
+    /// Brute-force check on a dense grid of candidate `l` vectors.
+    fn grid_feasible(rows: &[Vec<i64>], k: usize) -> bool {
+        // All l in {0..4}^k (excluding the origin).
+        let mut l = vec![0i64; k];
+        loop {
+            // advance counter
+            let mut i = 0;
+            loop {
+                if i == k {
+                    return false;
+                }
+                l[i] += 1;
+                if l[i] <= 4 {
+                    break;
+                }
+                l[i] = 0;
+                i += 1;
+            }
+            if rows
+                .iter()
+                .all(|r| r.iter().zip(&l).map(|(&a, &x)| a * x).sum::<i64>() > 0)
+            {
+                return true;
+            }
+        }
+    }
+
+    proptest! {
+        /// The LP decision must agree with grid search whenever grid search
+        /// finds a witness, and must never contradict an explicit witness.
+        #[test]
+        fn prop_agrees_with_grid_witnesses(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-3i64..4, 3), 1..5),
+        ) {
+            let lp = strictly_feasible(&rows);
+            if grid_feasible(&rows, 3) {
+                prop_assert!(lp, "grid found a witness but LP said infeasible");
+            }
+            // Converse is not exact for a finite grid, but rational
+            // witnesses scale: if LP says feasible, solve again and verify
+            // by re-deriving a witness through feasibility of each row at
+            // the LP optimum. We settle for consistency: infeasible LP ⇒
+            // no grid witness.
+            if !lp {
+                prop_assert!(!grid_feasible(&rows, 3));
+            }
+        }
+    }
+}

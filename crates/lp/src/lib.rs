@@ -1,0 +1,37 @@
+//! Exact rational linear programming for symbolic Pareto dominance.
+//!
+//! The paper prunes lookup-table candidates with an SMT solver (Lemma 1 /
+//! Eq. 2): a symbolic solution `(W², D²)` is dominated by `(W¹, D¹)` when
+//! for **all** non-negative Hanan gap vectors `l ≥ 0` the first solution is
+//! no worse in either objective. That condition lives in the linear
+//! fragment of arithmetic, so instead of shipping a foreign SMT solver this
+//! crate implements the decision procedure directly:
+//!
+//! * [`Rational`] — exact `i128` rational arithmetic (no rounding, ever);
+//! * [`Problem`] / [`solve`] — a two-phase tableau **simplex** with Bland's
+//!   rule (guaranteed termination) over those rationals;
+//! * [`cone::strictly_feasible`] — the specific query dominance checking
+//!   needs: *does there exist `l ≥ 0` with `Aᵢ·l > 0` for every row?*
+//!
+//! # Example
+//!
+//! ```
+//! use patlabor_lp::{Problem, Rational, Relation, solve, LpOutcome};
+//!
+//! // maximize x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6,  x,y ≥ 0
+//! let mut p = Problem::new(2);
+//! p.maximize(&[Rational::from(1), Rational::from(1)]);
+//! p.constrain(&[Rational::from(1), Rational::from(2)], Relation::Le, Rational::from(4));
+//! p.constrain(&[Rational::from(3), Rational::from(1)], Relation::Le, Rational::from(6));
+//! match solve(&p) {
+//!     LpOutcome::Optimal { value, .. } => assert_eq!(value, Rational::new(14, 5)),
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+pub mod cone;
+mod rational;
+mod simplex;
+
+pub use rational::Rational;
+pub use simplex::{solve, LpOutcome, Problem, Relation};

@@ -1,0 +1,288 @@
+//! Exact rational numbers over `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0`, always stored in
+/// lowest terms.
+///
+/// The simplex tableaus this crate manipulates start from tiny integer
+/// coefficients (Hanan-grid edge multiplicities, 0–9), so `i128` numerators
+/// and denominators never come close to overflowing in practice; all
+/// arithmetic is nevertheless `checked_*` and panics loudly rather than
+/// wrapping if the assumption is ever violated.
+///
+/// # Example
+///
+/// ```
+/// use patlabor_lp::Rational;
+///
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!(a + b, Rational::new(1, 2));
+/// assert!(a > b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Lossy conversion for reporting only.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b.max(1);
+    }
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn mul_checked(a: i128, b: i128) -> i128 {
+    a.checked_mul(b).expect("rational arithmetic overflow")
+}
+
+impl Add for Rational {
+    type Output = Rational;
+
+    fn add(self, rhs: Rational) -> Rational {
+        let num = mul_checked(self.num, rhs.den)
+            .checked_add(mul_checked(rhs.num, self.den))
+            .expect("rational arithmetic overflow");
+        Rational::new(num, mul_checked(self.den, rhs.den))
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs()) as i128;
+        let g2 = gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs()) as i128;
+        Rational::new(
+            mul_checked(self.num / g1, rhs.num / g2),
+            mul_checked(self.den / g2, rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        mul_checked(self.num, other.den).cmp(&mul_checked(other.num, self.den))
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_examples() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::from(2i64));
+        assert_eq!(-a, Rational::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(Rational::new(1, 3) > Rational::new(333, 1000));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(-3, 7).to_string(), "-3/7");
+    }
+
+    fn rat() -> impl Strategy<Value = Rational> {
+        (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a in rat(), b in rat(), c in rat()) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + Rational::ZERO, a);
+            prop_assert_eq!(a * Rational::ONE, a);
+            prop_assert_eq!(a - a, Rational::ZERO);
+        }
+
+        #[test]
+        fn prop_recip_inverts(a in rat()) {
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.recip(), Rational::ONE);
+            }
+        }
+
+        #[test]
+        fn prop_order_total_and_compatible(a in rat(), b in rat(), c in rat()) {
+            if a < b {
+                prop_assert!(a + c < b + c);
+                if c.is_positive() {
+                    prop_assert!(a * c < b * c);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Two-phase tableau simplex over exact rationals.
+//!
+//! Sized for the tiny systems that symbolic dominance checking produces
+//! (≲ 20 variables, ≲ 20 constraints): reduced costs are recomputed from
+//! the tableau every iteration, which is quadratic per pivot but simple
+//! and impossible to desynchronize. Bland's anti-cycling rule guarantees
+//! termination.
+
+use crate::Rational;
+
+/// The sense of one linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x = rhs`
+    Eq,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    coeffs: Vec<Rational>,
+    rel: Relation,
+    rhs: Rational,
+}
+
+/// A linear program in the form
+/// `maximize c·x  subject to  Aᵢ·x {≤,=,≥} bᵢ,  x ≥ 0`.
+///
+/// Build with [`Problem::new`], [`Problem::maximize`] and
+/// [`Problem::constrain`], then pass to [`solve`].
+#[derive(Debug, Clone)]
+pub struct Problem {
+    num_vars: usize,
+    objective: Vec<Rational>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates a program over `num_vars` non-negative variables with the
+    /// zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        Problem {
+            num_vars,
+            objective: vec![Rational::ZERO; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Sets the maximization objective `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != num_vars`.
+    pub fn maximize(&mut self, c: &[Rational]) -> &mut Self {
+        assert_eq!(c.len(), self.num_vars, "objective length mismatch");
+        self.objective = c.to_vec();
+        self
+    }
+
+    /// Adds the constraint `coeffs · x rel rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn constrain(&mut self, coeffs: &[Rational], rel: Relation, rhs: Rational) -> &mut Self {
+        assert_eq!(coeffs.len(), self.num_vars, "constraint length mismatch");
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
+        self
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+}
+
+/// Result of [`solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// An optimal solution exists; `point` holds the structural variables.
+    Optimal {
+        /// Optimal objective value.
+        value: Rational,
+        /// Optimal assignment of the structural variables.
+        point: Vec<Rational>,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+struct Tableau {
+    /// `rows × cols` matrix; the last column is the rhs.
+    rows: Vec<Vec<Rational>>,
+    basis: Vec<usize>,
+    num_structural: usize,
+    /// Total variable columns (excludes rhs).
+    num_cols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> Rational {
+        self.rows[i][self.num_cols]
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let inv = self.rows[row][col].recip();
+        for v in self.rows[row].iter_mut() {
+            *v = *v * inv;
+        }
+        for i in 0..self.rows.len() {
+            if i == row || self.rows[i][col].is_zero() {
+                continue;
+            }
+            let factor = self.rows[i][col];
+            for j in 0..=self.num_cols {
+                let delta = factor * self.rows[row][j];
+                self.rows[i][j] = self.rows[i][j] - delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex with cost vector `costs` (length `num_cols`), columns
+    /// with `allowed[j] == false` never enter. Returns `None` on unbounded.
+    fn optimize(&mut self, costs: &[Rational], allowed: &[bool]) -> Option<Rational> {
+        loop {
+            // Reduced costs r_j = c_j - c_B · column_j (tableau is B⁻¹A).
+            let mut entering = None;
+            for j in 0..self.num_cols {
+                if !allowed[j] || self.basis.contains(&j) {
+                    continue;
+                }
+                let mut r = costs[j];
+                for (i, &b) in self.basis.iter().enumerate() {
+                    if !costs[b].is_zero() {
+                        r = r - costs[b] * self.rows[i][j];
+                    }
+                }
+                if r.is_positive() {
+                    entering = Some(j); // Bland: smallest improving index
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                // Optimal: objective value = c_B · rhs.
+                let mut value = Rational::ZERO;
+                for (i, &b) in self.basis.iter().enumerate() {
+                    value = value + costs[b] * self.rhs(i);
+                }
+                return Some(value);
+            };
+            // Ratio test with Bland tie-breaking on basis index.
+            let mut leave: Option<(usize, Rational)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][col];
+                if !a.is_positive() {
+                    continue;
+                }
+                let ratio = self.rhs(i) / a;
+                match &leave {
+                    Some((li, lr)) => {
+                        if ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                    None => leave = Some((i, ratio)),
+                }
+            }
+            let (row, _) = leave?;
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves the linear program with two-phase simplex.
+///
+/// Exact: the returned `value` and `point` are rationals satisfying the
+/// constraints exactly.
+///
+/// # Example
+///
+/// ```
+/// use patlabor_lp::{solve, LpOutcome, Problem, Rational, Relation};
+///
+/// // maximize 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2
+/// let mut p = Problem::new(2);
+/// p.maximize(&[Rational::from(3), Rational::from(2)]);
+/// p.constrain(&[Rational::from(1), Rational::from(1)], Relation::Le, Rational::from(4));
+/// p.constrain(&[Rational::from(1), Rational::from(0)], Relation::Le, Rational::from(2));
+/// let LpOutcome::Optimal { value, .. } = solve(&p) else { panic!() };
+/// assert_eq!(value, Rational::from(10)); // x=2, y=2
+/// ```
+pub fn solve(problem: &Problem) -> LpOutcome {
+    let n = problem.num_vars;
+    let m = problem.constraints.len();
+
+    // Count auxiliary columns: one slack/surplus per inequality, one
+    // artificial per Ge/Eq (after rhs normalization).
+    let mut normalized: Vec<Constraint> = Vec::with_capacity(m);
+    for c in &problem.constraints {
+        if c.rhs.is_negative() {
+            let coeffs = c.coeffs.iter().map(|&v| -v).collect();
+            let rel = match c.rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            normalized.push(Constraint {
+                coeffs,
+                rel,
+                rhs: -c.rhs,
+            });
+        } else {
+            normalized.push(c.clone());
+        }
+    }
+
+    let num_slack = normalized
+        .iter()
+        .filter(|c| c.rel != Relation::Eq)
+        .count();
+    let num_artificial = normalized
+        .iter()
+        .filter(|c| c.rel != Relation::Le)
+        .count();
+    let artificial_start = n + num_slack;
+    let num_cols = n + num_slack + num_artificial;
+
+    let mut rows = Vec::with_capacity(m);
+    let mut basis = Vec::with_capacity(m);
+    let mut slack_idx = n;
+    let mut art_idx = artificial_start;
+    for c in &normalized {
+        let mut row = vec![Rational::ZERO; num_cols + 1];
+        row[..n].copy_from_slice(&c.coeffs);
+        row[num_cols] = c.rhs;
+        match c.rel {
+            Relation::Le => {
+                row[slack_idx] = Rational::ONE;
+                basis.push(slack_idx);
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                row[slack_idx] = -Rational::ONE;
+                slack_idx += 1;
+                row[art_idx] = Rational::ONE;
+                basis.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                row[art_idx] = Rational::ONE;
+                basis.push(art_idx);
+                art_idx += 1;
+            }
+        }
+        rows.push(row);
+    }
+
+    let mut tab = Tableau {
+        rows,
+        basis,
+        num_structural: n,
+        num_cols,
+    };
+
+    // Phase 1: maximize -(sum of artificials).
+    if num_artificial > 0 {
+        let mut costs = vec![Rational::ZERO; num_cols];
+        for j in artificial_start..num_cols {
+            costs[j] = -Rational::ONE;
+        }
+        let allowed = vec![true; num_cols];
+        let value = tab
+            .optimize(&costs, &allowed)
+            .expect("phase 1 is bounded by construction");
+        if value.is_negative() {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any remaining basic artificials out of the basis.
+        for i in 0..tab.rows.len() {
+            if tab.basis[i] >= artificial_start {
+                debug_assert!(tab.rhs(i).is_zero(), "feasible but artificial has value");
+                if let Some(col) =
+                    (0..artificial_start).find(|&j| !tab.rows[i][j].is_zero())
+                {
+                    tab.pivot(i, col);
+                }
+                // Otherwise the row is redundant (all-zero over real
+                // columns); leaving the artificial basic at value 0 is
+                // harmless because artificials are banned in phase 2.
+            }
+        }
+    }
+
+    // Phase 2: original objective, artificial columns banned.
+    let mut costs = vec![Rational::ZERO; num_cols];
+    costs[..n].copy_from_slice(&problem.objective);
+    let mut allowed = vec![true; num_cols];
+    for a in allowed.iter_mut().skip(artificial_start) {
+        *a = false;
+    }
+    match tab.optimize(&costs, &allowed) {
+        Some(value) => {
+            let mut point = vec![Rational::ZERO; tab.num_structural];
+            for (i, &b) in tab.basis.iter().enumerate() {
+                if b < tab.num_structural {
+                    point[b] = tab.rhs(i);
+                }
+            }
+            LpOutcome::Optimal { value, point }
+        }
+        None => LpOutcome::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(v: i64) -> Rational {
+        Rational::from(v)
+    }
+
+    fn check_point(problem: &Problem, point: &[Rational]) {
+        for c in &problem.constraints {
+            let lhs = c
+                .coeffs
+                .iter()
+                .zip(point)
+                .fold(Rational::ZERO, |acc, (&a, &x)| acc + a * x);
+            let ok = match c.rel {
+                Relation::Le => lhs <= c.rhs,
+                Relation::Eq => lhs == c.rhs,
+                Relation::Ge => lhs >= c.rhs,
+            };
+            assert!(ok, "constraint violated: {lhs} vs {}", c.rhs);
+        }
+        for &x in point {
+            assert!(!x.is_negative(), "negative variable");
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6)
+        let mut p = Problem::new(2);
+        p.maximize(&[r(3), r(5)]);
+        p.constrain(&[r(1), r(0)], Relation::Le, r(4));
+        p.constrain(&[r(0), r(2)], Relation::Le, r(12));
+        p.constrain(&[r(3), r(2)], Relation::Le, r(18));
+        let LpOutcome::Optimal { value, point } = solve(&p) else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, r(36));
+        assert_eq!(point, vec![r(2), r(6)]);
+        check_point(&p, &point);
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // max x + y s.t. x + 2y ≤ 4, 3x + y ≤ 6 → 14/5 at (8/5, 6/5)
+        let mut p = Problem::new(2);
+        p.maximize(&[r(1), r(1)]);
+        p.constrain(&[r(1), r(2)], Relation::Le, r(4));
+        p.constrain(&[r(3), r(1)], Relation::Le, r(6));
+        let LpOutcome::Optimal { value, point } = solve(&p) else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, Rational::new(14, 5));
+        assert_eq!(point, vec![Rational::new(8, 5), Rational::new(6, 5)]);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x ≥ 3 and x ≤ 1
+        let mut p = Problem::new(1);
+        p.maximize(&[r(1)]);
+        p.constrain(&[r(1)], Relation::Ge, r(3));
+        p.constrain(&[r(1)], Relation::Le, r(1));
+        assert_eq!(solve(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(2);
+        p.maximize(&[r(1), r(0)]);
+        p.constrain(&[r(0), r(1)], Relation::Le, r(5));
+        assert_eq!(solve(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 3, x ≤ 2 → (0,3)? y unbounded? y≥0, x≥0.
+        // x + y = 3 forces y = 3 - x; objective x + 2(3-x) = 6 - x, max at x=0 → 6.
+        let mut p = Problem::new(2);
+        p.maximize(&[r(1), r(2)]);
+        p.constrain(&[r(1), r(1)], Relation::Eq, r(3));
+        p.constrain(&[r(1), r(0)], Relation::Le, r(2));
+        let LpOutcome::Optimal { value, point } = solve(&p) else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, r(6));
+        check_point(&p, &point);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x ≤ -2  ⟺  x ≥ 2; max -x → value -2.
+        let mut p = Problem::new(1);
+        p.maximize(&[r(-1)]);
+        p.constrain(&[r(-1)], Relation::Le, r(-2));
+        let LpOutcome::Optimal { value, .. } = solve(&p) else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, r(-2));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate instance (multiple ties); Bland must not cycle.
+        let mut p = Problem::new(3);
+        p.maximize(&[Rational::new(3, 4), r(-150), Rational::new(1, 50)]);
+        p.constrain(
+            &[Rational::new(1, 4), r(-60), Rational::new(-1, 25)],
+            Relation::Le,
+            r(0),
+        );
+        p.constrain(
+            &[Rational::new(1, 2), r(-90), Rational::new(-1, 50)],
+            Relation::Le,
+            r(0),
+        );
+        p.constrain(&[r(0), r(0), r(1)], Relation::Le, r(1));
+        let LpOutcome::Optimal { value, point } = solve(&p) else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, Rational::new(1, 20));
+        check_point(&p, &point);
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        let mut p = Problem::new(2);
+        p.maximize(&[r(0), r(0)]);
+        let LpOutcome::Optimal { value, .. } = solve(&p) else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, r(0));
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        let mut p = Problem::new(2);
+        p.maximize(&[r(1), r(1)]);
+        p.constrain(&[r(1), r(1)], Relation::Eq, r(2));
+        p.constrain(&[r(2), r(2)], Relation::Eq, r(4)); // same plane
+        let LpOutcome::Optimal { value, point } = solve(&p) else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, r(2));
+        check_point(&p, &point);
+    }
+
+    proptest! {
+        /// Random bounded LPs: the solver's point must satisfy constraints
+        /// and achieve the reported value; the value must weakly dominate a
+        /// random sample of feasible points.
+        #[test]
+        fn prop_optimal_point_is_feasible_and_no_worse_than_samples(
+            c0 in -5i64..5, c1 in -5i64..5,
+            rows in proptest::collection::vec(
+                (0i64..5, 0i64..5, 1i64..20), 1..5),
+        ) {
+            let mut p = Problem::new(2);
+            p.maximize(&[r(c0), r(c1)]);
+            // Constraints a·x + b·y ≤ rhs with a,b ≥ 0 keep the region
+            // bounded only if a+b > 0 in every row and objective ≤ 0 in
+            // unconstrained directions; add a box to be safe.
+            for (a, b, rhs) in &rows {
+                p.constrain(&[r(*a), r(*b)], Relation::Le, r(*rhs));
+            }
+            p.constrain(&[r(1), r(0)], Relation::Le, r(50));
+            p.constrain(&[r(0), r(1)], Relation::Le, r(50));
+            let LpOutcome::Optimal { value, point } = solve(&p) else {
+                return Err(TestCaseError::fail("bounded LP must be optimal"));
+            };
+            check_point(&p, &point);
+            let achieved = r(c0) * point[0] + r(c1) * point[1];
+            prop_assert_eq!(achieved, value);
+            // Sample grid points; any feasible one must not beat the optimum.
+            for x in 0..6i64 {
+                for y in 0..6i64 {
+                    let feasible = rows.iter().all(|(a, b, rhs)| a * x + b * y <= *rhs)
+                        && x <= 50 && y <= 50;
+                    if feasible {
+                        prop_assert!(r(c0 * x + c1 * y) <= value);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Parallel lookup-table generation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use patlabor_dw::{symbolic::symbolic_frontier, DwConfig};
+use patlabor_geom::Pattern;
+
+use crate::table::{DegreeTable, LookupTable, StoredTopology};
+
+/// Builder for [`LookupTable`]s.
+///
+/// Generation runs one symbolic Pareto-DW per canonical pattern of every
+/// degree up to λ, pruning candidates with the exact LP dominance check
+/// (paper Lemma 1), then pools identical topologies across patterns (the
+/// paper's clustering step). Work is spread over `threads` OS threads.
+///
+/// The paper uses λ = 9 (4.76 h on 16 cores). Generation here is exact for
+/// any λ ≤ 9; pick λ to taste — degrees ≤ 6 take seconds, 7 takes minutes,
+/// 8–9 are an offline job.
+///
+/// # Example
+///
+/// ```
+/// use patlabor_lut::LutBuilder;
+///
+/// let table = LutBuilder::new(4).threads(2).build();
+/// assert_eq!(table.lambda(), 4);
+/// assert_eq!(table.pattern_count(4), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LutBuilder {
+    lambda: u8,
+    threads: usize,
+    config: DwConfig,
+}
+
+impl LutBuilder {
+    /// Creates a builder for tables covering degrees `2 ..= lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `3 ..= 9`.
+    pub fn new(lambda: u8) -> Self {
+        assert!(
+            (3..=9).contains(&lambda),
+            "lookup tables support 3 <= lambda <= 9, got {lambda}"
+        );
+        LutBuilder {
+            lambda,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            config: DwConfig::default(),
+        }
+    }
+
+    /// Sets the number of generation threads (default: all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the DP pruning configuration (used by equivalence tests).
+    pub fn config(mut self, config: DwConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Generates the tables.
+    pub fn build(self) -> LookupTable {
+        let mut tables: Vec<DegreeTable> =
+            (0..=self.lambda).map(|_| DegreeTable::default()).collect();
+        for degree in 3..=self.lambda {
+            tables[degree as usize] = DegreeTable::from_lists(self.build_degree(degree));
+        }
+        LookupTable {
+            lambda: self.lambda,
+            tables,
+        }
+    }
+
+    fn build_degree(&self, degree: u8) -> HashMap<u64, Vec<StoredTopology>> {
+        let patterns = Pattern::enumerate_canonical(degree);
+        let next = AtomicUsize::new(0);
+        let out: Mutex<HashMap<u64, Vec<StoredTopology>>> = Mutex::new(HashMap::new());
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(patterns.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(pattern) = patterns.get(i) else {
+                        break;
+                    };
+                    let solutions = symbolic_frontier(pattern, &self.config);
+                    let mut topos: Vec<StoredTopology> = solutions
+                        .iter()
+                        .map(|s| StoredTopology::from_rank_edges(&s.edges, degree))
+                        .collect();
+                    // Within-pattern dedup: distinct solutions often share
+                    // a topology (same tree, different bookkeeping).
+                    topos.sort_by(|a, b| a.edges.cmp(&b.edges));
+                    topos.dedup();
+                    out.lock()
+                        .expect("generation thread panicked")
+                        .insert(pattern.key().as_u64(), topos);
+                });
+            }
+        });
+        out.into_inner().expect("generation thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patlabor_dw::numeric;
+    use patlabor_geom::{Net, Point};
+
+    #[test]
+    fn builds_all_degree_3_and_4_patterns() {
+        let table = LutBuilder::new(4).threads(2).build();
+        assert_eq!(table.pattern_count(3), 4);
+        assert_eq!(table.pattern_count(4), 16);
+        // Every pattern stores at least one topology; pooling never
+        // inflates counts.
+        for stats in table.stats() {
+            assert!(stats.avg_topologies >= 1.0, "{stats:?}");
+            assert!(stats.unique_topologies <= stats.total_topologies);
+            assert!(stats.unique_topologies >= 1);
+        }
+    }
+
+    #[test]
+    fn pooling_shrinks_the_degree_5_table() {
+        let table = LutBuilder::new(5).threads(2).build();
+        let s5 = table
+            .stats()
+            .into_iter()
+            .find(|s| s.degree == 5)
+            .expect("degree 5 generated");
+        assert!(
+            s5.unique_topologies < s5.total_topologies,
+            "clustering should find shared topologies: {s5:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_out_of_range_lambda() {
+        let _ = LutBuilder::new(10);
+    }
+
+    #[test]
+    fn query_matches_numeric_dw_on_random_nets() {
+        let table = LutBuilder::new(5).threads(2).build();
+        let mut seed = 0xdead_beefu64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..60 {
+            let degree = 3 + (trial % 3) as usize; // 3, 4, 5
+            let pins: Vec<Point> = (0..degree)
+                .map(|_| Point::new((rng() % 32) as i64, (rng() % 32) as i64))
+                .collect();
+            let net = Net::new(pins).unwrap();
+            let expected = numeric::pareto_frontier(&net, &DwConfig::default());
+            let got = table.query(&net).expect("degree within lambda");
+            assert_eq!(
+                got.cost_vec(),
+                expected.cost_vec(),
+                "LUT/DW mismatch on {:?}",
+                net.pins()
+            );
+            for (c, t) in got.iter() {
+                t.validate(&net).unwrap();
+                assert_eq!((c.wirelength, c.delay), t.objectives());
+            }
+        }
+    }
+
+    #[test]
+    fn query_handles_degree_2_and_out_of_range() {
+        let table = LutBuilder::new(4).threads(1).build();
+        let net2 = Net::new(vec![Point::new(0, 0), Point::new(3, 4)]).unwrap();
+        let f = table.query(&net2).unwrap();
+        assert_eq!(f.len(), 1);
+        let big = Net::new((0..6).map(|i| Point::new(i, i * i)).collect()).unwrap();
+        assert!(table.query(&big).is_none());
+    }
+
+    #[test]
+    fn query_handles_tied_coordinates() {
+        let table = LutBuilder::new(4).threads(1).build();
+        let net = Net::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 5),
+            Point::new(5, 5),
+            Point::new(5, 0),
+        ])
+        .unwrap();
+        let expected = numeric::pareto_frontier(&net, &DwConfig::default());
+        let got = table.query(&net).unwrap();
+        assert_eq!(got.cost_vec(), expected.cost_vec());
+    }
+}

@@ -1,0 +1,322 @@
+//! Compact binary serialization of lookup tables.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    b"PLUT"
+//! version  u32      (currently 2)
+//! lambda   u8
+//! per degree d in 3..=lambda:
+//!   npool  u32      unique topologies (the cross-pattern cluster pool)
+//!   per pool entry:
+//!     nedge  u8
+//!     edges  nedge × (u8, u8)
+//!   count  u32      number of patterns
+//!   per pattern:
+//!     key    u64    canonical PatternKey
+//!     ntopo  u16
+//!     ids    ntopo × u32   indices into the pool
+//! ```
+//!
+//! The format carries no pointers and no floats, so it is fully
+//! deterministic: identical tables serialize to identical bytes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::table::{DegreeTable, LookupTable, StoredTopology};
+
+const MAGIC: &[u8; 4] = b"PLUT";
+const VERSION: u32 = 2;
+
+/// Error returned by [`LookupTable::read_from`].
+#[derive(Debug)]
+pub enum ReadTableError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `PLUT` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid content (out-of-range degree, counts or
+    /// indices).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ReadTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTableError::Io(e) => write!(f, "i/o error reading table: {e}"),
+            ReadTableError::BadMagic => write!(f, "not a PatLabor lookup table (bad magic)"),
+            ReadTableError::BadVersion(v) => write!(f, "unsupported table version {v}"),
+            ReadTableError::Corrupt(what) => write!(f, "corrupt table: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTableError {
+    fn from(e: io::Error) -> Self {
+        ReadTableError::Io(e)
+    }
+}
+
+impl LookupTable {
+    /// Serializes the table to any writer (a `&mut` reference works too).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&[self.lambda])?;
+        for d in 3..=self.lambda {
+            let table = &self.tables[d as usize];
+            w.write_all(&(table.pool.len() as u32).to_le_bytes())?;
+            for t in &table.pool {
+                w.write_all(&[t.edges.len() as u8])?;
+                for &(a, b) in &t.edges {
+                    w.write_all(&[a, b])?;
+                }
+            }
+            w.write_all(&(table.patterns.len() as u32).to_le_bytes())?;
+            // Deterministic order.
+            let mut keys: Vec<&u64> = table.patterns.keys().collect();
+            keys.sort_unstable();
+            for key in keys {
+                w.write_all(&key.to_le_bytes())?;
+                let ids = &table.patterns[key];
+                w.write_all(&(ids.len() as u16).to_le_bytes())?;
+                for &id in ids {
+                    w.write_all(&id.to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a table from any reader (a `&mut` reference works too).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTableError`] on I/O failure or malformed content.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Self, ReadTableError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ReadTableError::BadMagic);
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(ReadTableError::BadVersion(version));
+        }
+        let mut lambda = [0u8; 1];
+        r.read_exact(&mut lambda)?;
+        let lambda = lambda[0];
+        if !(3..=9).contains(&lambda) {
+            return Err(ReadTableError::Corrupt("lambda out of range"));
+        }
+        let mut tables: Vec<DegreeTable> =
+            (0..=lambda).map(|_| DegreeTable::default()).collect();
+        for d in 3..=lambda {
+            let npool = read_u32(&mut r)? as usize;
+            if npool > 100_000_000 {
+                return Err(ReadTableError::Corrupt("implausible pool size"));
+            }
+            let mut pool = Vec::with_capacity(npool);
+            let max_node = (d as u16) * (d as u16);
+            for _ in 0..npool {
+                let mut nedge = [0u8; 1];
+                r.read_exact(&mut nedge)?;
+                let mut edges = Vec::with_capacity(nedge[0] as usize);
+                for _ in 0..nedge[0] {
+                    let mut pair = [0u8; 2];
+                    r.read_exact(&mut pair)?;
+                    if pair[0] as u16 >= max_node || pair[1] as u16 >= max_node {
+                        return Err(ReadTableError::Corrupt("edge node out of range"));
+                    }
+                    edges.push((pair[0], pair[1]));
+                }
+                pool.push(StoredTopology { edges });
+            }
+            let count = read_u32(&mut r)? as usize;
+            if count > 100_000_000 {
+                return Err(ReadTableError::Corrupt("implausible pattern count"));
+            }
+            let mut patterns = HashMap::with_capacity(count);
+            for _ in 0..count {
+                let key = read_u64(&mut r)?;
+                let ntopo = read_u16(&mut r)? as usize;
+                let mut ids = Vec::with_capacity(ntopo);
+                for _ in 0..ntopo {
+                    let id = read_u32(&mut r)?;
+                    if id as usize >= pool.len() {
+                        return Err(ReadTableError::Corrupt("pool index out of range"));
+                    }
+                    ids.push(id);
+                }
+                patterns.insert(key, ids);
+            }
+            tables[d as usize] = DegreeTable { pool, patterns };
+        }
+        Ok(LookupTable { lambda, tables })
+    }
+
+    /// Writes the table to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_to(io::BufWriter::new(file))
+    }
+
+    /// Loads a table from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTableError`] on filesystem or format problems.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ReadTableError> {
+        let file = std::fs::File::open(path)?;
+        LookupTable::read_from(io::BufReader::new(file))
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LutBuilder;
+
+    #[test]
+    fn roundtrip_preserves_table() {
+        let table = LutBuilder::new(4).threads(2).build();
+        let mut buf = Vec::new();
+        table.write_to(&mut buf).unwrap();
+        let back = LookupTable::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = LutBuilder::new(4).threads(4).build();
+        let b = LutBuilder::new(4).threads(1).build();
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        a.write_to(&mut ba).unwrap();
+        b.write_to(&mut bb).unwrap();
+        assert_eq!(ba, bb, "thread count must not affect the bytes");
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let err = LookupTable::read_from(&b"XXXX"[..]).unwrap_err();
+        assert!(matches!(err, ReadTableError::BadMagic | ReadTableError::Io(_)));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PLUT");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.push(4);
+        let err = LookupTable::read_from(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTableError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let table = LutBuilder::new(3).threads(1).build();
+        let mut buf = Vec::new();
+        table.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(LookupTable::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_bytes_error_instead_of_panicking() {
+        // Failure injection: flip/truncate bytes all over a valid stream;
+        // every outcome must be Ok or Err — never a panic.
+        let table = LutBuilder::new(4).threads(1).build();
+        let mut buf = Vec::new();
+        table.write_to(&mut buf).unwrap();
+        for pos in (0..buf.len()).step_by(7) {
+            let mut corrupted = buf.clone();
+            corrupted[pos] ^= 0xff;
+            let _ = LookupTable::read_from(corrupted.as_slice());
+            let mut truncated = buf.clone();
+            truncated.truncate(pos);
+            assert!(
+                LookupTable::read_from(truncated.as_slice()).is_err(),
+                "truncation at {pos} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_pool_index_is_rejected() {
+        // Hand-craft a stream whose pattern references a missing pool id.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PLUT");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(3); // lambda = 3
+        buf.extend_from_slice(&1u32.to_le_bytes()); // pool of one topology
+        buf.push(1); // one edge
+        buf.extend_from_slice(&[0, 1]);
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one pattern
+        buf.extend_from_slice(&42u64.to_le_bytes()); // key
+        buf.extend_from_slice(&1u16.to_le_bytes()); // one topology ref
+        buf.extend_from_slice(&9u32.to_le_bytes()); // index 9 >= pool size 1
+        let err = LookupTable::read_from(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTableError::Corrupt(_)));
+    }
+
+    #[test]
+    fn out_of_range_edge_nodes_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PLUT");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(3); // lambda = 3 → node ids < 9
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&[200, 0]); // node 200 >= 9
+        let err = LookupTable::read_from(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTableError::Corrupt(_)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let table = LutBuilder::new(3).threads(1).build();
+        let dir = std::env::temp_dir().join("patlabor_lut_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t3.plut");
+        table.save(&path).unwrap();
+        let back = LookupTable::load(&path).unwrap();
+        assert_eq!(back, table);
+        std::fs::remove_file(&path).ok();
+    }
+}

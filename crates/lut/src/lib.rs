@@ -1,0 +1,42 @@
+//! Pareto lookup tables for small-degree nets (paper §V-A).
+//!
+//! The paper's key practical idea, borrowed from FLUTE: routing millions of
+//! nets cannot afford an exponential DP per net, but the *set of
+//! potentially Pareto-optimal topologies* of a net depends only on its
+//! [`Pattern`](patlabor_geom::Pattern) — the rank order of its pin
+//! coordinates plus the source position — and there are finitely many
+//! patterns per degree. So for every canonical pattern of degree
+//! `n ≤ λ` we precompute that topology set once with the symbolic
+//! Pareto-DW ([`patlabor_dw::symbolic`]), and a query reduces to: pattern
+//! lookup → evaluate the stored topologies against the net's actual gap
+//! lengths → numeric Pareto prune. The result is the exact frontier, in
+//! microseconds per net.
+//!
+//! * [`LutBuilder`] — parallel table generation (one symbolic DP per
+//!   canonical pattern, Lemma 1 pruning via exact LP);
+//! * [`LookupTable`] — the query path and [`LutStats`] (Table II);
+//! * [`LookupTable::write_to`] / [`LookupTable::read_from`] — a compact
+//!   binary format so generated tables can be shipped and reloaded.
+//!
+//! # Example
+//!
+//! ```
+//! use patlabor_geom::{Net, Point};
+//! use patlabor_lut::LutBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let table = LutBuilder::new(4).build(); // tables for degrees 2..=4
+//! let net = Net::new(vec![Point::new(0, 0), Point::new(4, 2), Point::new(2, 4)])?;
+//! let frontier = table.query(&net).expect("degree 3 ≤ λ");
+//! assert_eq!(frontier.len(), 1); // degree-3 nets have one-point frontiers
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod format;
+mod table;
+
+pub use builder::LutBuilder;
+pub use format::ReadTableError;
+pub use table::{LookupTable, LutStats, StoredTopology};

@@ -1,0 +1,271 @@
+//! The lookup table proper: storage layout, query path and statistics.
+
+use std::collections::HashMap;
+
+use patlabor_geom::{HananGrid, Net, Pattern, RankNode};
+use patlabor_pareto::{Cost, ParetoSet};
+use patlabor_tree::{extract_from_union, RoutingTree};
+
+/// One stored topology: tree edges in the canonical pattern's rank grid,
+/// packed as `col · n + row` byte pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoredTopology {
+    /// Packed edges (endpoint node ids).
+    pub edges: Vec<(u8, u8)>,
+}
+
+impl StoredTopology {
+    /// Packs rank-node edges.
+    pub fn from_rank_edges(edges: &[(RankNode, RankNode)], n: u8) -> Self {
+        let pack = |nd: RankNode| nd.col * n + nd.row;
+        let mut packed: Vec<(u8, u8)> = edges
+            .iter()
+            .map(|&(a, b)| {
+                let (pa, pb) = (pack(a), pack(b));
+                (pa.min(pb), pa.max(pb))
+            })
+            .collect();
+        packed.sort_unstable();
+        packed.dedup();
+        StoredTopology { edges: packed }
+    }
+
+    /// Unpacks into rank-node edges.
+    pub fn rank_edges(&self, n: u8) -> Vec<(RankNode, RankNode)> {
+        self.edges
+            .iter()
+            .map(|&(a, b)| {
+                (
+                    RankNode::new(a / n, a % n),
+                    RankNode::new(b / n, b % n),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Per-degree statistics — the rows of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LutStats {
+    /// Net degree.
+    pub degree: u8,
+    /// Number of stored canonical patterns (`#Index`).
+    pub num_patterns: usize,
+    /// Average number of potentially optimal tree topologies per pattern
+    /// (`#Topo`).
+    pub avg_topologies: f64,
+    /// Total topology references across all patterns.
+    pub total_topologies: usize,
+    /// Unique topologies after cross-pattern clustering (the paper's
+    /// "store only one topology for each cluster").
+    pub unique_topologies: usize,
+    /// Approximate in-memory size in bytes of this degree's table.
+    pub bytes: usize,
+}
+
+/// One degree's table: a cross-pattern topology pool plus per-pattern
+/// index lists (the paper's clustering: identical topologies arising
+/// under different patterns/sources are stored once).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct DegreeTable {
+    /// Deduplicated topology storage.
+    pub(crate) pool: Vec<StoredTopology>,
+    /// Canonical pattern key → indices into `pool`.
+    pub(crate) patterns: HashMap<u64, Vec<u32>>,
+}
+
+impl DegreeTable {
+    /// Builds a degree table from per-pattern topology lists, pooling
+    /// duplicates.
+    pub(crate) fn from_lists(lists: HashMap<u64, Vec<StoredTopology>>) -> DegreeTable {
+        let mut pool: Vec<StoredTopology> = Vec::new();
+        let mut index: HashMap<StoredTopology, u32> = HashMap::new();
+        let mut patterns = HashMap::with_capacity(lists.len());
+        // Deterministic pool order: process patterns by key.
+        let mut keys: Vec<u64> = lists.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let ids: Vec<u32> = lists[&key]
+                .iter()
+                .map(|t| {
+                    *index.entry(t.clone()).or_insert_with(|| {
+                        pool.push(t.clone());
+                        (pool.len() - 1) as u32
+                    })
+                })
+                .collect();
+            patterns.insert(key, ids);
+        }
+        DegreeTable { pool, patterns }
+    }
+}
+
+/// Lookup tables for every degree `2 ..= λ`.
+///
+/// Construct with [`crate::LutBuilder`] or load a serialized table with
+/// [`LookupTable::read_from`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupTable {
+    pub(crate) lambda: u8,
+    /// `tables[d]` for degree `d`; indices `0..3` stay empty.
+    pub(crate) tables: Vec<DegreeTable>,
+}
+
+impl LookupTable {
+    /// The largest tabulated degree λ.
+    pub fn lambda(&self) -> u8 {
+        self.lambda
+    }
+
+    /// The exact Pareto frontier of `net` with one witness tree per point,
+    /// or `None` when the net's degree exceeds λ.
+    ///
+    /// The query canonicalizes the net's pattern, maps the stored
+    /// topologies back through the inverse symmetry transform, evaluates
+    /// them against the net's actual coordinates and prunes numerically.
+    pub fn query(&self, net: &Net) -> Option<ParetoSet<RoutingTree>> {
+        let n = net.degree();
+        if n < 2 || n > self.lambda as usize {
+            return None;
+        }
+        if n == 2 {
+            let tree = RoutingTree::direct(net);
+            let (w, d) = tree.objectives();
+            let mut set = ParetoSet::new();
+            set.insert(Cost::new(w, d), tree);
+            return Some(set);
+        }
+        let grid = HananGrid::new(net);
+        let (pattern, _) = Pattern::from_grid(&grid);
+        let (canonical, transform) = pattern.canonical();
+        let degree_table = &self.tables[n];
+        let ids = degree_table.patterns.get(&canonical.key().as_u64())?;
+        let inv = transform.inverse();
+        let nb = n as u8;
+
+        let mut witnesses: Vec<(Cost, RoutingTree)> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let topo = &degree_table.pool[id as usize];
+            let pts: Vec<_> = topo
+                .rank_edges(nb)
+                .into_iter()
+                .map(|(a, b)| {
+                    let map = |nd: RankNode| {
+                        let instance_node = inv.apply(nd, nb);
+                        patlabor_geom::Point::new(
+                            grid.xs()[instance_node.col as usize],
+                            grid.ys()[instance_node.row as usize],
+                        )
+                    };
+                    (map(a), map(b))
+                })
+                .collect();
+            let tree = extract_from_union(net, &pts)
+                .expect("stored topologies span every pattern pin");
+            let (w, d) = tree.objectives();
+            witnesses.push((Cost::new(w, d), tree));
+        }
+        Some(ParetoSet::from_unpruned(witnesses))
+    }
+
+    /// Number of stored patterns for `degree`.
+    pub fn pattern_count(&self, degree: u8) -> usize {
+        self.tables
+            .get(degree as usize)
+            .map_or(0, |t| t.patterns.len())
+    }
+
+    /// Statistics per degree (Table II).
+    pub fn stats(&self) -> Vec<LutStats> {
+        (3..=self.lambda)
+            .map(|d| {
+                let table = &self.tables[d as usize];
+                let total: usize = table.patterns.values().map(Vec::len).sum();
+                let bytes: usize = table
+                    .pool
+                    .iter()
+                    .map(|t| 2 * t.edges.len() + 1)
+                    .sum::<usize>()
+                    + total * 4
+                    + table.patterns.len() * 10;
+                LutStats {
+                    degree: d,
+                    num_patterns: table.patterns.len(),
+                    avg_topologies: if table.patterns.is_empty() {
+                        0.0
+                    } else {
+                        total as f64 / table.patterns.len() as f64
+                    },
+                    total_topologies: total,
+                    unique_topologies: table.pool.len(),
+                    bytes,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_topology_pack_roundtrip() {
+        let n = 5u8;
+        let edges = vec![
+            (RankNode::new(0, 0), RankNode::new(3, 2)),
+            (RankNode::new(4, 4), RankNode::new(1, 1)),
+        ];
+        let t = StoredTopology::from_rank_edges(&edges, n);
+        let back = t.rank_edges(n);
+        // Roundtrip preserves the edge set (endpoint order normalized).
+        assert_eq!(back.len(), 2);
+        assert!(back.contains(&(RankNode::new(0, 0), RankNode::new(3, 2))));
+        assert!(back.contains(&(RankNode::new(1, 1), RankNode::new(4, 4))));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let n = 3u8;
+        let e = (RankNode::new(0, 0), RankNode::new(2, 2));
+        let t = StoredTopology::from_rank_edges(&[e, e, (e.1, e.0)], n);
+        assert_eq!(t.edges.len(), 1);
+    }
+
+    #[test]
+    fn pooling_dedupes_across_patterns() {
+        let topo = StoredTopology {
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let other = StoredTopology {
+            edges: vec![(0, 2)],
+        };
+        let mut lists = HashMap::new();
+        lists.insert(1u64, vec![topo.clone(), other.clone()]);
+        lists.insert(2u64, vec![topo.clone()]);
+        lists.insert(3u64, vec![other.clone(), topo.clone()]);
+        let table = DegreeTable::from_lists(lists);
+        assert_eq!(table.pool.len(), 2, "two unique topologies");
+        // Pattern 3 references both, in its own order.
+        let ids3 = &table.patterns[&3];
+        assert_eq!(table.pool[ids3[0] as usize], other);
+        assert_eq!(table.pool[ids3[1] as usize], topo);
+    }
+
+    #[test]
+    fn pooling_is_deterministic() {
+        let mk = || {
+            let mut lists = HashMap::new();
+            for k in 0..20u64 {
+                lists.insert(
+                    k,
+                    vec![StoredTopology {
+                        edges: vec![(0, (k % 5) as u8)],
+                    }],
+                );
+            }
+            DegreeTable::from_lists(lists)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,34 @@
+//! Bicriterion Pareto-set substrate for timing-driven routing.
+//!
+//! A routing-tree solution is scored by the objective pair
+//! `s(T) = (w(T), d(T))` — total wirelength and source→sink delay — and the
+//! algorithms of the paper manipulate *sets* of such pairs:
+//!
+//! * [`Cost`] — one `(w, d)` objective vector with exact integer dominance;
+//! * [`ParetoSet`] — a set of mutually non-dominating solutions (optionally
+//!   carrying a payload per solution), with the three operations of the
+//!   Pareto-DW dynamic program, Eq. (1) of the paper:
+//!   `Pareto(S)` pruning, scalar shift `S + x` and Pareto sum `S ⊕ S'`;
+//! * [`metrics`] — frontier-quality metrics used by the experiment harness
+//!   (hypervolume, the `c`-approximation factor of Definition 2, and
+//!   found-on-frontier counting for Tables III/IV).
+//!
+//! # Example
+//!
+//! ```
+//! use patlabor_pareto::{Cost, ParetoSet};
+//!
+//! let mut set = ParetoSet::new();
+//! set.insert(Cost::new(10, 30), "tree A");
+//! set.insert(Cost::new(20, 20), "tree B");
+//! set.insert(Cost::new(15, 40), "dominated"); // worse than A in both
+//! assert_eq!(set.len(), 2);
+//! assert!(set.costs().eq([Cost::new(10, 30), Cost::new(20, 20)]));
+//! ```
+
+mod cost;
+pub mod metrics;
+mod set;
+
+pub use cost::Cost;
+pub use set::ParetoSet;

@@ -1,0 +1,247 @@
+//! Frontier-quality metrics used by the experiment harness.
+//!
+//! * [`hypervolume`] — area dominated by a frontier up to a reference
+//!   point; the local-search policy trainer maximizes hypervolume gain.
+//! * [`approximation_factor`] — the `c` of the paper's Definition 2:
+//!   an algorithm `c`-approximates the Pareto frontier when every frontier
+//!   solution `s` has an output solution `s' ⪯ c·s`.
+//! * [`found_on_frontier`] / [`misses_frontier`] — the counting used by
+//!   Tables III and IV (how many true Pareto-optimal solutions a method
+//!   recovers, and whether it recovers at least one).
+
+use crate::{Cost, ParetoSet};
+
+/// Area (in objective-space units²) dominated by the frontier, measured
+/// against a reference point that must itself be dominated by no solution
+/// worse than `reference` (i.e. every solution should satisfy
+/// `w ≤ reference.wirelength`, `d ≤ reference.delay`; solutions outside are
+/// clipped to contribute nothing).
+///
+/// Larger is better. Exact integer arithmetic (`i128`).
+///
+/// ```
+/// use patlabor_pareto::{metrics::hypervolume, Cost, ParetoSet};
+///
+/// let s: ParetoSet<()> = [Cost::new(1, 2), Cost::new(2, 1)].into_iter().collect();
+/// assert_eq!(hypervolume(&s, Cost::new(3, 3)), 2 + 1);
+/// ```
+pub fn hypervolume<T>(set: &ParetoSet<T>, reference: Cost) -> i128 {
+    let mut total: i128 = 0;
+    let mut prev_delay = reference.delay;
+    for c in set.costs() {
+        if c.wirelength >= reference.wirelength || c.delay >= prev_delay {
+            // Clipped out or fully shadowed by the previous (better-delay
+            // strip already counted).
+            prev_delay = prev_delay.min(c.delay.max(0));
+            continue;
+        }
+        let d_hi = prev_delay.min(reference.delay);
+        let d_lo = c.delay;
+        if d_hi > d_lo {
+            total += (reference.wirelength - c.wirelength) as i128 * (d_hi - d_lo) as i128;
+        }
+        prev_delay = prev_delay.min(d_lo);
+    }
+    total
+}
+
+/// The multiplicative factor by which `produced` approximates `frontier`
+/// (Definition 2): the maximum over frontier solutions `s` of the minimum
+/// over produced solutions `s'` of `max(w'/w, d'/d)`.
+///
+/// Returns `f64::INFINITY` when `produced` is empty and `frontier` is not,
+/// and `1.0` when `frontier` is empty. A value of `1.0` means every
+/// frontier solution is matched or dominated.
+pub fn approximation_factor<T, U>(produced: &ParetoSet<T>, frontier: &ParetoSet<U>) -> f64 {
+    if frontier.is_empty() {
+        return 1.0;
+    }
+    if produced.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut worst: f64 = 1.0;
+    for s in frontier.costs() {
+        let mut best = f64::INFINITY;
+        for p in produced.costs() {
+            let rw = ratio(p.wirelength, s.wirelength);
+            let rd = ratio(p.delay, s.delay);
+            best = best.min(rw.max(rd));
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+fn ratio(num: i64, den: i64) -> f64 {
+    if den == 0 {
+        if num == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Number of solutions of `frontier` that `produced` found exactly
+/// (an identical `(w, d)` pair is present).
+///
+/// This is the Table IV statistic: the paper counts, per method, how many
+/// of the true Pareto-optimal solutions the method's output contains.
+pub fn found_on_frontier<T, U>(produced: &ParetoSet<T>, frontier: &ParetoSet<U>) -> usize {
+    let mut produced_costs = produced.costs().peekable();
+    let mut found = 0;
+    for f in frontier.costs() {
+        while let Some(&p) = produced_costs.peek() {
+            if p.wirelength < f.wirelength {
+                produced_costs.next();
+            } else {
+                break;
+            }
+        }
+        if produced_costs.peek().copied() == Some(f) {
+            found += 1;
+        }
+    }
+    found
+}
+
+/// Whether `produced` misses the frontier entirely — i.e. finds **no**
+/// Pareto-optimal solution. This is the Table III statistic ("an algorithm
+/// is non-optimal on a net if it cannot find at least one solution on the
+/// Pareto frontier").
+pub fn misses_frontier<T, U>(produced: &ParetoSet<T>, frontier: &ParetoSet<U>) -> bool {
+    found_on_frontier(produced, frontier) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(points: &[(i64, i64)]) -> ParetoSet<()> {
+        points.iter().map(|&(w, d)| Cost::new(w, d)).collect()
+    }
+
+    #[test]
+    fn hypervolume_single_point() {
+        let s = set(&[(1, 1)]);
+        assert_eq!(hypervolume(&s, Cost::new(4, 3)), 3 * 2);
+    }
+
+    #[test]
+    fn hypervolume_staircase() {
+        let s = set(&[(1, 3), (2, 1)]);
+        // Strip for (1,3): width 9-1=8? reference (4,4): (4-1)*(4-3)=3; strip for (2,1): (4-2)*(3-1)=4
+        assert_eq!(hypervolume(&s, Cost::new(4, 4)), 3 + 4);
+    }
+
+    #[test]
+    fn hypervolume_clips_outside_points() {
+        let s = set(&[(1, 10), (5, 1)]);
+        // (1,10) outside reference delay 4 → contributes nothing;
+        // (5,1) outside reference wirelength 4 → nothing.
+        assert_eq!(hypervolume(&s, Cost::new(4, 4)), 0);
+        // With a generous reference both count.
+        assert!(hypervolume(&s, Cost::new(100, 100)) > 0);
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_insert() {
+        let a = set(&[(3, 3)]);
+        let b = set(&[(3, 3), (1, 5), (5, 1)]);
+        let r = Cost::new(10, 10);
+        assert!(hypervolume(&b, r) >= hypervolume(&a, r));
+    }
+
+    #[test]
+    fn approximation_factor_exact_match_is_one() {
+        let f = set(&[(2, 8), (4, 4)]);
+        assert_eq!(approximation_factor(&f, &f), 1.0);
+    }
+
+    #[test]
+    fn approximation_factor_detects_gap() {
+        let frontier = set(&[(2, 8), (4, 4)]);
+        let produced = set(&[(4, 4)]);
+        // (2,8) is approximated by (4,4): max(4/2, 4/8) = 2.
+        assert_eq!(approximation_factor(&produced, &frontier), 2.0);
+    }
+
+    #[test]
+    fn approximation_factor_empty_cases() {
+        let f = set(&[(1, 1)]);
+        let e = set(&[]);
+        assert_eq!(approximation_factor(&f, &e), 1.0);
+        assert_eq!(approximation_factor(&e, &f), f64::INFINITY);
+    }
+
+    #[test]
+    fn found_on_frontier_counts_exact_matches() {
+        let frontier = set(&[(1, 9), (3, 6), (5, 5), (9, 1)]);
+        let produced = set(&[(1, 9), (4, 6), (9, 1)]);
+        assert_eq!(found_on_frontier(&produced, &frontier), 2);
+        assert!(!misses_frontier(&produced, &frontier));
+        let bad = set(&[(2, 10), (10, 2)]);
+        assert_eq!(found_on_frontier(&bad, &frontier), 0);
+        assert!(misses_frontier(&bad, &frontier));
+    }
+
+    #[test]
+    fn found_on_frontier_full_recovery() {
+        let frontier = set(&[(1, 9), (3, 6)]);
+        assert_eq!(found_on_frontier(&frontier, &frontier), 2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_costs() -> impl Strategy<Value = Vec<Cost>> {
+            proptest::collection::vec((1i64..50, 1i64..50).prop_map(Cost::from), 1..20)
+        }
+
+        proptest! {
+            /// Adding a dominated point never changes hypervolume; adding
+            /// a point strictly inside the reference box never decreases
+            /// it.
+            #[test]
+            fn prop_hypervolume_monotone(cs in arb_costs(), extra in (1i64..50, 1i64..50)) {
+                let reference = Cost::new(60, 60);
+                let base: ParetoSet<()> = cs.iter().copied().collect();
+                let hv0 = hypervolume(&base, reference);
+                let mut grown = base.clone();
+                let added = grown.insert(Cost::from(extra), ());
+                let hv1 = hypervolume(&grown, reference);
+                prop_assert!(hv1 >= hv0);
+                if !added {
+                    prop_assert_eq!(hv1, hv0);
+                }
+            }
+
+            /// The approximation factor of a set against itself is 1, and
+            /// against a shifted-worse copy it is bounded by the shift.
+            #[test]
+            fn prop_approximation_factor_bounds(cs in arb_costs(), shift in 1i64..10) {
+                let frontier: ParetoSet<()> = cs.iter().copied().collect();
+                prop_assert_eq!(approximation_factor(&frontier, &frontier), 1.0);
+                let worse: ParetoSet<()> =
+                    frontier.costs().map(|c| Cost::new(c.wirelength + shift, c.delay + shift)).collect();
+                let f = approximation_factor(&worse, &frontier);
+                prop_assert!(f >= 1.0);
+                // Shifting by `shift` multiplies each coordinate by at most
+                // (1 + shift) since all coordinates are >= 1.
+                prop_assert!(f <= 1.0 + shift as f64 + 1e-9);
+            }
+
+            /// found_on_frontier counts exactly the intersection.
+            #[test]
+            fn prop_found_counts_intersection(cs in arb_costs(), ds in arb_costs()) {
+                let a: ParetoSet<()> = cs.iter().copied().collect();
+                let b: ParetoSet<()> = ds.iter().copied().collect();
+                let brute = b.costs().filter(|&c| a.costs().any(|x| x == c)).count();
+                prop_assert_eq!(found_on_frontier(&a, &b), brute);
+            }
+        }
+    }
+}

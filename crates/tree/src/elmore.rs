@@ -1,0 +1,204 @@
+//! Elmore (RC) delay evaluation — the extension direction the paper's
+//! conclusion sketches ("extend our approach to other metrics").
+//!
+//! The paper's delay objective is the source→sink *path length* (linear
+//! delay). Physical sign-off uses the Elmore model: each wire segment is
+//! an RC π-section and the delay to a sink is
+//!
+//! ```text
+//! t(s) = R_drv · C_total + Σ_{e ∈ path(root→s)} R_e · (C_e / 2 + C_below(e))
+//! ```
+//!
+//! Path-length-optimal trees are good Elmore candidates (Elmore delay
+//! grows with both path resistance and loading), so a natural extension
+//! re-ranks a PatLabor Pareto set under Elmore — the `elmore` experiment
+//! binary quantifies how well that works.
+
+use crate::RoutingTree;
+
+/// RC parameters of the Elmore model (units are arbitrary but must be
+/// mutually consistent; delays come out in `R·C` units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElmoreModel {
+    /// Resistance per unit wirelength.
+    pub unit_resistance: f64,
+    /// Capacitance per unit wirelength.
+    pub unit_capacitance: f64,
+    /// Lumped input capacitance of every sink pin.
+    pub sink_capacitance: f64,
+    /// Output resistance of the driver at the source.
+    pub driver_resistance: f64,
+}
+
+impl Default for ElmoreModel {
+    /// A generic technology-neutral default (unit wire R/C, a sink load
+    /// worth 20 wire units, a driver worth 30).
+    fn default() -> Self {
+        ElmoreModel {
+            unit_resistance: 1.0,
+            unit_capacitance: 1.0,
+            sink_capacitance: 20.0,
+            driver_resistance: 30.0,
+        }
+    }
+}
+
+/// Elmore delay at every node of the tree (index = node id; entries for
+/// Steiner nodes are the delays at those internal points).
+///
+/// # Example
+///
+/// ```
+/// use patlabor_geom::{Net, Point};
+/// use patlabor_tree::{elmore_delays, ElmoreModel, RoutingTree};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(vec![Point::new(0, 0), Point::new(10, 0)])?;
+/// let tree = RoutingTree::direct(&net);
+/// let model = ElmoreModel::default();
+/// let delays = elmore_delays(&tree, &model);
+/// // R_drv·(10c + C_sink) + 10r·(10c/2 + C_sink) = 30·30 + 10·25
+/// assert!((delays[1] - (900.0 + 250.0)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn elmore_delays(tree: &RoutingTree, model: &ElmoreModel) -> Vec<f64> {
+    let n = tree.num_nodes();
+    let children = tree.children();
+
+    // Subtree capacitance (wire + sink loads), bottom-up.
+    let mut cap = vec![0.0f64; n];
+    let order = topo_order(tree, &children);
+    for &v in order.iter().rev() {
+        if v >= 1 && v < tree.num_pins() {
+            cap[v] += model.sink_capacitance;
+        }
+        for &c in &children[v] {
+            let wire = tree.point(v).l1(tree.point(c)) as f64 * model.unit_capacitance;
+            cap[v] += cap[c] + wire;
+        }
+    }
+
+    // Delays top-down.
+    let mut delay = vec![0.0f64; n];
+    delay[0] = model.driver_resistance * cap[0];
+    for &v in &order {
+        for &c in &children[v] {
+            let len = tree.point(v).l1(tree.point(c)) as f64;
+            let r = len * model.unit_resistance;
+            let c_edge = len * model.unit_capacitance;
+            delay[c] = delay[v] + r * (c_edge / 2.0 + cap[c]);
+        }
+    }
+    delay
+}
+
+/// Maximum Elmore delay over the sinks.
+pub fn max_elmore(tree: &RoutingTree, model: &ElmoreModel) -> f64 {
+    let delays = elmore_delays(tree, model);
+    (1..tree.num_pins())
+        .map(|pin| delays[pin])
+        .fold(0.0, f64::max)
+}
+
+/// Root-first order (parents before children).
+fn topo_order(tree: &RoutingTree, children: &[Vec<usize>]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(tree.num_nodes());
+    let mut stack = vec![0usize];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        stack.extend(&children[v]);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patlabor_geom::{Net, Point};
+
+    fn net(pts: &[(i64, i64)]) -> Net {
+        Net::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn two_pin_closed_form() {
+        let n = net(&[(0, 0), (10, 0)]);
+        let t = RoutingTree::direct(&n);
+        let m = ElmoreModel::default();
+        // cap_total = 10·1 + 20 = 30; driver term 30·30 = 900;
+        // wire term 10·(5 + 20) = 250.
+        assert!((max_elmore(&t, &m) - 1150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branching_loads_slow_each_other() {
+        // Two sinks sharing a trunk: each sink sees the other's load
+        // through the shared segment, so its delay exceeds its own
+        // point-to-point delay.
+        let shared = net(&[(0, 0), (10, 1), (10, -1)]);
+        let t = RoutingTree::from_edges(
+            &shared,
+            &[
+                (Point::new(0, 0), Point::new(10, 0)),
+                (Point::new(10, 0), Point::new(10, 1)),
+                (Point::new(10, 0), Point::new(10, -1)),
+            ],
+        )
+        .unwrap();
+        let single = net(&[(0, 0), (10, 1)]);
+        let alone = RoutingTree::direct(&single);
+        let m = ElmoreModel::default();
+        let d_shared = elmore_delays(&t, &m)[1];
+        let d_alone = elmore_delays(&alone, &m)[1];
+        assert!(d_shared > d_alone);
+    }
+
+    #[test]
+    fn longer_paths_have_larger_elmore() {
+        let n = net(&[(0, 0), (5, 0), (20, 0)]);
+        let t = RoutingTree::from_parents(n.pins().to_vec(), vec![0, 0, 1], 3).unwrap();
+        let m = ElmoreModel::default();
+        let d = elmore_delays(&t, &m);
+        assert!(d[2] > d[1]);
+        assert!((max_elmore(&t, &m) - d[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rc_leaves_only_driver_delay() {
+        let n = net(&[(0, 0), (10, 10), (3, 7)]);
+        let t = RoutingTree::direct(&n);
+        let m = ElmoreModel {
+            unit_resistance: 0.0,
+            unit_capacitance: 0.0,
+            sink_capacitance: 1.0,
+            driver_resistance: 2.0,
+        };
+        let d = elmore_delays(&t, &m);
+        // No wire RC: every sink sees exactly R_drv · (2 sinks · 1.0).
+        assert!((d[1] - 4.0).abs() < 1e-12);
+        assert!((d[2] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steiner_nodes_carry_no_sink_load() {
+        let n = net(&[(0, 0), (10, 0)]);
+        let direct = RoutingTree::direct(&n);
+        let via_steiner = RoutingTree::from_edges(
+            &n,
+            &[
+                (Point::new(0, 0), Point::new(5, 0)),
+                (Point::new(5, 0), Point::new(10, 0)),
+            ],
+        )
+        .unwrap();
+        let m = ElmoreModel::default();
+        // Splitting an edge at a point on its route must not change the
+        // Elmore delay (same R, same C distribution up to the π lumping).
+        let a = max_elmore(&direct, &m);
+        let b = max_elmore(&via_steiner, &m);
+        // π-model lumping differs slightly when an edge is split; the two
+        // must agree within the half-capacitance granularity.
+        assert!((a - b).abs() <= m.unit_resistance * 10.0 * (10.0 * m.unit_capacitance) / 2.0);
+    }
+}

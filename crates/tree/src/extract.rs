@@ -1,0 +1,246 @@
+//! Extraction of a valid routing tree from a union of edge sets.
+//!
+//! The Pareto-DW merge step `S ⊕ S'` unions the edge sets of two subtree
+//! solutions. The union may reuse an edge (its length would be counted
+//! twice) or even close a cycle; its bookkept objectives `(w₁+w₂,
+//! max(d₁,d₂))` are then only an *upper bound* on what a real tree
+//! achieves. This module turns such a union into a genuine tree that is no
+//! worse in either objective:
+//!
+//! 1. deduplicate the edge multiset into a graph `G`;
+//! 2. take the shortest-path tree of `G` from the source (delays can only
+//!    shrink: every source→sink path of the union is still a path of `G`);
+//! 3. prune Steiner leaves iteratively (wirelength can only shrink).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use patlabor_geom::{Net, Point};
+
+use crate::RoutingTree;
+
+/// Error returned by [`extract_from_union`] when the union graph does not
+/// connect every pin to the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractTreeError {
+    /// Index of the first pin that is unreachable from the source.
+    pub pin: usize,
+}
+
+impl fmt::Display for ExtractTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pin {} is unreachable in the union graph", self.pin)
+    }
+}
+
+impl std::error::Error for ExtractTreeError {}
+
+/// Extracts a routing tree from an arbitrary union of edges.
+///
+/// The result is a valid tree spanning the net whose wirelength is at most
+/// the total (deduplicated) union length and whose delay is at most the
+/// longest source→sink path of any tree whose edges are contained in the
+/// union.
+///
+/// # Errors
+///
+/// Returns [`ExtractTreeError`] when some pin is not connected to the
+/// source by the union edges.
+///
+/// # Example
+///
+/// ```
+/// use patlabor_geom::{Net, Point};
+/// use patlabor_tree::extract_from_union;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(vec![Point::new(0, 0), Point::new(2, 0), Point::new(2, 2)])?;
+/// // A union with a duplicated edge and a detour.
+/// let tree = extract_from_union(&net, &[
+///     (Point::new(0, 0), Point::new(2, 0)),
+///     (Point::new(0, 0), Point::new(2, 0)), // duplicate
+///     (Point::new(2, 0), Point::new(2, 2)),
+///     (Point::new(0, 0), Point::new(2, 2)), // closes a cycle
+/// ])?;
+/// assert_eq!(tree.wirelength(), 2 + 2 + 4 - 2 /* pruned back to a tree */);
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract_from_union(
+    net: &Net,
+    edges: &[(Point, Point)],
+) -> Result<RoutingTree, ExtractTreeError> {
+    // Index points: pins first (dedup by position → first pin wins).
+    let mut points: Vec<Point> = net.pins().to_vec();
+    let mut index: HashMap<Point, usize> = HashMap::new();
+    for (i, &p) in net.pins().iter().enumerate() {
+        index.entry(p).or_insert(i);
+    }
+    let mut id_of = |p: Point, points: &mut Vec<Point>| -> usize {
+        *index.entry(p).or_insert_with(|| {
+            points.push(p);
+            points.len() - 1
+        })
+    };
+    let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); points.len()];
+    for &(a, b) in edges {
+        let ia = id_of(a, &mut points);
+        let ib = id_of(b, &mut points);
+        if adj.len() < points.len() {
+            adj.resize(points.len(), Vec::new());
+        }
+        if ia != ib {
+            let len = a.l1(b);
+            adj[ia].push((ib, len));
+            adj[ib].push((ia, len));
+        }
+    }
+    adj.resize(points.len(), Vec::new());
+
+    // Dijkstra from the source over the union graph.
+    let n = points.len();
+    let mut dist = vec![i64::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    dist[0] = 0;
+    parent[0] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0i64, 0usize)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, len) in &adj[u] {
+            let nd = d + len;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = u;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    // Map duplicated pin positions onto their representative's path.
+    for pin in 0..net.degree() {
+        let rep = index[&points[pin]];
+        if dist[rep] == i64::MAX {
+            return Err(ExtractTreeError { pin });
+        }
+        if rep != pin {
+            // Duplicate pin: hang it on its representative with a
+            // zero-length edge.
+            dist[pin] = dist[rep];
+            parent[pin] = rep;
+        }
+    }
+
+    // Keep only nodes on some root→pin path: prune Steiner branches.
+    let mut needed = vec![false; n];
+    for pin in 0..net.degree() {
+        let mut v = pin;
+        while !needed[v] {
+            needed[v] = true;
+            v = parent[v];
+        }
+    }
+    let keep: Vec<usize> = (0..n).filter(|&v| needed[v]).collect();
+    let mut remap = vec![usize::MAX; n];
+    for (new, &old) in keep.iter().enumerate() {
+        remap[old] = new;
+    }
+    let tree_points: Vec<Point> = keep.iter().map(|&v| points[v]).collect();
+    let tree_parent: Vec<usize> = keep.iter().map(|&v| remap[parent[v]]).collect();
+    let tree = RoutingTree::from_parents(tree_points, tree_parent, net.degree())
+        .expect("shortest-path tree construction cannot produce cycles");
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(pts: &[(i64, i64)]) -> Net {
+        Net::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn e(a: (i64, i64), b: (i64, i64)) -> (Point, Point) {
+        (Point::from(a), Point::from(b))
+    }
+
+    #[test]
+    fn extraction_from_a_plain_tree_is_lossless() {
+        let n = net(&[(0, 0), (4, 0), (4, 3)]);
+        let edges = [e((0, 0), (4, 0)), e((4, 0), (4, 3))];
+        let t = extract_from_union(&n, &edges).unwrap();
+        assert_eq!(t.wirelength(), 7);
+        assert_eq!(t.delay(), 7);
+    }
+
+    #[test]
+    fn duplicate_edges_are_not_double_counted() {
+        let n = net(&[(0, 0), (4, 0)]);
+        let edges = [e((0, 0), (4, 0)), e((0, 0), (4, 0))];
+        let t = extract_from_union(&n, &edges).unwrap();
+        assert_eq!(t.wirelength(), 4);
+    }
+
+    #[test]
+    fn cycles_are_broken_by_shortest_paths() {
+        let n = net(&[(0, 0), (2, 0), (2, 2)]);
+        let edges = [
+            e((0, 0), (2, 0)),
+            e((2, 0), (2, 2)),
+            e((0, 0), (2, 2)), // shortcut to the far sink
+        ];
+        let t = extract_from_union(&n, &edges).unwrap();
+        t.validate(&n).unwrap();
+        // Shortest paths: sink (2,0) via direct (2), sink (2,2) via direct (4).
+        assert_eq!(t.delay(), 4);
+        assert_eq!(t.wirelength(), 2 + 4);
+    }
+
+    #[test]
+    fn unused_branches_are_pruned() {
+        let n = net(&[(0, 0), (4, 0)]);
+        let edges = [
+            e((0, 0), (4, 0)),
+            e((4, 0), (4, 9)), // dangling Steiner stub
+            e((4, 9), (9, 9)),
+        ];
+        let t = extract_from_union(&n, &edges).unwrap();
+        assert_eq!(t.wirelength(), 4);
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn disconnected_pin_is_reported() {
+        let n = net(&[(0, 0), (4, 0), (9, 9)]);
+        let err = extract_from_union(&n, &[e((0, 0), (4, 0))]).unwrap_err();
+        assert_eq!(err.pin, 2);
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn duplicate_pin_positions_share_a_path() {
+        let n = net(&[(0, 0), (4, 0), (4, 0)]);
+        let t = extract_from_union(&n, &[e((0, 0), (4, 0))]).unwrap();
+        t.validate(&n).unwrap();
+        assert_eq!(t.wirelength(), 4); // zero-length edge for the twin pin
+        assert_eq!(t.delay(), 4);
+        assert_eq!(t.pin_path_length(2), 4);
+    }
+
+    #[test]
+    fn extraction_never_worsens_objectives_vs_bookkeeping() {
+        // Union of two subtrees sharing an edge: bookkeeping would count
+        // the shared edge twice; extraction must beat that bound.
+        let n = net(&[(0, 0), (6, 0), (6, 4)]);
+        let sub1 = [e((0, 0), (6, 0))];
+        let sub2 = [e((0, 0), (6, 0)), e((6, 0), (6, 4))];
+        let union: Vec<_> = sub1.iter().chain(sub2.iter()).copied().collect();
+        let bookkept_w: i64 = 6 + (6 + 4);
+        let t = extract_from_union(&n, &union).unwrap();
+        assert!(t.wirelength() <= bookkept_w);
+        assert_eq!(t.wirelength(), 10);
+        assert_eq!(t.delay(), 10);
+    }
+}

@@ -1,0 +1,203 @@
+//! SVG rendering of routing trees (documentation / debugging aid).
+//!
+//! Produces self-contained SVG strings: pins as squares (source filled),
+//! Steiner points as circles, edges as L-shapes. Several trees can be
+//! overlaid in different colors to visualize a Pareto set, Fig. 2 style.
+
+use std::fmt::Write as _;
+
+use patlabor_geom::{Net, Point};
+
+use crate::RoutingTree;
+
+/// Rendering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Margin around the drawing, in pixels.
+    pub margin: f64,
+    /// Stroke width for tree edges.
+    pub stroke_width: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 480,
+            height: 480,
+            margin: 24.0,
+            stroke_width: 2.0,
+        }
+    }
+}
+
+/// Renders one or more trees of the same net, each with a CSS color.
+///
+/// # Example
+///
+/// ```
+/// use patlabor_geom::{Net, Point};
+/// use patlabor_tree::{render_trees_svg, RoutingTree, SvgOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Net::new(vec![Point::new(0, 0), Point::new(8, 5)])?;
+/// let tree = RoutingTree::direct(&net);
+/// let svg = render_trees_svg(&net, &[(&tree, "#d81b60")], &SvgOptions::default());
+/// assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_trees_svg(
+    net: &Net,
+    trees: &[(&RoutingTree, &str)],
+    options: &SvgOptions,
+) -> String {
+    let mut bb = net.bounding_box();
+    for (tree, _) in trees {
+        for p in tree.points() {
+            bb.expand(*p);
+        }
+    }
+    let span_x = (bb.hi().x - bb.lo().x).max(1) as f64;
+    let span_y = (bb.hi().y - bb.lo().y).max(1) as f64;
+    let scale_x = (options.width as f64 - 2.0 * options.margin) / span_x;
+    let scale_y = (options.height as f64 - 2.0 * options.margin) / span_y;
+    let scale = scale_x.min(scale_y);
+    let map = |p: Point| -> (f64, f64) {
+        (
+            options.margin + (p.x - bb.lo().x) as f64 * scale,
+            // SVG y grows downward; flip so the plot reads like a plan.
+            options.height as f64 - options.margin - (p.y - bb.lo().y) as f64 * scale,
+        )
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\">",
+        options.width, options.height, options.width, options.height
+    );
+    let _ = writeln!(svg, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+
+    for (tree, color) in trees {
+        for (child, parent) in tree.edges() {
+            let a = map(tree.point(child));
+            let b = map(tree.point(parent));
+            // L-shape: horizontal first.
+            let _ = writeln!(
+                svg,
+                "<polyline points=\"{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}\" fill=\"none\" \
+                 stroke=\"{color}\" stroke-width=\"{}\" stroke-linecap=\"round\"/>",
+                a.0, a.1, b.0, a.1, b.0, b.1, options.stroke_width
+            );
+        }
+        // Steiner points.
+        for v in tree.num_pins()..tree.num_nodes() {
+            let (x, y) = map(tree.point(v));
+            let _ = writeln!(
+                svg,
+                "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3\" fill=\"{color}\"/>"
+            );
+        }
+    }
+
+    // Pins on top: source filled black, sinks outlined.
+    for (i, &p) in net.pins().iter().enumerate() {
+        let (x, y) = map(p);
+        let fill = if i == 0 { "black" } else { "white" };
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"9\" height=\"9\" fill=\"{fill}\" \
+             stroke=\"black\" stroke-width=\"1.5\"/>",
+            x - 4.5,
+            y - 4.5
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(pts: &[(i64, i64)]) -> Net {
+        Net::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn svg_structure_is_well_formed() {
+        let n = net(&[(0, 0), (10, 5), (3, 8)]);
+        let t = RoutingTree::direct(&n);
+        let svg = render_trees_svg(&n, &[(&t, "red")], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One polyline per edge, one rect per pin (+ background).
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<rect").count(), 3 + 1);
+    }
+
+    #[test]
+    fn multiple_trees_use_their_colors() {
+        let n = net(&[(0, 0), (10, 5)]);
+        let a = RoutingTree::direct(&n);
+        let b = RoutingTree::direct(&n);
+        let svg = render_trees_svg(
+            &n,
+            &[(&a, "#ff0000"), (&b, "#0000ff")],
+            &SvgOptions::default(),
+        );
+        assert!(svg.contains("#ff0000") && svg.contains("#0000ff"));
+    }
+
+    #[test]
+    fn steiner_points_are_drawn_as_circles() {
+        let n = net(&[(0, 0), (4, 2), (2, 4)]);
+        let t = RoutingTree::from_edges(
+            &n,
+            &[
+                (Point::new(0, 0), Point::new(2, 2)),
+                (Point::new(2, 2), Point::new(4, 2)),
+                (Point::new(2, 2), Point::new(2, 4)),
+            ],
+        )
+        .unwrap();
+        let svg = render_trees_svg(&n, &[(&t, "green")], &SvgOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn coordinates_stay_inside_the_canvas() {
+        let n = net(&[(0, 0), (1000, 1), (1, 1000)]);
+        let t = RoutingTree::direct(&n);
+        let opts = SvgOptions::default();
+        let svg = render_trees_svg(&n, &[(&t, "red")], &opts);
+        // Check every polyline vertex stays inside the canvas.
+        for line in svg.lines().filter(|l| l.contains("<polyline")) {
+            let points = line
+                .split("points=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .expect("polyline has points");
+            for coord in points.split([' ', ',']) {
+                let v: f64 = coord.parse().expect("numeric coordinate");
+                assert!(
+                    (-10.0..=opts.width.max(opts.height) as f64 + 10.0).contains(&v),
+                    "coordinate {v} escaped the canvas"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_point_net_renders() {
+        let n = net(&[(5, 5), (5, 5)]);
+        let t = RoutingTree::direct(&n);
+        let svg = render_trees_svg(&n, &[(&t, "red")], &SvgOptions::default());
+        assert!(svg.contains("<rect"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Theorem 1 demo: adversarial chains whose Pareto frontier keeps growing
+//! with instance size, verified by the exact Pareto-DW.
+//!
+//! ```sh
+//! cargo run --release --example exponential_frontier
+//! ```
+//! (Chains of up to 3 gadgets run in seconds; the degree-13 chain takes a
+//! minute or two — pass `--full` to include it.)
+
+use patlabor_dw::{numeric::pareto_frontier, DwConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let max_gadgets = if full { 4 } else { 3 };
+    println!("chained pass-through gadgets (netgen::exponential_frontier_net):\n");
+    for m in 1..=max_gadgets {
+        let net = patlabor_netgen::exponential_frontier_net(m);
+        let frontier = pareto_frontier(&net, &DwConfig::default());
+        println!(
+            "{m} gadget(s), degree {:>2}: |frontier| = {}",
+            net.degree(),
+            frontier.len()
+        );
+        for (c, _) in frontier.iter() {
+            println!("    {c}");
+        }
+    }
+    println!(
+        "\nEvery gadget adds a pass-through choice (thread the hairpin cheaply, or \
+         jump it with extra wire), so the frontier grows with the chain length, while \
+         typical random nets of these degrees have frontiers of size 1-5. The paper's \
+         Fig. 4 construction pushes the same mechanism to 2^Omega(n) with 11-pin \
+         gadgets."
+    );
+}

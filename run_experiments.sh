@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates every paper table/figure plus the extension experiments.
+# Output is appended to bench_output.txt by the caller.
+set -e
+for bin in fig6 table2 table3 table4 fig7a fig7b fig7c theorem1 smoothed ablation elmore train_policy; do
+  echo ""
+  echo "================================================================"
+  echo "== experiment: $bin"
+  echo "================================================================"
+  cargo run -q --release -p patlabor-bench --bin "$bin"
+done

@@ -1,0 +1,17 @@
+//! Facade crate for the PatLabor reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so that examples and
+//! integration tests can `use patlabor_suite::...`. Library users normally
+//! depend on the individual crates (most importantly [`patlabor`]) directly.
+
+pub use patlabor;
+pub use patlabor_baselines as baselines;
+pub use patlabor_bookshelf as bookshelf;
+pub use patlabor_dw as dw;
+pub use patlabor_geom as geom;
+pub use patlabor_groute as groute;
+pub use patlabor_lp as lp;
+pub use patlabor_lut as lut;
+pub use patlabor_netgen as netgen;
+pub use patlabor_pareto as pareto;
+pub use patlabor_tree as tree;

@@ -1,0 +1,63 @@
+//! Heavy cross-validation runs, ignored by default.
+//!
+//! ```sh
+//! cargo test --release --test heavy -- --ignored
+//! ```
+
+use patlabor::{LutBuilder, Net, Point};
+use patlabor_dw::{numeric, oracle, DwConfig};
+
+fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {
+    let mut rng = move || {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    };
+    Net::new(
+        (0..degree)
+            .map(|_| Point::new((rng() % span) as i64, (rng() % span) as i64))
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// Full-Steiner exhaustive oracle vs the DP at degree 5 (minutes).
+#[test]
+#[ignore = "minutes-long exhaustive enumeration"]
+fn oracle_agrees_with_dw_on_degree_5() {
+    let mut seed = 0x5eed5;
+    for _ in 0..3 {
+        let net = random_net(&mut seed, 5, 30);
+        let reference = oracle::exhaustive_frontier(&net);
+        let dw = numeric::pareto_frontier(&net, &DwConfig::default());
+        assert_eq!(dw.cost_vec(), reference.cost_vec(), "mismatch on {net:?}");
+    }
+}
+
+/// λ = 7 table generation + agreement with the DP on random degree-7 nets.
+#[test]
+#[ignore = "generates the lambda-7 tables (minutes)"]
+fn lambda7_table_agrees_with_dw() {
+    let table = LutBuilder::new(7).build();
+    let mut seed = 0x7ab1e;
+    for _ in 0..10 {
+        let net = random_net(&mut seed, 7, 200);
+        let dw = numeric::pareto_frontier(&net, &DwConfig::default());
+        let lut = table.query(&net).expect("degree 7 tabulated");
+        assert_eq!(lut.cost_vec(), dw.cost_vec(), "mismatch on {net:?}");
+    }
+}
+
+/// Pruned vs unpruned DP on degree-8 instances (tens of seconds each).
+#[test]
+#[ignore = "large exact-DP instances"]
+fn pruning_lemmas_hold_at_degree_8() {
+    let mut seed = 0x8888;
+    for _ in 0..3 {
+        let net = random_net(&mut seed, 8, 500);
+        let pruned = numeric::pareto_frontier(&net, &DwConfig::default());
+        let unpruned = numeric::pareto_frontier(&net, &DwConfig::unpruned());
+        assert_eq!(pruned.cost_vec(), unpruned.cost_vec(), "mismatch on {net:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based integration tests across the crates.
+
+use std::sync::OnceLock;
+
+use patlabor::{Net, PatLabor, Point};
+use patlabor_dw::{numeric, DwConfig};
+use patlabor_tree::{reconnect_pass, remove_redundant_steiner, RefineObjective};
+use proptest::prelude::*;
+
+fn router() -> &'static PatLabor {
+    static ROUTER: OnceLock<PatLabor> = OnceLock::new();
+    ROUTER.get_or_init(PatLabor::new)
+}
+
+fn arb_net(degree: usize, span: i64) -> impl Strategy<Value = Net> {
+    proptest::collection::vec((0..span, 0..span), degree)
+        .prop_map(|pts| Net::new(pts.into_iter().map(Point::from).collect()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The router's answer for degree ≤ 5 equals the exact DP, point for
+    /// point, for arbitrary (possibly degenerate) pin placements.
+    #[test]
+    fn router_is_exact_up_to_lambda(net in arb_net(5, 40)) {
+        let exact = numeric::pareto_frontier(&net, &DwConfig::default());
+        let routed = router().route(&net);
+        prop_assert_eq!(routed.cost_vec(), exact.cost_vec());
+    }
+
+    /// DW pruning lemmas never change the frontier (arbitrary degree-5
+    /// instances, including coordinate ties).
+    #[test]
+    fn pruning_lemmas_are_exact(net in arb_net(5, 30)) {
+        let pruned = numeric::pareto_frontier(&net, &DwConfig::default());
+        let unpruned = numeric::pareto_frontier(&net, &DwConfig::unpruned());
+        prop_assert_eq!(pruned.cost_vec(), unpruned.cost_vec());
+    }
+
+    /// Refinement passes never worsen either objective and preserve
+    /// validity.
+    #[test]
+    fn refinement_is_safe(net in arb_net(8, 60)) {
+        let tree = patlabor_baselines::rsmt::rsmt_tree(&net);
+        let (w0, d0) = tree.objectives();
+        for pass in [RefineObjective::Wirelength, RefineObjective::Delay] {
+            let refined = reconnect_pass(&tree, pass);
+            refined.validate(&net).unwrap();
+            let (w, d) = refined.objectives();
+            prop_assert!(w <= w0 && d <= d0, "pass {pass:?} worsened ({w0},{d0})→({w},{d})");
+        }
+        let slim = remove_redundant_steiner(&tree);
+        let (w, d) = slim.objectives();
+        prop_assert!(w <= w0 && d <= d0);
+    }
+
+    /// The arborescence always achieves the delay lower bound and never
+    /// exceeds star wirelength; the MST never beats the exact RSMT.
+    #[test]
+    fn baseline_extremes_bracket_the_frontier(net in arb_net(6, 50)) {
+        let frontier = numeric::pareto_frontier(&net, &DwConfig::default());
+        let arb = patlabor_baselines::rsma::cl_arborescence(&net);
+        prop_assert_eq!(arb.delay(), net.delay_lower_bound());
+        let (w_end, _) = frontier.min_wirelength().unwrap();
+        let mst = patlabor_baselines::rsmt::prim_mst(&net);
+        prop_assert!(w_end.wirelength <= mst.wirelength());
+        let (d_end, _) = frontier.min_delay().unwrap();
+        prop_assert_eq!(d_end.delay, net.delay_lower_bound());
+        prop_assert!(w_end.wirelength <= arb.wirelength());
+    }
+
+    /// Translating a net translates nothing observable: objectives are
+    /// translation invariant.
+    #[test]
+    fn objectives_are_translation_invariant(net in arb_net(5, 40),
+                                            dx in -500i64..500, dy in -500i64..500) {
+        let moved = net.map_points(|p| Point::new(p.x + dx, p.y + dy));
+        let a = router().route(&net).cost_vec();
+        let b = router().route(&moved).cost_vec();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Mirror/transpose symmetry: transforming the plane transforms the
+    /// trees but not the frontier.
+    #[test]
+    fn objectives_are_symmetry_invariant(net in arb_net(5, 40)) {
+        let flipped = net.map_points(|p| Point::new(-p.x, p.y));
+        let transposed = net.map_points(Point::transposed);
+        let a = router().route(&net).cost_vec();
+        prop_assert_eq!(&router().route(&flipped).cost_vec(), &a);
+        prop_assert_eq!(&router().route(&transposed).cost_vec(), &a);
+    }
+
+    /// Scaling all coordinates by a positive factor scales both
+    /// objectives by the same factor.
+    #[test]
+    fn objectives_scale_linearly(net in arb_net(5, 40), k in 1i64..8) {
+        let scaled = net.map_points(|p| Point::new(p.x * k, p.y * k));
+        let a = router().route(&net).cost_vec();
+        let b = router().route(&scaled).cost_vec();
+        prop_assert_eq!(a.len(), b.len());
+        for (ca, cb) in a.iter().zip(&b) {
+            prop_assert_eq!(ca.wirelength * k, cb.wirelength);
+            prop_assert_eq!(ca.delay * k, cb.delay);
+        }
+    }
+}
