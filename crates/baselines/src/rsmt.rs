@@ -106,7 +106,7 @@ pub fn iterated_one_steiner(net: &Net) -> RoutingTree {
             let mut trial = pts.clone();
             trial.push(c);
             let cost = mst_cost(&trial);
-            if cost < base && best.map_or(true, |(bc, _)| cost < bc) {
+            if cost < base && best.is_none_or(|(bc, _)| cost < bc) {
                 best = Some((cost, c));
             }
         }

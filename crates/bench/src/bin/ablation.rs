@@ -117,7 +117,7 @@ fn main() {
     let mut times = vec![0.0f64; variants.len()];
     for (vi, (_, run)) in variants.iter().enumerate() {
         let start = Instant::now();
-        outputs.push(nets.iter().map(|n| run(n)).collect());
+        outputs.push(nets.iter().map(run).collect());
         times[vi] = start.elapsed().as_secs_f64();
     }
     let mut factors = vec![0.0f64; variants.len()];

@@ -1,0 +1,174 @@
+//! Batch-routing throughput: the lock-free driver and the frontier cache
+//! measured on a fixed seeded workload, written to `BENCH_PR1.json` at
+//! the repository root.
+//!
+//! The workload mixes degrees 3–12 (tabulated nets, cached-query nets and
+//! local-search nets) and three coordinate spans, so the cache sees both
+//! dense congruence classes (small spans, many repeated Hanan patterns)
+//! and essentially unique nets (chip-scale spans). Every configuration
+//! routes the same nets; `PATLABOR_SCALE` scales the net count.
+//!
+//! Results are honest wall-clock numbers for *this* machine —
+//! `hardware_threads` is recorded so a 1-core container's lack of
+//! parallel speedup reads as what it is.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use patlabor::{CacheConfig, Net, PatLabor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0x7412_0be7;
+
+fn workload(count: usize) -> Vec<Net> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    // Repeated cells and macros give real placements many congruent
+    // nets: identical relative pin geometry at different offsets and
+    // orientations. A third of the workload instantiates a small pool of
+    // master patterns that way (cache hits after the first encounter);
+    // the rest are fresh random nets of mixed degree (mostly misses, and
+    // above λ the local-search path, which bypasses the cache).
+    let masters: Vec<Net> = (0..64)
+        .map(|_| {
+            let degree = rng.gen_range(3..=5usize);
+            patlabor_netgen::uniform_net(&mut rng, degree, 64)
+        })
+        .collect();
+    (0..count)
+        .map(|i| {
+            if i % 3 == 0 {
+                let master = &masters[rng.gen_range(0..masters.len())];
+                let dx = rng.gen_range(0..100_000i64);
+                let dy = rng.gen_range(0..100_000i64);
+                let swap = rng.gen_bool(0.5);
+                let flip_x = rng.gen_bool(0.5);
+                let flip_y = rng.gen_bool(0.5);
+                master.map_points(|p| {
+                    let (mut x, mut y) = (p.x, p.y);
+                    if swap {
+                        std::mem::swap(&mut x, &mut y);
+                    }
+                    if flip_x {
+                        x = -x;
+                    }
+                    if flip_y {
+                        y = -y;
+                    }
+                    patlabor::Point::new(x + dx, y + dy)
+                })
+            } else {
+                let degree = rng.gen_range(3..=12);
+                let span = if i % 3 == 1 { 24 } else { 10_000 };
+                patlabor_netgen::uniform_net(&mut rng, degree, span)
+            }
+        })
+        .collect()
+}
+
+struct Run {
+    threads: usize,
+    cache: bool,
+    nets_per_sec: f64,
+    cache_hit_rate: f64,
+    speedup_vs_serial: f64,
+}
+
+fn measure(table: &patlabor::LookupTable, nets: &[Net], threads: usize, cache: bool) -> (f64, f64) {
+    // A fresh router per run: every measurement starts from a cold cache.
+    let router = PatLabor::with_table(table.clone()).with_cache(if cache {
+        CacheConfig::default()
+    } else {
+        CacheConfig::disabled()
+    });
+    let start = Instant::now();
+    let results = router.route_batch(nets, threads);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(results.len(), nets.len());
+    std::hint::black_box(&results);
+    let hit_rate = router.cache_stats().map_or(0.0, |s| s.hit_rate());
+    (nets.len() as f64 / secs, hit_rate)
+}
+
+fn main() {
+    let count = patlabor_bench::scaled(50_000, 500);
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!("generating {count} nets (degrees 3..=12, seed {SEED:#x}) ...");
+    let nets = workload(count);
+    let table = patlabor_lut::LutBuilder::new(5).build();
+
+    // Untimed warmup: the process's first pass over the workload runs
+    // cold (allocator, page cache, CPU frequency) and would otherwise
+    // penalize whichever configuration happens to be measured first.
+    eprintln!("warmup ...");
+    measure(&table, &nets, 1, false);
+
+    // Serial baseline: one thread, no cache.
+    eprintln!("serial baseline ...");
+    let (serial_nps, _) = measure(&table, &nets, 1, false);
+
+    let mut runs = Vec::new();
+    for cache in [false, true] {
+        for threads in [1usize, 2, 4, 8] {
+            eprintln!("threads = {threads}, cache = {cache} ...");
+            let (nets_per_sec, cache_hit_rate) = measure(&table, &nets, threads, cache);
+            runs.push(Run {
+                threads,
+                cache,
+                nets_per_sec,
+                cache_hit_rate,
+                speedup_vs_serial: nets_per_sec / serial_nps,
+            });
+        }
+    }
+
+    println!(
+        "{}",
+        patlabor_bench::render_table(
+            &["threads", "cache", "nets/s", "hit rate", "speedup"],
+            &runs
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.threads.to_string(),
+                        if r.cache { "on" } else { "off" }.to_string(),
+                        format!("{:.0}", r.nets_per_sec),
+                        format!("{:.3}", r.cache_hit_rate),
+                        format!("{:.2}x", r.speedup_vs_serial),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"batch_routing_throughput\",");
+    let _ = writeln!(json, "  \"nets\": {count},");
+    let _ = writeln!(json, "  \"degrees\": [3, 12],");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"serial_nets_per_sec\": {serial_nps:.2},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"cache\": {}, \"nets_per_sec\": {:.2}, \
+             \"cache_hit_rate\": {:.4}, \"speedup_vs_serial\": {:.4}}}{comma}",
+            r.threads, r.cache, r.nets_per_sec, r.cache_hit_rate, r.speedup_vs_serial
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    // crates/bench → repository root.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR1.json");
+    std::fs::write(&path, &json).expect("write BENCH_PR1.json");
+    eprintln!("wrote {}", path.display());
+    patlabor_bench::paper_note(
+        "the paper evaluates all methods multithreaded (footnote 4); this harness \
+         measures the batch driver and frontier cache on the machine at hand",
+    );
+}

@@ -137,11 +137,15 @@ pub fn default_grid() -> Vec<f64> {
     (0..=10).map(|i| 1.0 + i as f64 * 0.05).collect()
 }
 
+/// One method's per-net results: each routed frontier paired with the
+/// net's `(wirelength, delay)` normalizers (see [`normalizers`]).
+pub type MethodResults = Vec<(ParetoSet<RoutingTree>, (f64, f64))>;
+
 /// Clamp-free quality summary: for each method, the average (over nets)
 /// approximation factor of its set against the per-net **combined
 /// frontier** (the Pareto union of every method's output) — `1.0` means
 /// the method matches or dominates everything anyone found.
-pub fn approximation_summary(per_method: &[Vec<(ParetoSet<RoutingTree>, (f64, f64))>]) -> Vec<f64> {
+pub fn approximation_summary(per_method: &[MethodResults]) -> Vec<f64> {
     let nets = per_method[0].len();
     let mut sums = vec![0.0f64; per_method.len()];
     for net_idx in 0..nets {

@@ -215,10 +215,9 @@ fn parse_nets(
             }
         }
         let mut pins = Vec::with_capacity(degree);
-        match source {
-            Some(src) => pins.push(src),
-            // No driver listed: keep pin order, first pin drives.
-            None => {}
+        // With no driver listed, pin order is kept and the first pin drives.
+        if let Some(src) = source {
+            pins.push(src);
         }
         pins.append(&mut sinks);
         if pins.len() < 2 {

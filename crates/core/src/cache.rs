@@ -1,0 +1,266 @@
+//! Pattern-keyed frontier cache.
+//!
+//! Placement produces enormous numbers of congruent nets: the same pin
+//! pattern at different offsets, scales, rotations and reflections. The
+//! lookup-table query already canonicalizes away translation and the
+//! dihedral symmetries, and both objectives are invariant under those
+//! transforms, so the *winning topology ids* of a query depend only on
+//! the canonical pattern key and the canonical gap vector. This module
+//! caches exactly that: `(key, gaps) → winning ids`. On a hit the router
+//! instantiates only the winners instead of evaluating every candidate
+//! topology, skipping the dominated ones entirely — and because replay
+//! preserves evaluation order, the resulting frontier is bit-identical
+//! to an uncached query.
+//!
+//! The cache is sharded (`RwLock<HashMap>` per shard) so the read-mostly
+//! steady state scales across batch-routing threads: hits take a shared
+//! lock on one shard, and concurrent misses on different shards never
+//! contend. Each shard is bounded and evicts in FIFO order — congruence
+//! classes in real placements are heavily skewed, so even a crude policy
+//! keeps the hot classes resident.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Cache key: canonical pattern key plus canonical gap vector.
+///
+/// The pattern key encodes the degree, so keys never collide across
+/// degrees even though gap-vector lengths differ.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pattern: u64,
+    gaps: Box<[i64]>,
+}
+
+impl CacheKey {
+    /// Builds a key from [`patlabor_lut::QueryContext`] components.
+    pub fn new(pattern: u64, gaps: &[i64]) -> Self {
+        CacheKey {
+            pattern,
+            gaps: gaps.into(),
+        }
+    }
+}
+
+/// Configuration for the frontier cache (see [`FrontierCache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Master switch. Disabled, the router always evaluates every
+    /// candidate topology; results are identical either way.
+    pub enabled: bool,
+    /// Total entry budget, split evenly across shards. Each entry is a
+    /// short id list, so the default (64 Ki entries) costs a few MiB.
+    pub capacity: usize,
+    /// Number of independent shards. More shards means less write
+    /// contention while the cache warms; must be non-zero (clamped).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity: 64 * 1024,
+            shards: 16,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration with the cache switched off.
+    pub fn disabled() -> Self {
+        CacheConfig {
+            enabled: false,
+            ..CacheConfig::default()
+        }
+    }
+}
+
+/// Hit/miss counters and current occupancy, from
+/// [`crate::PatLabor::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a full query.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Arc<[u32]>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<CacheKey>,
+}
+
+/// A bounded, sharded map from canonical net classes to winning topology
+/// ids. See the module docs for the correctness argument.
+#[derive(Debug)]
+pub struct FrontierCache {
+    shards: Box<[RwLock<Shard>]>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FrontierCache {
+    /// Creates an empty cache; `config.enabled` is the caller's concern.
+    pub fn new(config: &CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        FrontierCache {
+            shards: (0..shards).map(|_| RwLock::default()).collect(),
+            per_shard_cap: (config.capacity / shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<Shard> {
+        // The pattern key's low bits are a permutation code and already
+        // well mixed; fold in a gap hash so same-pattern nets spread too.
+        let mut h = key.pattern ^ (key.gaps.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for &g in key.gaps.iter() {
+            h = (h ^ g as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a winning-id list, bumping the hit/miss counters.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<[u32]>> {
+        let shard = self.shard(key).read().expect("cache lock poisoned");
+        match shard.map.get(key) {
+            Some(ids) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(ids))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a winning-id list, evicting the oldest entry of the target
+    /// shard when it is full.
+    ///
+    /// A concurrent duplicate insert (two threads missing on the same key
+    /// at once) overwrites with an equal value and is harmless.
+    pub fn insert(&self, key: CacheKey, ids: Arc<[u32]>) {
+        let mut shard = self.shard(&key).write().expect("cache lock poisoned");
+        if shard.map.insert(key.clone(), ids).is_none() {
+            if shard.map.len() > self.per_shard_cap {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.map.remove(&oldest);
+                }
+            }
+            shard.order.push_back(key);
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("cache lock poisoned").map.len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u64, gaps: &[i64]) -> CacheKey {
+        CacheKey::new(p, gaps)
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = FrontierCache::new(&CacheConfig::default());
+        let k = key(42, &[1, 2, 3]);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), vec![7, 9].into());
+        assert_eq!(cache.get(&k).as_deref(), Some(&[7u32, 9][..]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_pattern_different_gaps_are_distinct() {
+        let cache = FrontierCache::new(&CacheConfig::default());
+        cache.insert(key(1, &[5, 5]), vec![0].into());
+        assert!(cache.get(&key(1, &[5, 6])).is_none());
+        assert!(cache.get(&key(1, &[5, 5])).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_each_shard() {
+        let config = CacheConfig {
+            capacity: 4,
+            shards: 1,
+            ..CacheConfig::default()
+        };
+        let cache = FrontierCache::new(&config);
+        for i in 0..20u64 {
+            cache.insert(key(i, &[i as i64]), vec![i as u32].into());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4, "shard stays at capacity");
+        // Newest entry survives, oldest is gone.
+        assert!(cache.get(&key(19, &[19])).is_some());
+        assert!(cache.get(&key(0, &[0])).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_grow_order_queue() {
+        let config = CacheConfig {
+            capacity: 2,
+            shards: 1,
+            ..CacheConfig::default()
+        };
+        let cache = FrontierCache::new(&config);
+        let k = key(3, &[1]);
+        for _ in 0..10 {
+            cache.insert(k.clone(), vec![1].into());
+        }
+        cache.insert(key(4, &[2]), vec![2].into());
+        cache.insert(key(5, &[3]), vec![3].into());
+        // k was inserted first and must be the first evicted despite the
+        // repeated overwrites.
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(&k).is_none());
+    }
+
+    #[test]
+    fn zero_shard_config_is_clamped() {
+        let config = CacheConfig {
+            shards: 0,
+            capacity: 0,
+            ..CacheConfig::default()
+        };
+        let cache = FrontierCache::new(&config);
+        cache.insert(key(1, &[1]), vec![1].into());
+        assert!(cache.get(&key(1, &[1])).is_some());
+    }
+}

@@ -42,11 +42,13 @@
 //! ```
 
 mod batch;
+pub mod cache;
 pub mod ks;
 pub mod local_search;
 pub mod policy;
 mod router;
 
+pub use cache::{CacheConfig, CacheStats};
 pub use router::{PatLabor, RouterConfig};
 
 // Re-export the vocabulary types so `patlabor` is usable on its own.

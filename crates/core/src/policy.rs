@@ -94,11 +94,10 @@ impl Policy {
         let mut selected_pts: Vec<Point> = Vec::with_capacity(k);
         while selected.len() < k {
             let mut best: Option<(f64, usize)> = None;
-            for pin in 1..net.degree() {
+            for (pin, &p) in net.pins().iter().enumerate().skip(1) {
                 if selected.contains(&pin) {
                     continue;
                 }
-                let p = net.pins()[pin];
                 let mut score = alphas[0] * r.l1(p) as f64
                     + alphas[1] * root_dist[pin] as f64;
                 if !selected_pts.is_empty() {
@@ -112,7 +111,7 @@ impl Policy {
                     cloud.push(p);
                     score -= alphas[3] * hpwl(cloud) as f64;
                 }
-                if best.map_or(true, |(bs, bp)| score > bs || (score == bs && pin < bp)) {
+                if best.is_none_or(|(bs, bp)| score > bs || (score == bs && pin < bp)) {
                     best = Some((score, pin));
                 }
             }
@@ -172,7 +171,7 @@ pub mod train {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut degrees = degrees.to_vec();
         degrees.sort_unstable();
-        let table = patlabor_lut::LutBuilder::new(lambda.min(5).max(3)).build();
+        let table = patlabor_lut::LutBuilder::new(lambda.clamp(3, 5)).build();
         let mut prev: Alphas = super::DEFAULT_ALPHAS;
         let mut out: Vec<(usize, Alphas)> = Vec::new();
 
@@ -332,8 +331,9 @@ pub mod train {
                     continue;
                 }
                 let f = a[row][col] / a[col][col];
-                for k in col..4 {
-                    a[row][k] -= f * a[col][k];
+                let pivot_row = a[col];
+                for (x, &pv) in a[row].iter_mut().zip(&pivot_row).skip(col) {
+                    *x -= f * pv;
                 }
                 b[row] -= f * b[col];
             }

@@ -1,10 +1,13 @@
 //! The top-level router: lookup tables below λ, local search above.
 
+use std::sync::Arc;
+
 use patlabor_geom::Net;
 use patlabor_lut::{LookupTable, LutBuilder};
 use patlabor_pareto::ParetoSet;
 use patlabor_tree::RoutingTree;
 
+use crate::cache::{CacheConfig, CacheKey, CacheStats, FrontierCache};
 use crate::local_search::{local_search, LocalSearchConfig};
 use crate::policy::Policy;
 
@@ -17,6 +20,13 @@ pub struct RouterConfig {
     pub lambda: u8,
     /// Local-search settings for nets with degree `> λ`.
     pub local_search: LocalSearchConfig,
+    /// Frontier-cache settings ([`crate::cache`]). The cache memoizes
+    /// winning topology ids per congruence class of nets, so repeated,
+    /// translated and mirrored pin patterns skip the evaluation of
+    /// dominated candidates. Routing results are bit-identical with the
+    /// cache enabled or disabled; set `cache.enabled = false` (or use
+    /// [`CacheConfig::disabled`]) to always evaluate from scratch.
+    pub cache: CacheConfig,
 }
 
 impl Default for RouterConfig {
@@ -24,6 +34,7 @@ impl Default for RouterConfig {
         RouterConfig {
             lambda: 5,
             local_search: LocalSearchConfig::default(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -52,6 +63,9 @@ pub struct PatLabor {
     table: LookupTable,
     policy: Policy,
     config: RouterConfig,
+    /// Present iff `config.cache.enabled`. Shared (not deep-copied) by
+    /// clones, so batch workers cloning a router still pool their hits.
+    cache: Option<Arc<FrontierCache>>,
 }
 
 impl Default for PatLabor {
@@ -74,6 +88,7 @@ impl PatLabor {
         PatLabor {
             table,
             policy: Policy::default(),
+            cache: Self::build_cache(&config),
             config,
         }
     }
@@ -88,8 +103,16 @@ impl PatLabor {
         PatLabor {
             table,
             policy: Policy::default(),
+            cache: Self::build_cache(&config),
             config,
         }
+    }
+
+    fn build_cache(config: &RouterConfig) -> Option<Arc<FrontierCache>> {
+        config
+            .cache
+            .enabled
+            .then(|| Arc::new(FrontierCache::new(&config.cache)))
     }
 
     /// Replaces the pin-selection policy (e.g. with a freshly trained one).
@@ -101,6 +124,14 @@ impl PatLabor {
     /// Replaces the local-search configuration.
     pub fn with_local_search(mut self, local_search: LocalSearchConfig) -> Self {
         self.config.local_search = local_search;
+        self
+    }
+
+    /// Replaces the frontier-cache configuration, dropping any cached
+    /// entries (and the old counters) in the process.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.config.cache = cache;
+        self.cache = Self::build_cache(&self.config);
         self
     }
 
@@ -120,12 +151,39 @@ impl PatLabor {
     /// degrees `≤ λ`; the local-search approximation above.
     pub fn route(&self, net: &Net) -> ParetoSet<RoutingTree> {
         if net.degree() <= self.table.lambda() as usize {
-            self.table
-                .query(net)
-                .expect("degree <= lambda is always tabulated")
+            self.route_exact(net)
         } else {
             local_search(net, &self.table, &self.policy, &self.config.local_search)
         }
+    }
+
+    /// The tabulated path (`degree ≤ λ`), with the frontier cache in
+    /// front when enabled.
+    fn route_exact(&self, net: &Net) -> ParetoSet<RoutingTree> {
+        if let Some(cache) = &self.cache {
+            // Degree-2 nets bypass the cache: their answer is closed-form
+            // and `query_context` declines them.
+            if let Some(ctx) = self.table.query_context(net) {
+                let key = CacheKey::new(ctx.canonical_key(), ctx.canonical_gaps());
+                if let Some(ids) = cache.get(&key) {
+                    return self.table.query_ids(net, &ctx, &ids);
+                }
+                let (frontier, winners) = self
+                    .table
+                    .query_witnesses(net, &ctx)
+                    .expect("degree <= lambda is always tabulated");
+                cache.insert(key, winners.into());
+                return frontier;
+            }
+        }
+        self.table
+            .query(net)
+            .expect("degree <= lambda is always tabulated")
+    }
+
+    /// Frontier-cache counters, or `None` when the cache is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Whether `route` is exact for this degree.

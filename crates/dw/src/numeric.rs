@@ -245,7 +245,7 @@ fn truncate_frontier<T>(set: ParetoSet<T>, cap: usize) -> ParetoSet<T> {
     let mut kept = Vec::with_capacity(cap);
     for (rank, entry) in entries.into_iter().enumerate() {
         // Evenly spaced indices including first and last.
-        let keep = rank * (cap - 1) % (len - 1) == 0 || rank == len - 1;
+        let keep = (rank * (cap - 1)).is_multiple_of(len - 1) || rank == len - 1;
         if keep && kept.len() < cap {
             kept.push(entry);
         }

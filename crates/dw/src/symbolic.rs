@@ -18,7 +18,8 @@
 //! Cheap componentwise and sampled prefilters skip almost all LP calls.
 
 use patlabor_geom::{Pattern, RankNode};
-use patlabor_lp::cone::strictly_feasible;
+use patlabor_lp::cone::strictly_feasible_with;
+use patlabor_lp::SimplexScratch;
 
 use crate::boundary::{boundary_position, consecutive_splits};
 use crate::DwConfig;
@@ -86,12 +87,12 @@ pub fn symbolic_frontier(pattern: &Pattern, config: &DwConfig) -> Vec<SymbolicSo
     let gap_vec = |a: RankNode, b: RankNode| -> GapVec {
         let mut v = vec![0u16; dims];
         let (c0, c1) = (a.col.min(b.col) as usize, a.col.max(b.col) as usize);
-        for k in c0..c1 {
-            v[k] += 1;
+        for x in &mut v[c0..c1] {
+            *x += 1;
         }
         let (r0, r1) = (a.row.min(b.row) as usize, a.row.max(b.row) as usize);
-        for k in r0..r1 {
-            v[n - 1 + k] += 1;
+        for x in &mut v[n - 1 + r0..n - 1 + r1] {
+            *x += 1;
         }
         v
     };
@@ -213,7 +214,7 @@ pub fn symbolic_frontier(pattern: &Pattern, config: &DwConfig) -> Vec<SymbolicSo
     }
 
     let final_state = std::mem::take(&mut states[full as usize][source_node]);
-    prune_exact(final_state, &sampler)
+    prune_exact(final_state, &sampler, &mut DominanceScratch::default())
 }
 
 fn is_corner(pins: &[RankNode], p: RankNode) -> bool {
@@ -318,7 +319,16 @@ struct GapSampler {
 
 impl GapSampler {
     fn new(dims: usize) -> Self {
-        let mut samples = vec![vec![1i64; dims]];
+        // Duplicate samples cost evaluations without adding filtering
+        // power (likely at small `dims`, where the mod-13 pseudo-random
+        // vectors collide), so only distinct vectors are kept.
+        let mut samples: Vec<Vec<i64>> = Vec::new();
+        let push_unique = |samples: &mut Vec<Vec<i64>>, v: Vec<i64>| {
+            if !samples.contains(&v) {
+                samples.push(v);
+            }
+        };
+        push_unique(&mut samples, vec![1i64; dims]);
         // A few deterministic pseudo-random positive vectors.
         let mut state = 0x9e37_79b9_7f4a_7c15u64;
         for _ in 0..6 {
@@ -329,13 +339,13 @@ impl GapSampler {
                 state ^= state << 17;
                 v.push((state % 13 + 1) as i64);
             }
-            samples.push(v);
+            push_unique(&mut samples, v);
         }
         // Near-degenerate vectors catch zero-gap corner cases.
         for k in 0..dims.min(4) {
             let mut v = vec![1i64; dims];
             v[k] = 100;
-            samples.push(v);
+            push_unique(&mut samples, v);
         }
         GapSampler { samples }
     }
@@ -353,8 +363,33 @@ impl GapSampler {
     }
 }
 
+/// Reusable buffers for [`dominates_with`].
+///
+/// The exact check builds one row-difference matrix per delay row of `a`
+/// and solves an LP over it; both the matrix and the simplex tableau are
+/// the same shape across the thousands of checks a pattern generates, so
+/// threading one scratch through [`prune_exact`] removes essentially all
+/// allocation from the pruning inner loop.
+#[derive(Debug, Default)]
+pub struct DominanceScratch {
+    /// Row-difference matrix `ra − rbₖ` (hoisted out of the per-`ra`
+    /// loop; rows are overwritten in place for each `ra`).
+    diff: Vec<Vec<i64>>,
+    /// Simplex buffers for the strict-feasibility LP.
+    lp: SimplexScratch,
+}
+
 /// Exact symbolic dominance `a ⪯ b` (Lemma 1).
 pub fn dominates(a: &SymbolicSolution, b: &SymbolicSolution) -> bool {
+    dominates_with(a, b, &mut DominanceScratch::default())
+}
+
+/// [`dominates`] with caller-provided scratch buffers (identical result).
+pub fn dominates_with(
+    a: &SymbolicSolution,
+    b: &SymbolicSolution,
+    scratch: &mut DominanceScratch,
+) -> bool {
     // Wirelength: componentwise.
     if a.w.iter().zip(&b.w).any(|(&x, &y)| x > y) {
         return false;
@@ -371,18 +406,17 @@ pub fn dominates(a: &SymbolicSolution, b: &SymbolicSolution) -> bool {
     }
     // Exact: row `ra` may exceed max-of-b-rows somewhere iff the strict
     // system {(ra − rb)·l > 0 ∀ rb} is feasible.
+    let m = b.delays.len();
+    scratch.diff.truncate(m);
+    while scratch.diff.len() < m {
+        scratch.diff.push(Vec::new());
+    }
     for ra in &a.delays {
-        let rows: Vec<Vec<i64>> = b
-            .delays
-            .iter()
-            .map(|rb| {
-                ra.iter()
-                    .zip(rb)
-                    .map(|(&x, &y)| x as i64 - y as i64)
-                    .collect()
-            })
-            .collect();
-        if strictly_feasible(&rows) {
+        for (row, rb) in scratch.diff.iter_mut().zip(&b.delays) {
+            row.clear();
+            row.extend(ra.iter().zip(rb).map(|(&x, &y)| x as i64 - y as i64));
+        }
+        if strictly_feasible_with(&scratch.diff, &mut scratch.lp) {
             return false;
         }
     }
@@ -392,8 +426,19 @@ pub fn dominates(a: &SymbolicSolution, b: &SymbolicSolution) -> bool {
 /// Prunes with cheap checks (dedupe + componentwise dominance + sampled
 /// prefilter); used on every DP state.
 fn prune(mut solutions: Vec<SymbolicSolution>, sampler: &GapSampler) -> Vec<SymbolicSolution> {
-    // Dedupe exact (w, delays) duplicates, keeping the first topology.
-    solutions.sort_by(|a, b| (&a.w, &a.delays).cmp(&(&b.w, &b.delays)));
+    // Sort by total wirelength first: a dominator's W is componentwise ≤
+    // its victim's, hence its ΣW too, so ascending-ΣW order meets
+    // dominators before their victims — dominated candidates die against
+    // an early `keep` entry instead of growing the quadratic sweep. The
+    // lexicographic tail makes the order total (up to exact duplicates,
+    // which the dedup below removes), keeping the survivors
+    // deterministic.
+    solutions.sort_by(|a, b| {
+        let sa: u32 = a.w.iter().map(|&x| x as u32).sum();
+        let sb: u32 = b.w.iter().map(|&x| x as u32).sum();
+        sa.cmp(&sb)
+            .then_with(|| (&a.w, &a.delays).cmp(&(&b.w, &b.delays)))
+    });
     solutions.dedup_by(|a, b| a.w == b.w && a.delays == b.delays);
 
     let mut keep: Vec<SymbolicSolution> = Vec::with_capacity(solutions.len());
@@ -430,17 +475,25 @@ fn cheap_dominates(a: &SymbolicSolution, b: &SymbolicSolution, sampler: &GapSamp
 }
 
 /// Exact prune with the LP decision procedure; used on the final state.
-fn prune_exact(solutions: Vec<SymbolicSolution>, sampler: &GapSampler) -> Vec<SymbolicSolution> {
+///
+/// `prune` leaves the candidates sorted by total wirelength, so the exact
+/// sweep also meets dominators early; `scratch` is threaded through every
+/// LP call (see [`DominanceScratch`]).
+fn prune_exact(
+    solutions: Vec<SymbolicSolution>,
+    sampler: &GapSampler,
+    scratch: &mut DominanceScratch,
+) -> Vec<SymbolicSolution> {
     let solutions = prune(solutions, sampler);
     let mut keep: Vec<SymbolicSolution> = Vec::with_capacity(solutions.len());
     'outer: for s in solutions {
         let mut i = 0;
         while i < keep.len() {
             // Sampled prefilter first; LP only when samples cannot refute.
-            if sampler.may_dominate(&keep[i], &s) && dominates(&keep[i], &s) {
+            if sampler.may_dominate(&keep[i], &s) && dominates_with(&keep[i], &s, scratch) {
                 continue 'outer;
             }
-            if sampler.may_dominate(&s, &keep[i]) && dominates(&s, &keep[i]) {
+            if sampler.may_dominate(&s, &keep[i]) && dominates_with(&s, &keep[i], scratch) {
                 keep.swap_remove(i);
             } else {
                 i += 1;
@@ -464,6 +517,17 @@ mod tests {
             w: w.to_vec(),
             delays: delays.iter().map(|d| d.to_vec()).collect(),
             edges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn gap_sampler_has_no_duplicate_samples() {
+        for dims in 1..=10 {
+            let s = GapSampler::new(dims);
+            assert!(!s.samples.is_empty());
+            for (i, v) in s.samples.iter().enumerate() {
+                assert!(!s.samples[..i].contains(v), "duplicate at dims={dims}");
+            }
         }
     }
 

@@ -83,7 +83,7 @@ impl Pattern {
     /// of range (patterns are internal artifacts; malformed ones are bugs).
     pub fn new(yperm: Vec<u8>, source: u8) -> Self {
         let n = yperm.len();
-        assert!(n >= 2 && n <= 16, "pattern degree out of range: {n}");
+        assert!((2..=16).contains(&n), "pattern degree out of range: {n}");
         assert!((source as usize) < n, "source column out of range");
         let mut seen = vec![false; n];
         for &r in &yperm {

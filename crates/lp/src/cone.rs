@@ -9,7 +9,7 @@
 //! with `aᵢ·l ≥ t` — the system is strictly feasible iff that optimum is
 //! positive. This turns the question into one exact LP.
 
-use crate::{solve, LpOutcome, Problem, Rational, Relation};
+use crate::{solve_with, LpOutcome, Problem, Rational, Relation, SimplexScratch};
 
 /// Decides whether some `l ≥ 0` satisfies `row · l > 0` for **every** row.
 ///
@@ -31,6 +31,15 @@ use crate::{solve, LpOutcome, Problem, Rational, Relation};
 /// assert!(strictly_feasible(&[vec![1, -1]]));
 /// ```
 pub fn strictly_feasible(rows: &[Vec<i64>]) -> bool {
+    strictly_feasible_with(rows, &mut SimplexScratch::default())
+}
+
+/// [`strictly_feasible`] with caller-provided simplex scratch.
+///
+/// Dominance checking issues these queries in tight loops; threading one
+/// [`SimplexScratch`] through them reuses the tableau allocation across
+/// every LP call.
+pub fn strictly_feasible_with(rows: &[Vec<i64>], scratch: &mut SimplexScratch) -> bool {
     if rows.is_empty() {
         return true;
     }
@@ -68,7 +77,7 @@ pub fn strictly_feasible(rows: &[Vec<i64>]) -> bool {
         p.constrain(&coeffs, Relation::Ge, Rational::ZERO);
     }
 
-    match solve(&p) {
+    match solve_with(&p, scratch) {
         LpOutcome::Optimal { value, .. } => value.is_positive(),
         // Restricting t ≥ 0 can make the LP infeasible exactly when no
         // l ≥ 0 on the simplex satisfies row·l ≥ 0 for all rows — certainly

@@ -34,4 +34,4 @@ mod rational;
 mod simplex;
 
 pub use rational::Rational;
-pub use simplex::{solve, LpOutcome, Problem, Relation};
+pub use simplex::{solve, solve_with, LpOutcome, Problem, Relation, SimplexScratch};

@@ -141,6 +141,8 @@ impl Mul for Rational {
 impl Div for Rational {
     type Output = Rational;
 
+    // Division by a rational IS multiplication by its reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }

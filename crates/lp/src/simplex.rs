@@ -97,16 +97,30 @@ pub enum LpOutcome {
     Unbounded,
 }
 
-struct Tableau {
-    /// `rows × cols` matrix; the last column is the rhs.
+/// Reusable buffers for [`solve_with`].
+///
+/// The tableau is the dominant allocation of a solve (`m` rows of
+/// `num_cols + 1` rationals); callers issuing many small LPs back to back
+/// — the symbolic dominance checks do thousands per pattern — keep one
+/// scratch alive and amortize every row allocation across calls.
+#[derive(Debug, Default)]
+pub struct SimplexScratch {
     rows: Vec<Vec<Rational>>,
     basis: Vec<usize>,
+    costs: Vec<Rational>,
+    allowed: Vec<bool>,
+}
+
+struct Tableau<'a> {
+    /// `rows × cols` matrix; the last column is the rhs.
+    rows: &'a mut Vec<Vec<Rational>>,
+    basis: &'a mut Vec<usize>,
     num_structural: usize,
     /// Total variable columns (excludes rhs).
     num_cols: usize,
 }
 
-impl Tableau {
+impl Tableau<'_> {
     fn rhs(&self, i: usize) -> Rational {
         self.rows[i][self.num_cols]
     }
@@ -200,87 +214,104 @@ impl Tableau {
 /// assert_eq!(value, Rational::from(10)); // x=2, y=2
 /// ```
 pub fn solve(problem: &Problem) -> LpOutcome {
+    solve_with(problem, &mut SimplexScratch::default())
+}
+
+/// [`solve`] with caller-provided scratch buffers.
+///
+/// Identical results; the tableau, basis and cost vectors live in
+/// `scratch` and are reused across calls, so a long run of solves stops
+/// allocating once the largest problem size has been seen.
+pub fn solve_with(problem: &Problem, scratch: &mut SimplexScratch) -> LpOutcome {
     let n = problem.num_vars;
     let m = problem.constraints.len();
 
-    // Count auxiliary columns: one slack/surplus per inequality, one
-    // artificial per Ge/Eq (after rhs normalization).
-    let mut normalized: Vec<Constraint> = Vec::with_capacity(m);
-    for c in &problem.constraints {
+    // A constraint with a negative rhs is normalized by flipping its sign
+    // while the tableau row is filled (no constraint cloning); this is the
+    // relation it effectively contributes.
+    let effective_rel = |c: &Constraint| {
         if c.rhs.is_negative() {
-            let coeffs = c.coeffs.iter().map(|&v| -v).collect();
-            let rel = match c.rel {
+            match c.rel {
                 Relation::Le => Relation::Ge,
                 Relation::Ge => Relation::Le,
                 Relation::Eq => Relation::Eq,
-            };
-            normalized.push(Constraint {
-                coeffs,
-                rel,
-                rhs: -c.rhs,
-            });
+            }
         } else {
-            normalized.push(c.clone());
+            c.rel
         }
-    }
+    };
 
-    let num_slack = normalized
+    // Count auxiliary columns: one slack/surplus per inequality, one
+    // artificial per Ge/Eq (after rhs normalization).
+    let num_slack = problem
+        .constraints
         .iter()
-        .filter(|c| c.rel != Relation::Eq)
+        .filter(|c| effective_rel(c) != Relation::Eq)
         .count();
-    let num_artificial = normalized
+    let num_artificial = problem
+        .constraints
         .iter()
-        .filter(|c| c.rel != Relation::Le)
+        .filter(|c| effective_rel(c) != Relation::Le)
         .count();
     let artificial_start = n + num_slack;
     let num_cols = n + num_slack + num_artificial;
 
-    let mut rows = Vec::with_capacity(m);
-    let mut basis = Vec::with_capacity(m);
+    scratch.rows.truncate(m);
+    while scratch.rows.len() < m {
+        scratch.rows.push(Vec::new());
+    }
+    scratch.basis.clear();
     let mut slack_idx = n;
     let mut art_idx = artificial_start;
-    for c in &normalized {
-        let mut row = vec![Rational::ZERO; num_cols + 1];
-        row[..n].copy_from_slice(&c.coeffs);
-        row[num_cols] = c.rhs;
-        match c.rel {
+    for (c, row) in problem.constraints.iter().zip(scratch.rows.iter_mut()) {
+        row.clear();
+        row.resize(num_cols + 1, Rational::ZERO);
+        let flip = c.rhs.is_negative();
+        for (dst, &v) in row[..n].iter_mut().zip(&c.coeffs) {
+            *dst = if flip { -v } else { v };
+        }
+        row[num_cols] = if flip { -c.rhs } else { c.rhs };
+        match effective_rel(c) {
             Relation::Le => {
                 row[slack_idx] = Rational::ONE;
-                basis.push(slack_idx);
+                scratch.basis.push(slack_idx);
                 slack_idx += 1;
             }
             Relation::Ge => {
                 row[slack_idx] = -Rational::ONE;
                 slack_idx += 1;
                 row[art_idx] = Rational::ONE;
-                basis.push(art_idx);
+                scratch.basis.push(art_idx);
                 art_idx += 1;
             }
             Relation::Eq => {
                 row[art_idx] = Rational::ONE;
-                basis.push(art_idx);
+                scratch.basis.push(art_idx);
                 art_idx += 1;
             }
         }
-        rows.push(row);
     }
 
     let mut tab = Tableau {
-        rows,
-        basis,
+        rows: &mut scratch.rows,
+        basis: &mut scratch.basis,
         num_structural: n,
         num_cols,
     };
+    let costs = &mut scratch.costs;
+    let allowed = &mut scratch.allowed;
 
     // Phase 1: maximize -(sum of artificials).
     if num_artificial > 0 {
-        let mut costs = vec![Rational::ZERO; num_cols];
-        for j in artificial_start..num_cols {
-            costs[j] = -Rational::ONE;
+        costs.clear();
+        costs.resize(num_cols, Rational::ZERO);
+        for c in &mut costs[artificial_start..] {
+            *c = -Rational::ONE;
         }
-        let allowed = vec![true; num_cols];
+        allowed.clear();
+        allowed.resize(num_cols, true);
         let value = tab
-            .optimize(&costs, &allowed)
+            .optimize(costs, allowed)
             .expect("phase 1 is bounded by construction");
         if value.is_negative() {
             return LpOutcome::Infeasible;
@@ -302,13 +333,15 @@ pub fn solve(problem: &Problem) -> LpOutcome {
     }
 
     // Phase 2: original objective, artificial columns banned.
-    let mut costs = vec![Rational::ZERO; num_cols];
+    costs.clear();
+    costs.resize(num_cols, Rational::ZERO);
     costs[..n].copy_from_slice(&problem.objective);
-    let mut allowed = vec![true; num_cols];
+    allowed.clear();
+    allowed.resize(num_cols, true);
     for a in allowed.iter_mut().skip(artificial_start) {
         *a = false;
     }
-    match tab.optimize(&costs, &allowed) {
+    match tab.optimize(costs, allowed) {
         Some(value) => {
             let mut point = vec![Rational::ZERO; tab.num_structural];
             for (i, &b) in tab.basis.iter().enumerate() {

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use patlabor_geom::{HananGrid, Net, Pattern, RankNode};
+use patlabor_geom::{HananGrid, Net, Pattern, RankNode, Transform};
 use patlabor_pareto::{Cost, ParetoSet};
 use patlabor_tree::{extract_from_union, RoutingTree};
 
@@ -111,6 +111,48 @@ pub struct LookupTable {
     pub(crate) tables: Vec<DegreeTable>,
 }
 
+/// The canonicalization of one net, precomputed once per query.
+///
+/// Splitting this out of [`LookupTable::query`] lets callers key a cache
+/// on the canonical pattern and gap vector ([`QueryContext::canonical_key`]
+/// / [`QueryContext::canonical_gaps`]) and, on a hit, replay only the
+/// winning topology ids with [`LookupTable::query_ids`].
+///
+/// Both objectives are invariant under the dihedral symmetries (the L1
+/// metric commutes with axis swaps and flips, and gap vectors carry the
+/// full geometry), so the set of winning topology ids — and the order the
+/// query evaluates them in — is a pure function of the canonical key and
+/// canonical gap vector. That is what makes replaying cached ids
+/// bit-identical to a full evaluation.
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    grid: HananGrid,
+    degree: u8,
+    canonical_key: u64,
+    /// Maps canonical rank nodes back to this net's rank space.
+    inverse: Transform,
+    canonical_gaps: Vec<i64>,
+}
+
+impl QueryContext {
+    /// The canonical pattern key (encodes degree, source position and the
+    /// canonical y-permutation).
+    pub fn canonical_key(&self) -> u64 {
+        self.canonical_key
+    }
+
+    /// The net's Hanan-grid gap vector mapped into canonical rank space
+    /// (horizontal gaps first, then vertical; `2n − 2` entries).
+    ///
+    /// Two nets related by a grid symmetry produce the same canonical key
+    /// *and* the same canonical gap vector, so `(key, gaps)` identifies a
+    /// net up to congruence — exactly the granularity at which query
+    /// results (winning topology ids) coincide.
+    pub fn canonical_gaps(&self) -> &[i64] {
+        &self.canonical_gaps
+    }
+}
+
 impl LookupTable {
     /// The largest tabulated degree λ.
     pub fn lambda(&self) -> u8 {
@@ -135,37 +177,125 @@ impl LookupTable {
             set.insert(Cost::new(w, d), tree);
             return Some(set);
         }
+        let ctx = self
+            .query_context(net)
+            .expect("degree checked to be in 3..=lambda");
+        Some(self.query_witnesses(net, &ctx)?.0)
+    }
+
+    /// Canonicalizes `net` for [`LookupTable::query_witnesses`] /
+    /// [`LookupTable::query_ids`], or `None` when its degree is outside
+    /// `3..=λ` (degree 2 has a closed-form answer and nothing to cache).
+    pub fn query_context(&self, net: &Net) -> Option<QueryContext> {
+        let n = net.degree();
+        if n < 3 || n > self.lambda as usize {
+            return None;
+        }
         let grid = HananGrid::new(net);
         let (pattern, _) = Pattern::from_grid(&grid);
         let (canonical, transform) = pattern.canonical();
-        let degree_table = &self.tables[n];
-        let ids = degree_table.patterns.get(&canonical.key().as_u64())?;
-        let inv = transform.inverse();
-        let nb = n as u8;
-
-        let mut witnesses: Vec<(Cost, RoutingTree)> = Vec::with_capacity(ids.len());
-        for &id in ids {
-            let topo = &degree_table.pool[id as usize];
-            let pts: Vec<_> = topo
-                .rank_edges(nb)
-                .into_iter()
-                .map(|(a, b)| {
-                    let map = |nd: RankNode| {
-                        let instance_node = inv.apply(nd, nb);
-                        patlabor_geom::Point::new(
-                            grid.xs()[instance_node.col as usize],
-                            grid.ys()[instance_node.row as usize],
-                        )
-                    };
-                    (map(a), map(b))
-                })
-                .collect();
-            let tree = extract_from_union(net, &pts)
-                .expect("stored topologies span every pattern pin");
-            let (w, d) = tree.objectives();
-            witnesses.push((Cost::new(w, d), tree));
+        // Map the instance gap vector into canonical rank space: the
+        // canonicalizing transform applies the swap first, then the flips
+        // (T = flips ∘ swap), mirroring `Transform::apply` on rank nodes.
+        let mut h = grid.h_gaps();
+        let mut v = grid.v_gaps();
+        if transform.swap {
+            std::mem::swap(&mut h, &mut v);
         }
-        Some(ParetoSet::from_unpruned(witnesses))
+        if transform.flip_x {
+            h.reverse();
+        }
+        if transform.flip_y {
+            v.reverse();
+        }
+        let mut canonical_gaps = h;
+        canonical_gaps.append(&mut v);
+        Some(QueryContext {
+            grid,
+            degree: n as u8,
+            canonical_key: canonical.key().as_u64(),
+            inverse: transform.inverse(),
+            canonical_gaps,
+        })
+    }
+
+    /// Instantiates one stored topology against `net`'s coordinates.
+    fn instantiate(&self, net: &Net, ctx: &QueryContext, id: u32) -> RoutingTree {
+        let nb = ctx.degree;
+        let topo = &self.tables[nb as usize].pool[id as usize];
+        let pts: Vec<_> = topo
+            .rank_edges(nb)
+            .into_iter()
+            .map(|(a, b)| {
+                let map = |nd: RankNode| {
+                    let instance_node = ctx.inverse.apply(nd, nb);
+                    patlabor_geom::Point::new(
+                        ctx.grid.xs()[instance_node.col as usize],
+                        ctx.grid.ys()[instance_node.row as usize],
+                    )
+                };
+                (map(a), map(b))
+            })
+            .collect();
+        extract_from_union(net, &pts).expect("stored topologies span every pattern pin")
+    }
+
+    /// The Pareto frontier of `net` together with the pool ids of the
+    /// winning topologies (in frontier order), or `None` when the
+    /// canonical pattern is not tabulated.
+    ///
+    /// The id list is exactly what a frontier cache needs to store:
+    /// replaying it through [`LookupTable::query_ids`] on any net with the
+    /// same canonical key and gap vector reproduces this frontier
+    /// bit-for-bit, including tie-break order.
+    pub fn query_witnesses(
+        &self,
+        net: &Net,
+        ctx: &QueryContext,
+    ) -> Option<(ParetoSet<RoutingTree>, Vec<u32>)> {
+        let ids = self.tables[ctx.degree as usize]
+            .patterns
+            .get(&ctx.canonical_key)?;
+        let witnesses: Vec<(Cost, (RoutingTree, u32))> = ids
+            .iter()
+            .map(|&id| {
+                let tree = self.instantiate(net, ctx, id);
+                let (w, d) = tree.objectives();
+                (Cost::new(w, d), (tree, id))
+            })
+            .collect();
+        // `from_unpruned` is a stable sort + sweep keyed on cost alone, so
+        // tagging each witness with its id changes nothing about which
+        // entries survive or their order.
+        let mut winners = Vec::new();
+        let frontier = ParetoSet::from_unpruned(witnesses)
+            .into_entries()
+            .into_iter()
+            .map(|(cost, (tree, id))| {
+                winners.push(id);
+                (cost, tree)
+            })
+            .collect::<Vec<_>>();
+        Some((ParetoSet::from_unpruned(frontier), winners))
+    }
+
+    /// Re-evaluates a cached winning-id list against `net`.
+    ///
+    /// `ids` must come from a [`LookupTable::query_witnesses`] call whose
+    /// context had the same canonical key and gap vector (the frontier
+    /// cache's lookup key); the result then equals that call's frontier.
+    pub fn query_ids(&self, net: &Net, ctx: &QueryContext, ids: &[u32]) -> ParetoSet<RoutingTree> {
+        let witnesses: Vec<(Cost, RoutingTree)> = ids
+            .iter()
+            .map(|&id| {
+                let tree = self.instantiate(net, ctx, id);
+                let (w, d) = tree.objectives();
+                (Cost::new(w, d), tree)
+            })
+            .collect();
+        // Winners are mutually non-dominating and already in frontier
+        // order, so this sort-and-sweep keeps every entry as-is.
+        ParetoSet::from_unpruned(witnesses)
     }
 
     /// Number of stored patterns for `degree`.

@@ -237,8 +237,8 @@ impl PassState {
             .map(|&v| if self.is_sink(v) { self.dist[v] } else { i64::MIN })
             .collect();
         self.prefix = vec![i64::MIN; n + 1];
-        for i in 0..n {
-            self.prefix[i + 1] = self.prefix[i].max(pin_dist[i]);
+        for (i, &d) in pin_dist.iter().enumerate() {
+            self.prefix[i + 1] = self.prefix[i].max(d);
         }
         self.suffix = vec![i64::MIN; n + 1];
         for i in (0..n).rev() {

@@ -112,8 +112,8 @@ impl RoutingTree {
                 }
             }
         }
-        for pin in 0..num_pins {
-            if parent[pin] == usize::MAX {
+        for (pin, &par) in parent.iter().enumerate().take(num_pins) {
+            if par == usize::MAX {
                 return Err(InvalidTreeError::DisconnectedPin { pin });
             }
         }
@@ -158,7 +158,8 @@ impl RoutingTree {
             }
         }
         // Every node must reach the root within n steps.
-        for mut v in 1..n {
+        for start in 1..n {
+            let mut v = start;
             let mut steps = 0;
             while v != 0 {
                 v = parent[v];

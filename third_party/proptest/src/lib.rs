@@ -1,0 +1,324 @@
+//! Offline drop-in replacement for the subset of `proptest` this
+//! workspace uses.
+//!
+//! The build container cannot reach crates.io, so the real proptest is
+//! unavailable. This shim keeps every `proptest!` block in the workspace
+//! compiling and *meaningful*: strategies generate seeded pseudo-random
+//! inputs and each property runs for a configurable number of cases.
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the panic
+//!   message of the assertion that fired, unminimized;
+//! * **fixed seeding** — cases derive from a per-test deterministic seed
+//!   (test name hash × case index) so CI runs are reproducible;
+//! * **subset API** — integer range strategies, tuples, `prop_map`,
+//!   `collection::{vec, hash_set}`, `Just`, `prop_assert!`,
+//!   `prop_assert_eq!`, `ProptestConfig::with_cases`, `TestCaseError`.
+
+pub mod strategy;
+
+// The `proptest!` expansion needs an RNG without forcing every consumer to
+// also depend on `rand` directly.
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration (`proptest::test_runner::Config` subset).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the exact-DP heavy
+            // properties in this workspace fast on small containers while
+            // still exercising a meaningful input spread.
+            Config { cases: 64 }
+        }
+    }
+
+    /// A rejected or failed test case (`proptest::test_runner::TestCaseError`
+    /// subset).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property does not hold; the payload explains why.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Marks the current case as a failure.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(reason) => write!(f, "{reason}"),
+            }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Size specification: an exact length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a size drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy producing `HashSet`s (distinct elements) of `element`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Distinctness needs retries; bail out rather than spin when the
+            // element domain is too small for the requested size.
+            let mut attempts = 0usize;
+            while out.len() < target {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100 * (target + 1),
+                    "hash_set strategy could not reach {target} distinct elements"
+                );
+            }
+            out
+        }
+    }
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running the body over generated cases.
+///
+/// Failing assertions (`prop_assert!` and friends) report the case number;
+/// inputs are not shrunk.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::test_runner::Config as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            // Deterministic per-test stream: hash the test name into the
+            // seed so sibling properties see different inputs.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in stringify!($name).bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            for case in 0..config.cases as u64 {
+                let mut rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        seed.wrapping_add(case),
+                    );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("property {} failed at case {case}: {e}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the current proptest case instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Sanity: generated values respect their strategies.
+        #[test]
+        fn ranges_and_tuples(a in 0i64..10, (b, c) in (5u32..6, -3i64..3)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert_eq!(b, 5);
+            prop_assert!((-3..3).contains(&c));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec((0i64..100, 0i64..100), 2..7),
+            w in crate::collection::vec(0u16..4, 3),
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+            let sums = crate::collection::vec((0i64..5, 0i64..5).prop_map(|(x, y)| x + y), 4);
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+            for s in Strategy::generate(&sums, &mut rng) {
+                prop_assert!((0..10).contains(&s));
+            }
+        }
+
+        #[test]
+        fn hash_sets_are_distinct(s in crate::collection::hash_set(0i64..50, 5..6)) {
+            prop_assert_eq!(s.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+            fn inner(x in 0i64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline drop-in replacement for the subset of `rand` 0.8 this workspace
+//! uses.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the workspace cannot depend on crates.io. Every consumer in this repo
+//! only needs deterministic, seeded generation (`StdRng::seed_from_u64`,
+//! `gen_range`, `gen_bool`), which this crate provides with a
+//! xoshiro256++ generator seeded through SplitMix64 — the same
+//! construction the real `rand_chacha`-backed `StdRng` guarantees
+//! (deterministic per seed), though the concrete stream differs.
+//!
+//! Only the APIs the workspace calls are implemented; anything else is an
+//! intentional compile error so accidental reliance on unimplemented
+//! behavior is caught immediately.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers (`rand::Rng` subset).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive integer ranges).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 high bits give a uniform double in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a uniform sample (`rand::distributions`
+/// machinery reduced to the integer cases the workspace needs).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// i128 spans can exceed u128 in principle; the workspace only samples small
+// i128 ranges, so route them through the same path with a width assertion.
+impl SampleRange<i128> for Range<i128> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.checked_sub(self.start).expect("i128 range too wide") as u128;
+        let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+        self.start + draw as i128
+    }
+}
+
+/// Named generators (`rand::rngs` subset).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator: xoshiro256++ with SplitMix64 seed
+    /// expansion. Statistically solid for the synthetic-workload and
+    /// property-test duty it serves here.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding for xoshiro.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1_000_000), b.gen_range(0i64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let first: Vec<i64> = (0..10).map(|_| c.gen_range(0..1_000_000)).collect();
+        let mut a = StdRng::seed_from_u64(7);
+        let other: Vec<i64> = (0..10).map(|_| a.gen_range(0..1_000_000)).collect();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-17i64..42);
+            assert!((-17..42).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn range_samples_cover_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn i128_ranges_sample() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-1000i128..1000);
+            assert!((-1000..1000).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace declares optional `serde` dependencies behind per-crate
+//! `serde` cargo features (all disabled by default, and none enabled by any
+//! workspace build). The build container cannot reach crates.io, so this
+//! stub exists purely to satisfy dependency resolution. If a future PR
+//! wants real serialization support it must vendor the actual `serde` (and
+//! `serde_derive`) sources — enabling a dependent's `serde` feature against
+//! this stub will fail to compile, loudly, at the first derive.
