@@ -73,6 +73,10 @@ struct Run {
     nets_per_sec: f64,
     cache_hit_rate: f64,
     speedup_vs_serial: f64,
+    /// More worker threads than the machine has hardware threads: the
+    /// numbers then measure scheduler time-slicing, not scaling, so the
+    /// headline summary skips these runs.
+    oversubscribed: bool,
 }
 
 fn measure(table: &patlabor::LookupTable, nets: &[Net], threads: usize, cache: bool) -> (f64, f64) {
@@ -119,6 +123,7 @@ fn main() {
                 nets_per_sec,
                 cache_hit_rate,
                 speedup_vs_serial: nets_per_sec / serial_nps,
+                oversubscribed: threads > hardware,
             });
         }
     }
@@ -126,7 +131,7 @@ fn main() {
     println!(
         "{}",
         patlabor_bench::render_table(
-            &["threads", "cache", "nets/s", "hit rate", "speedup"],
+            &["threads", "cache", "nets/s", "hit rate", "speedup", "oversub"],
             &runs
                 .iter()
                 .map(|r| {
@@ -136,10 +141,26 @@ fn main() {
                         format!("{:.0}", r.nets_per_sec),
                         format!("{:.3}", r.cache_hit_rate),
                         format!("{:.2}x", r.speedup_vs_serial),
+                        if r.oversubscribed { "yes" } else { "" }.to_string(),
                     ]
                 })
                 .collect::<Vec<_>>(),
         )
+    );
+
+    // Headline: the best configuration among runs the machine can
+    // actually execute in parallel. Oversubscribed runs stay in the JSON
+    // for the record but never in the summary.
+    let headline = runs
+        .iter()
+        .filter(|r| !r.oversubscribed)
+        .max_by(|a, b| a.nets_per_sec.total_cmp(&b.nets_per_sec))
+        .expect("the 1-thread runs are never oversubscribed");
+    println!(
+        "headline: {:.0} nets/s ({} thread(s), cache {}; oversubscribed runs excluded)",
+        headline.nets_per_sec,
+        headline.threads,
+        if headline.cache { "on" } else { "off" },
     );
 
     let mut json = String::new();
@@ -150,17 +171,36 @@ fn main() {
     let _ = writeln!(json, "  \"seed\": {SEED},");
     let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
     let _ = writeln!(json, "  \"serial_nets_per_sec\": {serial_nps:.2},");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"threads\": {}, \"cache\": {}, \"nets_per_sec\": {:.2}}},",
+        headline.threads, headline.cache, headline.nets_per_sec
+    );
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
         let _ = writeln!(
             json,
             "    {{\"threads\": {}, \"cache\": {}, \"nets_per_sec\": {:.2}, \
-             \"cache_hit_rate\": {:.4}, \"speedup_vs_serial\": {:.4}}}{comma}",
-            r.threads, r.cache, r.nets_per_sec, r.cache_hit_rate, r.speedup_vs_serial
+             \"cache_hit_rate\": {:.4}, \"speedup_vs_serial\": {:.4}, \
+             \"oversubscribed\": {}}}{comma}",
+            r.threads,
+            r.cache,
+            r.nets_per_sec,
+            r.cache_hit_rate,
+            r.speedup_vs_serial,
+            r.oversubscribed
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"notes\": \"headline considers only runs with threads <= hardware_threads; \
+         oversubscribed runs measure scheduler time-slicing, not scaling. The 8-thread \
+         cache-on slowdown previously reported here was measured oversubscribed on one \
+         hardware thread — treat it as lock/scheduler contention to re-measure on a \
+         multi-core host, not as a cache regression.\""
+    );
     let _ = writeln!(json, "}}");
 
     // crates/bench → repository root.

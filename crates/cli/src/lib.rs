@@ -6,10 +6,13 @@
 //!
 //! * `patlabor route <nets.txt>` — route a net list, print each net's
 //!   Pareto frontier (optionally picking one tree per delay budget);
-//! * `patlabor gen-tables --lambda L -o tables.plut` — generate lookup
-//!   tables offline;
-//! * `patlabor stats <tables.plut>` — Table II style statistics of a
-//!   table file.
+//! * `patlabor lut build --lambda L -o tables.plut` — generate v3 lookup
+//!   tables offline (also the migration path for pre-v3 table files);
+//! * `patlabor lut info <tables.plut>` — format version, per-degree
+//!   Table II statistics and arena sizes of a table file.
+//!
+//! `gen-tables` and `stats` remain as aliases of the two `lut`
+//! subcommands.
 //!
 //! # Net-list format
 //!
@@ -147,7 +150,7 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Str
     Ok(out)
 }
 
-/// Runs the `gen-tables` command.
+/// Runs `lut build` (alias: `gen-tables`).
 ///
 /// # Errors
 ///
@@ -165,7 +168,7 @@ pub fn gen_tables_command(lambda: u8, output: &str) -> Result<String, String> {
     ))
 }
 
-/// Runs the `stats` command on a table file.
+/// Runs `lut info` (alias: `stats`) on a table file.
 ///
 /// # Errors
 ///
@@ -173,14 +176,62 @@ pub fn gen_tables_command(lambda: u8, output: &str) -> Result<String, String> {
 pub fn stats_command(path: &str) -> Result<String, String> {
     let table = LookupTable::load(path).map_err(|e| e.to_string())?;
     let mut out = format!("lambda = {}\n", table.lambda());
-    out.push_str("degree  #Index  avg #Topo  total topologies  unique (clustered)\n");
+    out.push_str("degree  #Index  avg #Topo  total topologies  unique (pool)  arena bytes\n");
+    let mut total_bytes = 0usize;
     for s in table.stats() {
+        total_bytes += s.bytes;
         out.push_str(&format!(
-            "{:>6}  {:>6}  {:>9.2}  {:>16}  {:>18}\n",
-            s.degree, s.num_patterns, s.avg_topologies, s.total_topologies, s.unique_topologies
+            "{:>6}  {:>6}  {:>9.2}  {:>16}  {:>13}  {:>11}\n",
+            s.degree,
+            s.num_patterns,
+            s.avg_topologies,
+            s.total_topologies,
+            s.unique_topologies,
+            s.bytes
         ));
     }
+    out.push_str(&format!("total arena bytes: {total_bytes}\n"));
     Ok(out)
+}
+
+/// Dispatches the `lut` subcommands (`build`, `info`).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown subcommands or flag
+/// problems, and propagates build/load errors.
+pub fn lut_command(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("build") => {
+            let mut lambda = None;
+            let mut output = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--lambda" => {
+                        lambda = Some(
+                            next_value(&mut it, "--lambda")?
+                                .parse::<u8>()
+                                .map_err(|_| "--lambda expects an integer".to_string())?,
+                        );
+                    }
+                    "-o" | "--output" => output = Some(next_value(&mut it, "-o")?),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            let lambda = lambda.ok_or_else(|| "lut build needs --lambda".to_string())?;
+            let output = output.ok_or_else(|| "lut build needs -o FILE".to_string())?;
+            gen_tables_command(lambda, &output)
+        }
+        Some("info") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| "lut info needs a file".to_string())?;
+            stats_command(path)
+        }
+        Some(other) => Err(format!("unknown lut subcommand `{other}`\n\n{USAGE}")),
+        None => Err(format!("lut needs a subcommand (build | info)\n\n{USAGE}")),
+    }
 }
 
 /// Usage text.
@@ -190,8 +241,10 @@ patlabor — Pareto optimization of timing-driven routing trees
 USAGE:
   patlabor route [--lambda L] [--tables FILE] [--pick SLACK] <nets.txt>
   patlabor route [...] --bookshelf DESIGN.aux
-  patlabor gen-tables --lambda L -o FILE
-  patlabor stats FILE
+  patlabor lut build --lambda L -o FILE
+  patlabor lut info FILE
+  patlabor gen-tables --lambda L -o FILE   (alias of `lut build`)
+  patlabor stats FILE                      (alias of `lut info`)
 
 Net list: one net per line, `x,y` pins separated by spaces, source first;
 `#` comments.
@@ -248,6 +301,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             };
             route_command(&nets, &options)
         }
+        Some("lut") => lut_command(&args[1..]),
         Some("gen-tables") => {
             let mut lambda = None;
             let mut output = None;
@@ -339,6 +393,41 @@ mod tests {
     fn gen_tables_rejects_bad_lambda() {
         assert!(gen_tables_command(2, "/tmp/x").is_err());
         assert!(gen_tables_command(10, "/tmp/x").is_err());
+    }
+
+    #[test]
+    fn lut_build_and_info_end_to_end() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lut3.plut").to_string_lossy().into_owned();
+        let msg = run(&[
+            "lut".into(),
+            "build".into(),
+            "--lambda".into(),
+            "3".into(),
+            "-o".into(),
+            path.clone(),
+        ])
+        .unwrap();
+        assert!(msg.contains("lambda=3"));
+        let info = run(&["lut".into(), "info".into(), path.clone()]).unwrap();
+        assert!(info.contains("lambda = 3"));
+        assert!(info.contains("arena bytes"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lut_subcommand_errors_are_actionable() {
+        assert!(run(&["lut".into()]).unwrap_err().contains("build | info"));
+        assert!(run(&["lut".into(), "bogus".into()])
+            .unwrap_err()
+            .contains("unknown lut subcommand"));
+        assert!(run(&["lut".into(), "build".into()])
+            .unwrap_err()
+            .contains("--lambda"));
+        assert!(run(&["lut".into(), "info".into()])
+            .unwrap_err()
+            .contains("needs a file"));
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! dihedral symmetries, and both objectives are invariant under those
 //! transforms, so the *winning topology ids* of a query depend only on
 //! the canonical pattern key and the canonical gap vector. This module
-//! caches exactly that: `(key, gaps) → winning ids`. On a hit the router
-//! instantiates only the winners instead of evaluating every candidate
-//! topology, skipping the dominated ones entirely — and because replay
-//! preserves evaluation order, the resulting frontier is bit-identical
-//! to an uncached query.
+//! caches exactly that: `(key, gaps) → winning ids`. The ids are indices
+//! into the lookup table's per-degree CSR topology pool (stable for the
+//! lifetime of a loaded table, and across save/load since v3 serializes
+//! the arenas verbatim). On a hit the router re-scores just those pool
+//! rows by dot product and materializes them, skipping the dominated
+//! candidates entirely — and because the v3 score kernel's tie-breaking
+//! is a pure function of `(key, gaps)`, the resulting frontier is
+//! bit-identical to an uncached query.
 //!
 //! The cache is sharded (`RwLock<HashMap>` per shard) so the read-mostly
 //! steady state scales across batch-routing threads: hits take a shared

@@ -27,6 +27,29 @@ use crate::DwConfig;
 /// Multiplicities over the `2n − 2` gap lengths (horizontal gaps first).
 pub type GapVec = Vec<u16>;
 
+/// The symbolic-cost dot product: `Σᵢ weights[i] · gaps[i]`.
+///
+/// This is the entire query kernel of the v3 lookup tables: a stored
+/// topology's wirelength is `dot(W, l)` and its delay is the max of
+/// `dot(Dⱼ, l)` over its per-sink delay rows, so serving a tabulated net
+/// costs a handful of integer dot products instead of tree
+/// materializations. Exposed so [`patlabor_lut`](../../patlabor_lut)
+/// evaluates pooled rows with exactly the arithmetic the symbolic DP
+/// used to prune them.
+///
+/// # Panics
+///
+/// Debug-asserts equal lengths; in release the shorter slice wins.
+#[inline]
+pub fn dot(weights: &[u16], gaps: &[i64]) -> i64 {
+    debug_assert_eq!(weights.len(), gaps.len(), "gap vector length mismatch");
+    weights
+        .iter()
+        .zip(gaps)
+        .map(|(&m, &l)| m as i64 * l)
+        .sum()
+}
+
 /// A potentially Pareto-optimal topology of a pattern, in symbolic form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SymbolicSolution {
@@ -47,12 +70,27 @@ impl SymbolicSolution {
     /// Panics if `gaps.len()` differs from the solution's gap dimension.
     pub fn evaluate(&self, gaps: &[i64]) -> (i64, i64) {
         assert_eq!(gaps.len(), self.w.len(), "gap vector length mismatch");
-        let dot = |v: &GapVec| -> i64 {
-            v.iter().zip(gaps).map(|(&m, &l)| m as i64 * l).sum()
-        };
-        let w = dot(&self.w);
-        let d = self.delays.iter().map(dot).max().unwrap_or(0);
+        let w = dot(&self.w, gaps);
+        let d = self.delays.iter().map(|row| dot(row, gaps)).max().unwrap_or(0);
         (w, d)
+    }
+
+    /// The cost rows flattened in lookup-table storage order: the `W` row
+    /// first, then the delay rows in ascending sink-column order, each of
+    /// length `2n − 2`.
+    ///
+    /// This is the payload the v3 table format stores per pooled topology;
+    /// evaluating a stored row block against a gap vector with [`dot`]
+    /// reproduces [`SymbolicSolution::evaluate`] exactly.
+    pub fn flat_rows(&self) -> Vec<u16> {
+        let dims = self.w.len();
+        let mut rows = Vec::with_capacity(dims * (1 + self.delays.len()));
+        rows.extend_from_slice(&self.w);
+        for row in &self.delays {
+            debug_assert_eq!(row.len(), dims, "ragged delay row");
+            rows.extend_from_slice(row);
+        }
+        rows
     }
 }
 

@@ -1,24 +1,69 @@
-//! The lookup table proper: storage layout, query path and statistics.
+//! The lookup table proper: CSR storage layout, the dot-product query
+//! kernel and statistics.
+//!
+//! # v3 storage layout
+//!
+//! Each degree's table is a set of flat arenas (one allocation each, no
+//! per-topology boxing):
+//!
+//! ```text
+//! pool entry t (a pooled topology)
+//!   edges  edge arena  [edge_off[t] .. edge_off[t+1])   packed (u8, u8)
+//!   rows   cost arena  [t·stride .. (t+1)·stride)       u16, stride = n·(2n−2)
+//!          ── W row (2n−2), then n−1 per-sink delay rows (2n−2 each)
+//!
+//! pattern p (canonical key, sorted ascending → binary search)
+//!   ids    id arena    [pattern_off[p] .. pattern_off[p+1])  u32 pool ids
+//! ```
+//!
+//! A query computes the net's canonical gap vector once, scores every
+//! candidate topology with integer dot products against its stored rows
+//! (`w = W·l`, `d = maxⱼ Dⱼ·l`), prunes the `(w, d)` pairs numerically,
+//! and materializes [`RoutingTree`]s **only for the frontier survivors**.
+//! Dominated candidates never touch the tree extractor.
 
 use std::collections::HashMap;
 
+use patlabor_dw::symbolic::{dot, SymbolicSolution};
 use patlabor_geom::{HananGrid, Net, Pattern, RankNode, Transform};
 use patlabor_pareto::{Cost, ParetoSet};
 use patlabor_tree::{extract_from_union, RoutingTree};
 
-/// One stored topology: tree edges in the canonical pattern's rank grid,
-/// packed as `col · n + row` byte pairs.
+/// One pooled topology: tree edges in the canonical pattern's rank grid
+/// (packed as `col · n + row` byte pairs) plus its symbolic cost rows.
+///
+/// `rows` is the flattened block [`SymbolicSolution::flat_rows`] produces:
+/// the wirelength multiplicities `W` (length `2n − 2`) followed by one
+/// delay row per sink in ascending sink-column order. Two topologies from
+/// different patterns pool into one entry only when **both** the edge set
+/// and the rows agree — the rows are what the query kernel evaluates, so
+/// pooling must never conflate topologies whose costs differ on some net.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StoredTopology {
-    /// Packed edges (endpoint node ids).
+    /// Packed edges (endpoint node ids), sorted and deduplicated.
     pub edges: Vec<(u8, u8)>,
+    /// Flattened cost rows: `n · (2n − 2)` multiplicities.
+    pub rows: Vec<u16>,
 }
 
 impl StoredTopology {
-    /// Packs rank-node edges.
-    pub fn from_rank_edges(edges: &[(RankNode, RankNode)], n: u8) -> Self {
+    /// Packs a symbolic DP solution of a degree-`n` pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution's row shape does not match degree `n`
+    /// (`2n − 2` gap dimensions, `n − 1` delay rows).
+    pub fn from_solution(sol: &SymbolicSolution, n: u8) -> Self {
+        let dims = 2 * n as usize - 2;
+        assert_eq!(sol.w.len(), dims, "W row has wrong gap dimension");
+        assert_eq!(
+            sol.delays.len(),
+            n as usize - 1,
+            "final DP solutions carry one delay row per sink"
+        );
         let pack = |nd: RankNode| nd.col * n + nd.row;
-        let mut packed: Vec<(u8, u8)> = edges
+        let mut packed: Vec<(u8, u8)> = sol
+            .edges
             .iter()
             .map(|&(a, b)| {
                 let (pa, pb) = (pack(a), pack(b));
@@ -27,7 +72,10 @@ impl StoredTopology {
             .collect();
         packed.sort_unstable();
         packed.dedup();
-        StoredTopology { edges: packed }
+        StoredTopology {
+            edges: packed,
+            rows: sol.flat_rows(),
+        }
     }
 
     /// Unpacks into rank-node edges.
@@ -57,47 +105,136 @@ pub struct LutStats {
     /// Total topology references across all patterns.
     pub total_topologies: usize,
     /// Unique topologies after cross-pattern clustering (the paper's
-    /// "store only one topology for each cluster").
+    /// "store only one topology for each cluster"; v3 clusters on
+    /// `(edges, cost rows)` so pooled entries are query-equivalent).
     pub unique_topologies: usize,
-    /// Approximate in-memory size in bytes of this degree's table.
+    /// Approximate in-memory size in bytes of this degree's arenas.
     pub bytes: usize,
 }
 
-/// One degree's table: a cross-pattern topology pool plus per-pattern
-/// index lists (the paper's clustering: identical topologies arising
-/// under different patterns/sources are stored once).
+/// One degree's table as flat CSR arenas (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub(crate) struct DegreeTable {
-    /// Deduplicated topology storage.
-    pub(crate) pool: Vec<StoredTopology>,
-    /// Canonical pattern key → indices into `pool`.
-    pub(crate) patterns: HashMap<u64, Vec<u32>>,
+    /// Degree `n` (0 for the empty placeholder tables below degree 3).
+    pub(crate) n: u8,
+    /// `edge_off[t] .. edge_off[t+1]` indexes `edges` for pool entry `t`;
+    /// length `npool + 1`, starts at 0.
+    pub(crate) edge_off: Vec<u32>,
+    /// Packed edge arena.
+    pub(crate) edges: Vec<(u8, u8)>,
+    /// Cost arena: `npool × n × (2n − 2)` multiplicities, fixed stride.
+    pub(crate) costs: Vec<u16>,
+    /// Canonical pattern keys, sorted ascending (binary-searched).
+    pub(crate) pattern_keys: Vec<u64>,
+    /// `pattern_off[p] .. pattern_off[p+1]` indexes `pattern_ids`;
+    /// length `npat + 1`, starts at 0.
+    pub(crate) pattern_off: Vec<u32>,
+    /// Pool-id arena.
+    pub(crate) pattern_ids: Vec<u32>,
 }
 
 impl DegreeTable {
+    /// Cost-arena stride per pool entry: one `W` row plus `n − 1` delay
+    /// rows, each `2n − 2` long.
+    pub(crate) fn row_stride(&self) -> usize {
+        self.n as usize * (2 * self.n as usize).saturating_sub(2)
+    }
+
+    /// Number of pooled topologies.
+    pub(crate) fn npool(&self) -> usize {
+        self.edge_off.len().saturating_sub(1)
+    }
+
+    /// Packed edges of pool entry `id`.
+    pub(crate) fn edges_of(&self, id: u32) -> &[(u8, u8)] {
+        let (lo, hi) = (
+            self.edge_off[id as usize] as usize,
+            self.edge_off[id as usize + 1] as usize,
+        );
+        &self.edges[lo..hi]
+    }
+
+    /// Flattened cost rows of pool entry `id` (`W` first, then delays).
+    pub(crate) fn rows_of(&self, id: u32) -> &[u16] {
+        let stride = self.row_stride();
+        &self.costs[id as usize * stride..(id as usize + 1) * stride]
+    }
+
+    /// Pool ids of a canonical pattern key, via binary search.
+    pub(crate) fn ids_of(&self, key: u64) -> Option<&[u32]> {
+        let p = self.pattern_keys.binary_search(&key).ok()?;
+        let (lo, hi) = (
+            self.pattern_off[p] as usize,
+            self.pattern_off[p + 1] as usize,
+        );
+        Some(&self.pattern_ids[lo..hi])
+    }
+
+    /// Number of stored patterns.
+    pub(crate) fn pattern_count(&self) -> usize {
+        self.pattern_keys.len()
+    }
+
+    /// Reassembles pool entry `id` (test and tooling convenience; the
+    /// query path reads the arenas directly).
+    #[cfg(test)]
+    pub(crate) fn topology(&self, id: u32) -> StoredTopology {
+        StoredTopology {
+            edges: self.edges_of(id).to_vec(),
+            rows: self.rows_of(id).to_vec(),
+        }
+    }
+
     /// Builds a degree table from per-pattern topology lists, pooling
-    /// duplicates.
-    pub(crate) fn from_lists(lists: HashMap<u64, Vec<StoredTopology>>) -> DegreeTable {
-        let mut pool: Vec<StoredTopology> = Vec::new();
+    /// entries whose `(edges, rows)` agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a topology's row block has the wrong stride for `degree`.
+    pub(crate) fn from_lists(
+        degree: u8,
+        lists: HashMap<u64, Vec<StoredTopology>>,
+    ) -> DegreeTable {
+        let mut table = DegreeTable {
+            n: degree,
+            edge_off: vec![0],
+            pattern_off: vec![0],
+            ..DegreeTable::default()
+        };
+        let stride = table.row_stride();
         let mut index: HashMap<StoredTopology, u32> = HashMap::new();
-        let mut patterns = HashMap::with_capacity(lists.len());
-        // Deterministic pool order: process patterns by key.
+        // Deterministic arena order: process patterns by ascending key —
+        // which is also the order `pattern_keys` needs for binary search.
         let mut keys: Vec<u64> = lists.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
-            let ids: Vec<u32> = lists[&key]
-                .iter()
-                .map(|t| {
-                    *index.entry(t.clone()).or_insert_with(|| {
-                        pool.push(t.clone());
-                        (pool.len() - 1) as u32
-                    })
-                })
-                .collect();
-            patterns.insert(key, ids);
+            for t in &lists[&key] {
+                let id = *index.entry(t.clone()).or_insert_with(|| {
+                    assert_eq!(t.rows.len(), stride, "row block has wrong stride");
+                    table.edges.extend_from_slice(&t.edges);
+                    table.edge_off.push(table.edges.len() as u32);
+                    table.costs.extend_from_slice(&t.rows);
+                    (table.edge_off.len() - 2) as u32
+                });
+                table.pattern_ids.push(id);
+            }
+            table.pattern_keys.push(key);
+            table.pattern_off.push(table.pattern_ids.len() as u32);
         }
-        DegreeTable { pool, patterns }
+        table
     }
+}
+
+std::thread_local! {
+    /// Per-thread count of `RoutingTree` materializations (see
+    /// [`LookupTable::thread_materializations`]).
+    static MATERIALIZATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+
+    /// Reusable query scratch: `(cost, input position, pool id)` triples.
+    /// Thread-local so concurrent batch workers never contend and the
+    /// steady-state query allocates nothing for scoring.
+    static SCORE_SCRATCH: std::cell::RefCell<Vec<(Cost, u32, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Lookup tables for every degree `2 ..= λ`.
@@ -162,9 +299,10 @@ impl LookupTable {
     /// The exact Pareto frontier of `net` with one witness tree per point,
     /// or `None` when the net's degree exceeds λ.
     ///
-    /// The query canonicalizes the net's pattern, maps the stored
-    /// topologies back through the inverse symmetry transform, evaluates
-    /// them against the net's actual coordinates and prunes numerically.
+    /// The query canonicalizes the net's pattern, scores every stored
+    /// candidate with integer dot products against its symbolic cost rows,
+    /// prunes numerically, and materializes witness trees only for the
+    /// surviving frontier.
     pub fn query(&self, net: &Net) -> Option<ParetoSet<RoutingTree>> {
         let n = net.degree();
         if n < 2 || n > self.lambda as usize {
@@ -219,15 +357,65 @@ impl LookupTable {
         })
     }
 
-    /// Instantiates one stored topology against `net`'s coordinates.
-    fn instantiate(&self, net: &Net, ctx: &QueryContext, id: u32) -> RoutingTree {
+    /// The candidate pool ids stored for `ctx`'s canonical pattern, or
+    /// `None` when the pattern is not tabulated. This is the pure *lookup*
+    /// stage of a query: one binary search over the sorted key array.
+    pub fn candidate_ids(&self, ctx: &QueryContext) -> Option<&[u32]> {
+        self.tables[ctx.degree as usize].ids_of(ctx.canonical_key)
+    }
+
+    /// The *score* stage: evaluates every candidate id by dot products
+    /// against its stored cost rows and prunes the `(w, d)` pairs
+    /// numerically. Returns the frontier as `(cost, pool id)` pairs in
+    /// frontier order (wirelength ascending) — exactly the entries
+    /// [`LookupTable::materialize`] should be called for.
+    ///
+    /// Ties between equal-cost candidates break toward the earlier `ids`
+    /// position, matching [`ParetoSet::from_unpruned`]'s first-in-input
+    /// rule, so the surviving ids are a pure function of `(canonical key,
+    /// canonical gaps)`.
+    pub fn score_candidates(&self, ctx: &QueryContext, ids: &[u32]) -> Vec<(Cost, u32)> {
+        let table = &self.tables[ctx.degree as usize];
+        let dims = ctx.canonical_gaps.len();
+        SCORE_SCRATCH.with(|cell| {
+            let mut scored = cell.borrow_mut();
+            scored.clear();
+            for (seq, &id) in ids.iter().enumerate() {
+                let rows = table.rows_of(id);
+                let w = dot(&rows[..dims], &ctx.canonical_gaps);
+                let d = rows[dims..]
+                    .chunks_exact(dims)
+                    .map(|row| dot(row, &ctx.canonical_gaps))
+                    .max()
+                    .unwrap_or(0);
+                scored.push((Cost::new(w, d), seq as u32, id));
+            }
+            // The seq tie-break makes the key total, so the unstable sort
+            // reproduces `from_unpruned`'s stable (w ↑, d ↑) order.
+            scored.sort_unstable_by_key(|&(c, seq, _)| (c.wirelength, c.delay, seq));
+            let mut frontier: Vec<(Cost, u32)> = Vec::new();
+            for &(c, _, id) in scored.iter() {
+                match frontier.last() {
+                    Some(&(last, _)) if last.delay <= c.delay => {} // dominated
+                    _ => frontier.push((c, id)),
+                }
+            }
+            frontier
+        })
+    }
+
+    /// The *materialize* stage: instantiates one stored topology against
+    /// `net`'s coordinates, producing a witness [`RoutingTree`].
+    pub fn materialize(&self, net: &Net, ctx: &QueryContext, id: u32) -> RoutingTree {
+        MATERIALIZATIONS.with(|c| c.set(c.get() + 1));
         let nb = ctx.degree;
-        let topo = &self.tables[nb as usize].pool[id as usize];
-        let pts: Vec<_> = topo
-            .rank_edges(nb)
-            .into_iter()
-            .map(|(a, b)| {
-                let map = |nd: RankNode| {
+        let table = &self.tables[nb as usize];
+        let pts: Vec<_> = table
+            .edges_of(id)
+            .iter()
+            .map(|&(a, b)| {
+                let map = |packed: u8| {
+                    let nd = RankNode::new(packed / nb, packed % nb);
                     let instance_node = ctx.inverse.apply(nd, nb);
                     patlabor_geom::Point::new(
                         ctx.grid.xs()[instance_node.col as usize],
@@ -240,9 +428,21 @@ impl LookupTable {
         extract_from_union(net, &pts).expect("stored topologies span every pattern pin")
     }
 
+    /// Number of [`RoutingTree`] materializations performed by queries on
+    /// the calling thread since it started. Instrumentation for tests and
+    /// benchmarks asserting that trees are built only for frontier
+    /// survivors; per-thread so concurrent tests never interfere.
+    pub fn thread_materializations() -> u64 {
+        MATERIALIZATIONS.with(|c| c.get())
+    }
+
     /// The Pareto frontier of `net` together with the pool ids of the
     /// winning topologies (in frontier order), or `None` when the
     /// canonical pattern is not tabulated.
+    ///
+    /// Composes the three query stages: [`LookupTable::candidate_ids`]
+    /// (binary search), [`LookupTable::score_candidates`] (dot products +
+    /// numeric prune) and [`LookupTable::materialize`] (survivors only).
     ///
     /// The id list is exactly what a frontier cache needs to store:
     /// replaying it through [`LookupTable::query_ids`] on any net with the
@@ -253,30 +453,25 @@ impl LookupTable {
         net: &Net,
         ctx: &QueryContext,
     ) -> Option<(ParetoSet<RoutingTree>, Vec<u32>)> {
-        let ids = self.tables[ctx.degree as usize]
-            .patterns
-            .get(&ctx.canonical_key)?;
-        let witnesses: Vec<(Cost, (RoutingTree, u32))> = ids
-            .iter()
-            .map(|&id| {
-                let tree = self.instantiate(net, ctx, id);
-                let (w, d) = tree.objectives();
-                (Cost::new(w, d), (tree, id))
-            })
-            .collect();
-        // `from_unpruned` is a stable sort + sweep keyed on cost alone, so
-        // tagging each witness with its id changes nothing about which
-        // entries survive or their order.
-        let mut winners = Vec::new();
-        let frontier = ParetoSet::from_unpruned(witnesses)
-            .into_entries()
+        let ids = self.candidate_ids(ctx)?;
+        let frontier = self.score_candidates(ctx, ids);
+        let mut winners = Vec::with_capacity(frontier.len());
+        let entries: Vec<(Cost, RoutingTree)> = frontier
             .into_iter()
-            .map(|(cost, (tree, id))| {
+            .map(|(cost, id)| {
+                let tree = self.materialize(net, ctx, id);
+                debug_assert_eq!(
+                    (cost.wirelength, cost.delay),
+                    tree.objectives(),
+                    "dot-product score must equal the materialized tree's objectives"
+                );
                 winners.push(id);
                 (cost, tree)
             })
-            .collect::<Vec<_>>();
-        Some((ParetoSet::from_unpruned(frontier), winners))
+            .collect();
+        // Entries are already sorted ascending-w / strictly-descending-d,
+        // so this sweep keeps every entry as-is.
+        Some((ParetoSet::from_unpruned(entries), winners))
     }
 
     /// Re-evaluates a cached winning-id list against `net`.
@@ -285,12 +480,19 @@ impl LookupTable {
     /// context had the same canonical key and gap vector (the frontier
     /// cache's lookup key); the result then equals that call's frontier.
     pub fn query_ids(&self, net: &Net, ctx: &QueryContext, ids: &[u32]) -> ParetoSet<RoutingTree> {
+        let table = &self.tables[ctx.degree as usize];
+        let dims = ctx.canonical_gaps.len();
         let witnesses: Vec<(Cost, RoutingTree)> = ids
             .iter()
             .map(|&id| {
-                let tree = self.instantiate(net, ctx, id);
-                let (w, d) = tree.objectives();
-                (Cost::new(w, d), tree)
+                let rows = table.rows_of(id);
+                let w = dot(&rows[..dims], &ctx.canonical_gaps);
+                let d = rows[dims..]
+                    .chunks_exact(dims)
+                    .map(|row| dot(row, &ctx.canonical_gaps))
+                    .max()
+                    .unwrap_or(0);
+                (Cost::new(w, d), self.materialize(net, ctx, id))
             })
             .collect();
         // Winners are mutually non-dominating and already in frontier
@@ -298,11 +500,34 @@ impl LookupTable {
         ParetoSet::from_unpruned(witnesses)
     }
 
+    /// Reference query path: materializes **every** candidate topology and
+    /// prunes by the trees' measured objectives — the pre-v3 behaviour.
+    ///
+    /// Kept for the equivalence tests (dot-product scores must reproduce
+    /// this frontier exactly) and as the baseline the `BENCH_PR2` harness
+    /// measures the dot-product kernel against.
+    pub fn query_materialize_all(
+        &self,
+        net: &Net,
+        ctx: &QueryContext,
+    ) -> Option<ParetoSet<RoutingTree>> {
+        let ids = self.candidate_ids(ctx)?;
+        let witnesses: Vec<(Cost, RoutingTree)> = ids
+            .iter()
+            .map(|&id| {
+                let tree = self.materialize(net, ctx, id);
+                let (w, d) = tree.objectives();
+                (Cost::new(w, d), tree)
+            })
+            .collect();
+        Some(ParetoSet::from_unpruned(witnesses))
+    }
+
     /// Number of stored patterns for `degree`.
     pub fn pattern_count(&self, degree: u8) -> usize {
         self.tables
             .get(degree as usize)
-            .map_or(0, |t| t.patterns.len())
+            .map_or(0, DegreeTable::pattern_count)
     }
 
     /// Statistics per degree (Table II).
@@ -310,24 +535,23 @@ impl LookupTable {
         (3..=self.lambda)
             .map(|d| {
                 let table = &self.tables[d as usize];
-                let total: usize = table.patterns.values().map(Vec::len).sum();
-                let bytes: usize = table
-                    .pool
-                    .iter()
-                    .map(|t| 2 * t.edges.len() + 1)
-                    .sum::<usize>()
-                    + total * 4
-                    + table.patterns.len() * 10;
+                let total = table.pattern_ids.len();
+                let bytes = table.edges.len() * 2
+                    + table.edge_off.len() * 4
+                    + table.costs.len() * 2
+                    + table.pattern_keys.len() * 8
+                    + table.pattern_off.len() * 4
+                    + table.pattern_ids.len() * 4;
                 LutStats {
                     degree: d,
-                    num_patterns: table.patterns.len(),
-                    avg_topologies: if table.patterns.is_empty() {
+                    num_patterns: table.pattern_count(),
+                    avg_topologies: if table.pattern_count() == 0 {
                         0.0
                     } else {
-                        total as f64 / table.patterns.len() as f64
+                        total as f64 / table.pattern_count() as f64
                     },
                     total_topologies: total,
-                    unique_topologies: table.pool.len(),
+                    unique_topologies: table.npool(),
                     bytes,
                 }
             })
@@ -339,6 +563,15 @@ impl LookupTable {
 mod tests {
     use super::*;
 
+    fn sol(n: u8, edges: &[(RankNode, RankNode)]) -> SymbolicSolution {
+        let dims = 2 * n as usize - 2;
+        SymbolicSolution {
+            w: vec![1; dims],
+            delays: vec![vec![2; dims]; n as usize - 1],
+            edges: edges.to_vec(),
+        }
+    }
+
     #[test]
     fn stored_topology_pack_roundtrip() {
         let n = 5u8;
@@ -346,40 +579,63 @@ mod tests {
             (RankNode::new(0, 0), RankNode::new(3, 2)),
             (RankNode::new(4, 4), RankNode::new(1, 1)),
         ];
-        let t = StoredTopology::from_rank_edges(&edges, n);
+        let t = StoredTopology::from_solution(&sol(n, &edges), n);
         let back = t.rank_edges(n);
         // Roundtrip preserves the edge set (endpoint order normalized).
         assert_eq!(back.len(), 2);
         assert!(back.contains(&(RankNode::new(0, 0), RankNode::new(3, 2))));
         assert!(back.contains(&(RankNode::new(1, 1), RankNode::new(4, 4))));
+        // Rows: W first, then the four delay rows.
+        assert_eq!(t.rows.len(), 5 * 8);
+        assert_eq!(&t.rows[..8], &[1; 8]);
+        assert_eq!(&t.rows[8..16], &[2; 8]);
     }
 
     #[test]
     fn duplicate_edges_collapse() {
         let n = 3u8;
         let e = (RankNode::new(0, 0), RankNode::new(2, 2));
-        let t = StoredTopology::from_rank_edges(&[e, e, (e.1, e.0)], n);
+        let t = StoredTopology::from_solution(&sol(n, &[e, e, (e.1, e.0)]), n);
         assert_eq!(t.edges.len(), 1);
+    }
+
+    fn topo(edges: Vec<(u8, u8)>, rows: Vec<u16>) -> StoredTopology {
+        StoredTopology { edges, rows }
     }
 
     #[test]
     fn pooling_dedupes_across_patterns() {
-        let topo = StoredTopology {
-            edges: vec![(0, 1), (1, 2)],
-        };
-        let other = StoredTopology {
-            edges: vec![(0, 2)],
-        };
+        // Degree 3: stride = 3 · 4 = 12.
+        let a = topo(vec![(0, 1), (1, 2)], vec![7; 12]);
+        let b = topo(vec![(0, 2)], vec![9; 12]);
         let mut lists = HashMap::new();
-        lists.insert(1u64, vec![topo.clone(), other.clone()]);
-        lists.insert(2u64, vec![topo.clone()]);
-        lists.insert(3u64, vec![other.clone(), topo.clone()]);
-        let table = DegreeTable::from_lists(lists);
-        assert_eq!(table.pool.len(), 2, "two unique topologies");
+        lists.insert(1u64, vec![a.clone(), b.clone()]);
+        lists.insert(2u64, vec![a.clone()]);
+        lists.insert(3u64, vec![b.clone(), a.clone()]);
+        let table = DegreeTable::from_lists(3, lists);
+        assert_eq!(table.npool(), 2, "two unique topologies");
         // Pattern 3 references both, in its own order.
-        let ids3 = &table.patterns[&3];
-        assert_eq!(table.pool[ids3[0] as usize], other);
-        assert_eq!(table.pool[ids3[1] as usize], topo);
+        let ids3 = table.ids_of(3).unwrap();
+        assert_eq!(table.topology(ids3[0]), b);
+        assert_eq!(table.topology(ids3[1]), a);
+    }
+
+    #[test]
+    fn pooling_keeps_same_edges_with_different_rows_apart() {
+        // Same tree shape but different cost rows (e.g. two patterns with
+        // different source columns): the query evaluates the rows, so the
+        // entries must not merge.
+        let a = topo(vec![(0, 1)], vec![1; 12]);
+        let b = topo(vec![(0, 1)], vec![2; 12]);
+        let mut lists = HashMap::new();
+        lists.insert(1u64, vec![a.clone()]);
+        lists.insert(2u64, vec![b.clone()]);
+        let table = DegreeTable::from_lists(3, lists);
+        assert_eq!(table.npool(), 2);
+        assert_ne!(
+            table.topology(table.ids_of(1).unwrap()[0]),
+            table.topology(table.ids_of(2).unwrap()[0])
+        );
     }
 
     #[test]
@@ -387,15 +643,25 @@ mod tests {
         let mk = || {
             let mut lists = HashMap::new();
             for k in 0..20u64 {
-                lists.insert(
-                    k,
-                    vec![StoredTopology {
-                        edges: vec![(0, (k % 5) as u8)],
-                    }],
-                );
+                lists.insert(k, vec![topo(vec![(0, (k % 5) as u8)], vec![k as u16; 12])]);
             }
-            DegreeTable::from_lists(lists)
+            DegreeTable::from_lists(3, lists)
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn csr_accessors_are_consistent() {
+        let a = topo(vec![(0, 1), (1, 2), (2, 5)], vec![3; 12]);
+        let b = topo(vec![(0, 2)], vec![4; 12]);
+        let mut lists = HashMap::new();
+        lists.insert(10u64, vec![a.clone(), b.clone()]);
+        let table = DegreeTable::from_lists(3, lists);
+        assert_eq!(table.edges_of(0), &a.edges[..]);
+        assert_eq!(table.edges_of(1), &b.edges[..]);
+        assert_eq!(table.rows_of(0), &a.rows[..]);
+        assert_eq!(table.rows_of(1), &b.rows[..]);
+        assert!(table.ids_of(11).is_none());
+        assert_eq!(table.ids_of(10), Some(&[0u32, 1][..]));
     }
 }
