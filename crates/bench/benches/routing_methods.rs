@@ -27,7 +27,7 @@ fn bench_degree(c: &mut Criterion, degree: usize, count: usize, sample_size: usi
     group.bench_function(BenchmarkId::from_parameter("patlabor"), |b| {
         b.iter(|| {
             for net in &nets {
-                std::hint::black_box(router.route(net).len());
+                std::hint::black_box(router.route_frontier(net).len());
             }
         })
     });

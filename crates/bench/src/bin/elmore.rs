@@ -29,7 +29,7 @@ fn main() {
     let mut sums = [0.0f64; 4]; // pareto-best, rsmt, spt, salt-best
     let mut agree = 0usize;
     for net in &nets {
-        let frontier = router.route(net);
+        let frontier = router.route_frontier(net);
         let best_pareto = frontier
             .iter()
             .map(|(_, t)| max_elmore(t, &model))

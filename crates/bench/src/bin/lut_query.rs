@@ -44,9 +44,9 @@ fn workload(count: usize) -> Vec<patlabor_geom::Net> {
 fn measure_reference(table: &LookupTable, nets: &[patlabor_geom::Net]) -> f64 {
     let start = Instant::now();
     for net in nets {
-        let ctx = table.query_context(net).expect("tabulated degree");
+        let class = table.classify(net).expect("tabulated degree");
         let frontier = table
-            .query_materialize_all(net, &ctx)
+            .query_materialize_all(net, &class)
             .expect("tabulated pattern");
         std::hint::black_box(&frontier);
     }
@@ -57,8 +57,8 @@ fn measure_reference(table: &LookupTable, nets: &[patlabor_geom::Net]) -> f64 {
 fn measure_v3(table: &LookupTable, nets: &[patlabor_geom::Net]) -> f64 {
     let start = Instant::now();
     for net in nets {
-        let ctx = table.query_context(net).expect("tabulated degree");
-        let frontier = table.query_witnesses(net, &ctx).expect("tabulated pattern");
+        let class = table.classify(net).expect("tabulated degree");
+        let frontier = table.query_witnesses(net, &class).expect("tabulated pattern");
         std::hint::black_box(&frontier);
     }
     nets.len() as f64 / start.elapsed().as_secs_f64()
@@ -85,13 +85,13 @@ fn measure_stages(table: &LookupTable, nets: &[patlabor_geom::Net]) -> Stages {
     };
     for net in nets {
         let t0 = Instant::now();
-        let ctx = table.query_context(net).expect("tabulated degree");
-        let ids = table.candidate_ids(&ctx).expect("tabulated pattern");
+        let class = table.classify(net).expect("tabulated degree");
+        let ids = table.candidate_ids(&class).expect("tabulated pattern");
         let t1 = Instant::now();
-        let frontier = table.score_candidates(&ctx, ids);
+        let frontier = table.score_candidates(&class, ids);
         let t2 = Instant::now();
         for &(_, id) in &frontier {
-            std::hint::black_box(table.materialize(net, &ctx, id));
+            std::hint::black_box(table.materialize(net, &class, id));
         }
         let t3 = Instant::now();
         s.lookup += t1 - t0;
@@ -115,10 +115,10 @@ fn main() {
     // every net before their speeds are worth comparing.
     eprintln!("warmup + equivalence check ...");
     for net in &nets {
-        let ctx = table.query_context(net).expect("tabulated degree");
-        let fast = table.query_witnesses(net, &ctx).expect("tabulated pattern");
+        let class = table.classify(net).expect("tabulated degree");
+        let fast = table.query_witnesses(net, &class).expect("tabulated pattern");
         let reference = table
-            .query_materialize_all(net, &ctx)
+            .query_materialize_all(net, &class)
             .expect("tabulated pattern");
         assert_eq!(
             fast.0.cost_vec(),

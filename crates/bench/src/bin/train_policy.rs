@@ -52,7 +52,7 @@ fn main() {
         let reference = Cost::new(w0 * 2, d0 * 2);
         for (i, policy) in [learned.clone(), Policy::default()].into_iter().enumerate() {
             let router = PatLabor::with_table(table.clone()).with_policy(policy);
-            let frontier = router.route(&net);
+            let frontier = router.route_frontier(&net);
             hv[i] += hypervolume(&frontier, reference);
         }
     }

@@ -73,7 +73,7 @@ pub struct MethodRun {
 pub fn run_method(method: Method, net: &Net, router: &PatLabor) -> MethodRun {
     let start = Instant::now();
     let set = match method {
-        Method::PatLabor => router.route(net),
+        Method::PatLabor => router.route_frontier(net),
         Method::Salt => salt::salt_pareto(net, &salt::DEFAULT_EPSILONS),
         Method::Ysd => weighted_sum::weighted_sum_pareto(net, &weighted_sum::DEFAULT_BETAS),
         Method::Pd => pd::pd_pareto(net, &pd::DEFAULT_ALPHAS),
@@ -216,7 +216,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
 /// via the DP).
 pub fn exact_frontier(net: &Net, router: &PatLabor) -> ParetoSet<RoutingTree> {
     if router.is_exact_for(net.degree()) {
-        router.route(net)
+        router.route_frontier(net)
     } else {
         patlabor_dw::numeric::pareto_frontier(net, &patlabor_dw::DwConfig::default())
     }

@@ -26,9 +26,13 @@
 //! 0,0 9,1 8,8 1,9
 //! ```
 
+// The CLI is the user-facing serving surface: every failure must print a
+// diagnostic, never an `unwrap` panic; test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::fmt;
 
-use patlabor::{LutBuilder, Net, PatLabor, Point};
+use patlabor::{LutBuilder, Net, PatLabor, Point, ProvenanceSummary, RouteError};
 use patlabor_lut::LookupTable;
 
 /// Error from parsing a net list.
@@ -47,6 +51,73 @@ impl fmt::Display for ParseNetsError {
 }
 
 impl std::error::Error for ParseNetsError {}
+
+/// Any failure the CLI can hit, as one structured type.
+///
+/// Every variant prints a one-line diagnostic naming what failed and
+/// where (the file, the net-list line, or the net index); `main` renders
+/// it with `error: {e}` and exits non-zero. Nothing on the serving path
+/// panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Argument-level problems: unknown command/flag, missing value.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying OS error.
+        message: String,
+    },
+    /// A net-list line failed to parse.
+    Parse(ParseNetsError),
+    /// A lookup-table file failed to load or save.
+    Table {
+        /// The offending path.
+        path: String,
+        /// The underlying format/OS error.
+        message: String,
+    },
+    /// The router failed on one net (truncated or corrupt tables).
+    Route {
+        /// 0-based index of the net in the input.
+        net: usize,
+        /// The pipeline's structured error.
+        source: RouteError,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(message) => f.write_str(message),
+            CliError::Io { path, message } => write!(f, "{path}: {message}"),
+            CliError::Parse(e) => e.fmt(f),
+            CliError::Table { path, message } => write!(f, "{path}: {message}"),
+            CliError::Route { net, source } => write!(f, "net {net}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Parse(e) => Some(e),
+            CliError::Route { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseNetsError> for CliError {
+    fn from(e: ParseNetsError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+fn usage_error(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
 
 /// Parses the net-list format described in the crate docs.
 ///
@@ -108,13 +179,21 @@ impl Default for RouteOptions {
 
 /// Runs the `route` command; returns the rendered output.
 ///
+/// Each net's header names the pipeline stage that answered it (`via
+/// exact-lut`, `via cache-hit`, …) and the output ends with an aggregate
+/// provenance line over all routed nets.
+///
 /// # Errors
 ///
-/// Propagates table-loading problems as strings (the CLI prints them).
-pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, String> {
+/// Propagates table-loading problems and per-net [`RouteError`]s as
+/// [`CliError`] (the CLI prints them as diagnostics).
+pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, CliError> {
     let router = match &options.tables {
         Some(path) => {
-            let table = LookupTable::load(path).map_err(|e| e.to_string())?;
+            let table = LookupTable::load(path).map_err(|e| CliError::Table {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
             PatLabor::with_table(table)
         }
         None => PatLabor::with_config(patlabor::RouterConfig {
@@ -123,12 +202,18 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Str
         }),
     };
     let mut out = String::new();
+    let mut summary = ProvenanceSummary::default();
     for (i, net) in nets.iter().enumerate() {
-        let frontier = router.route(net);
+        let outcome = router
+            .route(net)
+            .map_err(|source| CliError::Route { net: i, source })?;
+        summary.record(&outcome.provenance);
+        let frontier = &outcome.frontier;
         out.push_str(&format!(
-            "net {i} (degree {}): {} Pareto solutions\n",
+            "net {i} (degree {}): {} Pareto solutions via {}\n",
             net.degree(),
-            frontier.len()
+            frontier.len(),
+            outcome.provenance.source,
         ));
         for (cost, _) in frontier.iter() {
             out.push_str(&format!("  w={} d={}\n", cost.wirelength, cost.delay));
@@ -147,6 +232,10 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Str
             }
         }
     }
+    out.push_str(&format!(
+        "provenance: {summary} ({} nets)\n",
+        summary.total()
+    ));
     Ok(out)
 }
 
@@ -154,14 +243,17 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Str
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors as strings.
-pub fn gen_tables_command(lambda: u8, output: &str) -> Result<String, String> {
+/// Propagates filesystem errors as [`CliError::Table`].
+pub fn gen_tables_command(lambda: u8, output: &str) -> Result<String, CliError> {
     if !(3..=9).contains(&lambda) {
-        return Err(format!("--lambda must be 3..=9, got {lambda}"));
+        return Err(usage_error(format!("--lambda must be 3..=9, got {lambda}")));
     }
     let start = std::time::Instant::now();
     let table = LutBuilder::new(lambda).build();
-    table.save(output).map_err(|e| e.to_string())?;
+    table.save(output).map_err(|e| CliError::Table {
+        path: output.to_string(),
+        message: e.to_string(),
+    })?;
     Ok(format!(
         "generated lambda={lambda} tables in {:?} → {output}\n",
         start.elapsed()
@@ -172,9 +264,12 @@ pub fn gen_tables_command(lambda: u8, output: &str) -> Result<String, String> {
 ///
 /// # Errors
 ///
-/// Propagates loading problems as strings.
-pub fn stats_command(path: &str) -> Result<String, String> {
-    let table = LookupTable::load(path).map_err(|e| e.to_string())?;
+/// Propagates loading problems as [`CliError::Table`].
+pub fn stats_command(path: &str) -> Result<String, CliError> {
+    let table = LookupTable::load(path).map_err(|e| CliError::Table {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
     let mut out = format!("lambda = {}\n", table.lambda());
     out.push_str("degree  #Index  avg #Topo  total topologies  unique (pool)  arena bytes\n");
     let mut total_bytes = 0usize;
@@ -200,7 +295,7 @@ pub fn stats_command(path: &str) -> Result<String, String> {
 ///
 /// Returns a user-facing message for unknown subcommands or flag
 /// problems, and propagates build/load errors.
-pub fn lut_command(args: &[String]) -> Result<String, String> {
+pub fn lut_command(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("build") => {
             let mut lambda = None;
@@ -212,25 +307,29 @@ pub fn lut_command(args: &[String]) -> Result<String, String> {
                         lambda = Some(
                             next_value(&mut it, "--lambda")?
                                 .parse::<u8>()
-                                .map_err(|_| "--lambda expects an integer".to_string())?,
+                                .map_err(|_| usage_error("--lambda expects an integer"))?,
                         );
                     }
                     "-o" | "--output" => output = Some(next_value(&mut it, "-o")?),
-                    other => return Err(format!("unknown flag {other}")),
+                    other => return Err(usage_error(format!("unknown flag {other}"))),
                 }
             }
-            let lambda = lambda.ok_or_else(|| "lut build needs --lambda".to_string())?;
-            let output = output.ok_or_else(|| "lut build needs -o FILE".to_string())?;
+            let lambda = lambda.ok_or_else(|| usage_error("lut build needs --lambda"))?;
+            let output = output.ok_or_else(|| usage_error("lut build needs -o FILE"))?;
             gen_tables_command(lambda, &output)
         }
         Some("info") => {
             let path = args
                 .get(1)
-                .ok_or_else(|| "lut info needs a file".to_string())?;
+                .ok_or_else(|| usage_error("lut info needs a file"))?;
             stats_command(path)
         }
-        Some(other) => Err(format!("unknown lut subcommand `{other}`\n\n{USAGE}")),
-        None => Err(format!("lut needs a subcommand (build | info)\n\n{USAGE}")),
+        Some(other) => Err(usage_error(format!(
+            "unknown lut subcommand `{other}`\n\n{USAGE}"
+        ))),
+        None => Err(usage_error(format!(
+            "lut needs a subcommand (build | info)\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -250,14 +349,15 @@ Net list: one net per line, `x,y` pins separated by spaces, source first;
 `#` comments.
 ";
 
-/// Parses CLI arguments and dispatches; returns the output to print or an
-/// error message (exit code 2 territory).
+/// Parses CLI arguments and dispatches; returns the output to print or a
+/// [`CliError`] (exit code 2 territory).
 ///
 /// # Errors
 ///
-/// Returns a user-facing message for unknown commands, malformed flags,
-/// unreadable files and malformed net lists.
-pub fn run(args: &[String]) -> Result<String, String> {
+/// Returns a user-facing diagnostic for unknown commands, malformed
+/// flags, unreadable files, malformed net lists and per-net routing
+/// failures — never a panic.
+pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("route") => {
             let mut options = RouteOptions::default();
@@ -269,34 +369,40 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--lambda" => {
                         options.lambda = next_value(&mut it, "--lambda")?
                             .parse()
-                            .map_err(|_| "--lambda expects an integer".to_string())?;
+                            .map_err(|_| usage_error("--lambda expects an integer"))?;
                     }
                     "--tables" => options.tables = Some(next_value(&mut it, "--tables")?),
                     "--pick" => {
                         options.pick_slack = Some(
                             next_value(&mut it, "--pick")?
                                 .parse()
-                                .map_err(|_| "--pick expects a number".to_string())?,
+                                .map_err(|_| usage_error("--pick expects a number"))?,
                         );
                     }
                     "--bookshelf" => bookshelf = Some(next_value(&mut it, "--bookshelf")?),
                     other if !other.starts_with('-') => file = Some(other.to_string()),
-                    other => return Err(format!("unknown flag {other}")),
+                    other => return Err(usage_error(format!("unknown flag {other}"))),
                 }
             }
             let nets = match (bookshelf, file) {
                 (Some(aux), _) => {
-                    let design =
-                        patlabor_bookshelf::load_design(&aux).map_err(|e| e.to_string())?;
+                    let design = patlabor_bookshelf::load_design(&aux).map_err(|e| {
+                        CliError::Io {
+                            path: aux.clone(),
+                            message: e.to_string(),
+                        }
+                    })?;
                     design.nets
                 }
                 (None, Some(file)) => {
-                    let text =
-                        std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
-                    parse_nets(&text).map_err(|e| e.to_string())?
+                    let text = std::fs::read_to_string(&file).map_err(|e| CliError::Io {
+                        path: file.clone(),
+                        message: e.to_string(),
+                    })?;
+                    parse_nets(&text)?
                 }
                 (None, None) => {
-                    return Err("route needs a net-list file or --bookshelf AUX".to_string())
+                    return Err(usage_error("route needs a net-list file or --bookshelf AUX"))
                 }
             };
             route_command(&nets, &options)
@@ -312,30 +418,32 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         lambda = Some(
                             next_value(&mut it, "--lambda")?
                                 .parse::<u8>()
-                                .map_err(|_| "--lambda expects an integer".to_string())?,
+                                .map_err(|_| usage_error("--lambda expects an integer"))?,
                         );
                     }
                     "-o" | "--output" => output = Some(next_value(&mut it, "-o")?),
-                    other => return Err(format!("unknown flag {other}")),
+                    other => return Err(usage_error(format!("unknown flag {other}"))),
                 }
             }
-            let lambda = lambda.ok_or_else(|| "gen-tables needs --lambda".to_string())?;
-            let output = output.ok_or_else(|| "gen-tables needs -o FILE".to_string())?;
+            let lambda = lambda.ok_or_else(|| usage_error("gen-tables needs --lambda"))?;
+            let output = output.ok_or_else(|| usage_error("gen-tables needs -o FILE"))?;
             gen_tables_command(lambda, &output)
         }
         Some("stats") => {
-            let path = args.get(1).ok_or_else(|| "stats needs a file".to_string())?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| usage_error("stats needs a file"))?;
             stats_command(path)
         }
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        Some(other) => Err(usage_error(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
-fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
     it.next()
         .cloned()
-        .ok_or_else(|| format!("{flag} expects a value"))
+        .ok_or_else(|| usage_error(format!("{flag} expects a value")))
 }
 
 #[cfg(test)]
@@ -370,10 +478,45 @@ mod tests {
             ..RouteOptions::default()
         };
         let out = route_command(&nets, &options).unwrap();
-        assert!(out.contains("2 Pareto solutions"));
+        assert!(out.contains("2 Pareto solutions via exact-lut"));
         assert!(out.contains("w=26 d=18"));
         assert!(out.contains("pick (budget 19): w=26 d=18"));
         assert!(out.contains(" -- "));
+        assert!(out.contains("provenance: closed-form 0, cache-hit 0, exact-lut 1, local-search 0 (1 nets)"));
+    }
+
+    #[test]
+    fn route_command_provenance_counts_cache_hits() {
+        // The same congruence class twice: second net must hit the cache.
+        let nets = parse_nets("0,0 7,2 3,9\n100,50 107,52 103,59\n").unwrap();
+        let out = route_command(&nets, &RouteOptions::default()).unwrap();
+        assert!(out.contains("net 0 (degree 3): 1 Pareto solutions via exact-lut"));
+        assert!(out.contains("net 1 (degree 3): 1 Pareto solutions via cache-hit"));
+        assert!(out.contains("cache-hit 1, exact-lut 1"));
+    }
+
+    #[test]
+    fn missing_table_file_is_a_diagnostic_not_a_panic() {
+        let nets = parse_nets("0,0 4,2 2,4\n").unwrap();
+        let options = RouteOptions {
+            tables: Some("/nonexistent/tables.plut".into()),
+            ..RouteOptions::default()
+        };
+        let err = route_command(&nets, &options).unwrap_err();
+        assert!(matches!(err, CliError::Table { .. }));
+        assert!(err.to_string().contains("/nonexistent/tables.plut"));
+    }
+
+    #[test]
+    fn malformed_net_line_is_a_diagnostic_not_a_panic() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("broken_nets.txt");
+        std::fs::write(&file, "0,0 1,1\nthis is not a net\n").unwrap();
+        let err = run(&["route".into(), file.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
+        assert!(err.to_string().contains("line 2"));
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]
@@ -418,15 +561,21 @@ mod tests {
 
     #[test]
     fn lut_subcommand_errors_are_actionable() {
-        assert!(run(&["lut".into()]).unwrap_err().contains("build | info"));
+        assert!(run(&["lut".into()])
+            .unwrap_err()
+            .to_string()
+            .contains("build | info"));
         assert!(run(&["lut".into(), "bogus".into()])
             .unwrap_err()
+            .to_string()
             .contains("unknown lut subcommand"));
         assert!(run(&["lut".into(), "build".into()])
             .unwrap_err()
+            .to_string()
             .contains("--lambda"));
         assert!(run(&["lut".into(), "info".into()])
             .unwrap_err()
+            .to_string()
             .contains("needs a file"));
     }
 
@@ -435,14 +584,14 @@ mod tests {
         let help = run(&[]).unwrap();
         assert!(help.contains("USAGE"));
         let err = run(&["bogus".into()]).unwrap_err();
-        assert!(err.contains("unknown command"));
+        assert!(err.to_string().contains("unknown command"));
         let err = run(&["route".into()]).unwrap_err();
-        assert!(err.contains("net-list file"));
+        assert!(err.to_string().contains("net-list file"));
         let err = run(&["route".into(), "--bookshelf".into(), "/nonexistent.aux".into()])
             .unwrap_err();
-        assert!(err.contains("nonexistent"));
+        assert!(err.to_string().contains("nonexistent"));
         let err = run(&["route".into(), "--lambda".into()]).unwrap_err();
-        assert!(err.contains("expects a value"));
+        assert!(err.to_string().contains("expects a value"));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The `patlabor` binary: thin shell over [`patlabor_cli::run`].
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match patlabor_cli::run(&args) {

@@ -24,9 +24,8 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use patlabor_geom::Net;
-use patlabor_pareto::ParetoSet;
-use patlabor_tree::RoutingTree;
 
+use crate::pipeline::RouteResult;
 use crate::PatLabor;
 
 /// Shares a raw pointer to the output slots between workers.
@@ -46,7 +45,11 @@ impl PatLabor {
     /// serial routing instead of panicking). Results are in input order
     /// and bit-identical to calling [`PatLabor::route`] per net (routing
     /// is deterministic, with or without the frontier cache).
-    pub fn route_batch(&self, nets: &[Net], threads: usize) -> Vec<ParetoSet<RoutingTree>> {
+    ///
+    /// Each slot is that net's own [`RouteResult`]: a net the tables
+    /// cannot serve yields `Err` in its slot without poisoning the rest
+    /// of the batch.
+    pub fn route_batch(&self, nets: &[Net], threads: usize) -> Vec<RouteResult> {
         let threads = threads.max(1);
         if threads == 1 || nets.len() <= 1 {
             return nets.iter().map(|n| self.route(n)).collect();
@@ -57,7 +60,7 @@ impl PatLabor {
         // ≤ 256 keep cursor traffic negligible on huge batches.
         let chunk = (nets.len() / (workers * 8)).clamp(1, 256);
 
-        let mut results: Vec<MaybeUninit<ParetoSet<RoutingTree>>> = Vec::with_capacity(nets.len());
+        let mut results: Vec<MaybeUninit<RouteResult>> = Vec::with_capacity(nets.len());
         // SAFETY: `set_len` only runs after the scope below has written
         // every slot exactly once (the cursor covers 0..nets.len()).
         let slots = OutputSlots(results.as_mut_ptr());
@@ -73,11 +76,11 @@ impl PatLabor {
                     }
                     let end = (start + chunk).min(nets.len());
                     for (i, net) in nets[start..end].iter().enumerate() {
-                        let frontier = self.route(net);
+                        let result = self.route(net);
                         // SAFETY: `start + i` is inside this worker's
                         // claimed range; ranges are disjoint and within
                         // the vector's allocated capacity.
-                        unsafe { (*slots.0.add(start + i)).write(frontier) };
+                        unsafe { (*slots.0.add(start + i)).write(result) };
                     }
                 });
             }
@@ -96,17 +99,13 @@ impl PatLabor {
 
     /// [`PatLabor::route_batch`] with a caller-proven non-zero thread
     /// count.
-    pub fn route_batch_threads(
-        &self,
-        nets: &[Net],
-        threads: NonZeroUsize,
-    ) -> Vec<ParetoSet<RoutingTree>> {
+    pub fn route_batch_threads(&self, nets: &[Net], threads: NonZeroUsize) -> Vec<RouteResult> {
         self.route_batch(nets, threads.get())
     }
 
     /// Routes every net over all available hardware threads
     /// (mirroring [`patlabor_lut::LutBuilder`]'s default parallelism).
-    pub fn route_batch_auto(&self, nets: &[Net]) -> Vec<ParetoSet<RoutingTree>> {
+    pub fn route_batch_auto(&self, nets: &[Net]) -> Vec<RouteResult> {
         let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         self.route_batch(nets, threads)
     }
@@ -115,7 +114,23 @@ impl PatLabor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::RouteError;
     use crate::RouterConfig;
+    use patlabor_pareto::ParetoSet;
+    use patlabor_tree::RoutingTree;
+
+    /// The frontiers of a batch result, panicking on any per-net error.
+    ///
+    /// Comparisons use frontiers rather than whole outcomes: provenance
+    /// legitimately differs between runs (a serial pass warms the shared
+    /// cache, turning the batch pass's `ExactLut` answers into
+    /// `CacheHit`s) while the frontiers stay bit-identical.
+    fn frontiers(results: Vec<RouteResult>) -> Vec<ParetoSet<RoutingTree>> {
+        results
+            .into_iter()
+            .map(|r| r.expect("batch net failed").frontier)
+            .collect()
+    }
 
     #[test]
     fn batch_matches_sequential_and_is_order_stable() {
@@ -124,9 +139,12 @@ mod tests {
             ..RouterConfig::default()
         });
         let nets = patlabor_netgen::iccad_like_suite(0xba7c4, 24, 12);
-        let sequential: Vec<_> = nets.iter().map(|n| router.route(n)).collect();
+        let sequential: Vec<_> = nets
+            .iter()
+            .map(|n| router.route(n).expect("serial net failed").frontier)
+            .collect();
         for threads in [1, 2, 4, 7] {
-            let batch = router.route_batch(&nets, threads);
+            let batch = frontiers(router.route_batch(&nets, threads));
             assert_eq!(batch, sequential, "threads = {threads}");
         }
     }
@@ -138,6 +156,9 @@ mod tests {
             ..RouterConfig::default()
         });
         let nets = patlabor_netgen::iccad_like_suite(0x21, 5, 8);
+        // Second route of the same nets hits the warm cache, so both
+        // passes see identical provenance too — whole outcomes compare.
+        let _warmup = router.route_batch(&nets, 1);
         let serial: Vec<_> = nets.iter().map(|n| router.route(n)).collect();
         assert_eq!(router.route_batch(&nets, 0), serial);
         assert!(router.route_batch(&[], 0).is_empty());
@@ -150,10 +171,13 @@ mod tests {
             ..RouterConfig::default()
         });
         let nets = patlabor_netgen::iccad_like_suite(0x77, 10, 10);
-        let serial: Vec<_> = nets.iter().map(|n| router.route(n)).collect();
-        assert_eq!(router.route_batch_auto(&nets), serial);
+        let serial: Vec<_> = nets
+            .iter()
+            .map(|n| router.route(n).expect("serial net failed").frontier)
+            .collect();
+        assert_eq!(frontiers(router.route_batch_auto(&nets)), serial);
         let nz = NonZeroUsize::new(3).expect("non-zero");
-        assert_eq!(router.route_batch_threads(&nets, nz), serial);
+        assert_eq!(frontiers(router.route_batch_threads(&nets, nz)), serial);
     }
 
     #[test]
@@ -163,7 +187,50 @@ mod tests {
             ..RouterConfig::default()
         });
         let nets = patlabor_netgen::iccad_like_suite(0x5e5e, 3, 6);
-        let serial: Vec<_> = nets.iter().map(|n| router.route(n)).collect();
-        assert_eq!(router.route_batch(&nets, 64), serial);
+        let serial: Vec<_> = nets
+            .iter()
+            .map(|n| router.route(n).expect("serial net failed").frontier)
+            .collect();
+        assert_eq!(frontiers(router.route_batch(&nets, 64)), serial);
+    }
+
+    /// Regression: a net the tables cannot serve must produce an `Err` in
+    /// its own slot and leave every other slot intact — no batch
+    /// poisoning, no worker panic.
+    #[test]
+    fn degenerate_net_fails_its_slot_only() {
+        let mut table = crate::LutBuilder::new(4).threads(1).build();
+        // Simulate a truncated table: degree 3 is gone, degree 4 intact.
+        table.remove_degree(3);
+        let router = PatLabor::with_table(table);
+
+        let mut nets = patlabor_netgen::iccad_like_suite(0xdead, 12, 4);
+        nets.retain(|n| n.degree() == 4);
+        assert!(nets.len() >= 4, "suite should contain degree-4 nets");
+        let bad_index = nets.len() / 2;
+        let bad = patlabor_geom::Net::new(vec![
+            crate::Point::new(0, 0),
+            crate::Point::new(5, 2),
+            crate::Point::new(2, 7),
+        ])
+        .unwrap();
+        nets.insert(bad_index, bad);
+
+        for threads in [1, 4] {
+            let results = router.route_batch(&nets, threads);
+            assert_eq!(results.len(), nets.len());
+            for (i, result) in results.iter().enumerate() {
+                if i == bad_index {
+                    assert_eq!(
+                        *result,
+                        Err(RouteError::MissingDegree { degree: 3, lambda: 4 }),
+                        "threads = {threads}"
+                    );
+                } else {
+                    let outcome = result.as_ref().expect("valid net poisoned by neighbor");
+                    assert!(!outcome.frontier.is_empty());
+                }
+            }
+        }
     }
 }

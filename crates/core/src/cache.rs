@@ -37,12 +37,22 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Builds a key from [`patlabor_lut::QueryContext`] components.
+    /// Builds a key from raw components. Prefer [`CacheKey::from_class`];
+    /// this exists for tests and tools that synthesize keys directly.
     pub fn new(pattern: u64, gaps: &[i64]) -> Self {
         CacheKey {
             pattern,
             gaps: gaps.into(),
         }
+    }
+
+    /// The cache key of a classified net — the `(canonical pattern key,
+    /// canonical gap vector)` pair that [`patlabor_geom::NetClass`]
+    /// guarantees is constant across a congruence class. Using the class
+    /// here and in the lookup table means the cache and the table can
+    /// never disagree about which nets are congruent.
+    pub fn from_class(class: &patlabor_geom::NetClass) -> Self {
+        CacheKey::new(class.canonical_key(), class.canonical_gaps())
     }
 }
 

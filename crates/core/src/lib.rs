@@ -22,7 +22,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use patlabor::{PatLabor, Net, Point};
+//! use patlabor::{PatLabor, Net, Point, RouteSource};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let router = PatLabor::new(); // builds lookup tables for λ = 5
@@ -33,22 +33,32 @@
 //!     Point::new(4, 3),
 //!     Point::new(13, 12),
 //! ])?;
-//! let frontier = router.route(&net);
-//! for (cost, tree) in frontier.iter() {
+//! let outcome = router.route(&net)?;
+//! assert_eq!(outcome.provenance.source, RouteSource::ExactLut);
+//! for (cost, tree) in outcome.frontier.iter() {
 //!     assert_eq!((cost.wirelength, cost.delay), tree.objectives());
 //! }
 //! # Ok(())
 //! # }
 //! ```
 
+// The serving path must fail with structured `RouteError`s, never an
+// `unwrap` panic; test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod batch;
 pub mod cache;
 pub mod ks;
 pub mod local_search;
+pub mod pipeline;
 pub mod policy;
 mod router;
 
 pub use cache::{CacheConfig, CacheStats};
+pub use pipeline::{
+    ProvenanceSummary, RouteError, RouteOutcome, RouteProvenance, RouteResult, RouteSource,
+    RouteStage, StageCounters,
+};
 pub use router::{PatLabor, RouterConfig};
 
 // Re-export the vocabulary types so `patlabor` is usable on its own.

@@ -50,6 +50,16 @@ impl Default for LocalSearchConfig {
     }
 }
 
+/// Work done by one local-search run, for route provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LocalSearchReport {
+    /// Reroute rounds executed (may stop early on an empty frontier).
+    pub rounds: usize,
+    /// Candidate whole-net trees generated across all rounds (reroute
+    /// candidates, not counting refine variants).
+    pub candidates: usize,
+}
+
 /// Runs the PatLabor local search on a net with degree `> λ`.
 ///
 /// # Panics
@@ -62,6 +72,17 @@ pub fn local_search(
     policy: &Policy,
     config: &LocalSearchConfig,
 ) -> ParetoSet<RoutingTree> {
+    local_search_with_report(net, table, policy, config).0
+}
+
+/// [`local_search`] plus a [`LocalSearchReport`] of the work performed
+/// (the router's LocalSearch-stage counters).
+pub fn local_search_with_report(
+    net: &Net,
+    table: &LookupTable,
+    policy: &Policy,
+    config: &LocalSearchConfig,
+) -> (ParetoSet<RoutingTree>, LocalSearchReport) {
     let n = net.degree();
     let lambda = table.lambda() as usize;
     assert!(
@@ -86,6 +107,7 @@ pub fn local_search(
     }
 
     let rounds = config.rounds.unwrap_or_else(|| (n / lambda).max(1));
+    let mut report = LocalSearchReport::default();
     for _ in 0..rounds {
         // The max-delay tree is the min-wirelength end of the frontier.
         let Some((_, worst)) = frontier.min_wirelength() else {
@@ -94,6 +116,8 @@ pub fn local_search(
         let worst = worst.clone();
         let selection = policy.select_pins(net, &worst, lambda - 1);
         let candidates = reroute_candidates(net, &worst, &selection, table);
+        report.rounds += 1;
+        report.candidates += candidates.len();
         for cand in candidates {
             if config.refine {
                 for variant in refine_variants(&cand) {
@@ -103,7 +127,7 @@ pub fn local_search(
             insert_tree(&mut frontier, cand);
         }
     }
-    frontier
+    (frontier, report)
 }
 
 /// SALT-style post-processing: a delay-first and a wirelength-first

@@ -1,0 +1,270 @@
+//! Staged-pipeline vocabulary: stages, provenance, and structured errors.
+//!
+//! [`crate::PatLabor::route`] is organized as an explicit pipeline
+//!
+//! ```text
+//!            ┌───────────┐   degree > λ    ┌──────────────┐
+//!  Net ────▶ │ Classify  │ ──────────────▶ │ LocalSearch  │ ──▶ Materialize
+//!            └───────────┘                 └──────────────┘
+//!                  │ degree ≤ λ (NetClass)
+//!                  ▼
+//!            ┌─────────────┐    hit   ┌─────────────┐
+//!            │ CacheLookup │ ───────▶ │ Materialize │ ──▶ RouteOutcome
+//!            └─────────────┘          └─────────────┘
+//!                  │ miss
+//!                  ▼
+//!            ┌──────────┐
+//!            │ LutQuery │ ──▶ Materialize (survivors only) ──▶ RouteOutcome
+//!            └──────────┘
+//! ```
+//!
+//! Every route returns a [`RouteOutcome`]: the Pareto frontier plus a
+//! [`RouteProvenance`] recording which stage answered ([`RouteSource`])
+//! and per-stage work counters ([`StageCounters`]). Failures are the
+//! structured [`RouteError`] — no panics on the serving path.
+
+use std::fmt;
+
+use patlabor_pareto::ParetoSet;
+use patlabor_tree::RoutingTree;
+
+/// The stages of the routing pipeline, in execution order.
+///
+/// `Classify` gates every net; exactly one of `CacheLookup`+`LutQuery`
+/// (tabulated degrees) or `LocalSearch` (above λ) produces topologies; and
+/// `Materialize` turns them into witness [`RoutingTree`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteStage {
+    /// Canonicalize the net into a [`patlabor_geom::NetClass`] and pick
+    /// its serving path.
+    Classify,
+    /// Probe the frontier cache for the class's winning topology ids.
+    CacheLookup,
+    /// Score the stored candidate topologies by dot product and prune.
+    LutQuery,
+    /// Policy-guided local search for degrees above λ.
+    LocalSearch,
+    /// Instantiate surviving topologies as witness trees.
+    Materialize,
+}
+
+/// Which stage produced the answer — the headline provenance fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteSource {
+    /// Degree-2 closed form: the direct source→sink tree, no table.
+    ClosedForm,
+    /// Winning ids replayed from the frontier cache.
+    CacheHit,
+    /// Full lookup-table query (score every candidate, prune, keep
+    /// survivors).
+    ExactLut,
+    /// Local-search approximation for degree > λ.
+    LocalSearch,
+}
+
+impl RouteSource {
+    /// Short human-readable label (used by the CLI's per-net output).
+    pub fn label(self) -> &'static str {
+        match self {
+            RouteSource::ClosedForm => "closed-form",
+            RouteSource::CacheHit => "cache-hit",
+            RouteSource::ExactLut => "exact-lut",
+            RouteSource::LocalSearch => "local-search",
+        }
+    }
+
+    /// Whether the frontier is exact (everything except local search).
+    pub fn is_exact(self) -> bool {
+        !matches!(self, RouteSource::LocalSearch)
+    }
+}
+
+impl fmt::Display for RouteSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-stage work counters for one routed net.
+///
+/// Counters belonging to stages the net never entered stay zero (e.g.
+/// `local_search_rounds` on a tabulated net).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCounters {
+    /// Frontier-cache probes (0 with the cache disabled, else 1).
+    pub cache_probes: u32,
+    /// Probes answered from the cache (0 or 1).
+    pub cache_hits: u32,
+    /// Candidate topologies scored by the LutQuery stage.
+    pub candidates_scored: u32,
+    /// Witness trees built by the Materialize stage.
+    pub trees_materialized: u32,
+    /// Reroute rounds executed by the LocalSearch stage.
+    pub local_search_rounds: u32,
+    /// Candidate whole-net trees the LocalSearch stage generated.
+    pub local_search_candidates: u32,
+}
+
+/// How one net was answered: the source stage plus per-stage counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteProvenance {
+    /// The net's degree.
+    pub degree: usize,
+    /// The stage that produced the frontier.
+    pub source: RouteSource,
+    /// Work done per stage.
+    pub counters: StageCounters,
+}
+
+/// A routed net: the Pareto frontier plus its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// The Pareto set of witness trees (exact iff
+    /// `provenance.source.is_exact()`).
+    pub frontier: ParetoSet<RoutingTree>,
+    /// Which stage answered, and how much work each stage did.
+    pub provenance: RouteProvenance,
+}
+
+/// Structured failures of the routing pipeline.
+///
+/// These replace the panic paths the pre-pipeline router had: a net the
+/// tables cannot serve now surfaces as a value the caller (CLI, batch
+/// driver) can report per net instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The Classify stage produced no [`patlabor_geom::NetClass`] for a
+    /// degree the tables claim to serve (λ configured beyond the
+    /// classifiable maximum). Defense in depth: `Net` construction
+    /// already rejects degree-0/1 instances.
+    UnclassifiableDegree {
+        /// The offending net's degree.
+        degree: usize,
+    },
+    /// The table stores no patterns at all for this degree — a truncated
+    /// or corrupt table file (a built table covers every degree `3..=λ`).
+    MissingDegree {
+        /// The net's degree.
+        degree: u8,
+        /// The table's claimed λ.
+        lambda: u8,
+    },
+    /// The degree is populated but the net's canonical pattern is absent —
+    /// a corrupt or incomplete table.
+    MissingPattern {
+        /// The net's degree.
+        degree: u8,
+        /// The canonical pattern key that missed.
+        key: u64,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::UnclassifiableDegree { degree } => {
+                write!(f, "degree-{degree} net cannot be canonicalized")
+            }
+            RouteError::MissingDegree { degree, lambda } => write!(
+                f,
+                "lookup table has no patterns for degree {degree} \
+                 (claims lambda = {lambda}); table file truncated or corrupt"
+            ),
+            RouteError::MissingPattern { degree, key } => write!(
+                f,
+                "canonical pattern {key:#x} missing from the degree-{degree} \
+                 table; table file incomplete or corrupt"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The per-net result of the pipeline.
+pub type RouteResult = Result<RouteOutcome, RouteError>;
+
+/// Aggregate provenance over many routed nets (the CLI's summary line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProvenanceSummary {
+    /// Nets answered by the degree-2 closed form.
+    pub closed_form: u64,
+    /// Nets answered from the frontier cache.
+    pub cache_hits: u64,
+    /// Nets answered by a full lookup-table query.
+    pub exact_lut: u64,
+    /// Nets answered by local search.
+    pub local_search: u64,
+}
+
+impl ProvenanceSummary {
+    /// Folds one net's provenance into the tally.
+    pub fn record(&mut self, provenance: &RouteProvenance) {
+        match provenance.source {
+            RouteSource::ClosedForm => self.closed_form += 1,
+            RouteSource::CacheHit => self.cache_hits += 1,
+            RouteSource::ExactLut => self.exact_lut += 1,
+            RouteSource::LocalSearch => self.local_search += 1,
+        }
+    }
+
+    /// Total nets recorded.
+    pub fn total(&self) -> u64 {
+        self.closed_form + self.cache_hits + self.exact_lut + self.local_search
+    }
+}
+
+impl fmt::Display for ProvenanceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "closed-form {}, cache-hit {}, exact-lut {}, local-search {}",
+            self.closed_form, self.cache_hits, self.exact_lut, self.local_search
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_labels_and_exactness() {
+        assert_eq!(RouteSource::CacheHit.label(), "cache-hit");
+        assert_eq!(RouteSource::LocalSearch.to_string(), "local-search");
+        assert!(RouteSource::ExactLut.is_exact());
+        assert!(RouteSource::ClosedForm.is_exact());
+        assert!(!RouteSource::LocalSearch.is_exact());
+    }
+
+    #[test]
+    fn errors_display_actionable_messages() {
+        let e = RouteError::MissingDegree { degree: 4, lambda: 6 };
+        assert!(e.to_string().contains("degree 4"));
+        assert!(e.to_string().contains("lambda = 6"));
+        let e = RouteError::MissingPattern { degree: 3, key: 0xabc };
+        assert!(e.to_string().contains("0xabc"));
+        let e = RouteError::UnclassifiableDegree { degree: 17 };
+        assert!(e.to_string().contains("17"));
+    }
+
+    #[test]
+    fn summary_records_and_totals() {
+        let mut s = ProvenanceSummary::default();
+        let p = |source| RouteProvenance {
+            degree: 3,
+            source,
+            counters: StageCounters::default(),
+        };
+        s.record(&p(RouteSource::CacheHit));
+        s.record(&p(RouteSource::CacheHit));
+        s.record(&p(RouteSource::ExactLut));
+        s.record(&p(RouteSource::LocalSearch));
+        s.record(&p(RouteSource::ClosedForm));
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.cache_hits, 2);
+        let line = s.to_string();
+        assert!(line.contains("cache-hit 2"));
+        assert!(line.contains("exact-lut 1"));
+    }
+}

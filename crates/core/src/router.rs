@@ -1,14 +1,19 @@
-//! The top-level router: lookup tables below λ, local search above.
+//! The top-level router: the staged serving pipeline
+//! `Classify → CacheLookup → LutQuery → LocalSearch → Materialize`
+//! (see [`crate::pipeline`] for the stage diagram).
 
 use std::sync::Arc;
 
-use patlabor_geom::Net;
+use patlabor_geom::{Net, NetClass};
 use patlabor_lut::{LookupTable, LutBuilder};
-use patlabor_pareto::ParetoSet;
+use patlabor_pareto::{Cost, ParetoSet};
 use patlabor_tree::RoutingTree;
 
 use crate::cache::{CacheConfig, CacheKey, CacheStats, FrontierCache};
-use crate::local_search::{local_search, LocalSearchConfig};
+use crate::local_search::{local_search_with_report, LocalSearchConfig};
+use crate::pipeline::{
+    RouteError, RouteOutcome, RouteProvenance, RouteSource, StageCounters,
+};
 use crate::policy::Policy;
 
 /// Router-level configuration.
@@ -48,13 +53,14 @@ impl Default for RouterConfig {
 /// # Example
 ///
 /// ```
-/// use patlabor::{Net, PatLabor, Point};
+/// use patlabor::{Net, PatLabor, Point, RouteSource};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let router = PatLabor::new();
 /// let net = Net::new(vec![Point::new(0, 0), Point::new(5, 9), Point::new(9, 4)])?;
-/// let frontier = router.route(&net);
-/// assert!(!frontier.is_empty());
+/// let outcome = router.route(&net)?;
+/// assert!(!outcome.frontier.is_empty());
+/// assert_eq!(outcome.provenance.source, RouteSource::ExactLut);
 /// # Ok(())
 /// # }
 /// ```
@@ -145,40 +151,139 @@ impl PatLabor {
         &self.policy
     }
 
-    /// Computes a Pareto set of routing trees for `net`.
+    /// Routes one net through the staged pipeline, returning the Pareto
+    /// frontier together with its provenance.
     ///
     /// Exact (the full Pareto frontier, one witness tree per point) for
-    /// degrees `≤ λ`; the local-search approximation above.
-    pub fn route(&self, net: &Net) -> ParetoSet<RoutingTree> {
-        if net.degree() <= self.table.lambda() as usize {
-            self.route_exact(net)
-        } else {
-            local_search(net, &self.table, &self.policy, &self.config.local_search)
+    /// degrees `≤ λ`; the local-search approximation above. The outcome's
+    /// [`RouteProvenance`] records which stage answered and how much work
+    /// each stage did; a net the tables cannot serve (truncated or corrupt
+    /// table file) returns a [`RouteError`] instead of panicking.
+    ///
+    /// Routing is deterministic: the frontier is bit-identical regardless
+    /// of the frontier cache's state (only the provenance differs between
+    /// a cache hit and a full query).
+    pub fn route(&self, net: &Net) -> Result<RouteOutcome, RouteError> {
+        let degree = net.degree();
+        let mut counters = StageCounters::default();
+
+        // Stage: Classify — pick the serving path by degree.
+        if degree > self.table.lambda() as usize {
+            // Stage: LocalSearch (materializes its own candidates).
+            let (frontier, report) = local_search_with_report(
+                net,
+                &self.table,
+                &self.policy,
+                &self.config.local_search,
+            );
+            counters.local_search_rounds = report.rounds as u32;
+            counters.local_search_candidates = report.candidates as u32;
+            return Ok(self.outcome(frontier, degree, RouteSource::LocalSearch, counters));
+        }
+        if degree == 2 {
+            // Closed form: the direct tree is the entire frontier; no
+            // class, no cache, no table involvement.
+            let tree = RoutingTree::direct(net);
+            let (w, d) = tree.objectives();
+            let mut frontier = ParetoSet::new();
+            frontier.insert(Cost::new(w, d), tree);
+            counters.trees_materialized = 1;
+            return Ok(self.outcome(frontier, degree, RouteSource::ClosedForm, counters));
+        }
+        let class = self
+            .table
+            .classify(net)
+            .ok_or(RouteError::UnclassifiableDegree { degree })?;
+
+        // Stage: CacheLookup — replay the class's winning ids on a hit.
+        if let Some(cache) = &self.cache {
+            counters.cache_probes = 1;
+            let key = CacheKey::from_class(&class);
+            if let Some(ids) = cache.get(&key) {
+                counters.cache_hits = 1;
+                counters.trees_materialized = ids.len() as u32;
+                let frontier = self.table.query_ids(net, &class, &ids);
+                return Ok(self.outcome(frontier, degree, RouteSource::CacheHit, counters));
+            }
+            let (frontier, winners) = self.lut_query(net, &class, &mut counters)?;
+            cache.insert(key, winners.into());
+            return Ok(self.outcome(frontier, degree, RouteSource::ExactLut, counters));
+        }
+        let (frontier, _) = self.lut_query(net, &class, &mut counters)?;
+        Ok(self.outcome(frontier, degree, RouteSource::ExactLut, counters))
+    }
+
+    /// Stages LutQuery + Materialize: score the stored candidates, prune,
+    /// and build witness trees for the survivors only. Composes the same
+    /// stage calls as [`LookupTable::query_witnesses`], so the frontier
+    /// (including tie-break order) is bit-identical to it.
+    fn lut_query(
+        &self,
+        net: &Net,
+        class: &NetClass,
+        counters: &mut StageCounters,
+    ) -> Result<(ParetoSet<RoutingTree>, Vec<u32>), RouteError> {
+        let Some(ids) = self.table.candidate_ids(class) else {
+            let degree = class.degree();
+            return Err(if self.table.pattern_count(degree) == 0 {
+                RouteError::MissingDegree {
+                    degree,
+                    lambda: self.table.lambda(),
+                }
+            } else {
+                RouteError::MissingPattern {
+                    degree,
+                    key: class.canonical_key(),
+                }
+            });
+        };
+        counters.candidates_scored = ids.len() as u32;
+        let survivors = self.table.score_candidates(class, ids);
+        counters.trees_materialized = survivors.len() as u32;
+        let mut winners = Vec::with_capacity(survivors.len());
+        let entries: Vec<(Cost, RoutingTree)> = survivors
+            .into_iter()
+            .map(|(cost, id)| {
+                let tree = self.table.materialize(net, class, id);
+                winners.push(id);
+                (cost, tree)
+            })
+            .collect();
+        Ok((ParetoSet::from_unpruned(entries), winners))
+    }
+
+    fn outcome(
+        &self,
+        frontier: ParetoSet<RoutingTree>,
+        degree: usize,
+        source: RouteSource,
+        counters: StageCounters,
+    ) -> RouteOutcome {
+        RouteOutcome {
+            frontier,
+            provenance: RouteProvenance {
+                degree,
+                source,
+                counters,
+            },
         }
     }
 
-    /// The tabulated path (`degree ≤ λ`), with the frontier cache in
-    /// front when enabled.
-    fn route_exact(&self, net: &Net) -> ParetoSet<RoutingTree> {
-        if let Some(cache) = &self.cache {
-            // Degree-2 nets bypass the cache: their answer is closed-form
-            // and `query_context` declines them.
-            if let Some(ctx) = self.table.query_context(net) {
-                let key = CacheKey::new(ctx.canonical_key(), ctx.canonical_gaps());
-                if let Some(ids) = cache.get(&key) {
-                    return self.table.query_ids(net, &ctx, &ids);
-                }
-                let (frontier, winners) = self
-                    .table
-                    .query_witnesses(net, &ctx)
-                    .expect("degree <= lambda is always tabulated");
-                cache.insert(key, winners.into());
-                return frontier;
-            }
+    /// [`PatLabor::route`], discarding provenance.
+    ///
+    /// Convenience for callers that only want the frontier (benchmarks,
+    /// examples, comparisons against baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`RouteError`] — only possible with a truncated or
+    /// corrupt loaded table; a router built by [`PatLabor::new`] /
+    /// [`PatLabor::with_config`] never fails.
+    pub fn route_frontier(&self, net: &Net) -> ParetoSet<RoutingTree> {
+        match self.route(net) {
+            Ok(outcome) => outcome.frontier,
+            Err(e) => panic!("routing failed: {e}"),
         }
-        self.table
-            .query(net)
-            .expect("degree <= lambda is always tabulated")
     }
 
     /// Frontier-cache counters, or `None` when the cache is disabled.
@@ -219,10 +324,12 @@ mod tests {
         let mut seed = 2u64;
         for degree in 3..=5 {
             let net = random_net(&mut seed, degree, 60);
-            let got = router.route(&net);
+            let outcome = router.route(&net).expect("tabulated degree");
             let exact = numeric::pareto_frontier(&net, &DwConfig::default());
-            assert_eq!(got.cost_vec(), exact.cost_vec());
+            assert_eq!(outcome.frontier.cost_vec(), exact.cost_vec());
             assert!(router.is_exact_for(degree));
+            assert!(outcome.provenance.source.is_exact());
+            assert_eq!(outcome.provenance.degree, degree);
         }
     }
 
@@ -232,9 +339,12 @@ mod tests {
         let mut seed = 4u64;
         let net = random_net(&mut seed, 15, 150);
         assert!(!router.is_exact_for(15));
-        let frontier = router.route(&net);
-        assert!(!frontier.is_empty());
-        for (c, t) in frontier.iter() {
+        let outcome = router.route(&net).expect("local search cannot fail");
+        assert_eq!(outcome.provenance.source, RouteSource::LocalSearch);
+        assert!(outcome.provenance.counters.local_search_rounds >= 1);
+        assert!(outcome.provenance.counters.local_search_candidates >= 1);
+        assert!(!outcome.frontier.is_empty());
+        for (c, t) in outcome.frontier.iter() {
             t.validate(&net).unwrap();
             assert_eq!((c.wirelength, c.delay), t.objectives());
         }
@@ -255,6 +365,61 @@ mod tests {
         ])
         .unwrap();
         let exact = numeric::pareto_frontier(&net, &DwConfig::default());
-        assert_eq!(router.route(&net).cost_vec(), exact.cost_vec());
+        assert_eq!(router.route_frontier(&net).cost_vec(), exact.cost_vec());
+    }
+
+    #[test]
+    fn provenance_distinguishes_cache_hits_from_full_queries() {
+        let router = PatLabor::new();
+        let mut seed = 9u64;
+        let net = random_net(&mut seed, 4, 50);
+        let first = router.route(&net).unwrap();
+        assert_eq!(first.provenance.source, RouteSource::ExactLut);
+        assert_eq!(first.provenance.counters.cache_probes, 1);
+        assert_eq!(first.provenance.counters.cache_hits, 0);
+        assert!(first.provenance.counters.candidates_scored >= 1);
+        let second = router.route(&net).unwrap();
+        assert_eq!(second.provenance.source, RouteSource::CacheHit);
+        assert_eq!(second.provenance.counters.cache_hits, 1);
+        // A cache hit scores nothing and materializes winners only.
+        assert_eq!(second.provenance.counters.candidates_scored, 0);
+        assert_eq!(
+            second.provenance.counters.trees_materialized as usize,
+            second.frontier.len()
+        );
+        // The frontier itself is bit-identical either way.
+        assert_eq!(first.frontier, second.frontier);
+    }
+
+    #[test]
+    fn degree_2_is_closed_form() {
+        let router = PatLabor::new();
+        let net = Net::new(vec![Point::new(0, 0), Point::new(3, 4)]).unwrap();
+        let outcome = router.route(&net).unwrap();
+        assert_eq!(outcome.provenance.source, RouteSource::ClosedForm);
+        assert_eq!(outcome.provenance.counters.trees_materialized, 1);
+        assert_eq!(outcome.provenance.counters.cache_probes, 0);
+        assert_eq!(outcome.frontier.len(), 1);
+    }
+
+    #[test]
+    fn gutted_table_reports_missing_degree_not_panic() {
+        let mut table = crate::LutBuilder::new(4).threads(1).build();
+        table.remove_degree(3);
+        let router = PatLabor::with_table(table);
+        let net = Net::new(vec![Point::new(0, 0), Point::new(5, 2), Point::new(2, 7)]).unwrap();
+        match router.route(&net) {
+            Err(RouteError::MissingDegree { degree: 3, lambda: 4 }) => {}
+            other => panic!("expected MissingDegree, got {other:?}"),
+        }
+        // Degree 4 still routes fine — the failure is per-degree.
+        let ok = Net::new(vec![
+            Point::new(0, 0),
+            Point::new(5, 2),
+            Point::new(2, 7),
+            Point::new(8, 4),
+        ])
+        .unwrap();
+        assert!(router.route(&ok).is_ok());
     }
 }

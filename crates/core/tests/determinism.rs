@@ -1,7 +1,15 @@
 //! Batch/cache determinism: `route_batch` must be bit-identical to
 //! serial `route`, with the frontier cache enabled or disabled.
+//!
+//! Comparisons extract frontiers from the [`patlabor::RouteOutcome`]s:
+//! the frontier is the bit-identical part, while provenance legitimately
+//! differs between cache states (`ExactLut` on a cold cache, `CacheHit`
+//! on a warm one) — that difference is itself asserted below.
 
-use patlabor::{CacheConfig, Net, PatLabor, Point, RouterConfig};
+use patlabor::{
+    CacheConfig, Net, ParetoSet, PatLabor, Point, RouteResult, RouteSource, RouterConfig,
+    RoutingTree,
+};
 use patlabor_netgen::uniform_net;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +31,13 @@ fn workload() -> Vec<Net> {
     nets
 }
 
+fn frontiers(results: Vec<RouteResult>) -> Vec<ParetoSet<RoutingTree>> {
+    results
+        .into_iter()
+        .map(|r| r.expect("workload nets always route").frontier)
+        .collect()
+}
+
 #[test]
 fn batch_with_and_without_cache_matches_serial_route() {
     let cached = PatLabor::with_config(RouterConfig {
@@ -39,12 +54,27 @@ fn batch_with_and_without_cache_matches_serial_route() {
 
     let nets = workload();
     // Ground truth: serial, cache-free routing.
-    let serial: Vec<_> = nets.iter().map(|n| uncached.route(n)).collect();
+    let serial: Vec<_> = nets
+        .iter()
+        .map(|n| uncached.route(n).expect("workload nets always route").frontier)
+        .collect();
 
-    assert_eq!(uncached.route_batch(&nets, 8), serial, "batch, no cache");
-    assert_eq!(cached.route_batch(&nets, 8), serial, "batch, cold cache");
+    assert_eq!(
+        frontiers(uncached.route_batch(&nets, 8)),
+        serial,
+        "batch, no cache"
+    );
+    assert_eq!(
+        frontiers(cached.route_batch(&nets, 8)),
+        serial,
+        "batch, cold cache"
+    );
     // A warm cache (every class now resident) must replay identically.
-    assert_eq!(cached.route_batch(&nets, 8), serial, "batch, warm cache");
+    assert_eq!(
+        frontiers(cached.route_batch(&nets, 8)),
+        serial,
+        "batch, warm cache"
+    );
     let stats = cached.cache_stats().unwrap();
     assert!(stats.hits > 0, "repeated workload must hit: {stats:?}");
 }
@@ -68,7 +98,8 @@ fn congruent_nets_share_one_cache_entry() {
     let mirrored = base.map_points(|p| Point::new(-p.x, -p.y));
     let rotated = base.map_points(|p| Point::new(p.y, -p.x));
 
-    let frontier = router.route(&base);
+    let outcome = router.route(&base).unwrap();
+    assert_eq!(outcome.provenance.source, RouteSource::ExactLut);
     let stats = router.cache_stats().unwrap();
     assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
 
@@ -77,8 +108,17 @@ fn congruent_nets_share_one_cache_entry() {
         ("mirrored", &mirrored),
         ("rotated", &rotated),
     ] {
-        let sym = router.route(net);
-        assert_eq!(sym.cost_vec(), frontier.cost_vec(), "{label}");
+        let sym = router.route(net).unwrap();
+        assert_eq!(
+            sym.frontier.cost_vec(),
+            outcome.frontier.cost_vec(),
+            "{label}"
+        );
+        assert_eq!(
+            sym.provenance.source,
+            RouteSource::CacheHit,
+            "{label} must be served from the shared cache entry"
+        );
     }
     let stats = router.cache_stats().unwrap();
     assert_eq!(

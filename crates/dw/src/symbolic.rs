@@ -75,6 +75,22 @@ impl SymbolicSolution {
         (w, d)
     }
 
+    /// Evaluates the objectives for a classified net.
+    ///
+    /// The solution must come from the symbolic DP of the class's
+    /// canonical pattern — [`NetClass`](patlabor_geom::NetClass) carries
+    /// the gap vector already mapped into canonical rank space, so this
+    /// is the one correct pairing of symbolic rows and concrete gaps.
+    /// Serving-side consumers should use this instead of calling
+    /// [`SymbolicSolution::evaluate`] with hand-canonicalized gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class's degree differs from the solution's.
+    pub fn evaluate_for(&self, class: &patlabor_geom::NetClass) -> (i64, i64) {
+        self.evaluate(class.canonical_gaps())
+    }
+
     /// The cost rows flattened in lookup-table storage order: the `W` row
     /// first, then the delay rows in ascending sink-column order, each of
     /// length `2n − 2`.
@@ -573,6 +589,24 @@ mod tests {
     fn evaluate_dots_gaps() {
         let s = sol(&[1, 2], &[&[1, 0], &[0, 3]]);
         assert_eq!(s.evaluate(&[10, 100]), (210, 300));
+    }
+
+    /// `evaluate_for` must agree with evaluating the canonical gap vector
+    /// directly, for every D4 orientation of an instantiated pattern — the
+    /// symbolic rows live in canonical rank space and `NetClass` delivers
+    /// gaps in exactly that space.
+    #[test]
+    fn evaluate_for_netclass_matches_canonical_gap_evaluation() {
+        use patlabor_geom::NetClass;
+        for pattern in Pattern::enumerate_canonical(4).into_iter().take(8) {
+            let sols = symbolic_frontier(&pattern, &DwConfig::default());
+            let net = pattern.instantiate(&[3, 5, 2], &[4, 1, 6]);
+            let class = NetClass::of(&net).expect("degree 4 classifies");
+            assert_eq!(class.key(), pattern.key());
+            for s in &sols {
+                assert_eq!(s.evaluate_for(&class), s.evaluate(class.canonical_gaps()));
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 mod bbox;
 mod grid;
 mod net;
+mod netclass;
 mod pattern;
 mod point;
 mod transform;
@@ -40,6 +41,7 @@ mod transform;
 pub use bbox::{hpwl, BoundingBox};
 pub use grid::{GridEdge, GridNode, HananGrid};
 pub use net::{InvalidNetError, Net};
+pub use netclass::NetClass;
 pub use pattern::{Pattern, PatternKey, RankNode};
 pub use point::{l1, Point};
 pub use transform::{Transform, ALL_TRANSFORMS};

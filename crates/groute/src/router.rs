@@ -59,7 +59,7 @@ impl<'a> GlobalRouter<'a> {
     pub fn run(&self, grid: &mut RoutingGrid, nets: &[Net]) -> RouteReport {
         let mut chosen: Vec<(RoutingTree, EmbeddedNet)> = Vec::with_capacity(nets.len());
         let frontiers: Vec<ParetoSet<RoutingTree>> =
-            nets.iter().map(|n| self.router.route(n)).collect();
+            nets.iter().map(|n| self.router.route_frontier(n)).collect();
 
         // First pass: greedy sequential.
         for (net, frontier) in nets.iter().zip(&frontiers) {

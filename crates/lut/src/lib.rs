@@ -40,3 +40,7 @@ mod table;
 pub use builder::LutBuilder;
 pub use format::ReadTableError;
 pub use table::{LookupTable, LutStats, StoredTopology};
+
+// The canonicalization the query path is keyed on; re-exported so callers
+// holding only a table handle can name the classify result.
+pub use patlabor_geom::NetClass;

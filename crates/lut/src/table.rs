@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 
 use patlabor_dw::symbolic::{dot, SymbolicSolution};
-use patlabor_geom::{HananGrid, Net, Pattern, RankNode, Transform};
+use patlabor_geom::{Net, NetClass, RankNode};
 use patlabor_pareto::{Cost, ParetoSet};
 use patlabor_tree::{extract_from_union, RoutingTree};
 
@@ -248,48 +248,6 @@ pub struct LookupTable {
     pub(crate) tables: Vec<DegreeTable>,
 }
 
-/// The canonicalization of one net, precomputed once per query.
-///
-/// Splitting this out of [`LookupTable::query`] lets callers key a cache
-/// on the canonical pattern and gap vector ([`QueryContext::canonical_key`]
-/// / [`QueryContext::canonical_gaps`]) and, on a hit, replay only the
-/// winning topology ids with [`LookupTable::query_ids`].
-///
-/// Both objectives are invariant under the dihedral symmetries (the L1
-/// metric commutes with axis swaps and flips, and gap vectors carry the
-/// full geometry), so the set of winning topology ids — and the order the
-/// query evaluates them in — is a pure function of the canonical key and
-/// canonical gap vector. That is what makes replaying cached ids
-/// bit-identical to a full evaluation.
-#[derive(Debug, Clone)]
-pub struct QueryContext {
-    grid: HananGrid,
-    degree: u8,
-    canonical_key: u64,
-    /// Maps canonical rank nodes back to this net's rank space.
-    inverse: Transform,
-    canonical_gaps: Vec<i64>,
-}
-
-impl QueryContext {
-    /// The canonical pattern key (encodes degree, source position and the
-    /// canonical y-permutation).
-    pub fn canonical_key(&self) -> u64 {
-        self.canonical_key
-    }
-
-    /// The net's Hanan-grid gap vector mapped into canonical rank space
-    /// (horizontal gaps first, then vertical; `2n − 2` entries).
-    ///
-    /// Two nets related by a grid symmetry produce the same canonical key
-    /// *and* the same canonical gap vector, so `(key, gaps)` identifies a
-    /// net up to congruence — exactly the granularity at which query
-    /// results (winning topology ids) coincide.
-    pub fn canonical_gaps(&self) -> &[i64] {
-        &self.canonical_gaps
-    }
-}
-
 impl LookupTable {
     /// The largest tabulated degree λ.
     pub fn lambda(&self) -> u8 {
@@ -315,53 +273,32 @@ impl LookupTable {
             set.insert(Cost::new(w, d), tree);
             return Some(set);
         }
-        let ctx = self
-            .query_context(net)
+        let class = self
+            .classify(net)
             .expect("degree checked to be in 3..=lambda");
-        Some(self.query_witnesses(net, &ctx)?.0)
+        Some(self.query_witnesses(net, &class)?.0)
     }
 
     /// Canonicalizes `net` for [`LookupTable::query_witnesses`] /
     /// [`LookupTable::query_ids`], or `None` when its degree is outside
     /// `3..=λ` (degree 2 has a closed-form answer and nothing to cache).
-    pub fn query_context(&self, net: &Net) -> Option<QueryContext> {
+    ///
+    /// The canonicalization itself lives in [`patlabor_geom::NetClass`] —
+    /// the same object the frontier cache keys on — so the table and the
+    /// cache can never disagree about which nets are congruent.
+    pub fn classify(&self, net: &Net) -> Option<NetClass> {
         let n = net.degree();
         if n < 3 || n > self.lambda as usize {
             return None;
         }
-        let grid = HananGrid::new(net);
-        let (pattern, _) = Pattern::from_grid(&grid);
-        let (canonical, transform) = pattern.canonical();
-        // Map the instance gap vector into canonical rank space: the
-        // canonicalizing transform applies the swap first, then the flips
-        // (T = flips ∘ swap), mirroring `Transform::apply` on rank nodes.
-        let mut h = grid.h_gaps();
-        let mut v = grid.v_gaps();
-        if transform.swap {
-            std::mem::swap(&mut h, &mut v);
-        }
-        if transform.flip_x {
-            h.reverse();
-        }
-        if transform.flip_y {
-            v.reverse();
-        }
-        let mut canonical_gaps = h;
-        canonical_gaps.append(&mut v);
-        Some(QueryContext {
-            grid,
-            degree: n as u8,
-            canonical_key: canonical.key().as_u64(),
-            inverse: transform.inverse(),
-            canonical_gaps,
-        })
+        NetClass::of(net)
     }
 
-    /// The candidate pool ids stored for `ctx`'s canonical pattern, or
+    /// The candidate pool ids stored for `class`'s canonical pattern, or
     /// `None` when the pattern is not tabulated. This is the pure *lookup*
     /// stage of a query: one binary search over the sorted key array.
-    pub fn candidate_ids(&self, ctx: &QueryContext) -> Option<&[u32]> {
-        self.tables[ctx.degree as usize].ids_of(ctx.canonical_key)
+    pub fn candidate_ids(&self, class: &NetClass) -> Option<&[u32]> {
+        self.tables[class.degree() as usize].ids_of(class.canonical_key())
     }
 
     /// The *score* stage: evaluates every candidate id by dot products
@@ -374,18 +311,19 @@ impl LookupTable {
     /// position, matching [`ParetoSet::from_unpruned`]'s first-in-input
     /// rule, so the surviving ids are a pure function of `(canonical key,
     /// canonical gaps)`.
-    pub fn score_candidates(&self, ctx: &QueryContext, ids: &[u32]) -> Vec<(Cost, u32)> {
-        let table = &self.tables[ctx.degree as usize];
-        let dims = ctx.canonical_gaps.len();
+    pub fn score_candidates(&self, class: &NetClass, ids: &[u32]) -> Vec<(Cost, u32)> {
+        let table = &self.tables[class.degree() as usize];
+        let gaps = class.canonical_gaps();
+        let dims = gaps.len();
         SCORE_SCRATCH.with(|cell| {
             let mut scored = cell.borrow_mut();
             scored.clear();
             for (seq, &id) in ids.iter().enumerate() {
                 let rows = table.rows_of(id);
-                let w = dot(&rows[..dims], &ctx.canonical_gaps);
+                let w = dot(&rows[..dims], gaps);
                 let d = rows[dims..]
                     .chunks_exact(dims)
-                    .map(|row| dot(row, &ctx.canonical_gaps))
+                    .map(|row| dot(row, gaps))
                     .max()
                     .unwrap_or(0);
                 scored.push((Cost::new(w, d), seq as u32, id));
@@ -406,22 +344,15 @@ impl LookupTable {
 
     /// The *materialize* stage: instantiates one stored topology against
     /// `net`'s coordinates, producing a witness [`RoutingTree`].
-    pub fn materialize(&self, net: &Net, ctx: &QueryContext, id: u32) -> RoutingTree {
+    pub fn materialize(&self, net: &Net, class: &NetClass, id: u32) -> RoutingTree {
         MATERIALIZATIONS.with(|c| c.set(c.get() + 1));
-        let nb = ctx.degree;
+        let nb = class.degree();
         let table = &self.tables[nb as usize];
         let pts: Vec<_> = table
             .edges_of(id)
             .iter()
             .map(|&(a, b)| {
-                let map = |packed: u8| {
-                    let nd = RankNode::new(packed / nb, packed % nb);
-                    let instance_node = ctx.inverse.apply(nd, nb);
-                    patlabor_geom::Point::new(
-                        ctx.grid.xs()[instance_node.col as usize],
-                        ctx.grid.ys()[instance_node.row as usize],
-                    )
-                };
+                let map = |packed: u8| class.instance_point(RankNode::new(packed / nb, packed % nb));
                 (map(a), map(b))
             })
             .collect();
@@ -451,15 +382,15 @@ impl LookupTable {
     pub fn query_witnesses(
         &self,
         net: &Net,
-        ctx: &QueryContext,
+        class: &NetClass,
     ) -> Option<(ParetoSet<RoutingTree>, Vec<u32>)> {
-        let ids = self.candidate_ids(ctx)?;
-        let frontier = self.score_candidates(ctx, ids);
+        let ids = self.candidate_ids(class)?;
+        let frontier = self.score_candidates(class, ids);
         let mut winners = Vec::with_capacity(frontier.len());
         let entries: Vec<(Cost, RoutingTree)> = frontier
             .into_iter()
             .map(|(cost, id)| {
-                let tree = self.materialize(net, ctx, id);
+                let tree = self.materialize(net, class, id);
                 debug_assert_eq!(
                     (cost.wirelength, cost.delay),
                     tree.objectives(),
@@ -477,22 +408,23 @@ impl LookupTable {
     /// Re-evaluates a cached winning-id list against `net`.
     ///
     /// `ids` must come from a [`LookupTable::query_witnesses`] call whose
-    /// context had the same canonical key and gap vector (the frontier
+    /// class had the same canonical key and gap vector (the frontier
     /// cache's lookup key); the result then equals that call's frontier.
-    pub fn query_ids(&self, net: &Net, ctx: &QueryContext, ids: &[u32]) -> ParetoSet<RoutingTree> {
-        let table = &self.tables[ctx.degree as usize];
-        let dims = ctx.canonical_gaps.len();
+    pub fn query_ids(&self, net: &Net, class: &NetClass, ids: &[u32]) -> ParetoSet<RoutingTree> {
+        let table = &self.tables[class.degree() as usize];
+        let gaps = class.canonical_gaps();
+        let dims = gaps.len();
         let witnesses: Vec<(Cost, RoutingTree)> = ids
             .iter()
             .map(|&id| {
                 let rows = table.rows_of(id);
-                let w = dot(&rows[..dims], &ctx.canonical_gaps);
+                let w = dot(&rows[..dims], gaps);
                 let d = rows[dims..]
                     .chunks_exact(dims)
-                    .map(|row| dot(row, &ctx.canonical_gaps))
+                    .map(|row| dot(row, gaps))
                     .max()
                     .unwrap_or(0);
-                (Cost::new(w, d), self.materialize(net, ctx, id))
+                (Cost::new(w, d), self.materialize(net, class, id))
             })
             .collect();
         // Winners are mutually non-dominating and already in frontier
@@ -509,13 +441,13 @@ impl LookupTable {
     pub fn query_materialize_all(
         &self,
         net: &Net,
-        ctx: &QueryContext,
+        class: &NetClass,
     ) -> Option<ParetoSet<RoutingTree>> {
-        let ids = self.candidate_ids(ctx)?;
+        let ids = self.candidate_ids(class)?;
         let witnesses: Vec<(Cost, RoutingTree)> = ids
             .iter()
             .map(|&id| {
-                let tree = self.materialize(net, ctx, id);
+                let tree = self.materialize(net, class, id);
                 let (w, d) = tree.objectives();
                 (Cost::new(w, d), tree)
             })
@@ -528,6 +460,24 @@ impl LookupTable {
         self.tables
             .get(degree as usize)
             .map_or(0, DegreeTable::pattern_count)
+    }
+
+    /// Drops every stored pattern for `degree`, leaving an empty table in
+    /// its place.
+    ///
+    /// This simulates a truncated or corrupt table file — the situation
+    /// the router's `MissingDegree` error reports — without hand-crafting
+    /// broken bytes. Fault-injection helper for tests and tooling; a table
+    /// built by [`crate::LutBuilder`] never has gaps.
+    pub fn remove_degree(&mut self, degree: u8) {
+        if let Some(table) = self.tables.get_mut(degree as usize) {
+            *table = DegreeTable {
+                n: degree,
+                edge_off: vec![0],
+                pattern_off: vec![0],
+                ..DegreeTable::default()
+            };
+        }
     }
 
     /// Statistics per degree (Table II).

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut points = 0usize;
     let rounds = 2_000;
     for _ in 0..rounds {
-        points += router.route(&net).len();
+        points += router.route_frontier(&net).len();
     }
     let per_net = start.elapsed() / rounds;
     println!(

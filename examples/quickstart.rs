@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use patlabor::{Net, PatLabor, Point};
+use patlabor::{Net, PatLabor, Point, RouteSource};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A degree-5 net with a genuine wirelength/delay tradeoff.
@@ -20,9 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Building the router generates lookup tables for degrees 2..=5;
     // do this once and route millions of nets.
     let router = PatLabor::new();
-    let frontier = router.route(&net);
+    let outcome = router.route(&net)?;
+    assert_eq!(outcome.provenance.source, RouteSource::ExactLut);
+    let frontier = outcome.frontier;
 
-    println!("net degree {}, Pareto frontier:", net.degree());
+    println!(
+        "net degree {}, answered via {}, Pareto frontier:",
+        net.degree(),
+        outcome.provenance.source,
+    );
     for (i, (cost, tree)) in frontier.iter().enumerate() {
         println!(
             "  #{i}: wirelength {:>4}   delay {:>4}   ({} Steiner points)",

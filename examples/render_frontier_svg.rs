@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Point::new(13, 12),
     ])?;
     let router = PatLabor::new();
-    let frontier = router.route(&net);
+    let frontier = router.route_frontier(&net);
 
     let trees: Vec<_> = frontier
         .iter()

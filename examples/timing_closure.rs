@@ -31,7 +31,7 @@ fn main() {
         // Per-net delay budget: 10% slack over the physical lower bound.
         let budget = net.delay_lower_bound() + net.delay_lower_bound() / 10;
 
-        let frontier = router.route(net);
+        let frontier = router.route_frontier(net);
         // Lightest tree meeting the budget, else the fastest available.
         let choice = frontier
             .iter()

@@ -19,7 +19,7 @@ fn router() -> &'static PatLabor {
 fn iccad_like_suite_routes_cleanly() {
     let nets = patlabor_netgen::iccad_like_suite(0x5ca1e, 40, 25);
     for net in &nets {
-        let frontier = router().route(net);
+        let frontier = router().route_frontier(net);
         assert!(!frontier.is_empty(), "empty frontier on {net:?}");
         // Frontier invariants: sorted, strictly tradeoff-shaped, exact
         // witness costs, valid trees, physical lower bounds respected.
@@ -41,8 +41,8 @@ fn iccad_like_suite_routes_cleanly() {
 fn routing_is_deterministic() {
     let nets = patlabor_netgen::iccad_like_suite(0xdead, 10, 20);
     for net in &nets {
-        let a = router().route(net).cost_vec();
-        let b = router().route(net).cost_vec();
+        let a = router().route_frontier(net).cost_vec();
+        let b = router().route_frontier(net).cost_vec();
         assert_eq!(a, b, "non-deterministic routing on {net:?}");
     }
 }
@@ -54,7 +54,7 @@ fn budget_driven_selection_workflow() {
     // least the physical lower bound times the frontier's fast end.
     let nets = patlabor_netgen::iccad_like_suite(0xbead, 20, 20);
     for net in &nets {
-        let frontier = router().route(net);
+        let frontier = router().route_frontier(net);
         let budget = frontier.min_delay().expect("non-empty").0.delay;
         let pick = frontier
             .iter()
@@ -81,7 +81,7 @@ fn local_search_beats_single_solution_baselines_somewhere() {
         .collect();
     assert!(!nets.is_empty());
     for net in &nets {
-        let frontier = router().route(net);
+        let frontier = router().route_frontier(net);
         let rsmt = patlabor_baselines::rsmt::rsmt_tree(net);
         let (w_end, _) = frontier.min_wirelength().unwrap();
         assert!(
@@ -103,7 +103,7 @@ fn pareto_ks_and_local_search_are_both_usable() {
         .into_iter()
         .find(|n| n.degree() >= 12)
         .expect("suite contains a large net");
-    let ls = router().route(&net);
+    let ls = router().route_frontier(&net);
     let ks = patlabor::ks::pareto_ks(&net, router().table());
     assert!(!ls.is_empty() && !ks.is_empty());
     // Both are valid candidate sets; their union is still a frontier of
@@ -133,13 +133,13 @@ fn degenerate_nets_route() {
         .unwrap(),
     ];
     for net in &cases {
-        let frontier = router().route(net);
+        let frontier = router().route_frontier(net);
         assert!(!frontier.is_empty(), "degenerate net failed: {net:?}");
         for (c, t) in frontier.iter() {
             assert_eq!((c.wirelength, c.delay), t.objectives());
         }
     }
     // A fully degenerate net costs nothing.
-    let zero = router().route(&cases[1]);
+    let zero = router().route_frontier(&cases[1]);
     assert_eq!(zero.cost_vec(), vec![Cost::new(0, 0)]);
 }

@@ -69,9 +69,9 @@ fn v3_query_matches_the_materialize_all_reference_path() {
     for trial in 0..40 {
         let degree = 3 + trial % 4;
         let net = random_net(&mut rng, degree, 48);
-        let ctx = table.query_context(&net).unwrap();
-        let fast = table.query_witnesses(&net, &ctx).unwrap().0;
-        let reference = table.query_materialize_all(&net, &ctx).unwrap();
+        let class = table.classify(&net).unwrap();
+        let fast = table.query_witnesses(&net, &class).unwrap().0;
+        let reference = table.query_materialize_all(&net, &class).unwrap();
         assert_eq!(fast.cost_vec(), reference.cost_vec());
     }
 }
@@ -84,10 +84,10 @@ fn trees_are_materialized_only_for_frontier_survivors() {
     for trial in 0..30 {
         let degree = 5 + trial % 2; // 5, 6 — degrees with big candidate pools
         let net = random_net(&mut rng, degree, 64);
-        let ctx = table.query_context(&net).unwrap();
-        let candidates = table.candidate_ids(&ctx).unwrap().len();
+        let class = table.classify(&net).unwrap();
+        let candidates = table.candidate_ids(&class).unwrap().len();
         let before = LookupTable::thread_materializations();
-        let (frontier, winners) = table.query_witnesses(&net, &ctx).unwrap();
+        let (frontier, winners) = table.query_witnesses(&net, &class).unwrap();
         let built = LookupTable::thread_materializations() - before;
         assert_eq!(
             built,

@@ -2,8 +2,10 @@
 
 use std::sync::OnceLock;
 
+use patlabor::cache::CacheKey;
 use patlabor::{Net, PatLabor, Point};
 use patlabor_dw::{numeric, DwConfig};
+use patlabor_geom::{NetClass, Pattern};
 use patlabor_tree::{reconnect_pass, remove_redundant_steiner, RefineObjective};
 use proptest::prelude::*;
 
@@ -17,6 +19,24 @@ fn arb_net(degree: usize, span: i64) -> impl Strategy<Value = Net> {
         .prop_map(|pts| Net::new(pts.into_iter().map(Point::from).collect()).unwrap())
 }
 
+/// A degree-5 net in general position: all x distinct, all y distinct.
+///
+/// Rank-pattern canonicalization breaks coordinate ties by pin order, so
+/// a tied net and its mirror image can land in different rank patterns —
+/// D4 invariance of the `NetClass` is only promised (and only needed: the
+/// frontier itself stays symmetric either way, see
+/// `objectives_are_symmetry_invariant`) for nets without ties.
+fn arb_general_position_net(span: i64) -> impl Strategy<Value = Net> {
+    proptest::collection::vec((0..span, 0..span), 5).prop_map(|pts| {
+        let pins = pts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Point::new(x * 5 + i as i64, y * 5 + i as i64))
+            .collect();
+        Net::new(pins).unwrap()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -25,7 +45,7 @@ proptest! {
     #[test]
     fn router_is_exact_up_to_lambda(net in arb_net(5, 40)) {
         let exact = numeric::pareto_frontier(&net, &DwConfig::default());
-        let routed = router().route(&net);
+        let routed = router().route_frontier(&net);
         prop_assert_eq!(routed.cost_vec(), exact.cost_vec());
     }
 
@@ -76,8 +96,8 @@ proptest! {
     fn objectives_are_translation_invariant(net in arb_net(5, 40),
                                             dx in -500i64..500, dy in -500i64..500) {
         let moved = net.map_points(|p| Point::new(p.x + dx, p.y + dy));
-        let a = router().route(&net).cost_vec();
-        let b = router().route(&moved).cost_vec();
+        let a = router().route_frontier(&net).cost_vec();
+        let b = router().route_frontier(&moved).cost_vec();
         prop_assert_eq!(a, b);
     }
 
@@ -87,9 +107,69 @@ proptest! {
     fn objectives_are_symmetry_invariant(net in arb_net(5, 40)) {
         let flipped = net.map_points(|p| Point::new(-p.x, p.y));
         let transposed = net.map_points(Point::transposed);
-        let a = router().route(&net).cost_vec();
-        prop_assert_eq!(&router().route(&flipped).cost_vec(), &a);
-        prop_assert_eq!(&router().route(&transposed).cost_vec(), &a);
+        let a = router().route_frontier(&net).cost_vec();
+        prop_assert_eq!(&router().route_frontier(&flipped).cost_vec(), &a);
+        prop_assert_eq!(&router().route_frontier(&transposed).cost_vec(), &a);
+    }
+
+    /// The standalone canonicalizer and the LUT's classification stage
+    /// are the same function: identical canonical key, identical gap
+    /// vector, and therefore identical cache keys — the invariant the
+    /// frontier cache and the LUT replay both rest on.
+    #[test]
+    fn netclass_and_lut_classification_agree(net in arb_net(5, 40)) {
+        let standalone = NetClass::of(&net).expect("degree ≤ 16 always classifies");
+        let via_table = router().table().classify(&net).expect("degree ≤ λ");
+        prop_assert_eq!(standalone.canonical_key(), via_table.canonical_key());
+        prop_assert_eq!(standalone.canonical_gaps(), via_table.canonical_gaps());
+        prop_assert_eq!(standalone.degree(), via_table.degree());
+        // Cache keys derive from the class and only the class.
+        prop_assert_eq!(
+            CacheKey::from_class(&standalone),
+            CacheKey::new(via_table.canonical_key(), via_table.canonical_gaps())
+        );
+    }
+
+    /// All 8 D4 images of a net classify to one `NetClass` (same key,
+    /// same gaps, same cache key), and each image's inverse transform
+    /// maps the shared canonical pins back onto that image's own pins.
+    #[test]
+    fn netclass_is_d4_invariant_with_correct_inverse(net in arb_general_position_net(40)) {
+        let base = NetClass::of(&net).expect("degree ≤ 16 always classifies");
+        let images: [fn(Point) -> Point; 8] = [
+            |p| p,
+            |p| Point::new(-p.x, p.y),
+            |p| Point::new(p.x, -p.y),
+            |p| Point::new(-p.x, -p.y),
+            |p| Point::new(p.y, p.x),
+            |p| Point::new(-p.y, p.x),
+            |p| Point::new(p.y, -p.x),
+            |p| Point::new(-p.y, -p.x),
+        ];
+        for (i, f) in images.iter().enumerate() {
+            let image = net.map_points(f);
+            let class = NetClass::of(&image).expect("degree ≤ 16 always classifies");
+            prop_assert_eq!(class.canonical_key(), base.canonical_key(), "image {}", i);
+            prop_assert_eq!(class.canonical_gaps(), base.canonical_gaps(), "image {}", i);
+            prop_assert_eq!(
+                CacheKey::from_class(&class),
+                CacheKey::from_class(&base),
+                "image {}", i
+            );
+            // The inverse must land the canonical pins on this image's
+            // own pins (the materialization correctness condition).
+            let (pattern, _) = Pattern::from_net(&image);
+            let (canonical, _) = pattern.canonical();
+            let mut mapped: Vec<Point> = canonical
+                .pin_nodes()
+                .into_iter()
+                .map(|nd| class.instance_point(nd))
+                .collect();
+            mapped.sort_unstable();
+            let mut expected: Vec<Point> = image.pins().to_vec();
+            expected.sort_unstable();
+            prop_assert_eq!(mapped, expected, "image {}", i);
+        }
     }
 
     /// Scaling all coordinates by a positive factor scales both
@@ -97,8 +177,8 @@ proptest! {
     #[test]
     fn objectives_scale_linearly(net in arb_net(5, 40), k in 1i64..8) {
         let scaled = net.map_points(|p| Point::new(p.x * k, p.y * k));
-        let a = router().route(&net).cost_vec();
-        let b = router().route(&scaled).cost_vec();
+        let a = router().route_frontier(&net).cost_vec();
+        let b = router().route_frontier(&scaled).cost_vec();
         prop_assert_eq!(a.len(), b.len());
         for (ca, cb) in a.iter().zip(&b) {
             prop_assert_eq!(ca.wirelength * k, cb.wirelength);
