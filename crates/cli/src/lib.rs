@@ -34,6 +34,7 @@ use std::fmt;
 
 use patlabor::{LutBuilder, Net, PatLabor, Point, ProvenanceSummary, RouteError};
 use patlabor_lut::LookupTable;
+use patlabor_verify::{mutation_smoke_with_table, verify_with_table, VerifyConfig};
 
 /// Error from parsing a net list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +86,11 @@ pub enum CliError {
         /// The pipeline's structured error.
         source: RouteError,
     },
+    /// The differential harness found a fast path diverging from its
+    /// oracle (or, in `--smoke` mode, failed to catch a planted
+    /// corruption). The message carries the full report, counterexample
+    /// included.
+    Verify(String),
 }
 
 impl fmt::Display for CliError {
@@ -95,6 +101,7 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => e.fmt(f),
             CliError::Table { path, message } => write!(f, "{path}: {message}"),
             CliError::Route { net, source } => write!(f, "net {net}: {source}"),
+            CliError::Verify(report) => f.write_str(report),
         }
     }
 }
@@ -289,6 +296,62 @@ pub fn stats_command(path: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Options of the `verify` command.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VerifyOptions {
+    /// Harness configuration (seed, corpus size, degree range, ...).
+    pub config: VerifyConfig,
+    /// Pre-generated table file to verify instead of building fresh λ
+    /// tables (the harness adopts the file's λ).
+    pub tables: Option<String>,
+    /// Run the mutation-smoke self-check instead of a plain run: plant a
+    /// one-row table corruption and demand the harness catch it.
+    pub smoke: bool,
+}
+
+/// Runs the `verify` command: the differential harness over every
+/// fast/slow path pair, or (with `--smoke`) its mutation self-check.
+///
+/// # Errors
+///
+/// Returns [`CliError::Verify`] carrying the full report when a fast path
+/// diverges from its oracle — or when the smoke mode's planted corruption
+/// goes *undetected*, which indicts the harness itself. Table-file
+/// problems surface as [`CliError::Table`].
+pub fn verify_command(options: &VerifyOptions) -> Result<String, CliError> {
+    let table = match &options.tables {
+        Some(path) => LookupTable::load(path).map_err(|e| CliError::Table {
+            path: path.clone(),
+            message: e.to_string(),
+        })?,
+        None => LutBuilder::new(options.config.lambda).build(),
+    };
+    let mut config = options.config.clone();
+    config.lambda = table.lambda();
+    if options.smoke {
+        let smoke = mutation_smoke_with_table(table, &config);
+        match smoke.caught {
+            Some(cx) => Ok(format!(
+                "mutation-smoke: planted {}\nharness caught it:\n{cx}\n",
+                smoke.mutation
+            )),
+            None => Err(CliError::Verify(format!(
+                "mutation-smoke FAILED: planted {} but the harness verified clean \
+                 — the oracle machinery cannot detect real table damage",
+                smoke.mutation
+            ))),
+        }
+    } else {
+        let report = verify_with_table(table, &config);
+        let summary = report.summary();
+        if report.is_clean() {
+            Ok(summary)
+        } else {
+            Err(CliError::Verify(summary))
+        }
+    }
+}
+
 /// Dispatches the `lut` subcommands (`build`, `info`).
 ///
 /// # Errors
@@ -342,11 +405,19 @@ USAGE:
   patlabor route [...] --bookshelf DESIGN.aux
   patlabor lut build --lambda L -o FILE
   patlabor lut info FILE
+  patlabor verify [--seed N] [--nets N] [--lambda L] [--tables FILE]
+                  [--max-degree D] [--threads T] [--span S]
+                  [--smoke] [--no-shrink]
   patlabor gen-tables --lambda L -o FILE   (alias of `lut build`)
   patlabor stats FILE                      (alias of `lut info`)
 
 Net list: one net per line, `x,y` pins separated by spaces, source first;
 `#` comments.
+
+`verify` cross-checks every fast path against its slow oracle on a seeded
+corpus and reports the first divergence as a minimized counterexample;
+`--smoke` instead plants a one-row table corruption and proves the
+harness catches it. Exit status is non-zero on any divergence.
 ";
 
 /// Parses CLI arguments and dispatches; returns the output to print or a
@@ -408,6 +479,59 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             route_command(&nets, &options)
         }
         Some("lut") => lut_command(&args[1..]),
+        Some("verify") => {
+            let mut options = VerifyOptions::default();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--seed" => {
+                        let value = next_value(&mut it, "--seed")?;
+                        let parsed = match value.strip_prefix("0x") {
+                            Some(hex) => u64::from_str_radix(hex, 16),
+                            None => value.parse(),
+                        };
+                        options.config.seed = parsed
+                            .map_err(|_| usage_error("--seed expects an integer (decimal or 0x hex)"))?;
+                    }
+                    "--nets" => {
+                        options.config.nets = next_value(&mut it, "--nets")?
+                            .parse()
+                            .map_err(|_| usage_error("--nets expects an integer"))?;
+                    }
+                    "--lambda" => {
+                        options.config.lambda = next_value(&mut it, "--lambda")?
+                            .parse()
+                            .map_err(|_| usage_error("--lambda expects an integer"))?;
+                    }
+                    "--max-degree" => {
+                        options.config.max_degree = next_value(&mut it, "--max-degree")?
+                            .parse()
+                            .map_err(|_| usage_error("--max-degree expects an integer"))?;
+                    }
+                    "--threads" => {
+                        options.config.threads = next_value(&mut it, "--threads")?
+                            .parse()
+                            .map_err(|_| usage_error("--threads expects an integer"))?;
+                    }
+                    "--span" => {
+                        options.config.span = next_value(&mut it, "--span")?
+                            .parse()
+                            .map_err(|_| usage_error("--span expects an integer"))?;
+                    }
+                    "--tables" => options.tables = Some(next_value(&mut it, "--tables")?),
+                    "--smoke" => options.smoke = true,
+                    "--no-shrink" => options.config.shrink = false,
+                    other => return Err(usage_error(format!("unknown flag {other}"))),
+                }
+            }
+            if options.config.max_degree < options.config.min_degree {
+                return Err(usage_error(format!(
+                    "--max-degree must be at least {}",
+                    options.config.min_degree
+                )));
+            }
+            verify_command(&options)
+        }
         Some("gen-tables") => {
             let mut lambda = None;
             let mut output = None;
@@ -592,6 +716,86 @@ mod tests {
         assert!(err.to_string().contains("nonexistent"));
         let err = run(&["route".into(), "--lambda".into()]).unwrap_err();
         assert!(err.to_string().contains("expects a value"));
+    }
+
+    fn small_verify_options() -> VerifyOptions {
+        VerifyOptions {
+            config: VerifyConfig {
+                seed: 0xcafe,
+                nets: 12,
+                min_degree: 3,
+                max_degree: 4,
+                lambda: 4,
+                dw_max_degree: 4,
+                threads: 2,
+                span: 16,
+                shrink: true,
+            },
+            tables: None,
+            smoke: false,
+        }
+    }
+
+    #[test]
+    fn verify_command_clean_run_reports_every_pair() {
+        let out = verify_command(&small_verify_options()).unwrap();
+        assert!(out.contains("all fast paths agree"));
+        assert!(out.contains("lut-vs-numeric-dw"));
+        assert!(out.contains("batch-vs-serial"));
+        assert!(out.contains("seed 0xcafe"));
+    }
+
+    #[test]
+    fn verify_command_smoke_mode_proves_detection() {
+        let options = VerifyOptions {
+            smoke: true,
+            ..small_verify_options()
+        };
+        let out = verify_command(&options).unwrap();
+        assert!(out.contains("mutation-smoke: planted"));
+        assert!(out.contains("divergence on pair"));
+    }
+
+    #[test]
+    fn verify_command_flags_a_corrupt_table_file() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.plut").to_string_lossy().into_owned();
+        let mut table = LutBuilder::new(4).build();
+        // Corrupt every degree-4 cost row: any degree-4 corpus net with a
+        // nonzero gap vector then scores a shifted frontier.
+        let mut id = 0u32;
+        while table.corrupt_cost_row(4, id, 3) {
+            id += 1;
+        }
+        assert!(id > 0, "the degree-4 pool cannot be empty");
+        table.save(&path).unwrap();
+        let options = VerifyOptions {
+            tables: Some(path.clone()),
+            ..small_verify_options()
+        };
+        let err = verify_command(&options).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            matches!(err, CliError::Verify(_)),
+            "expected a verify failure, got: {text}"
+        );
+        assert!(text.contains("divergence on pair"), "report was: {text}");
+        assert!(text.contains("replay:"), "report was: {text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_parses_verify_flags() {
+        // An impossible flag combination errors before any expensive work.
+        let err = run(&["verify".into(), "--seed".into(), "zzz".into()]).unwrap_err();
+        assert!(err.to_string().contains("--seed expects an integer"));
+        let err = run(&["verify".into(), "--max-degree".into(), "2".into()]).unwrap_err();
+        assert!(err.to_string().contains("--max-degree must be at least"));
+        let err = run(&["verify".into(), "--bogus".into()]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"));
+        // Usage text advertises the subcommand.
+        assert!(run(&[]).unwrap().contains("patlabor verify"));
     }
 
     #[test]

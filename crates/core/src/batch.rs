@@ -21,7 +21,7 @@
 
 use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use patlabor_geom::Net;
 
@@ -37,6 +37,96 @@ struct OutputSlots<T>(*mut MaybeUninit<T>);
 
 // SAFETY: workers write disjoint slots; the pointer itself is only copied.
 unsafe impl<T: Send> Sync for OutputSlots<T> {}
+
+/// Drops the already-initialized output slots if a worker panic unwinds
+/// the batch mid-fill.
+///
+/// `Vec<MaybeUninit<T>>` never drops its contents, so without this guard
+/// every `T` written before the panic would leak (routing results hold
+/// heap-allocated frontiers, so the leak is real memory, not just a
+/// formality). Workers flag each slot *after* writing it; the guard runs
+/// on the spawning thread after `thread::scope` has joined every worker
+/// (the join provides the happens-before edge for the flagged writes) and
+/// drops exactly the flagged slots. The success path defuses the guard
+/// with `mem::forget` before assuming ownership of the values.
+struct SlotDropGuard<'a, T> {
+    slots: *mut MaybeUninit<T>,
+    init: &'a [AtomicBool],
+}
+
+impl<T> Drop for SlotDropGuard<'_, T> {
+    fn drop(&mut self) {
+        for (i, flag) in self.init.iter().enumerate() {
+            if flag.load(Ordering::Acquire) {
+                // SAFETY: the flag is set only after slot `i` was fully
+                // written, and no other code drops it (the success path
+                // forgets this guard before taking ownership).
+                unsafe { (*self.slots.add(i)).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Fills a `len`-slot output vector by claiming chunked index ranges from
+/// an atomic cursor across `workers` scoped threads; `fill(i)` produces
+/// slot `i`. Results are in index order, identical to a serial loop.
+///
+/// Panic safety: if a `fill` call panics, the scope joins the remaining
+/// workers and re-panics, and the [`SlotDropGuard`] drops every slot that
+/// was initialized before the unwind — nothing leaks.
+fn fill_slots_parallel<T, F>(len: usize, workers: usize, chunk: usize, fill: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut results: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+    let slots = OutputSlots(results.as_mut_ptr());
+    let init: Box<[AtomicBool]> = (0..len).map(|_| AtomicBool::new(false)).collect();
+    // Armed before any worker runs; declared after `results` so an unwind
+    // drops the initialized contents first, then the vector frees the
+    // (by then inert) buffer.
+    let guard = SlotDropGuard {
+        slots: results.as_mut_ptr(),
+        init: &init,
+    };
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let cursor = &cursor;
+            let init = &init;
+            let fill = &fill;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                for i in start..end {
+                    let value = fill(i);
+                    // SAFETY: `i` is inside this worker's claimed range;
+                    // ranges are disjoint and within the vector's
+                    // allocated capacity.
+                    unsafe { (*slots.0.add(i)).write(value) };
+                    // Publish only after the write completes, so the
+                    // guard never drops a half-written slot.
+                    init[i].store(true, Ordering::Release);
+                }
+            });
+        }
+    });
+    // Every worker joined without panicking and the cursor covered
+    // 0..len, so all slots are initialized; ownership passes to the
+    // returned vector and the guard must not double-drop.
+    std::mem::forget(guard);
+    // SAFETY: all `len` slots were written exactly once (see above).
+    unsafe { results.set_len(len) };
+    // MaybeUninit<T> → T is a transparent no-op once initialized.
+    results
+        .into_iter()
+        .map(|slot| unsafe { slot.assume_init() })
+        .collect()
+}
 
 impl PatLabor {
     /// Routes every net, spreading work over `threads` OS threads.
@@ -59,42 +149,7 @@ impl PatLabor {
         // imbalance at ~1/8 of one worker's share, while chunks ≥ 1 and
         // ≤ 256 keep cursor traffic negligible on huge batches.
         let chunk = (nets.len() / (workers * 8)).clamp(1, 256);
-
-        let mut results: Vec<MaybeUninit<RouteResult>> = Vec::with_capacity(nets.len());
-        // SAFETY: `set_len` only runs after the scope below has written
-        // every slot exactly once (the cursor covers 0..nets.len()).
-        let slots = OutputSlots(results.as_mut_ptr());
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let slots = &slots;
-                let cursor = &cursor;
-                scope.spawn(move || loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= nets.len() {
-                        break;
-                    }
-                    let end = (start + chunk).min(nets.len());
-                    for (i, net) in nets[start..end].iter().enumerate() {
-                        let result = self.route(net);
-                        // SAFETY: `start + i` is inside this worker's
-                        // claimed range; ranges are disjoint and within
-                        // the vector's allocated capacity.
-                        unsafe { (*slots.0.add(start + i)).write(result) };
-                    }
-                });
-            }
-        });
-        // SAFETY: the scope joined every worker and the cursor handed out
-        // all of 0..nets.len(), so each slot holds an initialized value.
-        // (On a worker panic the scope itself panics above, so we never
-        // reach this point with partially initialized slots.)
-        unsafe { results.set_len(nets.len()) };
-        // MaybeUninit<T> → T is a transparent no-op once initialized.
-        results
-            .into_iter()
-            .map(|slot| unsafe { slot.assume_init() })
-            .collect()
+        fill_slots_parallel(nets.len(), workers, chunk, |i| self.route(&nets[i]))
     }
 
     /// [`PatLabor::route_batch`] with a caller-proven non-zero thread
@@ -192,6 +247,53 @@ mod tests {
             .map(|n| router.route(n).expect("serial net failed").frontier)
             .collect();
         assert_eq!(frontiers(router.route_batch(&nets, 64)), serial);
+    }
+
+    /// Regression for the mid-batch panic leak: every `RouteResult` slot
+    /// initialized before a worker panic must still be dropped during the
+    /// unwind. Before the [`SlotDropGuard`], `Vec<MaybeUninit<_>>` leaked
+    /// all of them.
+    #[test]
+    fn panic_mid_batch_drops_initialized_slots() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        struct CountsDrops<'a>(&'a AtomicUsize);
+        impl Drop for CountsDrops<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, SeqCst);
+            }
+        }
+
+        let created = AtomicUsize::new(0);
+        let dropped = AtomicUsize::new(0);
+        let len = 97usize;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fill_slots_parallel(len, 4, 3, |i| {
+                if i == 41 {
+                    panic!("injected worker failure");
+                }
+                created.fetch_add(1, SeqCst);
+                CountsDrops(&dropped)
+            })
+        }));
+        assert!(result.is_err(), "the injected panic must propagate");
+        assert_eq!(
+            created.load(SeqCst),
+            dropped.load(SeqCst),
+            "every initialized slot must be dropped during unwind"
+        );
+        // Sanity: the batch got far enough for the guard to matter.
+        assert!(created.load(SeqCst) > 0);
+    }
+
+    /// The happy path through the guard: values transfer out exactly once
+    /// (each slot dropped once by the caller, never by the guard).
+    #[test]
+    fn fill_slots_parallel_matches_serial_and_owns_results() {
+        let squares = fill_slots_parallel(1000, 7, 16, |i| i * i);
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &v)| v == i * i));
     }
 
     /// Regression: a net the tables cannot serve must produce an `Err` in

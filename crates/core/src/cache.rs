@@ -185,6 +185,41 @@ impl FrontierCache {
         }
     }
 
+    /// Asserts the structural invariants of every shard: `map` and
+    /// `order` track the same key set (same length, no duplicate order
+    /// entries, every queued key resident) and occupancy never exceeds
+    /// the per-shard capacity. Test-only; concurrency tests call it after
+    /// hammering the cache from many threads.
+    #[cfg(test)]
+    fn assert_shards_consistent(&self) {
+        for (i, lock) in self.shards.iter().enumerate() {
+            let shard = lock.read().expect("cache lock poisoned");
+            assert!(
+                shard.map.len() <= self.per_shard_cap,
+                "shard {i}: occupancy {} exceeds capacity {}",
+                shard.map.len(),
+                self.per_shard_cap
+            );
+            assert_eq!(
+                shard.map.len(),
+                shard.order.len(),
+                "shard {i}: map and eviction queue disagree on size"
+            );
+            let queued: std::collections::HashSet<&CacheKey> = shard.order.iter().collect();
+            assert_eq!(
+                queued.len(),
+                shard.order.len(),
+                "shard {i}: eviction queue holds duplicate keys"
+            );
+            for key in &shard.order {
+                assert!(
+                    shard.map.contains_key(key),
+                    "shard {i}: queued key missing from map"
+                );
+            }
+        }
+    }
+
     /// Current counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -263,6 +298,87 @@ mod tests {
         // repeated overwrites.
         assert_eq!(cache.stats().entries, 2);
         assert!(cache.get(&k).is_none());
+    }
+
+    /// Overwrite-heavy workload: interleaving fresh inserts with repeated
+    /// overwrites of resident keys must never push a shard past its
+    /// capacity or desynchronize `map` from the eviction queue.
+    #[test]
+    fn overwrite_heavy_occupancy_stays_bounded() {
+        let config = CacheConfig {
+            capacity: 6,
+            shards: 2,
+            ..CacheConfig::default()
+        };
+        let cache = FrontierCache::new(&config);
+        for round in 0..50u64 {
+            // A fresh key per round...
+            cache.insert(key(round, &[round as i64]), vec![round as u32].into());
+            // ...then a storm of overwrites across the whole key history,
+            // including keys that were already evicted (those re-enter as
+            // fresh inserts and must re-queue exactly once).
+            for k in 0..=round {
+                cache.insert(key(k, &[k as i64]), vec![(k + round) as u32].into());
+            }
+            cache.assert_shards_consistent();
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 6, "total occupancy {} > capacity", stats.entries);
+        assert!(stats.entries > 0);
+    }
+
+    /// Concurrent miss-storm: many threads discover the same keys missing
+    /// and insert them simultaneously. Duplicate concurrent inserts of one
+    /// key must leave `order`/`map` consistent (exactly one queue entry
+    /// per resident key), and reads during the storm must never see torn
+    /// state.
+    #[test]
+    fn concurrent_miss_storm_keeps_shards_consistent() {
+        use std::sync::Arc;
+
+        let config = CacheConfig {
+            capacity: 64,
+            shards: 4,
+            ..CacheConfig::default()
+        };
+        let cache = Arc::new(FrontierCache::new(&config));
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..400u64 {
+                        // A small key space so every key is inserted by
+                        // several threads at once.
+                        let k = key(i % 16, &[(i % 16) as i64, t as i64 % 2]);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k.clone(), vec![t as u32, i as u32].into());
+                        }
+                        // Occasional fresh keys force evictions under the
+                        // same contention.
+                        if i % 37 == 0 {
+                            cache.insert(key(1000 + t as u64 * 1000 + i, &[i as i64]), vec![0].into());
+                        }
+                    }
+                });
+            }
+        });
+        cache.assert_shards_consistent();
+        let stats = cache.stats();
+        // Any hot key still resident must replay a well-formed id list
+        // (no torn values from racing duplicate inserts), and the storm
+        // must actually have exercised both paths.
+        let mut resident = 0;
+        for i in 0..16u64 {
+            for g in 0..2i64 {
+                if let Some(ids) = cache.get(&key(i, &[i as i64, g])) {
+                    resident += 1;
+                    assert_eq!(ids.len(), 2, "torn value for hot key ({i}, {g})");
+                }
+            }
+        }
+        assert!(resident > 0, "the whole hot set was evicted");
+        assert!(stats.hits > 0 && stats.misses > 0);
     }
 
     #[test]

@@ -39,15 +39,36 @@ impl Rational {
     ///
     /// # Panics
     ///
-    /// Panics if `den == 0`.
+    /// Panics if `den == 0`, or if the reduced value is not representable
+    /// (the only such case is a reduced denominator of exactly `2^127`,
+    /// e.g. `Rational::new(1, i128::MIN)`).
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "rational with zero denominator");
-        let sign = if den < 0 { -1 } else { 1 };
-        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
-        Rational {
-            num: sign * num / g,
-            den: sign * den / g,
-        }
+        // Reduce in unsigned space: `gcd` can be `2^127` (both arguments
+        // `i128::MIN`), which a bare `as i128` cast would wrap negative and
+        // silently corrupt the reduction. Signs are reapplied afterwards
+        // with checked conversions so every unrepresentable edge panics
+        // loudly instead of wrapping.
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        let num_mag = num.unsigned_abs() / g;
+        let den_mag = den.unsigned_abs() / g;
+        let negative = (num < 0) != (den < 0);
+        let den = i128::try_from(den_mag)
+            .expect("rational overflow: reduced denominator exceeds i128::MAX");
+        let num = if negative {
+            // A negative numerator can carry one more magnitude step than
+            // a positive one (down to -2^127 = i128::MIN).
+            if num_mag == i128::MIN.unsigned_abs() {
+                i128::MIN
+            } else {
+                -i128::try_from(num_mag)
+                    .expect("rational overflow: reduced numerator exceeds i128::MAX")
+            }
+        } else {
+            i128::try_from(num_mag)
+                .expect("rational overflow: reduced numerator exceeds i128::MAX")
+        };
+        Rational { num, den }
     }
 
     /// The numerator (sign-carrying).
@@ -228,6 +249,30 @@ mod tests {
     #[should_panic(expected = "zero denominator")]
     fn zero_denominator_panics() {
         let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn i128_min_edges_reduce_exactly() {
+        // gcd(|MIN|, |MIN|) = 2^127 does not fit in i128; the reduction
+        // must still produce the exact value instead of wrapping.
+        assert_eq!(Rational::new(i128::MIN, i128::MIN), Rational::ONE);
+        assert_eq!(
+            Rational::new(i128::MIN, 2),
+            Rational::new(i128::MIN / 2, 1)
+        );
+        assert_eq!(Rational::new(i128::MIN, -2), Rational::new(-(i128::MIN / 2), 1));
+        let extreme = Rational::new(i128::MIN, 1);
+        assert_eq!(extreme.numerator(), i128::MIN);
+        assert_eq!(extreme.denominator(), 1);
+        assert_eq!(Rational::new(0, i128::MIN), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "rational overflow")]
+    fn unrepresentable_denominator_panics_loudly() {
+        // 1 / i128::MIN needs denominator 2^127 > i128::MAX: must panic,
+        // not wrap.
+        let _ = Rational::new(1, i128::MIN);
     }
 
     #[test]

@@ -480,6 +480,32 @@ impl LookupTable {
         }
     }
 
+    /// Adds `delta` to every multiplicity in pool entry `id`'s cost-row
+    /// block for `degree`, de-synchronizing the stored symbolic rows from
+    /// the topology's true objectives. Returns `false` (and changes
+    /// nothing) when the degree or id is out of range.
+    ///
+    /// Fault-injection helper (sibling of [`LookupTable::remove_degree`])
+    /// for the differential harness's mutation-smoke mode: the harness
+    /// corrupts one row and asserts its LUT-vs-numeric-DW oracle *catches*
+    /// the planted divergence, proving the oracle itself works. Any net
+    /// whose query scores the corrupted row with a nonzero gap vector sees
+    /// a shifted dot-product cost. Tables built by [`crate::LutBuilder`]
+    /// are never corrupt.
+    pub fn corrupt_cost_row(&mut self, degree: u8, id: u32, delta: u16) -> bool {
+        let Some(table) = self.tables.get_mut(degree as usize) else {
+            return false;
+        };
+        if id as usize >= table.npool() {
+            return false;
+        }
+        let stride = table.row_stride();
+        for v in &mut table.costs[id as usize * stride..(id as usize + 1) * stride] {
+            *v = v.wrapping_add(delta);
+        }
+        true
+    }
+
     /// Statistics per degree (Table II).
     pub fn stats(&self) -> Vec<LutStats> {
         (3..=self.lambda)

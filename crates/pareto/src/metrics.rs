@@ -19,6 +19,13 @@ use crate::{Cost, ParetoSet};
 ///
 /// Larger is better. Exact integer arithmetic (`i128`).
 ///
+/// The single left-to-right sweep is correct only because
+/// [`ParetoSet::costs`] yields the sorted staircase (wirelength strictly
+/// ascending, delay strictly descending) — each solution's strip is the
+/// rectangle between its own delay and the previous (better-delay) strip.
+/// The ordering contract is documented on `costs()` and enforced here
+/// with a debug assertion.
+///
 /// ```
 /// use patlabor_pareto::{metrics::hypervolume, Cost, ParetoSet};
 ///
@@ -26,13 +33,19 @@ use crate::{Cost, ParetoSet};
 /// assert_eq!(hypervolume(&s, Cost::new(3, 3)), 2 + 1);
 /// ```
 pub fn hypervolume<T>(set: &ParetoSet<T>, reference: Cost) -> i128 {
+    debug_assert!(
+        set.cost_vec()
+            .windows(2)
+            .all(|w| w[0].wirelength < w[1].wirelength && w[0].delay > w[1].delay),
+        "hypervolume requires ParetoSet::costs() to yield the sorted staircase"
+    );
     let mut total: i128 = 0;
     let mut prev_delay = reference.delay;
     for c in set.costs() {
         if c.wirelength >= reference.wirelength || c.delay >= prev_delay {
             // Clipped out or fully shadowed by the previous (better-delay
             // strip already counted).
-            prev_delay = prev_delay.min(c.delay.max(0));
+            prev_delay = prev_delay.min(c.delay);
             continue;
         }
         let d_hi = prev_delay.min(reference.delay);
@@ -201,7 +214,30 @@ mod tests {
             proptest::collection::vec((1i64..50, 1i64..50).prop_map(Cost::from), 1..20)
         }
 
+        /// O(area) reference: count unit cells dominated by some solution.
+        fn brute_hypervolume(set: &ParetoSet<()>, reference: Cost) -> i128 {
+            let mut total = 0i128;
+            for x in 0..reference.wirelength {
+                for y in 0..reference.delay {
+                    if set.costs().any(|c| c.wirelength <= x && c.delay <= y) {
+                        total += 1;
+                    }
+                }
+            }
+            total
+        }
+
         proptest! {
+            /// The staircase sweep equals the cell-counting reference —
+            /// the sweep is only valid because `costs()` yields the
+            /// sorted staircase (see the ordering contract on `costs`).
+            #[test]
+            fn prop_hypervolume_matches_bruteforce(cs in arb_costs()) {
+                let reference = Cost::new(55, 55);
+                let set: ParetoSet<()> = cs.into_iter().collect();
+                prop_assert_eq!(hypervolume(&set, reference), brute_hypervolume(&set, reference));
+            }
+
             /// Adding a dominated point never changes hypervolume; adding
             /// a point strictly inside the reference box never decreases
             /// it.

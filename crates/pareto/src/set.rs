@@ -62,7 +62,16 @@ impl<T> ParetoSet<T> {
         self.entries.iter().map(|(c, t)| (*c, t))
     }
 
-    /// Iterator over the costs only, wirelength ascending.
+    /// Iterator over the costs only.
+    ///
+    /// # Ordering contract
+    ///
+    /// Yields the frontier *staircase* in sorted order — wirelength
+    /// strictly increasing, delay strictly decreasing (the container
+    /// invariant above). Consumers may rely on this: the single
+    /// left-to-right sweeps in [`crate::metrics::hypervolume`] and
+    /// [`crate::metrics::found_on_frontier`] are correct only because of
+    /// it.
     pub fn costs(&self) -> impl Iterator<Item = Cost> + '_ {
         self.entries.iter().map(|(c, _)| *c)
     }

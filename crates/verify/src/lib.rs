@@ -1,0 +1,672 @@
+//! Differential verification harness for the PatLabor router.
+//!
+//! The router is built out of fast paths that each claim to be
+//! indistinguishable from a slower reference computation: the LUT
+//! dot-product query from a fresh numeric DW enumeration, the frontier
+//! cache from a cache-disabled query, the lock-free batch driver from a
+//! serial loop, a routed net from its D4/translated images, the reloaded
+//! v3 table from the in-memory original. Unit tests pin each claim on a
+//! handful of hand-written nets; this crate cross-validates all of them
+//! on a seeded corpus of hundreds of random nets and reports the *first
+//! divergence* as a minimized, replayable counterexample.
+//!
+//! The harness also verifies **itself**: [`mutation_smoke`] plants a
+//! single corrupted cost row in an otherwise healthy table (via
+//! [`LookupTable::corrupt_cost_row`]) and asserts that the run catches
+//! it. An oracle that cannot detect a known-bad table is worse than no
+//! oracle — it manufactures confidence.
+//!
+//! Entry points: [`verify`] (build tables, run every pair), [`verify_with_table`]
+//! (caller-supplied tables, e.g. loaded from disk), [`mutation_smoke`].
+//! The `patlabor verify` CLI subcommand wraps them.
+
+#![forbid(unsafe_code)]
+
+mod report;
+mod shrink;
+
+pub use report::{CheckSummary, Counterexample, PathPair, SmokeReport, VerifyReport};
+pub use shrink::shrink_net;
+
+use patlabor::{Net, PatLabor, Point};
+use patlabor_dw::{numeric, DwConfig};
+use patlabor_lut::{LookupTable, LutBuilder};
+use patlabor_netgen::{clustered_net, uniform_net};
+use patlabor_pareto::Cost;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use patlabor::pipeline::RouteResult;
+use patlabor::CacheConfig;
+
+/// Predicate evaluations the shrinker may spend per counterexample.
+const SHRINK_EVAL_BUDGET: usize = 4_000;
+
+/// Harness configuration: corpus shape plus per-pair scope knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyConfig {
+    /// Corpus seed; the whole run is a pure function of the config.
+    pub seed: u64,
+    /// Number of corpus nets.
+    pub nets: usize,
+    /// Smallest corpus degree (≥ 3; degree 2 is a closed form).
+    pub min_degree: usize,
+    /// Largest corpus degree. Degrees above λ exercise the local-search
+    /// path (covered by the cache and batch pairs only — local search is
+    /// neither table-backed nor D4-invariant by contract).
+    pub max_degree: usize,
+    /// λ of the freshly built tables ([`verify`] only; λ ≤ 6 builds in
+    /// seconds, larger tables should be built offline and passed to
+    /// [`verify_with_table`]).
+    pub lambda: u8,
+    /// Largest degree the numeric-DW oracle re-enumerates (the oracle is
+    /// exponential in degree; 6 keeps a 500-net corpus in seconds).
+    pub dw_max_degree: usize,
+    /// Worker threads for the batch-vs-serial pair.
+    pub threads: usize,
+    /// Pin coordinates are drawn from `[0, span)²`.
+    pub span: i64,
+    /// Whether to minimize the first divergence before reporting it.
+    pub shrink: bool,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            seed: 0x5eed,
+            nets: 500,
+            min_degree: 3,
+            max_degree: 8,
+            lambda: 6,
+            dw_max_degree: 6,
+            threads: 4,
+            span: 48,
+            shrink: true,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// Largest degree checked against the numeric-DW oracle.
+    fn dw_cap(&self) -> usize {
+        self.dw_max_degree.min(self.lambda as usize)
+    }
+}
+
+/// The seeded corpus: degrees round-robin over
+/// `min_degree..=max_degree`, pin clouds alternating between uniform and
+/// clustered placement (the two shapes real placers produce). Pure
+/// function of the config — two calls yield identical nets.
+pub fn corpus(config: &VerifyConfig) -> Vec<Net> {
+    assert!(
+        config.min_degree >= 3 && config.max_degree >= config.min_degree,
+        "corpus degrees must satisfy 3 <= min_degree <= max_degree"
+    );
+    assert!(config.span >= 2, "corpus span must be at least 2");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let degree_count = config.max_degree - config.min_degree + 1;
+    (0..config.nets)
+        .map(|i| {
+            let degree = config.min_degree + i % degree_count;
+            if config.span >= 16 && i % 3 == 2 {
+                clustered_net(&mut rng, degree, config.span, 1 + i % 3)
+            } else {
+                uniform_net(&mut rng, degree, config.span)
+            }
+        })
+        .collect()
+}
+
+/// Builds λ tables per `config` and runs the full differential matrix.
+pub fn verify(config: &VerifyConfig) -> VerifyReport {
+    verify_with_table(LutBuilder::new(config.lambda).build(), config)
+}
+
+/// Runs the full differential matrix against caller-supplied tables
+/// (loaded from disk, deliberately corrupted, ...). Checks stop at the
+/// first divergence, which is minimized (when `config.shrink`) and
+/// returned in the report.
+pub fn verify_with_table(table: LookupTable, config: &VerifyConfig) -> VerifyReport {
+    let mut counts = [0usize; PathPair::ALL.len()];
+    let harness = match Harness::new(table, config) {
+        Ok(h) => h,
+        Err(cx) => return finish(config, 0, counts, Some(cx)),
+    };
+    let nets = corpus(config);
+    let mut serial: Vec<RouteResult> = Vec::with_capacity(nets.len());
+
+    for (index, net) in nets.iter().enumerate() {
+        for (slot, &pair) in PathPair::ALL.iter().enumerate() {
+            if pair == PathPair::BatchVsSerial {
+                continue; // whole-corpus check, runs after the loop
+            }
+            if !harness.in_scope(pair, net) {
+                continue;
+            }
+            counts[slot] += 1;
+            // The cache pair doubles as the serial reference for the
+            // batch pair, so its route result is kept either way.
+            let divergence = if pair == PathPair::CachedVsUncached {
+                let (result, divergence) = harness.cached_vs_uncached(net);
+                serial.push(result);
+                divergence
+            } else {
+                harness.divergence(pair, net)
+            };
+            if divergence.is_some() {
+                let cx = harness.minimized(pair, index, net);
+                return finish(config, nets.len(), counts, Some(cx));
+            }
+        }
+    }
+
+    // Pair (c): the lock-free batch driver vs the serial loop above.
+    let batch = harness.cached.route_batch(&nets, config.threads.max(1));
+    let batch_slot = PathPair::ALL
+        .iter()
+        .position(|&p| p == PathPair::BatchVsSerial)
+        .expect("BatchVsSerial is in ALL");
+    for (index, (batched, serial)) in batch.iter().zip(serial.iter()).enumerate() {
+        counts[batch_slot] += 1;
+        if let Some((fast, reference, why)) = result_mismatch(batched, serial) {
+            let cx = Counterexample {
+                pair: PathPair::BatchVsSerial,
+                seed: config.seed,
+                net_index: index,
+                original_degree: nets[index].degree(),
+                net: nets[index].clone(),
+                shrink_steps: 0, // a 1-net batch degrades to the serial path
+                fast,
+                reference,
+                detail: format!("{} worker threads; {why}", config.threads.max(1)),
+            };
+            return finish(config, nets.len(), counts, Some(cx));
+        }
+    }
+
+    finish(config, nets.len(), counts, None)
+}
+
+/// Plants a single-row table corruption that provably flips at least one
+/// corpus net's query, then runs the full harness against the corrupted
+/// table. `caught: Some(..)` proves the oracle machinery detects real
+/// table damage; `None` means the harness itself is broken.
+pub fn mutation_smoke(config: &VerifyConfig) -> SmokeReport {
+    mutation_smoke_with_table(LutBuilder::new(config.lambda).build(), config)
+}
+
+/// [`mutation_smoke`] against caller-supplied (healthy) tables.
+pub fn mutation_smoke_with_table(table: LookupTable, config: &VerifyConfig) -> SmokeReport {
+    let dw_cap = config.dw_cap();
+    for net in corpus(config) {
+        if net.degree() < 3 || net.degree() > dw_cap {
+            continue;
+        }
+        let Some(class) = table.classify(&net) else {
+            continue;
+        };
+        let Some(ids) = table.candidate_ids(&class) else {
+            continue;
+        };
+        let healthy = table.score_candidates(&class, ids);
+        // Corrupt each frontier winner in turn until one provably shifts
+        // this net's scored frontier (a tie may mask a single victim).
+        for &(_, victim) in &healthy {
+            let mut mutated = table.clone();
+            if !mutated.corrupt_cost_row(class.degree(), victim, 1) {
+                continue;
+            }
+            let corrupted = mutated
+                .candidate_ids(&class)
+                .map(|ids| mutated.score_candidates(&class, ids))
+                .unwrap_or_default();
+            let differs = healthy.iter().map(|&(c, _)| c).ne(corrupted.iter().map(|&(c, _)| c));
+            if differs {
+                let mutation = format!(
+                    "degree-{} pool row {victim}: every cost-row multiplicity +1",
+                    class.degree()
+                );
+                let caught = verify_with_table(mutated, config).counterexample;
+                return SmokeReport { mutation, caught };
+            }
+        }
+    }
+    SmokeReport {
+        mutation: "no corruptible winner found (degenerate corpus)".to_string(),
+        caught: None,
+    }
+}
+
+fn finish(
+    config: &VerifyConfig,
+    corpus_size: usize,
+    counts: [usize; PathPair::ALL.len()],
+    counterexample: Option<Counterexample>,
+) -> VerifyReport {
+    VerifyReport {
+        seed: config.seed,
+        corpus_size,
+        checks: PathPair::ALL
+            .iter()
+            .zip(counts)
+            .map(|(&pair, nets_checked)| CheckSummary { pair, nets_checked })
+            .collect(),
+        counterexample,
+    }
+}
+
+/// One fast-vs-reference disagreement, before counterexample packaging.
+struct Divergence {
+    fast: Vec<Cost>,
+    reference: Vec<Cost>,
+    detail: String,
+}
+
+/// The routers and tables one run checks against each other.
+struct Harness {
+    /// The table under test (shared by both routers).
+    table: LookupTable,
+    /// The same table after a `write_to`/`read_from` round trip.
+    loaded: LookupTable,
+    /// Production-shaped router: cache enabled, local search above λ.
+    cached: PatLabor,
+    /// The cache-disabled reference router.
+    uncached: PatLabor,
+    seed: u64,
+    lambda: usize,
+    dw_cap: usize,
+    shrink: bool,
+}
+
+impl Harness {
+    /// Builds the routers and performs the construction-time half of the
+    /// save/load pair: serialize, reload, and demand the reloaded table
+    /// be structurally identical and re-serialize to identical bytes.
+    // Cold constructor, called once per run — the big Err is fine here.
+    #[allow(clippy::result_large_err)]
+    fn new(table: LookupTable, config: &VerifyConfig) -> Result<Harness, Counterexample> {
+        let roundtrip_failure = |detail: String| Counterexample {
+            pair: PathPair::SaveLoadRoundTrip,
+            seed: config.seed,
+            net_index: 0,
+            original_degree: 2,
+            net: Net::new(vec![Point::new(0, 0), Point::new(1, 0)])
+                .expect("two distinct pins form a net"),
+            shrink_steps: 0,
+            fast: Vec::new(),
+            reference: Vec::new(),
+            detail,
+        };
+        let mut bytes = Vec::new();
+        table
+            .write_to(&mut bytes)
+            .map_err(|e| roundtrip_failure(format!("serializing the table failed: {e}")))?;
+        let loaded = LookupTable::read_from(&bytes[..])
+            .map_err(|e| roundtrip_failure(format!("reloading the just-written table failed: {e}")))?;
+        if loaded != table {
+            return Err(roundtrip_failure(
+                "reloaded table differs structurally from the in-memory original".to_string(),
+            ));
+        }
+        let mut rewritten = Vec::new();
+        loaded
+            .write_to(&mut rewritten)
+            .map_err(|e| roundtrip_failure(format!("re-serializing the reloaded table failed: {e}")))?;
+        if rewritten != bytes {
+            return Err(roundtrip_failure(
+                "serialization is not byte-deterministic across a round trip".to_string(),
+            ));
+        }
+        Ok(Harness {
+            cached: PatLabor::with_table(table.clone()),
+            uncached: PatLabor::with_table(table.clone()).with_cache(CacheConfig::disabled()),
+            lambda: table.lambda() as usize,
+            table,
+            loaded,
+            seed: config.seed,
+            dw_cap: config.dw_cap(),
+            shrink: config.shrink,
+        })
+    }
+
+    /// Whether `pair`'s oracle applies to `net` (degree scoping).
+    fn in_scope(&self, pair: PathPair, net: &Net) -> bool {
+        let d = net.degree();
+        match pair {
+            // The DW oracle is exponential in degree; capped explicitly.
+            PathPair::LutVsNumericDw => (3..=self.dw_cap).contains(&d),
+            // Cache and batch cover every degree, local search included.
+            PathPair::CachedVsUncached | PathPair::BatchVsSerial => true,
+            // Exact-path-only invariants: local search (> λ) promises
+            // neither D4 invariance nor table-backed answers.
+            PathPair::D4Translation | PathPair::SaveLoadRoundTrip => (3..=self.lambda).contains(&d),
+        }
+    }
+
+    /// Checks one pair on one net; `None` means the pair agrees.
+    fn divergence(&self, pair: PathPair, net: &Net) -> Option<Divergence> {
+        if !self.in_scope(pair, net) {
+            return None; // shrink candidates can leave a pair's scope
+        }
+        match pair {
+            PathPair::LutVsNumericDw => self.lut_vs_dw(net),
+            PathPair::CachedVsUncached => self.cached_vs_uncached(net).1,
+            PathPair::D4Translation => self.d4_translation(net),
+            PathPair::SaveLoadRoundTrip => self.save_load(net),
+            PathPair::BatchVsSerial => None, // whole-corpus pair, not per-net
+        }
+    }
+
+    /// Pair (a): the production exact path vs a fresh numeric DW run.
+    fn lut_vs_dw(&self, net: &Net) -> Option<Divergence> {
+        let reference = numeric::pareto_frontier(net, &DwConfig::default()).cost_vec();
+        match self.uncached.route(net) {
+            Ok(outcome) => {
+                let fast = outcome.frontier.cost_vec();
+                (fast != reference).then(|| Divergence {
+                    fast,
+                    reference,
+                    detail: String::new(),
+                })
+            }
+            Err(e) => Some(Divergence {
+                fast: Vec::new(),
+                reference,
+                detail: format!("router error on the fast path: {e}"),
+            }),
+        }
+    }
+
+    /// Pair (b): route three times — cache-disabled (reference), first
+    /// cached call (fills the cache), second cached call (replays the
+    /// cached ids). All three frontiers must be identical, witness trees
+    /// included. Also returns the first cached result as the serial
+    /// reference for the batch pair.
+    fn cached_vs_uncached(&self, net: &Net) -> (RouteResult, Option<Divergence>) {
+        let reference = self.uncached.route(net);
+        let first = self.cached.route(net);
+        let replay = self.cached.route(net);
+        let legs = [(&first, "cache-filling"), (&replay, "cache-replay")];
+        let divergence = legs.into_iter().find_map(|(result, leg)| {
+            result_mismatch(result, &reference).map(|(fast, reference, why)| Divergence {
+                fast,
+                reference,
+                detail: format!("{leg} route: {why}"),
+            })
+        });
+        (first, divergence)
+    }
+
+    /// Pair (d): the frontier's cost set is a geometric invariant, so
+    /// every D4 image and a translated copy must route to the same costs.
+    fn d4_translation(&self, net: &Net) -> Option<Divergence> {
+        let reference = match self.uncached.route(net) {
+            Ok(outcome) => outcome.frontier.cost_vec(),
+            // A base-net error is the cache pair's divergence, not ours.
+            Err(_) => return None,
+        };
+        for (name, image) in congruent_images(net) {
+            let fast = match self.uncached.route(&image) {
+                Ok(outcome) => outcome.frontier.cost_vec(),
+                Err(e) => {
+                    return Some(Divergence {
+                        fast: Vec::new(),
+                        reference,
+                        detail: format!("image {name}: router error: {e}"),
+                    })
+                }
+            };
+            if fast != reference {
+                return Some(Divergence {
+                    fast,
+                    reference,
+                    detail: format!("image {name}"),
+                });
+            }
+        }
+        None
+    }
+
+    /// Pair (e), per-net half: the reloaded table must look up the same
+    /// candidate pool and score it to the same frontier as the original.
+    /// (Structural equality is checked once at construction; this checks
+    /// the query *behavior* net by net.)
+    fn save_load(&self, net: &Net) -> Option<Divergence> {
+        let class = self.table.classify(net)?;
+        let original_ids = self.table.candidate_ids(&class);
+        let reloaded_ids = self.loaded.candidate_ids(&class);
+        match (original_ids, reloaded_ids) {
+            (None, None) => None, // a missing pattern is the cache pair's find
+            (Some(original_ids), Some(reloaded_ids)) => {
+                let original = self.table.score_candidates(&class, original_ids);
+                let reloaded = self.loaded.score_candidates(&class, reloaded_ids);
+                (original != reloaded).then(|| Divergence {
+                    fast: reloaded.iter().map(|&(c, _)| c).collect(),
+                    reference: original.iter().map(|&(c, _)| c).collect(),
+                    detail: "reloaded table scores a different frontier".to_string(),
+                })
+            }
+            (original, _) => Some(Divergence {
+                fast: Vec::new(),
+                reference: Vec::new(),
+                detail: format!(
+                    "canonical pattern {:#x} present only in the {} table",
+                    class.canonical_key(),
+                    if original.is_some() { "in-memory" } else { "reloaded" }
+                ),
+            }),
+        }
+    }
+
+    /// Packages the first divergence: re-shrink the net while the pair
+    /// still diverges, then re-evaluate on the minimized net so the
+    /// reported frontiers describe what the user can replay.
+    fn minimized(&self, pair: PathPair, index: usize, net: &Net) -> Counterexample {
+        let (minimized, steps) = if self.shrink {
+            shrink_net(net, |n| self.divergence(pair, n).is_some(), SHRINK_EVAL_BUDGET)
+        } else {
+            (net.clone(), 0)
+        };
+        let divergence = self
+            .divergence(pair, &minimized)
+            .expect("the shrinker only accepts nets that still diverge");
+        Counterexample {
+            pair,
+            seed: self.seed,
+            net_index: index,
+            original_degree: net.degree(),
+            net: minimized,
+            shrink_steps: steps,
+            fast: divergence.fast,
+            reference: divergence.reference,
+            detail: divergence.detail,
+        }
+    }
+}
+
+/// Compares two route results; `Some((fast_costs, reference_costs, why))`
+/// when they differ. Frontier comparison is full [`PartialEq`] on the
+/// Pareto sets — witness trees included — not just costs.
+fn result_mismatch(
+    fast: &RouteResult,
+    reference: &RouteResult,
+) -> Option<(Vec<Cost>, Vec<Cost>, &'static str)> {
+    match (fast, reference) {
+        (Ok(f), Ok(r)) => (f.frontier != r.frontier).then(|| {
+            let why = if f.frontier.cost_vec() == r.frontier.cost_vec() {
+                "equal costs but different witness trees"
+            } else {
+                "frontiers differ"
+            };
+            (f.frontier.cost_vec(), r.frontier.cost_vec(), why)
+        }),
+        (Err(f), Err(r)) => {
+            (f != r).then(|| (Vec::new(), Vec::new(), "route errors differ"))
+        }
+        (Ok(f), Err(_)) => Some((f.frontier.cost_vec(), Vec::new(), "only the reference errored")),
+        (Err(_), Ok(r)) => Some((Vec::new(), r.frontier.cost_vec(), "only the fast path errored")),
+    }
+}
+
+/// The eight D4 images of `net` plus one translated copy, labelled for
+/// counterexample details. Reflections negate coordinates rather than
+/// mirroring inside the bounding box — the router is translation
+/// invariant, so any representative of the congruence class serves.
+fn congruent_images(net: &Net) -> Vec<(String, Net)> {
+    let mut images = Vec::with_capacity(9);
+    for swap in [false, true] {
+        for flip_x in [false, true] {
+            for flip_y in [false, true] {
+                let image = net.map_points(|p| {
+                    let (mut x, mut y) = (p.x, p.y);
+                    if swap {
+                        std::mem::swap(&mut x, &mut y);
+                    }
+                    if flip_x {
+                        x = -x;
+                    }
+                    if flip_y {
+                        y = -y;
+                    }
+                    Point::new(x, y)
+                });
+                images.push((format!("d4(swap={swap}, flip_x={flip_x}, flip_y={flip_y})"), image));
+            }
+        }
+    }
+    images.push((
+        "translate(+37, -13)".to_string(),
+        net.map_points(|p| Point::new(p.x + 37, p.y - 13)),
+    ));
+    images
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small-but-complete config: λ = 4 tables build instantly, degree 5
+    /// still exercises the local-search path through the cache and batch
+    /// pairs, and every pair gets double-digit coverage.
+    fn small_config() -> VerifyConfig {
+        VerifyConfig {
+            seed: 0xded1_cace,
+            nets: 24,
+            min_degree: 3,
+            max_degree: 5,
+            lambda: 4,
+            dw_max_degree: 4,
+            threads: 2,
+            span: 20,
+            shrink: true,
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_covers_all_degrees() {
+        let config = small_config();
+        let a = corpus(&config);
+        let b = corpus(&config);
+        assert_eq!(a, b, "same config must yield the identical corpus");
+        assert_eq!(a.len(), config.nets);
+        for degree in config.min_degree..=config.max_degree {
+            assert!(
+                a.iter().any(|n| n.degree() == degree),
+                "corpus is missing degree {degree}"
+            );
+        }
+        let other = corpus(&VerifyConfig {
+            seed: config.seed + 1,
+            ..config
+        });
+        assert_ne!(a, other, "a different seed must change the corpus");
+    }
+
+    #[test]
+    fn healthy_tables_verify_clean_on_every_pair() {
+        let config = small_config();
+        let report = verify(&config);
+        assert!(
+            report.is_clean(),
+            "healthy tables must verify clean, got:\n{}",
+            report.summary()
+        );
+        assert_eq!(report.corpus_size, config.nets);
+        for check in &report.checks {
+            assert!(
+                check.nets_checked > 0,
+                "pair {} was never exercised",
+                check.pair
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_smoke_catches_a_planted_corruption() {
+        let config = small_config();
+        let smoke = mutation_smoke(&config);
+        let caught = smoke
+            .caught
+            .unwrap_or_else(|| panic!("harness missed the planted corruption ({})", smoke.mutation));
+        assert_eq!(caught.seed, config.seed);
+        // The corruption lives in the shared table, so whichever pair
+        // trips first must be one that consults it.
+        assert!(
+            caught.pair != PathPair::BatchVsSerial,
+            "a table corruption cannot manifest as a batch/serial split"
+        );
+        let (only_fast, only_reference) = caught.cost_symmetric_difference();
+        assert!(
+            !only_fast.is_empty() || !only_reference.is_empty() || !caught.detail.is_empty(),
+            "counterexample must localize the disagreement"
+        );
+        let text = caught.to_string();
+        assert!(text.contains("divergence on pair"));
+        assert!(text.contains("patlabor verify --seed"));
+    }
+
+    #[test]
+    fn counterexamples_shrink_when_enabled() {
+        let config = small_config();
+        let table = LutBuilder::new(config.lambda).build();
+        // Corrupt a row a corpus net is known to score (reuse the smoke
+        // victim selection), then compare shrunk vs unshrunk reports.
+        let smoke = mutation_smoke_with_table(table, &config);
+        let shrunk = smoke.caught.expect("smoke must catch");
+        assert!(
+            shrunk.net.degree() <= shrunk.original_degree,
+            "shrinking must never grow the net"
+        );
+        assert!(
+            shrunk.net.degree() >= 2,
+            "a net cannot shrink below two pins"
+        );
+    }
+
+    #[test]
+    fn verify_with_corrupted_table_reports_nonclean() {
+        let config = small_config();
+        let mut table = LutBuilder::new(config.lambda).build();
+        // Wipe a whole degree: every degree-4 net now fails to route,
+        // which the cache pair reports as a route error mismatch only if
+        // fast/slow disagree — both error identically, so the harness
+        // flags it via the DW pair (router errors, oracle doesn't).
+        table.remove_degree(4);
+        let report = verify_with_table(table, &config);
+        let cx = report.counterexample.expect("a gutted table must fail verification");
+        assert_eq!(cx.pair, PathPair::LutVsNumericDw);
+        assert!(cx.detail.contains("router error"));
+    }
+
+    #[test]
+    fn congruent_images_are_nine_labelled_variants() {
+        let net = Net::new(vec![Point::new(0, 0), Point::new(3, 1), Point::new(1, 4)])
+            .expect("valid net");
+        let images = congruent_images(&net);
+        assert_eq!(images.len(), 9);
+        // The identity image is among the eight D4 elements.
+        assert!(images.iter().any(|(_, img)| *img == net));
+        // All images preserve degree.
+        assert!(images.iter().all(|(_, img)| img.degree() == net.degree()));
+    }
+}

@@ -1,0 +1,174 @@
+//! Greedy counterexample minimization.
+//!
+//! Given a net on which some predicate holds (a fast path diverging from
+//! its oracle), the shrinker searches for a smaller net on which it still
+//! holds: fewer sinks, coordinates pulled toward the origin. Every
+//! candidate is re-checked through the *same* predicate, so the minimized
+//! net is guaranteed to still reproduce the divergence.
+
+use patlabor::{Net, Point};
+
+/// Minimizes `net` with respect to `diverges`, which must hold on `net`
+/// itself. Returns the smallest net found plus the number of accepted
+/// shrink steps. At most `max_evals` predicate evaluations are spent.
+///
+/// Three greedy passes run to fixpoint (or budget exhaustion):
+///
+/// 1. **drop sinks** — remove one sink at a time, highest index first
+///    (the source pin is never removed);
+/// 2. **translate** — move the whole net so its bounding box touches the
+///    origin;
+/// 3. **pull coordinates** — halve each coordinate toward zero, then
+///    decrement by one.
+///
+/// A candidate is accepted only when `diverges` still holds on it, so the
+/// result diverges by construction. The predicate sees candidate nets of
+/// degree ≥ 2; predicates with degree floors (most oracle pairs need
+/// degree ≥ 3) simply reject candidates below their floor.
+pub fn shrink_net<F>(net: &Net, mut diverges: F, max_evals: usize) -> (Net, usize)
+where
+    F: FnMut(&Net) -> bool,
+{
+    let mut current = net.clone();
+    let mut steps = 0usize;
+    let mut evals = 0usize;
+
+    // Tries one candidate pin set; on success it becomes the current net.
+    let mut accept = |pins: Vec<Point>, current: &mut Net, evals: &mut usize| -> bool {
+        if *evals >= max_evals {
+            return false;
+        }
+        let Ok(candidate) = Net::new(pins) else {
+            return false;
+        };
+        *evals += 1;
+        if diverges(&candidate) {
+            *current = candidate;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop sinks, highest index first.
+        let mut idx = current.degree();
+        while idx > 1 && current.degree() > 2 {
+            idx -= 1;
+            let mut pins = current.pins().to_vec();
+            pins.remove(idx);
+            if accept(pins, &mut current, &mut evals) {
+                steps += 1;
+                progressed = true;
+            }
+        }
+
+        // Pass 2: translate the bounding box onto the origin.
+        let (min_x, min_y) = current.pins().iter().fold((i64::MAX, i64::MAX), |(x, y), p| {
+            (x.min(p.x), y.min(p.y))
+        });
+        if (min_x, min_y) != (0, 0) {
+            let pins = current
+                .pins()
+                .iter()
+                .map(|p| Point::new(p.x - min_x, p.y - min_y))
+                .collect();
+            if accept(pins, &mut current, &mut evals) {
+                steps += 1;
+                progressed = true;
+            }
+        }
+
+        // Pass 3: pull every coordinate toward zero — halve, then step.
+        for pin_idx in 0..current.degree() {
+            for axis in 0..2 {
+                loop {
+                    let p = current.pins()[pin_idx];
+                    let c = if axis == 0 { p.x } else { p.y };
+                    let mut shrunk = false;
+                    for candidate_coord in [c / 2, c - c.signum()] {
+                        if candidate_coord == c {
+                            continue;
+                        }
+                        let mut pins = current.pins().to_vec();
+                        pins[pin_idx] = if axis == 0 {
+                            Point::new(candidate_coord, p.y)
+                        } else {
+                            Point::new(p.x, candidate_coord)
+                        };
+                        if accept(pins, &mut current, &mut evals) {
+                            steps += 1;
+                            progressed = true;
+                            shrunk = true;
+                            break;
+                        }
+                    }
+                    if !shrunk || evals >= max_evals {
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !progressed || evals >= max_evals {
+            return (current, steps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(pins: &[(i64, i64)]) -> Net {
+        Net::new(pins.iter().map(|&(x, y)| Point::new(x, y)).collect()).expect("valid net")
+    }
+
+    #[test]
+    fn shrinks_to_a_tiny_witness_when_predicate_is_loose() {
+        // "Some pin has a nonzero x" holds on any net with one such pin;
+        // the minimal witness is two pins with a single x = 1.
+        let start = net(&[(40, 37), (12, 5), (33, 90), (7, 7), (25, 1)]);
+        let diverges = |n: &Net| n.pins().iter().any(|p| p.x != 0);
+        let (min, steps) = shrink_net(&start, diverges, 10_000);
+        assert!(diverges(&min), "shrinker must preserve the predicate");
+        assert_eq!(min.degree(), 2, "sinks should shrink away");
+        let max_coord = min.pins().iter().map(|p| p.x.abs().max(p.y.abs())).max();
+        assert_eq!(max_coord, Some(1), "coordinates should pull to 0/1");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn respects_degree_floor_of_the_predicate() {
+        // A predicate gated on degree ≥ 3 keeps the shrinker from going
+        // below three pins even though it tries.
+        let start = net(&[(10, 10), (20, 3), (4, 18), (9, 9)]);
+        let diverges = |n: &Net| n.degree() >= 3;
+        let (min, _) = shrink_net(&start, diverges, 10_000);
+        assert_eq!(min.degree(), 3);
+    }
+
+    #[test]
+    fn returns_input_when_nothing_smaller_diverges() {
+        let start = net(&[(0, 0), (1, 0)]);
+        let exact = start.clone();
+        let diverges = move |n: &Net| *n == exact;
+        let (min, steps) = shrink_net(&start, diverges, 1_000);
+        assert_eq!(min, start);
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn honors_the_evaluation_budget() {
+        let mut evals = 0usize;
+        let start = net(&[(100, 100), (50, 75), (25, 10)]);
+        let diverges = |_: &Net| {
+            evals += 1;
+            true
+        };
+        shrink_net(&start, diverges, 7);
+        assert!(evals <= 7);
+    }
+}

@@ -6,6 +6,7 @@
 
 use patlabor::{LutBuilder, Net, Point};
 use patlabor_dw::{numeric, oracle, DwConfig};
+use patlabor_verify::{mutation_smoke, verify, VerifyConfig};
 
 fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {
     let mut rng = move || {
@@ -46,6 +47,36 @@ fn lambda7_table_agrees_with_dw() {
         let dw = numeric::pareto_frontier(&net, &DwConfig::default());
         let lut = table.query(&net).expect("degree 7 tabulated");
         assert_eq!(lut.cost_vec(), dw.cost_vec(), "mismatch on {net:?}");
+    }
+}
+
+/// The differential harness at full scale: 600 nets, degrees 3–8 over
+/// λ = 6 tables, every fast/slow pair, on two corpus seeds — followed by
+/// the mutation self-check proving the oracle detects planted damage.
+#[test]
+#[ignore = "builds lambda-6 tables and re-enumerates hundreds of DW frontiers"]
+fn differential_harness_clean_at_scale() {
+    for seed in [0x5eed, 0xfee1_600d] {
+        let config = VerifyConfig {
+            seed,
+            nets: 600,
+            ..VerifyConfig::default()
+        };
+        let report = verify(&config);
+        assert!(
+            report.is_clean(),
+            "divergence at scale (seed {seed:#x}):\n{}",
+            report.summary()
+        );
+        for check in &report.checks {
+            assert!(check.nets_checked > 0, "pair {} never ran", check.pair);
+        }
+        let smoke = mutation_smoke(&config);
+        assert!(
+            smoke.caught.is_some(),
+            "harness missed a planted corruption ({})",
+            smoke.mutation
+        );
     }
 }
 
