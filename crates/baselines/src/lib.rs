@@ -22,9 +22,16 @@
 //! Each method exposes a single-tree constructor and a `*_pareto` sweep
 //! that runs a parameter list and prunes the results into a Pareto set —
 //! the way the paper produces "Pareto curves" for parameterized baselines.
+//!
+//! [`fallback`] composes RSMT + arborescence + PD-II into the router's
+//! always-available last-resort frontier (the degradation ladder's bottom
+//! rung, DESIGN.md §12).
 
+pub mod fallback;
 pub mod pd;
 pub mod rsma;
 pub mod rsmt;
 pub mod salt;
 pub mod weighted_sum;
+
+pub use fallback::fallback_frontier;

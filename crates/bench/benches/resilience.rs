@@ -1,0 +1,52 @@
+//! Criterion bench for the resilience layer: the cost of arming a
+//! per-net deadline (cooperative cancellation checkpoints in the DW and
+//! local-search inner loops) against the same routing with no budget.
+//!
+//! The deadline is generous — one hour — so the checkpoints always run
+//! and never fire: the comparison isolates pure checkpoint overhead,
+//! which `src/bin/resilience_overhead.rs` guards below 2% on the full
+//! BENCH_PR1 workload.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use patlabor::{Net, PatLabor, ResilienceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_nets(count: usize) -> Vec<Net> {
+    let mut rng = StdRng::seed_from_u64(0xba7c4);
+    (0..count)
+        .map(|i| {
+            let degree = rng.gen_range(3..=8);
+            let span = [24, 60, 10_000][i % 3];
+            patlabor_netgen::uniform_net(&mut rng, degree, span)
+        })
+        .collect()
+}
+
+fn bench_resilience(c: &mut Criterion) {
+    let nets = sample_nets(300);
+    let table = patlabor_lut::LutBuilder::new(5).build();
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(nets.len() as u64));
+    for budgeted in [false, true] {
+        let router = PatLabor::with_table(table.clone()).with_resilience(ResilienceConfig {
+            deadline: budgeted.then(|| Duration::from_secs(3600)),
+            ..ResilienceConfig::default()
+        });
+        let label = if budgeted { "budgeted" } else { "unbudgeted" };
+        group.bench_function(BenchmarkId::new("route_batch", label), |b| {
+            b.iter(|| {
+                let results = router.route_batch(&nets, 1);
+                assert_eq!(results.len(), nets.len());
+                std::hint::black_box(results)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resilience);
+criterion_main!(benches);

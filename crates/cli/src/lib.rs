@@ -31,8 +31,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::fmt;
+use std::time::Duration;
 
-use patlabor::{LutBuilder, Net, PatLabor, Point, ProvenanceSummary, RouteError};
+use patlabor::pipeline::RouteOutcome;
+use patlabor::{
+    Fault, FaultPlane, LutBuilder, Net, PatLabor, Point, ProvenanceSummary, ResilienceConfig,
+    RouteError,
+};
 use patlabor_lut::LookupTable;
 use patlabor_verify::{mutation_smoke_with_table, verify_with_table, VerifyConfig};
 
@@ -172,6 +177,16 @@ pub struct RouteOptions {
     /// When set, also print the single tree picked per net: the lightest
     /// frontier member within `slack ×` the net's delay lower bound.
     pub pick_slack: Option<f64>,
+    /// Fault drills (parsed from `--faults`), armed on the router's
+    /// [`FaultPlane`] together with `fault_seed`. A non-empty list (or a
+    /// deadline) switches the command to drill mode: per-net failures
+    /// print inline and the run ends with a resilience report instead of
+    /// aborting on the first error.
+    pub faults: Vec<Fault>,
+    /// Seed of the fault plane's deterministic per-net hash.
+    pub fault_seed: u64,
+    /// Per-net routing deadline in milliseconds (wall clock).
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for RouteOptions {
@@ -180,6 +195,9 @@ impl Default for RouteOptions {
             lambda: 5,
             tables: None,
             pick_slack: None,
+            faults: Vec::new(),
+            fault_seed: 0x5eed,
+            deadline_ms: None,
         }
     }
 }
@@ -188,12 +206,18 @@ impl Default for RouteOptions {
 ///
 /// Each net's header names the pipeline stage that answered it (`via
 /// exact-lut`, `via cache-hit`, …) and the output ends with an aggregate
-/// provenance line over all routed nets.
+/// provenance line over all routed nets. Nets served by a fallback rung
+/// additionally print their degradation trace.
+///
+/// With `--faults` or `--deadline-ms` the command runs in drill mode:
+/// per-net failures (injected panics included) print inline instead of
+/// aborting the run, and the output ends with the aggregated
+/// [`patlabor::ResilienceReport`].
 ///
 /// # Errors
 ///
-/// Propagates table-loading problems and per-net [`RouteError`]s as
-/// [`CliError`] (the CLI prints them as diagnostics).
+/// Propagates table-loading problems and (outside drill mode) per-net
+/// [`RouteError`]s as [`CliError`] (the CLI prints them as diagnostics).
 pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, CliError> {
     let router = match &options.tables {
         Some(path) => {
@@ -208,42 +232,88 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Cli
             ..patlabor::RouterConfig::default()
         }),
     };
+    let drills = !options.faults.is_empty() || options.deadline_ms.is_some();
     let mut out = String::new();
     let mut summary = ProvenanceSummary::default();
+    if drills {
+        let plane = options
+            .faults
+            .iter()
+            .fold(FaultPlane::seeded(options.fault_seed), |plane, &fault| {
+                plane.with_fault(fault)
+            });
+        let router = router.with_faults(plane).with_resilience(ResilienceConfig {
+            deadline: options.deadline_ms.map(Duration::from_millis),
+            ..ResilienceConfig::default()
+        });
+        // Drills route through the batch driver so an injected panic
+        // downgrades to a per-net diagnostic instead of killing the
+        // process, and the run ends with the aggregated report.
+        let (results, report) = router.route_batch_with_report(nets, 1);
+        for (i, (net, result)) in nets.iter().zip(&results).enumerate() {
+            match result {
+                Ok(outcome) => {
+                    summary.record(&outcome.provenance);
+                    render_outcome(&mut out, i, net, outcome, options);
+                }
+                Err(e) => {
+                    out.push_str(&format!("net {i} (degree {}): FAILED: {e}\n", net.degree()));
+                }
+            }
+        }
+        out.push_str(&format!("provenance: {summary} ({} nets)\n", summary.total()));
+        out.push_str(&format!("resilience: {report}\n"));
+        return Ok(out);
+    }
     for (i, net) in nets.iter().enumerate() {
         let outcome = router
             .route(net)
             .map_err(|source| CliError::Route { net: i, source })?;
         summary.record(&outcome.provenance);
-        let frontier = &outcome.frontier;
-        out.push_str(&format!(
-            "net {i} (degree {}): {} Pareto solutions via {}\n",
-            net.degree(),
-            frontier.len(),
-            outcome.provenance.source,
-        ));
-        for (cost, _) in frontier.iter() {
-            out.push_str(&format!("  w={} d={}\n", cost.wirelength, cost.delay));
-        }
-        if let Some(slack) = options.pick_slack {
-            let budget = (net.delay_lower_bound() as f64 * slack).floor() as i64;
-            let pick = frontier
-                .iter()
-                .find(|(c, _)| c.delay <= budget)
-                .or_else(|| frontier.min_delay());
-            if let Some((cost, tree)) = pick {
-                out.push_str(&format!("  pick (budget {budget}): w={} d={}\n", cost.wirelength, cost.delay));
-                for (a, b) in tree.edge_points() {
-                    out.push_str(&format!("    {},{} -- {},{}\n", a.x, a.y, b.x, b.y));
-                }
-            }
-        }
+        render_outcome(&mut out, i, net, &outcome, options);
     }
     out.push_str(&format!(
         "provenance: {summary} ({} nets)\n",
         summary.total()
     ));
     Ok(out)
+}
+
+/// Renders one routed net: header, frontier, degradation trace (when a
+/// fallback rung served it) and the optional `--pick` tree.
+fn render_outcome(
+    out: &mut String,
+    i: usize,
+    net: &Net,
+    outcome: &RouteOutcome,
+    options: &RouteOptions,
+) {
+    let frontier = &outcome.frontier;
+    out.push_str(&format!(
+        "net {i} (degree {}): {} Pareto solutions via {}\n",
+        net.degree(),
+        frontier.len(),
+        outcome.provenance.source,
+    ));
+    if outcome.provenance.trace.degraded() {
+        out.push_str(&format!("  degraded: {}\n", outcome.provenance.trace));
+    }
+    for (cost, _) in frontier.iter() {
+        out.push_str(&format!("  w={} d={}\n", cost.wirelength, cost.delay));
+    }
+    if let Some(slack) = options.pick_slack {
+        let budget = (net.delay_lower_bound() as f64 * slack).floor() as i64;
+        let pick = frontier
+            .iter()
+            .find(|(c, _)| c.delay <= budget)
+            .or_else(|| frontier.min_delay());
+        if let Some((cost, tree)) = pick {
+            out.push_str(&format!("  pick (budget {budget}): w={} d={}\n", cost.wirelength, cost.delay));
+            for (a, b) in tree.edge_points() {
+                out.push_str(&format!("    {},{} -- {},{}\n", a.x, a.y, b.x, b.y));
+            }
+        }
+    }
 }
 
 /// Runs `lut build` (alias: `gen-tables`).
@@ -401,12 +471,15 @@ pub const USAGE: &str = "\
 patlabor — Pareto optimization of timing-driven routing trees
 
 USAGE:
-  patlabor route [--lambda L] [--tables FILE] [--pick SLACK] <nets.txt>
+  patlabor route [--lambda L] [--tables FILE] [--pick SLACK]
+                 [--faults SPEC[,SPEC..]] [--fault-seed N] [--deadline-ms MS]
+                 <nets.txt>
   patlabor route [...] --bookshelf DESIGN.aux
   patlabor lut build --lambda L -o FILE
   patlabor lut info FILE
   patlabor verify [--seed N] [--nets N] [--lambda L] [--tables FILE]
                   [--max-degree D] [--threads T] [--span S]
+                  [--faults SPEC[,SPEC..]] [--deadline-ms MS]
                   [--smoke] [--no-shrink]
   patlabor gen-tables --lambda L -o FILE   (alias of `lut build`)
   patlabor stats FILE                      (alias of `lut info`)
@@ -418,6 +491,13 @@ Net list: one net per line, `x,y` pins separated by spaces, source first;
 corpus and reports the first divergence as a minimized counterexample;
 `--smoke` instead plants a one-row table corruption and proves the
 harness catches it. Exit status is non-zero on any divergence.
+
+Fault SPEC: kind[:probability][@rung|@all], e.g. `stage-panic:0.3@all` or
+`missing-degree`. Kinds: missing-degree, missing-pattern, corrupted-row,
+stage-panic, stage-delay. With `--faults`/`--deadline-ms`, `route` runs a
+drill (per-net failures print inline, the run ends with a resilience
+report) and `verify` replays its corpus through the fault-armed router,
+checking the degradation ladder's service invariants.
 ";
 
 /// Parses CLI arguments and dispatches; returns the output to print or a
@@ -451,6 +531,24 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         );
                     }
                     "--bookshelf" => bookshelf = Some(next_value(&mut it, "--bookshelf")?),
+                    "--faults" => {
+                        for spec in next_value(&mut it, "--faults")?.split(',') {
+                            options.faults.push(Fault::parse(spec.trim()).map_err(usage_error)?);
+                        }
+                    }
+                    "--fault-seed" => {
+                        options.fault_seed = parse_seed(&next_value(&mut it, "--fault-seed")?)
+                            .ok_or_else(|| {
+                                usage_error("--fault-seed expects an integer (decimal or 0x hex)")
+                            })?;
+                    }
+                    "--deadline-ms" => {
+                        options.deadline_ms = Some(
+                            next_value(&mut it, "--deadline-ms")?
+                                .parse()
+                                .map_err(|_| usage_error("--deadline-ms expects an integer"))?,
+                        );
+                    }
                     other if !other.starts_with('-') => file = Some(other.to_string()),
                     other => return Err(usage_error(format!("unknown flag {other}"))),
                 }
@@ -481,17 +579,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("lut") => lut_command(&args[1..]),
         Some("verify") => {
             let mut options = VerifyOptions::default();
+            let mut fault_specs: Vec<Fault> = Vec::new();
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--seed" => {
-                        let value = next_value(&mut it, "--seed")?;
-                        let parsed = match value.strip_prefix("0x") {
-                            Some(hex) => u64::from_str_radix(hex, 16),
-                            None => value.parse(),
-                        };
-                        options.config.seed = parsed
-                            .map_err(|_| usage_error("--seed expects an integer (decimal or 0x hex)"))?;
+                        options.config.seed = parse_seed(&next_value(&mut it, "--seed")?)
+                            .ok_or_else(|| {
+                                usage_error("--seed expects an integer (decimal or 0x hex)")
+                            })?;
                     }
                     "--nets" => {
                         options.config.nets = next_value(&mut it, "--nets")?
@@ -521,6 +617,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "--tables" => options.tables = Some(next_value(&mut it, "--tables")?),
                     "--smoke" => options.smoke = true,
                     "--no-shrink" => options.config.shrink = false,
+                    "--faults" => {
+                        for spec in next_value(&mut it, "--faults")?.split(',') {
+                            fault_specs.push(Fault::parse(spec.trim()).map_err(usage_error)?);
+                        }
+                    }
+                    "--deadline-ms" => {
+                        options.config.deadline_ms = Some(
+                            next_value(&mut it, "--deadline-ms")?
+                                .parse()
+                                .map_err(|_| usage_error("--deadline-ms expects an integer"))?,
+                        );
+                    }
                     other => return Err(usage_error(format!("unknown flag {other}"))),
                 }
             }
@@ -530,6 +638,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     options.config.min_degree
                 )));
             }
+            // Folded after the loop so `--seed` applies regardless of
+            // flag order.
+            options.config.faults = fault_specs
+                .iter()
+                .fold(FaultPlane::seeded(options.config.seed), |plane, &fault| {
+                    plane.with_fault(fault)
+                });
             verify_command(&options)
         }
         Some("gen-tables") => {
@@ -570,6 +685,13 @@ fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<Strin
         .ok_or_else(|| usage_error(format!("{flag} expects a value")))
 }
 
+fn parse_seed(value: &str) -> Option<u64> {
+    match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => value.parse().ok(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,7 +728,9 @@ mod tests {
         assert!(out.contains("w=26 d=18"));
         assert!(out.contains("pick (budget 19): w=26 d=18"));
         assert!(out.contains(" -- "));
-        assert!(out.contains("provenance: closed-form 0, cache-hit 0, exact-lut 1, local-search 0 (1 nets)"));
+        assert!(out.contains(
+            "provenance: closed-form 0, cache-hit 0, exact-lut 1, numeric-dw 0, local-search 0, baseline 0 (1 nets)"
+        ));
     }
 
     #[test]
@@ -730,6 +854,7 @@ mod tests {
                 threads: 2,
                 span: 16,
                 shrink: true,
+                ..VerifyConfig::default()
             },
             tables: None,
             smoke: false,
@@ -783,6 +908,59 @@ mod tests {
         assert!(text.contains("divergence on pair"), "report was: {text}");
         assert!(text.contains("replay:"), "report was: {text}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn route_drill_missing_degree_degrades_and_reports() {
+        let nets = parse_nets("19,2 8,4 4,3 5,4 13,12\n").unwrap();
+        let options = RouteOptions {
+            faults: vec![Fault::parse("missing-degree").unwrap()],
+            ..RouteOptions::default()
+        };
+        let out = route_command(&nets, &options).unwrap();
+        assert!(out.contains("via numeric-dw"), "output was: {out}");
+        assert!(out.contains("degraded: lut:missing-degree"), "output was: {out}");
+        assert!(out.contains("resilience: "), "output was: {out}");
+        // The drill serves the same frontier costs as a healthy run.
+        assert!(out.contains("w=26 d=18"), "output was: {out}");
+    }
+
+    #[test]
+    fn route_drill_unabsorbable_panic_fails_inline_not_fatally() {
+        let nets = parse_nets("0,0 9,1 8,8\n5,5 25,5\n").unwrap();
+        let options = RouteOptions {
+            faults: vec![Fault::parse("stage-panic@all").unwrap()],
+            ..RouteOptions::default()
+        };
+        let out = route_command(&nets, &options).unwrap();
+        assert!(out.contains("net 0 (degree 3): FAILED:"), "output was: {out}");
+        assert!(out.contains("routing worker panicked"), "output was: {out}");
+        // Degree 2 is a closed form — no rung to panic, so it serves.
+        assert!(out.contains("net 1 (degree 2): 1 Pareto solutions"), "output was: {out}");
+    }
+
+    #[test]
+    fn run_parses_fault_flags() {
+        let err = run(&["route".into(), "--faults".into(), "bogus-kind".into()]).unwrap_err();
+        assert!(err.to_string().contains("unknown fault kind"));
+        let err = run(&["verify".into(), "--faults".into(), "stage-panic:2.0".into()]).unwrap_err();
+        assert!(err.to_string().contains("out of [0, 1]"));
+        let err = run(&["route".into(), "--deadline-ms".into(), "soon".into()]).unwrap_err();
+        assert!(err.to_string().contains("--deadline-ms expects an integer"));
+        let err = run(&["route".into(), "--fault-seed".into(), "zzz".into()]).unwrap_err();
+        assert!(err.to_string().contains("--fault-seed expects an integer"));
+        assert!(USAGE.contains("--faults"));
+    }
+
+    #[test]
+    fn verify_command_runs_the_fault_sweep_when_asked() {
+        let mut options = small_verify_options();
+        options.config.faults = FaultPlane::seeded(options.config.seed).with_fault(
+            Fault::parse("missing-degree:0.5").unwrap(),
+        );
+        let out = verify_command(&options).unwrap();
+        assert!(out.contains("fault sweep:"), "output was: {out}");
+        assert!(out.contains("all fast paths agree"), "output was: {out}");
     }
 
     #[test]

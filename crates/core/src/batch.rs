@@ -19,13 +19,15 @@
 //! still balance across threads while large batches amortize cursor
 //! traffic.
 
+use std::any::Any;
 use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use patlabor_geom::Net;
 
-use crate::pipeline::RouteResult;
+use crate::pipeline::{RouteError, RouteResult};
+use crate::resilience::ResilienceReport;
 use crate::PatLabor;
 
 /// Shares a raw pointer to the output slots between workers.
@@ -128,7 +130,32 @@ where
         .collect()
 }
 
+/// Renders a caught panic payload for [`RouteError::Panicked`] (panics
+/// raise `&str` or `String` in practice; anything else gets a marker).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl PatLabor {
+    /// [`PatLabor::route`] with batch-level panic isolation: a panic that
+    /// escapes the degradation ladder (a fault no rung could absorb) is
+    /// converted into [`RouteError::Panicked`] for this net's slot
+    /// instead of unwinding — and thereby poisoning — the whole batch.
+    fn route_caught(&self, net: &Net) -> RouteResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.route(net))) {
+            Ok(result) => result,
+            Err(payload) => Err(RouteError::Panicked {
+                payload: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
     /// Routes every net, spreading work over `threads` OS threads.
     ///
     /// `threads` is clamped to at least 1 (a zero request degrades to
@@ -138,18 +165,33 @@ impl PatLabor {
     ///
     /// Each slot is that net's own [`RouteResult`]: a net the tables
     /// cannot serve yields `Err` in its slot without poisoning the rest
-    /// of the batch.
+    /// of the batch, and a panic that escapes the routing ladder is
+    /// caught per net ([`RouteError::Panicked`]) — one pathological net
+    /// never takes the batch down.
     pub fn route_batch(&self, nets: &[Net], threads: usize) -> Vec<RouteResult> {
         let threads = threads.max(1);
         if threads == 1 || nets.len() <= 1 {
-            return nets.iter().map(|n| self.route(n)).collect();
+            return nets.iter().map(|n| self.route_caught(n)).collect();
         }
         let workers = threads.min(nets.len());
         // Adaptive chunking: ~8 chunks per worker bounds the tail-latency
         // imbalance at ~1/8 of one worker's share, while chunks ≥ 1 and
         // ≤ 256 keep cursor traffic negligible on huge batches.
         let chunk = (nets.len() / (workers * 8)).clamp(1, 256);
-        fill_slots_parallel(nets.len(), workers, chunk, |i| self.route(&nets[i]))
+        fill_slots_parallel(nets.len(), workers, chunk, |i| self.route_caught(&nets[i]))
+    }
+
+    /// [`PatLabor::route_batch`] plus the batch-level
+    /// [`ResilienceReport`] aggregating every slot's ladder activity
+    /// (what served, what degraded, what panicked, what hit deadlines).
+    pub fn route_batch_with_report(
+        &self,
+        nets: &[Net],
+        threads: usize,
+    ) -> (Vec<RouteResult>, ResilienceReport) {
+        let results = self.route_batch(nets, threads);
+        let report = ResilienceReport::from_results(&results);
+        (results, report)
     }
 
     /// [`PatLabor::route_batch`] with a caller-proven non-zero thread
@@ -298,13 +340,20 @@ mod tests {
 
     /// Regression: a net the tables cannot serve must produce an `Err` in
     /// its own slot and leave every other slot intact — no batch
-    /// poisoning, no worker panic.
+    /// poisoning, no worker panic. Routed strictly (no fallback rungs),
+    /// since the default ladder would absorb the missing degree.
     #[test]
     fn degenerate_net_fails_its_slot_only() {
         let mut table = crate::LutBuilder::new(4).threads(1).build();
         // Simulate a truncated table: degree 3 is gone, degree 4 intact.
         table.remove_degree(3);
-        let router = PatLabor::with_table(table);
+        let router = PatLabor::with_table_and_config(
+            table,
+            RouterConfig {
+                resilience: crate::ResilienceConfig::strict(),
+                ..RouterConfig::default()
+            },
+        );
 
         let mut nets = patlabor_netgen::iccad_like_suite(0xdead, 12, 4);
         nets.retain(|n| n.degree() == 4);
@@ -333,6 +382,63 @@ mod tests {
                     assert!(!outcome.frontier.is_empty());
                 }
             }
+        }
+    }
+
+    /// Satellite regression for panic isolation: an `AllRungs` stage
+    /// panic (nothing in the ladder can absorb it) must surface as
+    /// `Err(RouteError::Panicked)` in exactly the faulted nets' slots
+    /// while every other slot matches a clean router bit-for-bit.
+    #[test]
+    fn stage_panic_isolates_to_its_slot() {
+        use crate::resilience::{net_key, Fault, FaultKind, FaultPlane, FaultScope, Rung};
+
+        let clean = PatLabor::with_config(RouterConfig {
+            lambda: 4,
+            ..RouterConfig::default()
+        });
+        let faults = FaultPlane::seeded(0x5eed).with_fault(Fault {
+            kind: FaultKind::StagePanic,
+            scope: FaultScope::AllRungs,
+            probability: 0.3,
+        });
+        let faulty = clean.clone().with_faults(faults.clone());
+        let nets = patlabor_netgen::iccad_like_suite(0xfa11, 40, 8);
+
+        for threads in [1, 4] {
+            let results = faulty.route_batch(&nets, threads);
+            assert_eq!(results.len(), nets.len());
+            let mut panicked = 0usize;
+            for (net, result) in nets.iter().zip(&results) {
+                // AllRungs decisions are rung-independent, so probing any
+                // rung tells us whether this net was hit. Degree-2 nets
+                // route closed-form, outside every fault site.
+                let hit = net.degree() > 2
+                    && faults.fires(FaultKind::StagePanic, Rung::Lut, net_key(net));
+                if hit {
+                    match result {
+                        Err(RouteError::Panicked { payload }) => {
+                            assert!(payload.contains("injected fault"), "{payload}");
+                            panicked += 1;
+                        }
+                        other => panic!("expected a panicked slot, got {other:?}"),
+                    }
+                } else {
+                    let outcome = result.as_ref().expect("unfaulted net poisoned by neighbor");
+                    let expected = clean.route(net).expect("clean route");
+                    assert_eq!(outcome.frontier.cost_vec(), expected.frontier.cost_vec());
+                }
+            }
+            assert!(panicked >= 1, "the seeded plane should hit at least one net");
+            assert!(panicked < nets.len(), "not every net should be hit at p = 0.3");
+
+            // The aggregate report sees the same picture.
+            let (reported, report) = faulty.route_batch_with_report(&nets, threads);
+            assert_eq!(report, ResilienceReport::from_results(&reported));
+            assert_eq!(report.nets as usize, nets.len());
+            assert_eq!(report.served + report.errors, report.nets);
+            assert_eq!(report.errors, report.panicked);
+            assert_eq!(report.panicked as usize, panicked);
         }
     }
 }

@@ -52,12 +52,17 @@ pub mod ks;
 pub mod local_search;
 pub mod pipeline;
 pub mod policy;
+pub mod resilience;
 mod router;
 
 pub use cache::{CacheConfig, CacheStats};
 pub use pipeline::{
     ProvenanceSummary, RouteError, RouteOutcome, RouteProvenance, RouteResult, RouteSource,
     RouteStage, StageCounters,
+};
+pub use resilience::{
+    net_key, Budget, Clock, DegradationTrace, Fault, FaultKind, FaultPlane, FaultScope,
+    ResilienceConfig, ResilienceReport, Rung, RungAttempt, RungOutcome, SystemClock, VirtualClock,
 };
 pub use router::{PatLabor, RouterConfig};
 

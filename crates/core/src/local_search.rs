@@ -15,6 +15,7 @@
 //! [`patlabor_tree::reconnect_pass`] (the paper does the same).
 
 use patlabor_baselines::rsmt::rsmt_tree;
+use patlabor_dw::Cancelled;
 use patlabor_geom::Net;
 use patlabor_lut::LookupTable;
 use patlabor_pareto::{Cost, ParetoSet};
@@ -83,6 +84,37 @@ pub fn local_search_with_report(
     policy: &Policy,
     config: &LocalSearchConfig,
 ) -> (ParetoSet<RoutingTree>, LocalSearchReport) {
+    match local_search_cancellable(net, table, policy, config, &|| false) {
+        Ok(result) => result,
+        Err(Cancelled) => unreachable!("a never-true cancel hook cannot cancel"),
+    }
+}
+
+/// [`local_search_with_report`] with a cooperative cancellation hook for
+/// deadline budgets: `cancel` is polled once per reroute round and once
+/// per candidate batch, so a long-running search abandons within one
+/// round of its budget expiring.
+///
+/// The Pareto set accumulated before cancellation is discarded — a
+/// deadline-expired rung yields to the ladder's next rung rather than
+/// serving a half-searched frontier whose quality would silently depend
+/// on wall-clock scheduling.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the hook fires.
+///
+/// # Panics
+///
+/// Panics if the net degree is not larger than the table's λ, like
+/// [`local_search`].
+pub fn local_search_cancellable(
+    net: &Net,
+    table: &LookupTable,
+    policy: &Policy,
+    config: &LocalSearchConfig,
+    cancel: &dyn Fn() -> bool,
+) -> Result<(ParetoSet<RoutingTree>, LocalSearchReport), Cancelled> {
     let n = net.degree();
     let lambda = table.lambda() as usize;
     assert!(
@@ -109,6 +141,9 @@ pub fn local_search_with_report(
     let rounds = config.rounds.unwrap_or_else(|| (n / lambda).max(1));
     let mut report = LocalSearchReport::default();
     for _ in 0..rounds {
+        if cancel() {
+            return Err(Cancelled);
+        }
         // The max-delay tree is the min-wirelength end of the frontier.
         let Some((_, worst)) = frontier.min_wirelength() else {
             break;
@@ -116,6 +151,9 @@ pub fn local_search_with_report(
         let worst = worst.clone();
         let selection = policy.select_pins(net, &worst, lambda - 1);
         let candidates = reroute_candidates(net, &worst, &selection, table);
+        if cancel() {
+            return Err(Cancelled);
+        }
         report.rounds += 1;
         report.candidates += candidates.len();
         for cand in candidates {
@@ -127,7 +165,7 @@ pub fn local_search_with_report(
             insert_tree(&mut frontier, cand);
         }
     }
-    (frontier, report)
+    Ok((frontier, report))
 }
 
 /// SALT-style post-processing: a delay-first and a wirelength-first
@@ -290,6 +328,22 @@ mod tests {
         let table = LutBuilder::new(4).threads(1).build();
         let net = Net::new(vec![Point::new(0, 0), Point::new(1, 1)]).unwrap();
         let _ = local_search(&net, &table, &Policy::default(), &LocalSearchConfig::default());
+    }
+
+    #[test]
+    fn inert_cancel_hook_matches_plain_search_and_eager_hook_cancels() {
+        let table = LutBuilder::new(4).threads(2).build();
+        let policy = Policy::default();
+        let config = LocalSearchConfig::default();
+        let mut seed = 41u64;
+        let net = random_net(&mut seed, 12, 100);
+        let (plain, plain_report) = local_search_with_report(&net, &table, &policy, &config);
+        let (inert, inert_report) =
+            local_search_cancellable(&net, &table, &policy, &config, &|| false).unwrap();
+        assert_eq!(plain, inert);
+        assert_eq!(plain_report, inert_report);
+        let cancelled = local_search_cancellable(&net, &table, &policy, &config, &|| true);
+        assert!(matches!(cancelled, Err(Cancelled)));
     }
 
     #[test]

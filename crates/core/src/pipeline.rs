@@ -28,6 +28,8 @@ use std::fmt;
 use patlabor_pareto::ParetoSet;
 use patlabor_tree::RoutingTree;
 
+use crate::resilience::DegradationTrace;
+
 /// The stages of the routing pipeline, in execution order.
 ///
 /// `Classify` gates every net; exactly one of `CacheLookup`+`LutQuery`
@@ -58,8 +60,13 @@ pub enum RouteSource {
     /// Full lookup-table query (score every candidate, prune, keep
     /// survivors).
     ExactLut,
+    /// Fresh numeric Pareto-DW enumeration — the degradation ladder's
+    /// exact fallback when the cache and LUT rungs cannot serve.
+    NumericDw,
     /// Local-search approximation for degree > λ.
     LocalSearch,
+    /// Baseline heuristic sweep — the ladder's approximate last resort.
+    Baseline,
 }
 
 impl RouteSource {
@@ -69,13 +76,16 @@ impl RouteSource {
             RouteSource::ClosedForm => "closed-form",
             RouteSource::CacheHit => "cache-hit",
             RouteSource::ExactLut => "exact-lut",
+            RouteSource::NumericDw => "numeric-dw",
             RouteSource::LocalSearch => "local-search",
+            RouteSource::Baseline => "baseline",
         }
     }
 
-    /// Whether the frontier is exact (everything except local search).
+    /// Whether the frontier is exact (everything except local search and
+    /// the baseline sweep).
     pub fn is_exact(self) -> bool {
-        !matches!(self, RouteSource::LocalSearch)
+        !matches!(self, RouteSource::LocalSearch | RouteSource::Baseline)
     }
 }
 
@@ -103,6 +113,10 @@ pub struct StageCounters {
     pub local_search_rounds: u32,
     /// Candidate whole-net trees the LocalSearch stage generated.
     pub local_search_candidates: u32,
+    /// Deadline-budget polls (rung-boundary gates plus the cooperative
+    /// checkpoints inside the DW / local-search loops). Zero when no
+    /// deadline is configured.
+    pub budget_checks: u32,
 }
 
 /// How one net was answered: the source stage plus per-stage counters.
@@ -114,6 +128,10 @@ pub struct RouteProvenance {
     pub source: RouteSource,
     /// Work done per stage.
     pub counters: StageCounters,
+    /// Which ladder rungs were attempted and how each ended; a clean
+    /// route has one `served` entry ([`DegradationTrace::degraded`] is
+    /// `false`).
+    pub trace: DegradationTrace,
 }
 
 /// A routed net: the Pareto frontier plus its provenance.
@@ -131,7 +149,7 @@ pub struct RouteOutcome {
 /// These replace the panic paths the pre-pipeline router had: a net the
 /// tables cannot serve now surfaces as a value the caller (CLI, batch
 /// driver) can report per net instead of aborting the process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RouteError {
     /// The Classify stage produced no [`patlabor_geom::NetClass`] for a
     /// degree the tables claim to serve (λ configured beyond the
@@ -157,6 +175,27 @@ pub enum RouteError {
         /// The canonical pattern key that missed.
         key: u64,
     },
+    /// The net's worker panicked and the batch driver isolated it to this
+    /// slot ([`crate::PatLabor::route_batch`]'s per-net `catch_unwind`) —
+    /// or, inside [`crate::PatLabor::route`], every ladder rung that could
+    /// have absorbed the panic was disabled.
+    Panicked {
+        /// The panic payload, stringified (`&str`/`String` payloads
+        /// verbatim; anything else a placeholder).
+        payload: String,
+    },
+    /// Every armed rung of the degradation ladder failed; the trace says
+    /// which rungs were tried and why each fell through. Only reachable
+    /// when fallback rungs are disabled ([`ResilienceConfig::strict`]) or
+    /// a deadline expired with the baseline rung disarmed.
+    ///
+    /// [`ResilienceConfig::strict`]: crate::resilience::ResilienceConfig::strict
+    RungsExhausted {
+        /// The net's degree.
+        degree: usize,
+        /// The failed descent.
+        trace: DegradationTrace,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -174,6 +213,13 @@ impl fmt::Display for RouteError {
                 f,
                 "canonical pattern {key:#x} missing from the degree-{degree} \
                  table; table file incomplete or corrupt"
+            ),
+            RouteError::Panicked { payload } => {
+                write!(f, "routing worker panicked: {payload}")
+            }
+            RouteError::RungsExhausted { degree, trace } => write!(
+                f,
+                "every armed rung failed for this degree-{degree} net ({trace})"
             ),
         }
     }
@@ -193,8 +239,12 @@ pub struct ProvenanceSummary {
     pub cache_hits: u64,
     /// Nets answered by a full lookup-table query.
     pub exact_lut: u64,
+    /// Nets answered by the numeric-DW fallback rung.
+    pub numeric_dw: u64,
     /// Nets answered by local search.
     pub local_search: u64,
+    /// Nets answered by the baseline fallback rung.
+    pub baseline: u64,
 }
 
 impl ProvenanceSummary {
@@ -204,13 +254,20 @@ impl ProvenanceSummary {
             RouteSource::ClosedForm => self.closed_form += 1,
             RouteSource::CacheHit => self.cache_hits += 1,
             RouteSource::ExactLut => self.exact_lut += 1,
+            RouteSource::NumericDw => self.numeric_dw += 1,
             RouteSource::LocalSearch => self.local_search += 1,
+            RouteSource::Baseline => self.baseline += 1,
         }
     }
 
     /// Total nets recorded.
     pub fn total(&self) -> u64 {
-        self.closed_form + self.cache_hits + self.exact_lut + self.local_search
+        self.closed_form
+            + self.cache_hits
+            + self.exact_lut
+            + self.numeric_dw
+            + self.local_search
+            + self.baseline
     }
 }
 
@@ -218,8 +275,14 @@ impl fmt::Display for ProvenanceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "closed-form {}, cache-hit {}, exact-lut {}, local-search {}",
-            self.closed_form, self.cache_hits, self.exact_lut, self.local_search
+            "closed-form {}, cache-hit {}, exact-lut {}, numeric-dw {}, \
+             local-search {}, baseline {}",
+            self.closed_form,
+            self.cache_hits,
+            self.exact_lut,
+            self.numeric_dw,
+            self.local_search,
+            self.baseline
         )
     }
 }
@@ -228,13 +291,19 @@ impl fmt::Display for ProvenanceSummary {
 mod tests {
     use super::*;
 
+    use crate::resilience::{Rung, RungOutcome};
+
     #[test]
     fn source_labels_and_exactness() {
         assert_eq!(RouteSource::CacheHit.label(), "cache-hit");
         assert_eq!(RouteSource::LocalSearch.to_string(), "local-search");
+        assert_eq!(RouteSource::NumericDw.label(), "numeric-dw");
+        assert_eq!(RouteSource::Baseline.label(), "baseline");
         assert!(RouteSource::ExactLut.is_exact());
         assert!(RouteSource::ClosedForm.is_exact());
+        assert!(RouteSource::NumericDw.is_exact());
         assert!(!RouteSource::LocalSearch.is_exact());
+        assert!(!RouteSource::Baseline.is_exact());
     }
 
     #[test]
@@ -246,6 +315,14 @@ mod tests {
         assert!(e.to_string().contains("0xabc"));
         let e = RouteError::UnclassifiableDegree { degree: 17 };
         assert!(e.to_string().contains("17"));
+        let e = RouteError::Panicked { payload: "index out of bounds".to_string() };
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("index out of bounds"));
+        let mut trace = DegradationTrace::default();
+        trace.push(Rung::Lut, RungOutcome::MissingDegree);
+        let e = RouteError::RungsExhausted { degree: 5, trace };
+        assert!(e.to_string().contains("degree-5"));
+        assert!(e.to_string().contains("lut:missing-degree"));
     }
 
     #[test]
@@ -255,16 +332,23 @@ mod tests {
             degree: 3,
             source,
             counters: StageCounters::default(),
+            trace: DegradationTrace::default(),
         };
         s.record(&p(RouteSource::CacheHit));
         s.record(&p(RouteSource::CacheHit));
         s.record(&p(RouteSource::ExactLut));
         s.record(&p(RouteSource::LocalSearch));
         s.record(&p(RouteSource::ClosedForm));
-        assert_eq!(s.total(), 5);
+        s.record(&p(RouteSource::NumericDw));
+        s.record(&p(RouteSource::Baseline));
+        assert_eq!(s.total(), 7);
         assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.numeric_dw, 1);
+        assert_eq!(s.baseline, 1);
         let line = s.to_string();
         assert!(line.contains("cache-hit 2"));
         assert!(line.contains("exact-lut 1"));
+        assert!(line.contains("numeric-dw 1"));
+        assert!(line.contains("baseline 1"));
     }
 }

@@ -14,6 +14,11 @@
 //! policy iteration: sample random selections, keep the top performers by
 //! frontier hypervolume gain, fit the weights by least squares, and
 //! curriculum-warm-start each degree from the previous one ([`train`]).
+//!
+//! Policy scoring runs inside the router's LocalSearch rung, so a per-net
+//! deadline ([`crate::resilience::ResilienceConfig::deadline`]) can cancel
+//! a search between rounds — the policy itself is budget-oblivious; the
+//! ladder (DESIGN.md §12) handles demotion to the baseline rung.
 
 use patlabor_geom::{hpwl, Net, Point};
 use patlabor_tree::RoutingTree;

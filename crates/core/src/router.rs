@@ -1,23 +1,46 @@
 //! The top-level router: the staged serving pipeline
 //! `Classify → CacheLookup → LutQuery → LocalSearch → Materialize`
-//! (see [`crate::pipeline`] for the stage diagram).
+//! (see [`crate::pipeline`] for the stage diagram), hardened by the
+//! degradation ladder of [`crate::resilience`] (DESIGN.md §12).
+//!
+//! Every serving rung runs inside a shared harness ([`run_rung`]) that
+//! applies the fault plane's injections, gates compute rungs on the
+//! per-net deadline budget, and isolates panics so a failing rung falls
+//! through to the next instead of taking the process down.
 
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
+use patlabor_baselines::fallback_frontier;
+use patlabor_dw::{numeric, Cancelled, DwConfig};
 use patlabor_geom::{Net, NetClass};
 use patlabor_lut::{LookupTable, LutBuilder};
 use patlabor_pareto::{Cost, ParetoSet};
 use patlabor_tree::RoutingTree;
 
 use crate::cache::{CacheConfig, CacheKey, CacheStats, FrontierCache};
-use crate::local_search::{local_search_with_report, LocalSearchConfig};
+use crate::local_search::{local_search_cancellable, LocalSearchConfig};
 use crate::pipeline::{
     RouteError, RouteOutcome, RouteProvenance, RouteSource, StageCounters,
 };
 use crate::policy::Policy;
+use crate::resilience::{
+    net_key, Budget, Clock, DegradationTrace, FaultKind, FaultPlane, ResilienceConfig, Rung,
+    RungOutcome, SystemClock,
+};
+
+/// Cancellation checkpoints between clock reads. Checkpoints are counted
+/// on every poll, but the deadline clock — the expensive part of a poll —
+/// is consulted only on this stride, keeping the budgeted/unbudgeted gap
+/// on the BENCH_PR5 workload under its 2% guard. Rung gates still read
+/// the clock unconditionally, so deadline granularity stays bounded by a
+/// rung even when an inner loop finishes in fewer polls than one stride.
+const BUDGET_POLL_STRIDE: u32 = 64;
 
 /// Router-level configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouterConfig {
     /// λ used when the router builds its own lookup tables (degrees
     /// `2..=λ` answered exactly). Tables for λ ≤ 6 build in seconds;
@@ -32,6 +55,16 @@ pub struct RouterConfig {
     /// cache enabled or disabled; set `cache.enabled = false` (or use
     /// [`CacheConfig::disabled`]) to always evaluate from scratch.
     pub cache: CacheConfig,
+    /// Which fallback rungs of the degradation ladder are armed, whether
+    /// served frontiers are validated against their witness trees, and
+    /// the optional per-net deadline. [`ResilienceConfig::strict`]
+    /// restores the pre-ladder fail-fast behavior (oracles and tests
+    /// that assert on `RouteError`s route that way).
+    pub resilience: ResilienceConfig,
+    /// Deterministic fault injection ([`FaultPlane`]), replacing ad-hoc
+    /// table doctoring in tests and drills. Empty by default: nothing
+    /// fires and the serving path skips all fault bookkeeping.
+    pub faults: FaultPlane,
 }
 
 impl Default for RouterConfig {
@@ -40,6 +73,8 @@ impl Default for RouterConfig {
             lambda: 5,
             local_search: LocalSearchConfig::default(),
             cache: CacheConfig::default(),
+            resilience: ResilienceConfig::default(),
+            faults: FaultPlane::default(),
         }
     }
 }
@@ -72,6 +107,10 @@ pub struct PatLabor {
     /// Present iff `config.cache.enabled`. Shared (not deep-copied) by
     /// clones, so batch workers cloning a router still pool their hits.
     cache: Option<Arc<FrontierCache>>,
+    /// The clock deadlines are read against. Production routers keep the
+    /// default [`SystemClock`]; tests inject a
+    /// [`crate::resilience::VirtualClock`].
+    clock: Arc<dyn Clock>,
 }
 
 impl Default for PatLabor {
@@ -91,12 +130,7 @@ impl PatLabor {
     /// its λ).
     pub fn with_config(config: RouterConfig) -> Self {
         let table = LutBuilder::new(config.lambda).build();
-        PatLabor {
-            table,
-            policy: Policy::default(),
-            cache: Self::build_cache(&config),
-            config,
-        }
+        Self::assemble(table, config)
     }
 
     /// Builds a router around pre-generated tables (e.g. loaded from disk
@@ -106,11 +140,27 @@ impl PatLabor {
             lambda: table.lambda(),
             ..RouterConfig::default()
         };
+        Self::assemble(table, config)
+    }
+
+    /// Builds a router around pre-generated tables with an explicit
+    /// configuration. `config.lambda` is overridden by the table's λ —
+    /// the table, not the config, decides which degrees are tabulated.
+    pub fn with_table_and_config(table: LookupTable, config: RouterConfig) -> Self {
+        let config = RouterConfig {
+            lambda: table.lambda(),
+            ..config
+        };
+        Self::assemble(table, config)
+    }
+
+    fn assemble(table: LookupTable, config: RouterConfig) -> Self {
         PatLabor {
             table,
             policy: Policy::default(),
             cache: Self::build_cache(&config),
             config,
+            clock: Arc::new(SystemClock::new()),
         }
     }
 
@@ -141,6 +191,27 @@ impl PatLabor {
         self
     }
 
+    /// Replaces the resilience configuration (armed fallback rungs,
+    /// frontier validation, per-net deadline).
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.config.resilience = resilience;
+        self
+    }
+
+    /// Replaces the fault plane (deterministic fault injection).
+    pub fn with_faults(mut self, faults: FaultPlane) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Replaces the deadline clock (tests inject a
+    /// [`crate::resilience::VirtualClock`] so deadline behavior is a pure
+    /// function of the configuration).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// The lookup tables backing this router.
     pub fn table(&self) -> &LookupTable {
         &self.table
@@ -157,8 +228,23 @@ impl PatLabor {
     /// Exact (the full Pareto frontier, one witness tree per point) for
     /// degrees `≤ λ`; the local-search approximation above. The outcome's
     /// [`RouteProvenance`] records which stage answered and how much work
-    /// each stage did; a net the tables cannot serve (truncated or corrupt
-    /// table file) returns a [`RouteError`] instead of panicking.
+    /// each stage did.
+    ///
+    /// A rung that cannot serve — missing table degree or pattern,
+    /// corrupted cost row caught by validation, expired deadline, or a
+    /// panic — falls through the degradation ladder
+    ///
+    /// ```text
+    /// cache → LUT query → numeric DW → baseline      (degree ≤ λ)
+    ///         local search → baseline                (degree > λ)
+    /// ```
+    ///
+    /// and the descent is recorded in [`RouteProvenance::trace`]. Only
+    /// when every armed rung fails does the call return a structured
+    /// [`RouteError`]; with the default [`ResilienceConfig`] the baseline
+    /// rung is always armed, so errors require a fault nothing can absorb
+    /// (an `AllRungs` stage panic) or a disarmed ladder
+    /// ([`ResilienceConfig::strict`]).
     ///
     /// Routing is deterministic: the frontier is bit-identical regardless
     /// of the frontier cache's state (only the provenance differs between
@@ -166,51 +252,247 @@ impl PatLabor {
     pub fn route(&self, net: &Net) -> Result<RouteOutcome, RouteError> {
         let degree = net.degree();
         let mut counters = StageCounters::default();
+        let mut trace = DegradationTrace::default();
 
         // Stage: Classify — pick the serving path by degree.
-        if degree > self.table.lambda() as usize {
-            // Stage: LocalSearch (materializes its own candidates).
-            let (frontier, report) = local_search_with_report(
-                net,
-                &self.table,
-                &self.policy,
-                &self.config.local_search,
-            );
-            counters.local_search_rounds = report.rounds as u32;
-            counters.local_search_candidates = report.candidates as u32;
-            return Ok(self.outcome(frontier, degree, RouteSource::LocalSearch, counters));
-        }
         if degree == 2 {
             // Closed form: the direct tree is the entire frontier; no
-            // class, no cache, no table involvement.
+            // class, no cache, no table involvement, no fault surface.
             let tree = RoutingTree::direct(net);
             let (w, d) = tree.objectives();
             let mut frontier = ParetoSet::new();
             frontier.insert(Cost::new(w, d), tree);
             counters.trees_materialized = 1;
-            return Ok(self.outcome(frontier, degree, RouteSource::ClosedForm, counters));
+            trace.push(Rung::ClosedForm, RungOutcome::Served);
+            return Ok(self.outcome(frontier, degree, RouteSource::ClosedForm, counters, trace));
         }
-        let class = self
-            .table
-            .classify(net)
-            .ok_or(RouteError::UnclassifiableDegree { degree })?;
 
-        // Stage: CacheLookup — replay the class's winning ids on a hit.
-        if let Some(cache) = &self.cache {
-            counters.cache_probes = 1;
-            let key = CacheKey::from_class(&class);
-            if let Some(ids) = cache.get(&key) {
-                counters.cache_hits = 1;
-                counters.trees_materialized = ids.len() as u32;
-                let frontier = self.table.query_ids(net, &class, &ids);
-                return Ok(self.outcome(frontier, degree, RouteSource::CacheHit, counters));
+        let res = self.config.resilience;
+        let budget = res
+            .deadline
+            .map(|deadline| Budget::new(Arc::clone(&self.clock), deadline));
+        let ctx = LadderCtx {
+            faults: &self.config.faults,
+            clock: self.clock.as_ref(),
+            budget: budget.as_ref(),
+            key: net_key(net),
+        };
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        let mut table_error: Option<RouteError> = None;
+
+        if degree <= self.table.lambda() as usize {
+            let class = self
+                .table
+                .classify(net)
+                .ok_or(RouteError::UnclassifiableDegree { degree })?;
+
+            // Rung: Cache — replay the class's winning ids on a hit.
+            if let Some(cache) = &self.cache {
+                let outcome =
+                    run_rung(&ctx, Rung::Cache, &mut counters, &mut panic_payload, |counters| {
+                        counters.cache_probes = 1;
+                        let key = CacheKey::from_class(&class);
+                        let ids = cache.get(&key).ok_or(RungOutcome::Unavailable)?;
+                        counters.cache_hits = 1;
+                        counters.trees_materialized = ids.len() as u32;
+                        let mut frontier = self.table.query_ids(net, &class, &ids);
+                        if ctx.faults.fires(FaultKind::CorruptedRow, Rung::Cache, ctx.key) {
+                            frontier = corrupt_first_cost(frontier);
+                        }
+                        if res.validate_frontiers && !frontier_consistent(&frontier) {
+                            return Err(RungOutcome::CorruptRow);
+                        }
+                        Ok(frontier)
+                    });
+                match outcome {
+                    Ok(frontier) => {
+                        trace.push(Rung::Cache, RungOutcome::Served);
+                        return Ok(self.outcome(
+                            frontier,
+                            degree,
+                            RouteSource::CacheHit,
+                            counters,
+                            trace,
+                        ));
+                    }
+                    // A plain miss is the normal path, not a degradation.
+                    Err(RungOutcome::Unavailable) => {}
+                    Err(o) => trace.push(Rung::Cache, o),
+                }
             }
-            let (frontier, winners) = self.lut_query(net, &class, &mut counters)?;
-            cache.insert(key, winners.into());
-            return Ok(self.outcome(frontier, degree, RouteSource::ExactLut, counters));
+
+            // Rung: Lut — the primary rung for tabulated degrees.
+            let outcome =
+                run_rung(&ctx, Rung::Lut, &mut counters, &mut panic_payload, |counters| {
+                    // In this branch degree ≤ λ ≤ u8::MAX, so the narrowing
+                    // casts below are lossless.
+                    if ctx.faults.fires(FaultKind::MissingDegree, Rung::Lut, ctx.key) {
+                        table_error.get_or_insert(RouteError::MissingDegree {
+                            degree: degree as u8,
+                            lambda: self.table.lambda(),
+                        });
+                        return Err(RungOutcome::MissingDegree);
+                    }
+                    if ctx.faults.fires(FaultKind::MissingPattern, Rung::Lut, ctx.key) {
+                        table_error.get_or_insert(RouteError::MissingPattern {
+                            degree: degree as u8,
+                            key: class.canonical_key(),
+                        });
+                        return Err(RungOutcome::MissingPattern);
+                    }
+                    let (mut frontier, winners) = match self.lut_query(net, &class, counters) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            let outcome = if matches!(e, RouteError::MissingDegree { .. }) {
+                                RungOutcome::MissingDegree
+                            } else {
+                                RungOutcome::MissingPattern
+                            };
+                            table_error.get_or_insert(e);
+                            return Err(outcome);
+                        }
+                    };
+                    if ctx.faults.fires(FaultKind::CorruptedRow, Rung::Lut, ctx.key) {
+                        frontier = corrupt_first_cost(frontier);
+                    }
+                    if res.validate_frontiers && !frontier_consistent(&frontier) {
+                        return Err(RungOutcome::CorruptRow);
+                    }
+                    Ok((frontier, winners))
+                });
+            match outcome {
+                Ok((frontier, winners)) => {
+                    if let Some(cache) = &self.cache {
+                        cache.insert(CacheKey::from_class(&class), winners.into());
+                    }
+                    trace.push(Rung::Lut, RungOutcome::Served);
+                    return Ok(self.outcome(
+                        frontier,
+                        degree,
+                        RouteSource::ExactLut,
+                        counters,
+                        trace,
+                    ));
+                }
+                Err(o) => trace.push(Rung::Lut, o),
+            }
+
+            // Rung: NumericDw — re-enumerate from scratch what the table
+            // could not serve. Exact but per-instance expensive, hence
+            // capped at `numeric::MAX_DEGREE`.
+            if res.dw_fallback && degree <= numeric::MAX_DEGREE {
+                let outcome =
+                    run_rung(&ctx, Rung::NumericDw, &mut counters, &mut panic_payload, |counters| {
+                        let checks = Cell::new(0u32);
+                        let result =
+                            numeric::pareto_frontier_cancellable(net, &DwConfig::default(), &|| {
+                                let n = checks.get() + 1;
+                                checks.set(n);
+                                // Reading the clock is what costs, not the
+                                // checkpoint itself: stride the reads so a
+                                // hot DP loop stays under the BENCH_PR5
+                                // overhead budget.
+                                n.is_multiple_of(BUDGET_POLL_STRIDE)
+                                    && ctx.budget.is_some_and(Budget::exceeded)
+                            });
+                        counters.budget_checks += checks.get();
+                        result.map_err(|Cancelled| RungOutcome::DeadlineExceeded)
+                    });
+                match outcome {
+                    Ok(frontier) => {
+                        trace.push(Rung::NumericDw, RungOutcome::Served);
+                        return Ok(self.outcome(
+                            frontier,
+                            degree,
+                            RouteSource::NumericDw,
+                            counters,
+                            trace,
+                        ));
+                    }
+                    Err(o) => trace.push(Rung::NumericDw, o),
+                }
+            }
+        } else {
+            // Rung: LocalSearch — the primary rung above λ.
+            let outcome =
+                run_rung(&ctx, Rung::LocalSearch, &mut counters, &mut panic_payload, |counters| {
+                    // A missing-degree fault here simulates reroute tables
+                    // the search cannot use (its subnets query the same
+                    // LUT), demoting the net to the baseline rung.
+                    if ctx.faults.fires(FaultKind::MissingDegree, Rung::LocalSearch, ctx.key) {
+                        return Err(RungOutcome::MissingDegree);
+                    }
+                    let checks = Cell::new(0u32);
+                    let result = local_search_cancellable(
+                        net,
+                        &self.table,
+                        &self.policy,
+                        &self.config.local_search,
+                        &|| {
+                            let n = checks.get() + 1;
+                            checks.set(n);
+                            n.is_multiple_of(BUDGET_POLL_STRIDE)
+                                && ctx.budget.is_some_and(Budget::exceeded)
+                        },
+                    );
+                    counters.budget_checks += checks.get();
+                    match result {
+                        Ok((frontier, report)) => {
+                            counters.local_search_rounds = report.rounds as u32;
+                            counters.local_search_candidates = report.candidates as u32;
+                            Ok(frontier)
+                        }
+                        Err(Cancelled) => Err(RungOutcome::DeadlineExceeded),
+                    }
+                });
+            match outcome {
+                Ok(frontier) => {
+                    trace.push(Rung::LocalSearch, RungOutcome::Served);
+                    return Ok(self.outcome(
+                        frontier,
+                        degree,
+                        RouteSource::LocalSearch,
+                        counters,
+                        trace,
+                    ));
+                }
+                Err(o) => trace.push(Rung::LocalSearch, o),
+            }
         }
-        let (frontier, _) = self.lut_query(net, &class, &mut counters)?;
-        Ok(self.outcome(frontier, degree, RouteSource::ExactLut, counters))
+
+        // Rung: Baseline — deliberately cheap and never deadline-gated:
+        // an expired budget still yields valid (approximate) trees
+        // instead of nothing.
+        if res.baseline_fallback {
+            let outcome =
+                run_rung(&ctx, Rung::Baseline, &mut counters, &mut panic_payload, |counters| {
+                    let frontier = fallback_frontier(net);
+                    counters.trees_materialized += frontier.len() as u32;
+                    Ok(frontier)
+                });
+            match outcome {
+                Ok(frontier) => {
+                    trace.push(Rung::Baseline, RungOutcome::Served);
+                    return Ok(self.outcome(
+                        frontier,
+                        degree,
+                        RouteSource::Baseline,
+                        counters,
+                        trace,
+                    ));
+                }
+                Err(o) => trace.push(Rung::Baseline, o),
+            }
+        }
+
+        // Ladder exhausted. A caught panic is not ours to swallow when no
+        // rung could absorb it (the batch driver isolates it per slot);
+        // otherwise prefer the real table error over the generic
+        // exhaustion report.
+        if let Some(payload) = panic_payload {
+            panic::resume_unwind(payload);
+        }
+        Err(table_error.unwrap_or(RouteError::RungsExhausted { degree, trace }))
     }
 
     /// Stages LutQuery + Materialize: score the stored candidates, prune,
@@ -258,6 +540,7 @@ impl PatLabor {
         degree: usize,
         source: RouteSource,
         counters: StageCounters,
+        trace: DegradationTrace,
     ) -> RouteOutcome {
         RouteOutcome {
             frontier,
@@ -265,6 +548,7 @@ impl PatLabor {
                 degree,
                 source,
                 counters,
+                trace,
             },
         }
     }
@@ -272,17 +556,21 @@ impl PatLabor {
     /// [`PatLabor::route`], discarding provenance.
     ///
     /// Convenience for callers that only want the frontier (benchmarks,
-    /// examples, comparisons against baselines).
+    /// examples, comparisons against baselines). The full degradation
+    /// ladder applies, so a table fault demotes the net to a lower rung
+    /// instead of failing.
     ///
     /// # Panics
     ///
-    /// Panics on a [`RouteError`] — only possible with a truncated or
-    /// corrupt loaded table; a router built by [`PatLabor::new`] /
-    /// [`PatLabor::with_config`] never fails.
+    /// Only when even the baseline rung cannot serve: every fallback
+    /// disarmed ([`ResilienceConfig::strict`]) on a net the tables cannot
+    /// answer, or a fault nothing can absorb (an `AllRungs` stage panic).
+    /// With the default [`ResilienceConfig`] the baseline rung is always
+    /// armed and this method never panics.
     pub fn route_frontier(&self, net: &Net) -> ParetoSet<RoutingTree> {
         match self.route(net) {
             Ok(outcome) => outcome.frontier,
-            Err(e) => panic!("routing failed: {e}"),
+            Err(e) => panic!("routing failed with every armed rung exhausted: {e}"),
         }
     }
 
@@ -297,11 +585,88 @@ impl PatLabor {
     }
 }
 
+/// The per-route context [`run_rung`] reads: the fault plane, the clock
+/// it advances on injected delays, the deadline budget, and the net's
+/// fault-decision key.
+struct LadderCtx<'a> {
+    faults: &'a FaultPlane,
+    clock: &'a dyn Clock,
+    budget: Option<&'a Budget>,
+    key: u64,
+}
+
+/// Runs one rung inside the ladder's shared harness:
+///
+/// 1. an injected stage delay advances the clock *before* the deadline
+///    gate, so a stalled stage burns the budget it is about to be judged
+///    against;
+/// 2. compute rungs ([`Rung::deadline_gated`]) are skipped once the
+///    budget is exceeded;
+/// 3. the body runs under `catch_unwind` (with an injected stage panic
+///    fired inside it), so a panicking rung falls through instead of
+///    unwinding the caller. The first caught payload is kept so an
+///    unabsorbed panic can resume after the ladder is exhausted.
+fn run_rung<T>(
+    ctx: &LadderCtx<'_>,
+    rung: Rung,
+    counters: &mut StageCounters,
+    panic_payload: &mut Option<Box<dyn Any + Send>>,
+    body: impl FnOnce(&mut StageCounters) -> Result<T, RungOutcome>,
+) -> Result<T, RungOutcome> {
+    if ctx.faults.fires(FaultKind::StageDelay, rung, ctx.key) {
+        ctx.clock.advance(ctx.faults.delay());
+    }
+    if rung.deadline_gated() {
+        if let Some(budget) = ctx.budget {
+            counters.budget_checks += 1;
+            if budget.exceeded() {
+                return Err(RungOutcome::DeadlineExceeded);
+            }
+        }
+    }
+    let inject = ctx.faults.fires(FaultKind::StagePanic, rung, ctx.key);
+    match panic::catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            panic!("injected fault: stage panic at rung {rung}");
+        }
+        body(counters)
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            panic_payload.get_or_insert(payload);
+            Err(RungOutcome::Panicked)
+        }
+    }
+}
+
+/// Every cost must equal its witness tree's recomputed objectives; a
+/// corrupted cost row breaks exactly this invariant.
+fn frontier_consistent(frontier: &ParetoSet<RoutingTree>) -> bool {
+    frontier
+        .iter()
+        .all(|(c, t)| (c.wirelength, c.delay) == t.objectives())
+}
+
+/// The corrupted-row injection: shift the first cost off its witness.
+/// Decrementing (not incrementing) keeps the perturbed point dominant,
+/// so [`ParetoSet::from_unpruned`]'s re-pruning cannot silently discard
+/// the corruption before validation sees it.
+fn corrupt_first_cost(frontier: ParetoSet<RoutingTree>) -> ParetoSet<RoutingTree> {
+    let mut entries: Vec<(Cost, RoutingTree)> =
+        frontier.iter().map(|(c, t)| (c, t.clone())).collect();
+    if let Some((cost, _)) = entries.first_mut() {
+        cost.wirelength -= 1;
+    }
+    ParetoSet::from_unpruned(entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::{Fault, FaultScope, VirtualClock};
     use patlabor_dw::{numeric, DwConfig};
     use patlabor_geom::Point;
+    use std::time::Duration;
 
     fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {
         let mut rng = move || {
@@ -318,6 +683,10 @@ mod tests {
         .unwrap()
     }
 
+    fn router4() -> PatLabor {
+        PatLabor::with_table(crate::LutBuilder::new(4).threads(2).build())
+    }
+
     #[test]
     fn small_nets_are_exact() {
         let router = PatLabor::new();
@@ -330,6 +699,7 @@ mod tests {
             assert!(router.is_exact_for(degree));
             assert!(outcome.provenance.source.is_exact());
             assert_eq!(outcome.provenance.degree, degree);
+            assert!(!outcome.provenance.trace.degraded());
         }
     }
 
@@ -343,6 +713,7 @@ mod tests {
         assert_eq!(outcome.provenance.source, RouteSource::LocalSearch);
         assert!(outcome.provenance.counters.local_search_rounds >= 1);
         assert!(outcome.provenance.counters.local_search_candidates >= 1);
+        assert_eq!(outcome.provenance.trace.served_by(), Some(Rung::LocalSearch));
         assert!(!outcome.frontier.is_empty());
         for (c, t) in outcome.frontier.iter() {
             t.validate(&net).unwrap();
@@ -387,6 +758,9 @@ mod tests {
             second.provenance.counters.trees_materialized as usize,
             second.frontier.len()
         );
+        // A cache miss is the normal path, not a degradation.
+        assert!(!first.provenance.trace.degraded());
+        assert_eq!(second.provenance.trace.served_by(), Some(Rung::Cache));
         // The frontier itself is bit-identical either way.
         assert_eq!(first.frontier, second.frontier);
     }
@@ -399,14 +773,23 @@ mod tests {
         assert_eq!(outcome.provenance.source, RouteSource::ClosedForm);
         assert_eq!(outcome.provenance.counters.trees_materialized, 1);
         assert_eq!(outcome.provenance.counters.cache_probes, 0);
+        assert_eq!(outcome.provenance.trace.served_by(), Some(Rung::ClosedForm));
         assert_eq!(outcome.frontier.len(), 1);
     }
 
     #[test]
-    fn gutted_table_reports_missing_degree_not_panic() {
+    fn strict_gutted_table_reports_missing_degree_not_panic() {
         let mut table = crate::LutBuilder::new(4).threads(1).build();
         table.remove_degree(3);
-        let router = PatLabor::with_table(table);
+        // Strict mode: no fallback rungs — the pre-ladder fail-fast
+        // contract that oracles assert on.
+        let router = PatLabor::with_table_and_config(
+            table,
+            RouterConfig {
+                resilience: ResilienceConfig::strict(),
+                ..RouterConfig::default()
+            },
+        );
         let net = Net::new(vec![Point::new(0, 0), Point::new(5, 2), Point::new(2, 7)]).unwrap();
         match router.route(&net) {
             Err(RouteError::MissingDegree { degree: 3, lambda: 4 }) => {}
@@ -421,5 +804,154 @@ mod tests {
         ])
         .unwrap();
         assert!(router.route(&ok).is_ok());
+    }
+
+    #[test]
+    fn gutted_table_degrades_to_numeric_dw() {
+        let mut table = crate::LutBuilder::new(4).threads(1).build();
+        table.remove_degree(3);
+        let router = PatLabor::with_table(table);
+        let net = Net::new(vec![Point::new(0, 0), Point::new(5, 2), Point::new(2, 7)]).unwrap();
+        let outcome = router.route(&net).expect("the DW rung absorbs the missing degree");
+        assert_eq!(outcome.provenance.source, RouteSource::NumericDw);
+        assert!(outcome.provenance.source.is_exact());
+        let exact = numeric::pareto_frontier(&net, &DwConfig::default());
+        assert_eq!(outcome.frontier.cost_vec(), exact.cost_vec());
+        let trace = outcome.provenance.trace;
+        assert!(trace.degraded());
+        assert_eq!(trace.to_string(), "lut:missing-degree -> numeric-dw:served");
+    }
+
+    #[test]
+    fn injected_corrupt_row_is_validated_away() {
+        let faults = FaultPlane::seeded(11).with_fault(Fault {
+            kind: FaultKind::CorruptedRow,
+            scope: FaultScope::Primary,
+            probability: 1.0,
+        });
+        let router = router4().with_faults(faults);
+        let mut seed = 5u64;
+        let net = random_net(&mut seed, 4, 60);
+        let outcome = router.route(&net).unwrap();
+        assert_eq!(outcome.provenance.source, RouteSource::NumericDw);
+        assert!(outcome
+            .provenance
+            .trace
+            .contains(Rung::Lut, RungOutcome::CorruptRow));
+        // The served frontier is the uncorrupted exact answer.
+        let exact = numeric::pareto_frontier(&net, &DwConfig::default());
+        assert_eq!(outcome.frontier.cost_vec(), exact.cost_vec());
+        assert!(frontier_consistent(&outcome.frontier));
+    }
+
+    #[test]
+    fn injected_stage_panic_is_absorbed_by_the_ladder() {
+        let faults = FaultPlane::seeded(2).with_fault(Fault {
+            kind: FaultKind::StagePanic,
+            scope: FaultScope::Primary,
+            probability: 1.0,
+        });
+        let router = router4().with_faults(faults);
+        let mut seed = 6u64;
+        // Small net: the LUT rung panics, numeric DW absorbs it exactly.
+        let small = random_net(&mut seed, 4, 50);
+        let outcome = router.route(&small).unwrap();
+        assert_eq!(outcome.provenance.source, RouteSource::NumericDw);
+        assert!(outcome
+            .provenance
+            .trace
+            .contains(Rung::Lut, RungOutcome::Panicked));
+        // Large net: local search panics, the baseline serves.
+        let large = random_net(&mut seed, 9, 90);
+        let outcome = router.route(&large).unwrap();
+        assert_eq!(outcome.provenance.source, RouteSource::Baseline);
+        assert!(!outcome.provenance.source.is_exact());
+        assert!(outcome
+            .provenance
+            .trace
+            .contains(Rung::LocalSearch, RungOutcome::Panicked));
+        for (c, t) in outcome.frontier.iter() {
+            t.validate(&large).unwrap();
+            assert_eq!((c.wirelength, c.delay), t.objectives());
+        }
+    }
+
+    #[test]
+    fn unabsorbed_panic_resumes_after_exhaustion() {
+        let faults = FaultPlane::seeded(4).with_fault(Fault {
+            kind: FaultKind::StagePanic,
+            scope: FaultScope::AllRungs,
+            probability: 1.0,
+        });
+        let router = router4().with_faults(faults);
+        let mut seed = 7u64;
+        let net = random_net(&mut seed, 4, 50);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| router.route(&net)));
+        let payload = caught.expect_err("every rung panics; nothing can absorb it");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected fault: stage panic"), "{msg}");
+    }
+
+    #[test]
+    fn stage_delay_with_deadline_walks_to_the_baseline() {
+        let faults = FaultPlane::seeded(0)
+            .with_fault(Fault {
+                kind: FaultKind::StageDelay,
+                scope: FaultScope::Primary,
+                probability: 1.0,
+            })
+            .with_delay(Duration::from_millis(10));
+        let config = RouterConfig {
+            resilience: ResilienceConfig {
+                deadline: Some(Duration::from_millis(5)),
+                ..ResilienceConfig::default()
+            },
+            faults,
+            ..RouterConfig::default()
+        };
+        let router = PatLabor::with_table_and_config(
+            crate::LutBuilder::new(4).threads(2).build(),
+            config,
+        )
+        .with_clock(Arc::new(VirtualClock::new()));
+        let mut seed = 8u64;
+        let net = random_net(&mut seed, 4, 60);
+        let outcome = router.route(&net).unwrap();
+        assert_eq!(outcome.provenance.source, RouteSource::Baseline);
+        assert_eq!(
+            outcome.provenance.trace.to_string(),
+            "lut:deadline -> numeric-dw:deadline -> baseline:served"
+        );
+        assert!(outcome.provenance.counters.budget_checks >= 2);
+        for (c, t) in outcome.frontier.iter() {
+            t.validate(&net).unwrap();
+            assert_eq!((c.wirelength, c.delay), t.objectives());
+        }
+    }
+
+    #[test]
+    fn a_generous_deadline_does_not_change_the_route() {
+        let config = RouterConfig {
+            resilience: ResilienceConfig {
+                deadline: Some(Duration::from_secs(3600)),
+                ..ResilienceConfig::default()
+            },
+            ..RouterConfig::default()
+        };
+        let plain = router4();
+        let budgeted = PatLabor::with_table_and_config(
+            crate::LutBuilder::new(4).threads(2).build(),
+            config,
+        );
+        let mut seed = 12u64;
+        for degree in [3, 4, 9] {
+            let net = random_net(&mut seed, degree, 70);
+            let a = plain.route(&net).unwrap();
+            let b = budgeted.route(&net).unwrap();
+            assert_eq!(a.frontier.cost_vec(), b.frontier.cost_vec());
+            assert_eq!(a.provenance.source, b.provenance.source);
+            assert!(!b.provenance.trace.degraded());
+            assert!(b.provenance.counters.budget_checks >= 1);
+        }
     }
 }

@@ -40,3 +40,17 @@ pub mod oracle;
 pub mod symbolic;
 
 pub use config::DwConfig;
+
+/// Returned by [`numeric::pareto_frontier_cancellable`] when its
+/// cooperative cancellation hook fires (a deadline budget expired): the
+/// enumeration was abandoned and no partial frontier is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("enumeration cancelled by its budget hook")
+    }
+}
+
+impl std::error::Error for Cancelled {}

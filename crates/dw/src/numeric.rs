@@ -20,10 +20,14 @@ use patlabor_pareto::{Cost, ParetoSet};
 use patlabor_tree::{extract_from_union, RoutingTree};
 
 use crate::boundary::{boundary_position, consecutive_splits};
-use crate::DwConfig;
+use crate::{Cancelled, DwConfig};
 
 /// Partial topology: edges between packed Hanan-grid node ids.
 type Edges = Vec<(u16, u16)>;
+
+/// The largest degree [`pareto_frontier`] accepts (the DP is exponential;
+/// larger nets must go through the local-search path).
+pub const MAX_DEGREE: usize = 13;
 
 /// Computes the exact Pareto frontier of a net, with one witness tree per
 /// frontier point.
@@ -34,14 +38,41 @@ type Edges = Vec<(u16, u16)>;
 ///
 /// # Panics
 ///
-/// Panics if the net degree exceeds 13 (the DP is exponential; larger nets
-/// must go through the local-search path — 13 is admitted only so the
-/// Theorem-1 experiments can verify 4-gadget chains exactly).
+/// Panics if the net degree exceeds [`MAX_DEGREE`] (13 is admitted only so
+/// the Theorem-1 experiments can verify 4-gadget chains exactly).
 pub fn pareto_frontier(net: &Net, config: &DwConfig) -> ParetoSet<RoutingTree> {
+    match pareto_frontier_cancellable(net, config, &|| false) {
+        Ok(frontier) => frontier,
+        Err(Cancelled) => unreachable!("a never-true cancel hook cannot cancel"),
+    }
+}
+
+/// [`pareto_frontier`] with a cooperative cancellation hook for deadline
+/// budgets: `cancel` is polled once per subset-mask iteration (the DP's
+/// outer loop, `2ⁿ⁻¹ − 1` checkpoints) and once more before witness
+/// reconstruction; the first `true` abandons the enumeration.
+///
+/// The hook keeps the exponential kernel preemptible without threading a
+/// clock through this crate — the router passes a closure reading its
+/// [`Budget`](https://docs.rs/patlabor), tests pass a counter or a flag.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the hook fires; the partial DP state is
+/// discarded (no partial frontier is ever observable).
+///
+/// # Panics
+///
+/// Panics if the net degree exceeds [`MAX_DEGREE`], like [`pareto_frontier`].
+pub fn pareto_frontier_cancellable(
+    net: &Net,
+    config: &DwConfig,
+    cancel: &dyn Fn() -> bool,
+) -> Result<ParetoSet<RoutingTree>, Cancelled> {
     let n = net.degree();
     assert!(
-        (2..=13).contains(&n),
-        "numeric Pareto-DW supports degrees 2..=13, got {n}"
+        (2..=MAX_DEGREE).contains(&n),
+        "numeric Pareto-DW supports degrees 2..={MAX_DEGREE}, got {n}"
     );
     let grid = HananGrid::new(net);
     let nn = grid.node_count();
@@ -73,6 +104,9 @@ pub fn pareto_frontier(net: &Net, config: &DwConfig) -> ParetoSet<RoutingTree> {
     let mut states: Vec<Vec<ParetoSet<Edges>>> = vec![empty_state.clone(); (full as usize) + 1];
 
     for mask in 1..=full {
+        if cancel() {
+            return Err(Cancelled);
+        }
         let members: Vec<usize> = (0..num_sinks).filter(|i| mask >> i & 1 == 1).collect();
         let mut pre: Vec<ParetoSet<Edges>> = vec![ParetoSet::new(); nn];
 
@@ -151,6 +185,9 @@ pub fn pareto_frontier(net: &Net, config: &DwConfig) -> ParetoSet<RoutingTree> {
     }
 
     // Reconstruct real trees from the final state's edge unions.
+    if cancel() {
+        return Err(Cancelled);
+    }
     let final_state = &states[full as usize][root_node];
     let mut witnesses: Vec<(Cost, RoutingTree)> = Vec::with_capacity(final_state.len());
     for (_, edges) in final_state.iter() {
@@ -163,7 +200,7 @@ pub fn pareto_frontier(net: &Net, config: &DwConfig) -> ParetoSet<RoutingTree> {
         let (w, d) = tree.objectives();
         witnesses.push((Cost::new(w, d), tree));
     }
-    ParetoSet::from_unpruned(witnesses)
+    Ok(ParetoSet::from_unpruned(witnesses))
 }
 
 /// Lemma 2 test: `p` is a corner node when one of its four closed
@@ -361,6 +398,47 @@ mod tests {
         // Frontier ends are bounded by the trivial bounds.
         let (d_end, _) = f.min_delay().unwrap();
         assert!(d_end.delay >= n.delay_lower_bound());
+    }
+
+    #[test]
+    fn cancellable_with_inert_hook_matches_plain_enumeration() {
+        use std::cell::Cell;
+        let n = net(&[(19, 2), (8, 4), (4, 3), (5, 4), (13, 12)]);
+        let checkpoints = Cell::new(0u32);
+        let cancel = || {
+            checkpoints.set(checkpoints.get() + 1);
+            false
+        };
+        let cancellable =
+            pareto_frontier_cancellable(&n, &DwConfig::default(), &cancel).expect("never cancels");
+        assert_eq!(cancellable, pareto_frontier(&n, &DwConfig::default()));
+        // One checkpoint per subset mask (2^4 − 1) plus the final one.
+        assert_eq!(checkpoints.get(), 16);
+    }
+
+    #[test]
+    fn cancellation_mid_enumeration_returns_cancelled() {
+        use std::cell::Cell;
+        let n = net(&[(0, 0), (2, 7), (5, 3), (8, 8), (7, 1)]);
+        let budget = Cell::new(3u32);
+        let cancel = || {
+            let left = budget.get();
+            budget.set(left.saturating_sub(1));
+            left == 0
+        };
+        assert_eq!(
+            pareto_frontier_cancellable(&n, &DwConfig::default(), &cancel),
+            Err(Cancelled)
+        );
+    }
+
+    #[test]
+    fn immediate_cancellation_does_no_work() {
+        let n = net(&[(0, 0), (4, 2), (2, 4)]);
+        assert_eq!(
+            pareto_frontier_cancellable(&n, &DwConfig::default(), &|| true),
+            Err(Cancelled)
+        );
     }
 
     #[test]

@@ -469,6 +469,12 @@ impl LookupTable {
     /// the router's `MissingDegree` error reports — without hand-crafting
     /// broken bytes. Fault-injection helper for tests and tooling; a table
     /// built by [`crate::LutBuilder`] never has gaps.
+    ///
+    /// This hook mutates one concrete table. For orchestrated drills —
+    /// injecting the same failure mode across a corpus without doctoring
+    /// the shared table — use the router's fault plane
+    /// (`patlabor::FaultPlane`, kind `missing-degree`), which simulates
+    /// this condition per net, deterministically by seed.
     pub fn remove_degree(&mut self, degree: u8) {
         if let Some(table) = self.tables.get_mut(degree as usize) {
             *table = DegreeTable {
@@ -492,6 +498,12 @@ impl LookupTable {
     /// whose query scores the corrupted row with a nonzero gap vector sees
     /// a shifted dot-product cost. Tables built by [`crate::LutBuilder`]
     /// are never corrupt.
+    ///
+    /// Like [`LookupTable::remove_degree`], this is the table-local hook;
+    /// the router's fault plane (`patlabor::FaultPlane`, kind
+    /// `corrupted-row`) injects the equivalent frontier perturbation per
+    /// net without touching the table, and the router's frontier
+    /// validation then demotes the net down the degradation ladder.
     pub fn corrupt_cost_row(&mut self, degree: u8, id: u32, delta: u16) -> bool {
         let Some(table) = self.tables.get_mut(degree as usize) else {
             return false;

@@ -28,7 +28,13 @@ mod shrink;
 pub use report::{CheckSummary, Counterexample, PathPair, SmokeReport, VerifyReport};
 pub use shrink::shrink_net;
 
-use patlabor::{Net, PatLabor, Point};
+use std::sync::Arc;
+use std::time::Duration;
+
+use patlabor::{
+    Fault, FaultKind, FaultPlane, FaultScope, Net, PatLabor, Point, ResilienceConfig,
+    ResilienceReport, RouterConfig, VirtualClock,
+};
 use patlabor_dw::{numeric, DwConfig};
 use patlabor_lut::{LookupTable, LutBuilder};
 use patlabor_netgen::{clustered_net, uniform_net};
@@ -36,7 +42,7 @@ use patlabor_pareto::Cost;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use patlabor::pipeline::RouteResult;
+use patlabor::pipeline::{RouteOutcome, RouteResult, RouteSource};
 use patlabor::CacheConfig;
 
 /// Predicate evaluations the shrinker may spend per counterexample.
@@ -68,6 +74,14 @@ pub struct VerifyConfig {
     pub span: i64,
     /// Whether to minimize the first divergence before reporting it.
     pub shrink: bool,
+    /// Injected faults for the resilience sweep. When non-empty, the
+    /// whole corpus is replayed through a fault-armed router and the
+    /// ladder's service invariants are checked (zero aborts, every `Ok`
+    /// a valid consistent frontier, every failure a structured error).
+    pub faults: FaultPlane,
+    /// Per-net deadline for the resilience sweep, driven by a
+    /// [`VirtualClock`] so only injected stage delays consume time.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for VerifyConfig {
@@ -82,6 +96,8 @@ impl Default for VerifyConfig {
             threads: 4,
             span: 48,
             shrink: true,
+            faults: FaultPlane::default(),
+            deadline_ms: None,
         }
     }
 }
@@ -130,7 +146,7 @@ pub fn verify_with_table(table: LookupTable, config: &VerifyConfig) -> VerifyRep
     let mut counts = [0usize; PathPair::ALL.len()];
     let harness = match Harness::new(table, config) {
         Ok(h) => h,
-        Err(cx) => return finish(config, 0, counts, Some(cx)),
+        Err(cx) => return finish(config, 0, counts, Some(cx), None),
     };
     let nets = corpus(config);
     let mut serial: Vec<RouteResult> = Vec::with_capacity(nets.len());
@@ -155,7 +171,7 @@ pub fn verify_with_table(table: LookupTable, config: &VerifyConfig) -> VerifyRep
             };
             if divergence.is_some() {
                 let cx = harness.minimized(pair, index, net);
-                return finish(config, nets.len(), counts, Some(cx));
+                return finish(config, nets.len(), counts, Some(cx), None);
             }
         }
     }
@@ -180,11 +196,21 @@ pub fn verify_with_table(table: LookupTable, config: &VerifyConfig) -> VerifyRep
                 reference,
                 detail: format!("{} worker threads; {why}", config.threads.max(1)),
             };
-            return finish(config, nets.len(), counts, Some(cx));
+            return finish(config, nets.len(), counts, Some(cx), None);
         }
     }
 
-    finish(config, nets.len(), counts, None)
+    // Resilience sweep: replay the corpus through a fault-armed router
+    // and hold the degradation ladder to its service invariants.
+    let mut resilience = None;
+    if !config.faults.is_empty() || config.deadline_ms.is_some() {
+        match harness.resilience_sweep(&nets, config) {
+            Ok(report) => resilience = Some(report),
+            Err(cx) => return finish(config, nets.len(), counts, Some(*cx), None),
+        }
+    }
+
+    finish(config, nets.len(), counts, None, resilience)
 }
 
 /// Plants a single-row table corruption that provably flips at least one
@@ -242,6 +268,7 @@ fn finish(
     corpus_size: usize,
     counts: [usize; PathPair::ALL.len()],
     counterexample: Option<Counterexample>,
+    resilience: Option<ResilienceReport>,
 ) -> VerifyReport {
     VerifyReport {
         seed: config.seed,
@@ -252,6 +279,7 @@ fn finish(
             .map(|(&pair, nets_checked)| CheckSummary { pair, nets_checked })
             .collect(),
         counterexample,
+        resilience,
     }
 }
 
@@ -268,10 +296,17 @@ struct Harness {
     table: LookupTable,
     /// The same table after a `write_to`/`read_from` round trip.
     loaded: LookupTable,
-    /// Production-shaped router: cache enabled, local search above λ.
+    /// Production-shaped router, minus the degradation ladder: cache
+    /// enabled, local search above λ, strict resilience so table damage
+    /// surfaces as route errors instead of being absorbed by a fallback
+    /// rung (a differential oracle must see the damage, not mask it).
     cached: PatLabor,
-    /// The cache-disabled reference router.
+    /// The cache-disabled reference router (also strict).
     uncached: PatLabor,
+    /// The ladder under test: full resilience with the primary rung
+    /// forced off by an injected missing-degree fault, so in-table nets
+    /// serve via numeric DW and out-of-table nets via the baseline.
+    fallback: PatLabor,
     seed: u64,
     lambda: usize,
     dw_cap: usize,
@@ -317,9 +352,22 @@ impl Harness {
                 "serialization is not byte-deterministic across a round trip".to_string(),
             ));
         }
+        let strict = RouterConfig {
+            resilience: ResilienceConfig::strict(),
+            ..RouterConfig::default()
+        };
+        let lut_off = FaultPlane::seeded(config.seed).with_fault(Fault {
+            kind: FaultKind::MissingDegree,
+            scope: FaultScope::Primary,
+            probability: 1.0,
+        });
         Ok(Harness {
-            cached: PatLabor::with_table(table.clone()),
-            uncached: PatLabor::with_table(table.clone()).with_cache(CacheConfig::disabled()),
+            cached: PatLabor::with_table_and_config(table.clone(), strict.clone()),
+            uncached: PatLabor::with_table_and_config(table.clone(), strict)
+                .with_cache(CacheConfig::disabled()),
+            fallback: PatLabor::with_table(table.clone())
+                .with_cache(CacheConfig::disabled())
+                .with_faults(lut_off),
             lambda: table.lambda() as usize,
             table,
             loaded,
@@ -340,6 +388,10 @@ impl Harness {
             // Exact-path-only invariants: local search (> λ) promises
             // neither D4 invariance nor table-backed answers.
             PathPair::D4Translation | PathPair::SaveLoadRoundTrip => (3..=self.lambda).contains(&d),
+            // In-table degrees need the DW oracle's cap; out-of-table
+            // degrees exercise the baseline rung instead. Degrees in
+            // between (dw_cap < d ≤ λ) have no affordable oracle.
+            PathPair::FallbackParity => (3..=self.dw_cap).contains(&d) || d > self.lambda,
         }
     }
 
@@ -353,6 +405,7 @@ impl Harness {
             PathPair::CachedVsUncached => self.cached_vs_uncached(net).1,
             PathPair::D4Translation => self.d4_translation(net),
             PathPair::SaveLoadRoundTrip => self.save_load(net),
+            PathPair::FallbackParity => self.fallback_parity(net),
             PathPair::BatchVsSerial => None, // whole-corpus pair, not per-net
         }
     }
@@ -458,6 +511,126 @@ impl Harness {
         }
     }
 
+    /// Pair (f): the degradation ladder with its primary rung injected
+    /// away. In-table degrees must be served by the numeric-DW rung with
+    /// the exact frontier costs the healthy LUT produces; out-of-table
+    /// degrees must be served by the baseline rung with trees that are
+    /// valid, cost-consistent, and mutually non-dominated.
+    fn fallback_parity(&self, net: &Net) -> Option<Divergence> {
+        let outcome = match self.fallback.route(net) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                return Some(Divergence {
+                    fast: Vec::new(),
+                    reference: Vec::new(),
+                    detail: format!("ladder failed with every fallback rung armed: {e}"),
+                })
+            }
+        };
+        let trace = outcome.provenance.trace;
+        let source = outcome.provenance.source;
+        let expected = if net.degree() <= self.dw_cap {
+            RouteSource::NumericDw
+        } else {
+            RouteSource::Baseline
+        };
+        if source != expected {
+            return Some(Divergence {
+                fast: outcome.frontier.cost_vec(),
+                reference: Vec::new(),
+                detail: format!(
+                    "expected the {} rung, served by {} (trace: {trace})",
+                    expected.label(),
+                    source.label()
+                ),
+            });
+        }
+        if !trace.degraded() {
+            return Some(Divergence {
+                fast: outcome.frontier.cost_vec(),
+                reference: Vec::new(),
+                detail: format!("injected fault left no degradation trace (trace: {trace})"),
+            });
+        }
+        if net.degree() <= self.dw_cap {
+            // Cost-only comparison: the DW rung enumerates fresh witness
+            // trees that may legitimately differ from the LUT's pool.
+            let reference = match self.uncached.route(net) {
+                Ok(reference) => reference.frontier.cost_vec(),
+                Err(e) => {
+                    return Some(Divergence {
+                        fast: outcome.frontier.cost_vec(),
+                        reference: Vec::new(),
+                        detail: format!("healthy-table reference route failed: {e}"),
+                    })
+                }
+            };
+            let fast = outcome.frontier.cost_vec();
+            return (fast != reference).then(|| Divergence {
+                fast,
+                reference,
+                detail: format!("fallback rung disagrees with the healthy LUT (trace: {trace})"),
+            });
+        }
+        served_invariants(net, &outcome).map(|why| Divergence {
+            fast: outcome.frontier.cost_vec(),
+            reference: Vec::new(),
+            detail: format!("{why} (trace: {trace})"),
+        })
+    }
+
+    /// Replays the corpus through a fault-armed copy of the router (the
+    /// batch driver, so panic isolation is under test too) and checks
+    /// the ladder's service invariants: the process survives, every `Ok`
+    /// slot holds a valid consistent frontier, and every failed slot
+    /// holds a structured error. Time is virtual — only injected stage
+    /// delays advance the clock, so deadline behavior is deterministic.
+    fn resilience_sweep(
+        &self,
+        nets: &[Net],
+        config: &VerifyConfig,
+    ) -> Result<ResilienceReport, Box<Counterexample>> {
+        let router = PatLabor::with_table_and_config(
+            self.table.clone(),
+            RouterConfig {
+                resilience: ResilienceConfig {
+                    deadline: config.deadline_ms.map(Duration::from_millis),
+                    ..ResilienceConfig::default()
+                },
+                faults: config.faults.clone(),
+                ..RouterConfig::default()
+            },
+        )
+        .with_clock(Arc::new(VirtualClock::new()));
+        let (results, report) = router.route_batch_with_report(nets, config.threads.max(1));
+        for (index, (net, result)) in nets.iter().zip(&results).enumerate() {
+            // Structured errors are legitimate sweep outcomes (e.g. an
+            // all-rungs stage panic nothing can absorb); the batch
+            // driver converting them to per-slot `Err` IS the invariant.
+            let violation = match result {
+                Ok(outcome) => served_invariants(net, outcome),
+                Err(_) => None,
+            };
+            if let Some(why) = violation {
+                return Err(Box::new(Counterexample {
+                    pair: PathPair::FallbackParity,
+                    seed: config.seed,
+                    net_index: index,
+                    original_degree: net.degree(),
+                    net: net.clone(),
+                    shrink_steps: 0, // fault sites are keyed to the net, not shrinkable
+                    fast: result
+                        .as_ref()
+                        .map(|o| o.frontier.cost_vec())
+                        .unwrap_or_default(),
+                    reference: Vec::new(),
+                    detail: format!("resilience sweep: {why}"),
+                }));
+            }
+        }
+        Ok(report)
+    }
+
     /// Packages the first divergence: re-shrink the net while the pair
     /// still diverges, then re-evaluate on the minimized net so the
     /// reported frontiers describe what the user can replay.
@@ -482,6 +655,42 @@ impl Harness {
             detail: divergence.detail,
         }
     }
+}
+
+/// Invariants every served (`Ok`) outcome must satisfy regardless of
+/// which rung produced it: a non-empty frontier of trees that validate
+/// against the net, advertise exactly their recomputed objectives, and
+/// do not dominate each other. `Some(why)` localizes the first breach.
+fn served_invariants(net: &Net, outcome: &RouteOutcome) -> Option<String> {
+    let costs = outcome.frontier.cost_vec();
+    if costs.is_empty() {
+        return Some("served an empty frontier".to_string());
+    }
+    for (cost, tree) in outcome.frontier.iter() {
+        if let Err(e) = tree.validate(net) {
+            return Some(format!("invalid witness tree at (w={}, d={}): {e}", cost.wirelength, cost.delay));
+        }
+        let (wirelength, delay) = tree.objectives();
+        if (wirelength, delay) != (cost.wirelength, cost.delay) {
+            return Some(format!(
+                "advertised cost (w={}, d={}) disagrees with the tree's objectives (w={wirelength}, d={delay})",
+                cost.wirelength, cost.delay
+            ));
+        }
+    }
+    for (i, a) in costs.iter().enumerate() {
+        for b in &costs[i + 1..] {
+            let a_dominates = a.wirelength <= b.wirelength && a.delay <= b.delay;
+            let b_dominates = b.wirelength <= a.wirelength && b.delay <= a.delay;
+            if a_dominates || b_dominates {
+                return Some(format!(
+                    "frontier is not mutually non-dominated: (w={}, d={}) vs (w={}, d={})",
+                    a.wirelength, a.delay, b.wirelength, b.delay
+                ));
+            }
+        }
+    }
+    None
 }
 
 /// Compares two route results; `Some((fast_costs, reference_costs, why))`
@@ -559,6 +768,8 @@ mod tests {
             threads: 2,
             span: 20,
             shrink: true,
+            faults: FaultPlane::default(),
+            deadline_ms: None,
         }
     }
 
@@ -656,6 +867,60 @@ mod tests {
         let cx = report.counterexample.expect("a gutted table must fail verification");
         assert_eq!(cx.pair, PathPair::LutVsNumericDw);
         assert!(cx.detail.contains("router error"));
+    }
+
+    #[test]
+    fn fault_free_runs_skip_the_resilience_sweep() {
+        let report = verify(&small_config());
+        assert!(report.is_clean(), "{}", report.summary());
+        assert!(report.resilience.is_none());
+    }
+
+    #[test]
+    fn resilience_sweep_isolates_panics_and_stays_clean() {
+        let config = VerifyConfig {
+            faults: FaultPlane::seeded(0x5eed).with_fault(Fault {
+                kind: FaultKind::StagePanic,
+                scope: FaultScope::AllRungs,
+                probability: 0.25,
+            }),
+            ..small_config()
+        };
+        let report = verify(&config);
+        assert!(report.is_clean(), "{}", report.summary());
+        let sweep = report.resilience.expect("registered faults must trigger the sweep");
+        assert_eq!(sweep.nets as usize, config.nets);
+        assert_eq!(sweep.served + sweep.errors, sweep.nets);
+        assert!(
+            sweep.panicked >= 1,
+            "an all-rungs panic at p=0.25 should hit at least one of {} nets",
+            config.nets
+        );
+        assert_eq!(sweep.errors, sweep.panicked, "panics are the only armed fault");
+        assert!(report.summary().contains("fault sweep:"));
+    }
+
+    #[test]
+    fn deadline_sweep_demotes_every_net_to_the_baseline() {
+        let config = VerifyConfig {
+            faults: FaultPlane::seeded(1).with_fault(Fault {
+                kind: FaultKind::StageDelay,
+                scope: FaultScope::Primary,
+                probability: 1.0,
+            }),
+            deadline_ms: Some(1), // default injected delay is 5ms
+            ..small_config()
+        };
+        let report = verify(&config);
+        assert!(report.is_clean(), "{}", report.summary());
+        let sweep = report.resilience.expect("a deadline must trigger the sweep");
+        assert_eq!(sweep.errors, 0, "the baseline rung is never deadline-gated");
+        assert!(sweep.deadline_hits >= sweep.nets, "every net should hit the deadline");
+        assert_eq!(
+            sweep.served_by[patlabor::Rung::Baseline.index()] + sweep.served_by[patlabor::Rung::ClosedForm.index()],
+            sweep.nets,
+            "every net should be served closed-form or by the baseline"
+        );
     }
 
     #[test]

@@ -25,15 +25,22 @@ pub enum PathPair {
     /// The v3 table after a `write_to`/`read_from` round trip vs the
     /// in-memory original.
     SaveLoadRoundTrip,
+    /// The degradation ladder with its primary rung forced off by a
+    /// `FaultPlane` injection: in-table degrees must fall to the
+    /// numeric-DW rung and reproduce the healthy LUT frontier exactly;
+    /// out-of-table degrees must fall to the baseline rung and serve
+    /// valid, cost-consistent, mutually non-dominated trees.
+    FallbackParity,
 }
 
 impl PathPair {
     /// Every pair, in the order the harness checks them.
-    pub const ALL: [PathPair; 5] = [
+    pub const ALL: [PathPair; 6] = [
         PathPair::LutVsNumericDw,
         PathPair::CachedVsUncached,
         PathPair::D4Translation,
         PathPair::SaveLoadRoundTrip,
+        PathPair::FallbackParity,
         PathPair::BatchVsSerial,
     ];
 
@@ -45,6 +52,7 @@ impl PathPair {
             PathPair::BatchVsSerial => "batch-vs-serial",
             PathPair::D4Translation => "d4-translation",
             PathPair::SaveLoadRoundTrip => "save-load-roundtrip",
+            PathPair::FallbackParity => "fallback-parity",
         }
     }
 
@@ -56,6 +64,7 @@ impl PathPair {
             PathPair::BatchVsSerial => "lock-free route_batch",
             PathPair::D4Translation => "route of a congruent image",
             PathPair::SaveLoadRoundTrip => "reloaded v3 table",
+            PathPair::FallbackParity => "LUT-off degradation ladder",
         }
     }
 
@@ -67,6 +76,7 @@ impl PathPair {
             PathPair::BatchVsSerial => "serial per-net routing loop",
             PathPair::D4Translation => "route of the base net",
             PathPair::SaveLoadRoundTrip => "in-memory built table",
+            PathPair::FallbackParity => "healthy-table route / tree invariants",
         }
     }
 }
@@ -202,6 +212,9 @@ pub struct VerifyReport {
     pub checks: Vec<CheckSummary>,
     /// The first divergence, minimized — `None` on a clean run.
     pub counterexample: Option<Counterexample>,
+    /// Aggregated degradation-ladder outcomes from the fault sweep —
+    /// `None` unless the run registered faults or a deadline.
+    pub resilience: Option<patlabor::ResilienceReport>,
 }
 
 impl VerifyReport {
@@ -224,6 +237,9 @@ impl VerifyReport {
                 check.pair.fast_path(),
                 check.pair.oracle()
             ));
+        }
+        if let Some(resilience) = &self.resilience {
+            out.push_str(&format!("  fault sweep: {resilience}\n"));
         }
         match &self.counterexample {
             None => out.push_str("all fast paths agree with their oracles\n"),
@@ -309,6 +325,7 @@ mod tests {
                 nets_checked: 100,
             }],
             counterexample: None,
+            resilience: None,
         };
         assert!(report.is_clean());
         let text = report.summary();
