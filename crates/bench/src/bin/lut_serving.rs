@@ -1,0 +1,262 @@
+//! v4 zero-copy serving: open-to-ready latency of `open_mmap` vs the
+//! owned full parse, and single-thread query throughput of the
+//! vectorized kernels against the recorded v3 number — written to
+//! `BENCH_PR6.json` at the repository root.
+//!
+//! Three claims are measured, all on the BENCH_PR2 workload (same seed,
+//! same degree/span mix, same λ = 6 table):
+//!
+//! 1. **Open-to-ready**: a mapped table is ready after one striped
+//!    checksum scan plus structural validation of borrowed slices; the
+//!    owned path streams, hashes, copies and re-validates every element.
+//!    The bench times both from file path to answerable table.
+//! 2. **Query throughput**: the Eytzinger key index, the chunked integer
+//!    dot kernel and the scratch-reusing materializer against the
+//!    recorded v3 single-thread number (291 654 nets/s, BENCH_PR2.json
+//!    as committed by PR 2), with the lookup/score/materialize stage
+//!    split taken from the same measured pass.
+//! 3. **Backing parity**: before anything is timed, every net's frontier
+//!    is asserted identical between the owned and mapped tables — the
+//!    numbers are only comparable because the answers are.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use patlabor_lut::{Backing, LookupTable, LutBuilder};
+use patlabor_netgen::uniform_net;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0x5eed_0bec;
+const LAMBDA: u8 = 6;
+/// Single-thread dot-product throughput recorded in BENCH_PR2.json by
+/// the v3 kernel PR on this class of hardware — the bar the vectorized
+/// kernels are measured against.
+const V3_BASELINE_NETS_PER_SEC: f64 = 291_654.18;
+
+fn workload(count: usize) -> Vec<patlabor_geom::Net> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    (0..count)
+        .map(|i| {
+            let degree = rng.gen_range(3..=LAMBDA as usize);
+            let span = if i % 2 == 0 { 24 } else { 10_000 };
+            uniform_net(&mut rng, degree, span)
+        })
+        .collect()
+}
+
+/// Best-of-N open-to-ready latency. Minimum, not mean: open latency is a
+/// cold-start metric and the minimum is the reproducible floor once the
+/// file is in page cache (which is exactly the serving scenario — the
+/// table file stays resident across process restarts).
+fn open_latency<T>(reps: usize, open: impl Fn() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let table = open();
+        let elapsed = start.elapsed();
+        std::hint::black_box(&table);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+struct Staged {
+    nps: f64,
+    lookup: Duration,
+    score: Duration,
+    materialize: Duration,
+}
+
+/// One measured pass: throughput from the loop's own clock, stage split
+/// accumulated inside it (same structure as the lut_query bench).
+fn measure_staged(table: &LookupTable, nets: &[patlabor_geom::Net]) -> Staged {
+    let (mut lookup, mut score, mut materialize) =
+        (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    let start = Instant::now();
+    for net in nets {
+        let t0 = Instant::now();
+        let class = table.classify(net).expect("tabulated degree");
+        let ids = table.candidate_ids(&class).expect("tabulated pattern");
+        let t1 = Instant::now();
+        let frontier = table.score_candidates(&class, ids);
+        let t2 = Instant::now();
+        for &(_, id) in &frontier {
+            std::hint::black_box(table.materialize(net, &class, id));
+        }
+        let t3 = Instant::now();
+        lookup += t1 - t0;
+        score += t2 - t1;
+        materialize += t3 - t2;
+    }
+    Staged {
+        nps: nets.len() as f64 / start.elapsed().as_secs_f64(),
+        lookup,
+        score,
+        materialize,
+    }
+}
+
+fn main() {
+    let count = patlabor_bench::scaled(50_000, 500);
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!("generating {count} tabulated nets (degrees 3..={LAMBDA}, seed {SEED:#x}) ...");
+    let nets = workload(count);
+    eprintln!("building lambda={LAMBDA} tables ...");
+    let table = LutBuilder::new(LAMBDA).build();
+
+    let dir = std::env::temp_dir().join("patlabor_bench_serving");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let path = dir.join(format!("lut_serving_{}.plut", std::process::id()));
+    table.save(&path).expect("save v4 table");
+    let file_bytes = std::fs::metadata(&path).expect("stat table file").len();
+
+    // Parity gate: the mapped table must answer every workload net
+    // identically to the owned one (witness trees included) before any
+    // throughput comparison is meaningful.
+    eprintln!("mmap-vs-owned parity check over {} nets ...", nets.len());
+    let mapped = LookupTable::open_mmap(&path).expect("open v4 table zero-copy");
+    assert_eq!(mapped.backing(), Backing::Mapped);
+    for net in &nets {
+        let owned_frontier = table.query(net).expect("tabulated degree");
+        let mapped_frontier = mapped.query(net).expect("tabulated degree");
+        assert_eq!(
+            owned_frontier,
+            mapped_frontier,
+            "mapped table diverged from owned on {:?}",
+            net.pins()
+        );
+    }
+    drop(mapped);
+
+    let reps = 20;
+    eprintln!("open-to-ready: owned full parse x{reps} ...");
+    let owned_open = open_latency(reps, || {
+        LookupTable::load(&path).expect("owned load")
+    });
+    eprintln!("open-to-ready: zero-copy mmap x{reps} ...");
+    let mmap_open = open_latency(reps, || {
+        LookupTable::open_mmap(&path).expect("mmap open")
+    });
+    let open_speedup = owned_open.as_secs_f64() / mmap_open.as_secs_f64();
+
+    // Throughput is measured on the mapped table — the serving
+    // configuration — plus the owned table as a cross-check that the
+    // backing costs nothing at query time.
+    let mapped = LookupTable::open_mmap(&path).expect("mmap open");
+    eprintln!("staged query pass (mapped backing) ...");
+    let staged = measure_staged(&mapped, &nets);
+    eprintln!("staged query pass (owned backing) ...");
+    let owned_staged = measure_staged(&table, &nets);
+    let total = (staged.lookup + staged.score + staged.materialize).as_secs_f64();
+    let frac = |d: Duration| d.as_secs_f64() / total;
+    let speedup_vs_v3 = staged.nps / V3_BASELINE_NETS_PER_SEC;
+
+    std::fs::remove_file(&path).ok();
+
+    println!(
+        "{}",
+        patlabor_bench::render_table(
+            &["metric", "owned", "mmap", "ratio"],
+            &[
+                vec![
+                    "open-to-ready".into(),
+                    format!("{:.3} ms", owned_open.as_secs_f64() * 1e3),
+                    format!("{:.3} ms", mmap_open.as_secs_f64() * 1e3),
+                    format!("{open_speedup:.1}x faster"),
+                ],
+                vec![
+                    "query nets/s".into(),
+                    format!("{:.0}", owned_staged.nps),
+                    format!("{:.0}", staged.nps),
+                    format!("{speedup_vs_v3:.2}x vs v3 record"),
+                ],
+            ],
+        )
+    );
+    println!(
+        "stages (mapped pass): lookup {:.1}%, score {:.1}%, materialize {:.1}%",
+        100.0 * frac(staged.lookup),
+        100.0 * frac(staged.score),
+        100.0 * frac(staged.materialize),
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"lut_serving_v4\",");
+    let _ = writeln!(json, "  \"nets\": {count},");
+    let _ = writeln!(json, "  \"lambda\": {LAMBDA},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"threads\": 1,");
+    let _ = writeln!(json, "  \"table_file_bytes\": {file_bytes},");
+    let _ = writeln!(json, "  \"open_to_ready\": {{");
+    let _ = writeln!(
+        json,
+        "    \"owned_full_parse_secs\": {:.9},",
+        owned_open.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"mmap_zero_copy_secs\": {:.9},",
+        mmap_open.as_secs_f64()
+    );
+    let _ = writeln!(json, "    \"mmap_speedup\": {open_speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"query_single_thread\": {{");
+    let _ = writeln!(
+        json,
+        "    \"v3_baseline_nets_per_sec\": {V3_BASELINE_NETS_PER_SEC:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"mmap_backed_nets_per_sec\": {:.2},",
+        staged.nps
+    );
+    let _ = writeln!(
+        json,
+        "    \"owned_backed_nets_per_sec\": {:.2},",
+        owned_staged.nps
+    );
+    let _ = writeln!(json, "    \"speedup_vs_v3\": {speedup_vs_v3:.4},");
+    let _ = writeln!(json, "    \"stages\": {{");
+    let _ = writeln!(
+        json,
+        "      \"lookup_secs\": {:.6}, \"lookup_frac\": {:.4},",
+        staged.lookup.as_secs_f64(),
+        frac(staged.lookup)
+    );
+    let _ = writeln!(
+        json,
+        "      \"score_secs\": {:.6}, \"score_frac\": {:.4},",
+        staged.score.as_secs_f64(),
+        frac(staged.score)
+    );
+    let _ = writeln!(
+        json,
+        "      \"materialize_secs\": {:.6}, \"materialize_frac\": {:.4}",
+        staged.materialize.as_secs_f64(),
+        frac(staged.materialize)
+    );
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"parity\": \"owned and mmap frontiers asserted identical on every workload net before timing\",");
+    let _ = writeln!(
+        json,
+        "  \"notes\": \"open-to-ready is best-of-{reps} with the file page-cache warm; the \
+         owned path is the streaming element-wise parse (v3-style full load of the same v4 \
+         file), the mmap path validates the striped checksum and structure once and borrows \
+         the CSR arenas in place. Query stage times come from the same measured pass as the \
+         throughput number.\""
+    );
+    let _ = writeln!(json, "}}");
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json");
+    std::fs::write(&out, &json).expect("write BENCH_PR6.json");
+    eprintln!("wrote {}", out.display());
+    patlabor_bench::paper_note(
+        "serving tables from a shared read-only mapping makes the lookup structure a \
+         commodity artifact: build once, checksum-validate at open, serve from page cache",
+    );
+}

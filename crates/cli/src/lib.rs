@@ -6,10 +6,16 @@
 //!
 //! * `patlabor route <nets.txt>` — route a net list, print each net's
 //!   Pareto frontier (optionally picking one tree per delay budget);
-//! * `patlabor lut build --lambda L -o tables.plut` — generate v3 lookup
-//!   tables offline (also the migration path for pre-v3 table files);
-//! * `patlabor lut info <tables.plut>` — format version, per-degree
-//!   Table II statistics and arena sizes of a table file.
+//! * `patlabor lut build --lambda L [--format v4] -o tables.plut` —
+//!   generate mmap-serveable v4 lookup tables offline (also the migration
+//!   path for pre-v4 table files);
+//! * `patlabor lut info <tables.plut>` — format version, section layout
+//!   and checksum status, per-degree Table II statistics and arena sizes.
+//!
+//! `route` and `verify` open `--tables` files **zero-copy** via
+//! [`LookupTable::open_mmap`]: the arenas are served straight from the
+//! page cache after a one-pass checksum/structure validation, so startup
+//! does not re-parse the table and concurrent processes share one copy.
 //!
 //! `gen-tables` and `stats` remain as aliases of the two `lut`
 //! subcommands.
@@ -38,7 +44,7 @@ use patlabor::{
     Fault, FaultPlane, LutBuilder, Net, PatLabor, Point, ProvenanceSummary, ResilienceConfig,
     RouteError,
 };
-use patlabor_lut::LookupTable;
+use patlabor_lut::{LookupTable, TableInfo};
 use patlabor_verify::{mutation_smoke_with_table, verify_with_table, VerifyConfig};
 
 /// Error from parsing a net list.
@@ -221,7 +227,9 @@ impl Default for RouteOptions {
 pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, CliError> {
     let router = match &options.tables {
         Some(path) => {
-            let table = LookupTable::load(path).map_err(|e| CliError::Table {
+            // Zero-copy open: checksum + structure validated once, then
+            // the arenas are borrowed from the page-cache mapping.
+            let table = LookupTable::open_mmap(path).map_err(|e| CliError::Table {
                 path: path.clone(),
                 message: e.to_string(),
             })?;
@@ -337,17 +345,46 @@ pub fn gen_tables_command(lambda: u8, output: &str) -> Result<String, CliError> 
     ))
 }
 
-/// Runs `lut info` (alias: `stats`) on a table file.
+/// Runs `lut info` (alias: `stats`) on a table file: the v4 file-level
+/// report (version, checksum status, mappability, per-section layout)
+/// followed by the per-degree Table II statistics.
 ///
 /// # Errors
 ///
-/// Propagates loading problems as [`CliError::Table`].
+/// Propagates loading problems as [`CliError::Table`]; a v3 file errors
+/// with the `lut build --format v4` migration path.
 pub fn stats_command(path: &str) -> Result<String, CliError> {
-    let table = LookupTable::load(path).map_err(|e| CliError::Table {
+    let as_table_err = |e: patlabor_lut::ReadTableError| CliError::Table {
         path: path.to_string(),
         message: e.to_string(),
-    })?;
-    let mut out = format!("lambda = {}\n", table.lambda());
+    };
+    let info = TableInfo::read(path).map_err(as_table_err)?;
+    let mut out = format!(
+        "format v{}, {} bytes, checksum {:#018x} ({}), {}\n",
+        info.version,
+        info.file_len,
+        info.checksum,
+        if info.checksum_ok { "ok" } else { "MISMATCH" },
+        if info.mappable {
+            "zero-copy mappable"
+        } else {
+            "NOT mappable"
+        },
+    );
+    out.push_str("degree  section   offset      bytes      count  align\n");
+    for s in &info.sections {
+        out.push_str(&format!(
+            "{:>6}  {:<8}  {:>6}  {:>9}  {:>9}  {}\n",
+            s.degree,
+            s.kind,
+            s.offset,
+            s.bytes,
+            s.count,
+            if s.aligned { "64" } else { "MISALIGNED" },
+        ));
+    }
+    let table = LookupTable::open_mmap(path).map_err(as_table_err)?;
+    out.push_str(&format!("lambda = {}\n", table.lambda()));
     out.push_str("degree  #Index  avg #Topo  total topologies  unique (pool)  arena bytes\n");
     let mut total_bytes = 0usize;
     for s in table.stats() {
@@ -390,7 +427,7 @@ pub struct VerifyOptions {
 /// problems surface as [`CliError::Table`].
 pub fn verify_command(options: &VerifyOptions) -> Result<String, CliError> {
     let table = match &options.tables {
-        Some(path) => LookupTable::load(path).map_err(|e| CliError::Table {
+        Some(path) => LookupTable::open_mmap(path).map_err(|e| CliError::Table {
             path: path.clone(),
             message: e.to_string(),
         })?,
@@ -444,6 +481,16 @@ pub fn lut_command(args: &[String]) -> Result<String, CliError> {
                         );
                     }
                     "-o" | "--output" => output = Some(next_value(&mut it, "-o")?),
+                    "--format" => {
+                        let format = next_value(&mut it, "--format")?;
+                        if format != "v4" && format != "4" {
+                            return Err(usage_error(format!(
+                                "--format {format} is not writable; this build emits \
+                                 the mmap-serveable v4 layout only (pre-v4 readers \
+                                 must upgrade, v4 files cannot be downgraded)"
+                            )));
+                        }
+                    }
                     other => return Err(usage_error(format!("unknown flag {other}"))),
                 }
             }
@@ -475,7 +522,7 @@ USAGE:
                  [--faults SPEC[,SPEC..]] [--fault-seed N] [--deadline-ms MS]
                  <nets.txt>
   patlabor route [...] --bookshelf DESIGN.aux
-  patlabor lut build --lambda L -o FILE
+  patlabor lut build --lambda L [--format v4] -o FILE
   patlabor lut info FILE
   patlabor verify [--seed N] [--nets N] [--lambda L] [--tables FILE]
                   [--max-degree D] [--threads T] [--span S]
@@ -804,6 +851,59 @@ mod tests {
         let info = run(&["lut".into(), "info".into(), path.clone()]).unwrap();
         assert!(info.contains("lambda = 3"));
         assert!(info.contains("arena bytes"));
+        assert!(info.contains("format v4"), "info was: {info}");
+        assert!(info.contains("zero-copy mappable"), "info was: {info}");
+        assert!(info.contains("edge_off"), "info was: {info}");
+        assert!(info.contains("checksum"), "info was: {info}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lut_build_format_flag() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lut3v4.plut").to_string_lossy().into_owned();
+        let msg = run(&[
+            "lut".into(),
+            "build".into(),
+            "--lambda".into(),
+            "3".into(),
+            "--format".into(),
+            "v4".into(),
+            "-o".into(),
+            path.clone(),
+        ])
+        .unwrap();
+        assert!(msg.contains("lambda=3"));
+        std::fs::remove_file(&path).ok();
+        let err = run(&[
+            "lut".into(),
+            "build".into(),
+            "--lambda".into(),
+            "3".into(),
+            "--format".into(),
+            "v3".into(),
+            "-o".into(),
+            path.clone(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("v4"), "error was: {err}");
+    }
+
+    #[test]
+    fn lut_info_names_the_migration_path_for_v3_files() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old_v3.plut").to_string_lossy().into_owned();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"PLUT");
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.resize(64, 0);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = run(&["lut".into(), "info".into(), path.clone()]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported table version 3"), "was: {msg}");
+        assert!(msg.contains("--format v4"), "was: {msg}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -866,6 +966,7 @@ mod tests {
         let out = verify_command(&small_verify_options()).unwrap();
         assert!(out.contains("all fast paths agree"));
         assert!(out.contains("lut-vs-numeric-dw"));
+        assert!(out.contains("mmap-vs-owned"));
         assert!(out.contains("batch-vs-serial"));
         assert!(out.contains("seed 0xcafe"));
     }

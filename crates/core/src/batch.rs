@@ -190,7 +190,8 @@ impl PatLabor {
         threads: usize,
     ) -> (Vec<RouteResult>, ResilienceReport) {
         let results = self.route_batch(nets, threads);
-        let report = ResilienceReport::from_results(&results);
+        let mut report = ResilienceReport::from_results(&results);
+        report.cache_bypassed = self.cache_stats().is_some_and(|s| s.bypassed);
         (results, report)
     }
 

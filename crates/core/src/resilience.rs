@@ -648,6 +648,12 @@ pub struct ResilienceReport {
     pub deadline_hits: u64,
     /// Served nets per rung, indexed by [`Rung::index`].
     pub served_by: [u64; Rung::COUNT],
+    /// Whether the frontier cache's adaptive bypass retired the cache
+    /// during this batch (hit rate below the configured floor through the
+    /// warmup window — see [`crate::cache::CacheConfig::bypass_warmup`]).
+    /// Stamped by [`crate::PatLabor::route_batch_with_report`];
+    /// [`ResilienceReport::from_results`] alone cannot know it.
+    pub cache_bypassed: bool,
 }
 
 impl ResilienceReport {
@@ -709,6 +715,9 @@ impl fmt::Display for ResilienceReport {
         )?;
         for rung in Rung::ALL {
             write!(f, " {} {}", rung.label(), self.served_by[rung.index()])?;
+        }
+        if self.cache_bypassed {
+            write!(f, "; cache bypassed (hit rate below floor)")?;
         }
         Ok(())
     }

@@ -286,8 +286,11 @@ impl PatLabor {
                 .classify(net)
                 .ok_or(RouteError::UnclassifiableDegree { degree })?;
 
-            // Rung: Cache — replay the class's winning ids on a hit.
-            if let Some(cache) = &self.cache {
+            // Rung: Cache — replay the class's winning ids on a hit. A
+            // cache the adaptive bypass has retired (hit rate below the
+            // configured floor through the warmup window) is skipped
+            // entirely: no probe, no insert, no rung attempt.
+            if let Some(cache) = self.cache.as_ref().filter(|c| !c.bypassed()) {
                 let outcome =
                     run_rung(&ctx, Rung::Cache, &mut counters, &mut panic_payload, |counters| {
                         counters.cache_probes = 1;
@@ -362,7 +365,7 @@ impl PatLabor {
                 });
             match outcome {
                 Ok((frontier, winners)) => {
-                    if let Some(cache) = &self.cache {
+                    if let Some(cache) = self.cache.as_ref().filter(|c| !c.bypassed()) {
                         cache.insert(CacheKey::from_class(&class), winners.into());
                     }
                     trace.push(Rung::Lut, RungOutcome::Served);
@@ -763,6 +766,45 @@ mod tests {
         assert_eq!(second.provenance.trace.served_by(), Some(Rung::Cache));
         // The frontier itself is bit-identical either way.
         assert_eq!(first.frontier, second.frontier);
+    }
+
+    #[test]
+    fn adaptive_bypass_stops_probing_a_useless_cache() {
+        use crate::cache::CacheConfig;
+        // A 100% hit-rate floor no real workload can meet: the bypass
+        // must fire as soon as the 8-probe warmup window closes.
+        let router = PatLabor::new().with_cache(CacheConfig {
+            bypass_warmup: 8,
+            bypass_threshold_permille: 1000,
+            ..CacheConfig::default()
+        });
+        let mut seed = 11u64;
+        let nets: Vec<Net> = (0..20).map(|_| random_net(&mut seed, 4, 5000)).collect();
+        let mut post_bypass = 0;
+        for net in &nets {
+            let was_bypassed = router.cache_stats().unwrap().bypassed;
+            let outcome = router.route(net).unwrap();
+            if was_bypassed {
+                post_bypass += 1;
+                assert_eq!(
+                    outcome.provenance.counters.cache_probes, 0,
+                    "a bypassed cache must not be probed"
+                );
+                assert_eq!(outcome.provenance.source, RouteSource::ExactLut);
+            }
+        }
+        let stats = router.cache_stats().unwrap();
+        assert!(stats.bypassed, "warmup elapsed below the floor");
+        assert!(post_bypass > 0, "some nets must have routed past the bypass");
+        assert_eq!(
+            stats.hits + stats.misses,
+            8,
+            "probing must stop exactly at the warmup boundary"
+        );
+        // The batch report surfaces the retirement.
+        let (_, report) = router.route_batch_with_report(&nets[..3], 1);
+        assert!(report.cache_bypassed);
+        assert!(report.to_string().contains("cache bypassed"));
     }
 
     #[test]

@@ -91,36 +91,50 @@ impl NetClass {
         // gap mappings. Breaking the tie on the gaps themselves makes
         // `(key, canonical_gaps)` a true invariant of the congruence
         // class — every D4 image of a net classifies identically.
-        let mut best: Option<(PatternKey, Vec<i64>, Transform)> = None;
-        for t in ALL_TRANSFORMS {
-            let key = pattern.transformed(t).key();
-            if let Some((bk, _, _)) = &best {
-                if *bk < key {
-                    continue;
-                }
-            }
-            // Map the instance gap vector into this transform's rank
-            // space: the swap applies first, then the flips
-            // (T = flips ∘ swap), mirroring `Transform::apply` on nodes.
-            let mut h = grid.h_gaps();
-            let mut v = grid.v_gaps();
-            if t.swap {
-                std::mem::swap(&mut h, &mut v);
-            }
+        //
+        // Two passes: the minimal key first (allocation-free per
+        // transform), then gap vectors only for the transforms attaining
+        // it — with a trivial stabilizer that is one gap construction
+        // instead of eight.
+        let keys = ALL_TRANSFORMS.map(|t| pattern.transformed_key(t));
+        let key = *keys.iter().min().expect("transform set is non-empty");
+        let h0 = grid.h_gaps();
+        let v0 = grid.v_gaps();
+        // Map the instance gap vector into a transform's rank space: the
+        // swap applies first, then the flips (T = flips ∘ swap),
+        // mirroring `Transform::apply` on nodes.
+        let gaps_for = |t: Transform, out: &mut Vec<i64>| {
+            out.clear();
+            let (h, v) = if t.swap { (&v0, &h0) } else { (&h0, &v0) };
             if t.flip_x {
-                h.reverse();
+                out.extend(h.iter().rev());
+            } else {
+                out.extend_from_slice(h);
             }
             if t.flip_y {
-                v.reverse();
+                out.extend(v.iter().rev());
+            } else {
+                out.extend_from_slice(v);
             }
-            let mut gaps = h;
-            gaps.append(&mut v);
-            match &best {
-                Some((bk, bg, _)) if (*bk, bg.as_slice()) <= (key, gaps.as_slice()) => {}
-                _ => best = Some((key, gaps, t)),
+        };
+        let mut best: Option<(Vec<i64>, Transform)> = None;
+        let mut scratch = Vec::new();
+        for (t, k) in ALL_TRANSFORMS.into_iter().zip(keys) {
+            if k != key {
+                continue;
+            }
+            gaps_for(t, &mut scratch);
+            match &mut best {
+                Some((bg, bt)) => {
+                    if scratch.as_slice() < bg.as_slice() {
+                        std::mem::swap(bg, &mut scratch);
+                        *bt = t;
+                    }
+                }
+                None => best = Some((std::mem::take(&mut scratch), t)),
             }
         }
-        let (key, canonical_gaps, transform) = best.expect("transform set is non-empty");
+        let (canonical_gaps, transform) = best.expect("transform set is non-empty");
         NetClass {
             degree: grid.size() as u8,
             key,

@@ -165,6 +165,22 @@ impl Pattern {
         Pattern::new(yperm, source)
     }
 
+    /// `self.transformed(t).key()` without building the intermediate
+    /// pattern. Classification computes eight of these per net, so the
+    /// transformed permutation lives on the stack (degree is capped at
+    /// 16 by the `u8`-rank machinery).
+    pub fn transformed_key(&self, t: Transform) -> PatternKey {
+        let n = self.n;
+        let mut yperm = [0u8; 16];
+        for c in 0..n {
+            let img = t.apply(self.pin_node(c), n);
+            yperm[img.col as usize] = img.row;
+        }
+        let source = t.apply(self.source_node(), n).col;
+        let lehmer = lehmer_code(&yperm[..n as usize]);
+        PatternKey(((n as u64) << 40) | ((source as u64) << 32) | lehmer)
+    }
+
     /// The canonical representative of this pattern's symmetry orbit and
     /// the transform `t` with `canonical = self.transformed(t)`.
     ///

@@ -33,13 +33,15 @@
 //! # }
 //! ```
 
+mod arena;
 mod builder;
 mod format;
+mod mmap;
 mod table;
 
 pub use builder::LutBuilder;
-pub use format::ReadTableError;
-pub use table::{LookupTable, LutStats, StoredTopology};
+pub use format::{fnv1a64_striped, ReadTableError, SectionInfo, TableInfo};
+pub use table::{Backing, LookupTable, LutStats, StoredTopology};
 
 // The canonicalization the query path is keyed on; re-exported so callers
 // holding only a table handle can name the classify result.

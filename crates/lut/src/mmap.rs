@@ -1,0 +1,210 @@
+//! Read-only file mappings for zero-copy table serving.
+//!
+//! On unix the file is `mmap`ed shared read-only, so N processes opening
+//! the same table share one set of physical pages straight from the page
+//! cache and open-to-ready cost is independent of table size (modulo the
+//! one checksum pass). Elsewhere the "mapping" is a 64-byte-aligned heap
+//! buffer filled by a single bulk read — same API, same alignment
+//! guarantees, no sharing.
+//!
+//! The mapping is immutable for its whole lifetime: it is created,
+//! validated once by the v4 open path, and then only ever read. That
+//! immutability is what makes the `Send + Sync` claims of the borrowing
+//! arenas sound.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// Section alignment of the v4 format; mappings guarantee at least this.
+pub(crate) const MAP_ALIGN: usize = 64;
+
+enum Backing {
+    #[cfg(unix)]
+    Mmap { ptr: *mut u8, len: usize },
+    Heap {
+        ptr: *mut u8,
+        len: usize,
+        layout: std::alloc::Layout,
+    },
+}
+
+/// An immutable byte buffer backed by an `mmap` (unix) or an aligned heap
+/// allocation (fallback), always aligned to [`MAP_ALIGN`].
+pub(crate) struct Mapping {
+    backing: Backing,
+}
+
+// The buffer is never written after construction; sharing &[u8] views
+// across threads is exactly what page-cache serving means.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `path` read-only. Empty files are rejected (no v4 table fits
+    /// in zero bytes, and zero-length mappings are not portable).
+    pub(crate) fn open(path: &Path) -> io::Result<Mapping> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "empty table file",
+            ));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "table too large to map"))?;
+        Mapping::from_file(file, len)
+    }
+
+    #[cfg(unix)]
+    fn from_file(file: File, len: usize) -> io::Result<Mapping> {
+        use std::os::unix::io::AsRawFd;
+
+        // Minimal FFI surface: the two libc calls zero-copy serving needs.
+        // std already links libc, so no new dependency is involved.
+        const PROT_READ: i32 = 1;
+        const MAP_SHARED: i32 = 1;
+        extern "C" {
+            fn mmap(
+                addr: *mut std::ffi::c_void,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut std::ffi::c_void;
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        // Page alignment (>= 4096) implies the 64-byte section alignment.
+        debug_assert_eq!(ptr as usize % MAP_ALIGN, 0);
+        Ok(Mapping {
+            backing: Backing::Mmap {
+                ptr: ptr.cast(),
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn from_file(file: File, len: usize) -> io::Result<Mapping> {
+        Mapping::read_aligned(file, len)
+    }
+
+    /// Fallback path: one aligned allocation, one bulk read.
+    #[cfg_attr(unix, allow(dead_code))]
+    fn read_aligned(mut file: File, len: usize) -> io::Result<Mapping> {
+        use std::io::Read;
+        let layout = std::alloc::Layout::from_size_align(len, MAP_ALIGN)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "table too large to map"))?;
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        // Constructing the Mapping before the read puts the buffer under
+        // Drop, so an I/O error frees it with the allocating layout.
+        let mut mapping = Mapping {
+            backing: Backing::Heap { ptr, len, layout },
+        };
+        let buf = match &mut mapping.backing {
+            Backing::Heap { ptr, len, .. } => unsafe {
+                std::slice::from_raw_parts_mut(*ptr, *len)
+            },
+            #[cfg(unix)]
+            Backing::Mmap { .. } => unreachable!(),
+        };
+        file.read_exact(buf)?;
+        Ok(mapping)
+    }
+
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Heap { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.bytes().len()
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mmap { ptr, len } => {
+                extern "C" {
+                    fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+                }
+                unsafe {
+                    munmap(ptr.cast::<std::ffi::c_void>(), *len);
+                }
+            }
+            Backing::Heap { ptr, layout, .. } => unsafe {
+                std::alloc::dealloc(*ptr, *layout);
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_a_file_with_alignment() {
+        let dir = std::env::temp_dir().join("patlabor_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bin");
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        std::fs::write(&path, &data).unwrap();
+        let map = Mapping::open(&path).unwrap();
+        assert_eq!(map.bytes(), &data[..]);
+        assert_eq!(map.bytes().as_ptr() as usize % MAP_ALIGN, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heap_fallback_matches() {
+        let dir = std::env::temp_dir().join("patlabor_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.bin");
+        let data = vec![7u8; 777];
+        std::fs::write(&path, &data).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mapping::read_aligned(file, data.len()).unwrap();
+        assert_eq!(map.bytes(), &data[..]);
+        assert_eq!(map.bytes().as_ptr() as usize % MAP_ALIGN, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        let dir = std::env::temp_dir().join("patlabor_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        assert!(Mapping::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

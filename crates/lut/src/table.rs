@@ -1,33 +1,49 @@
 //! The lookup table proper: CSR storage layout, the dot-product query
 //! kernel and statistics.
 //!
-//! # v3 storage layout
+//! # v4 storage layout
 //!
-//! Each degree's table is a set of flat arenas (one allocation each, no
-//! per-topology boxing):
+//! Each degree's table is a set of flat arenas (one allocation — or one
+//! borrowed mapping range — each, no per-topology boxing):
 //!
 //! ```text
 //! pool entry t (a pooled topology)
-//!   edges  edge arena  [edge_off[t] .. edge_off[t+1])   packed (u8, u8)
-//!   rows   cost arena  [t·stride .. (t+1)·stride)       u16, stride = n·(2n−2)
+//!   edges  edge arena  [2·edge_off[t] .. 2·edge_off[t+1])  packed u8 pairs
+//!   rows   cost arena  [t·stride .. (t+1)·stride)          u16, stride = n·(2n−2)
 //!          ── W row (2n−2), then n−1 per-sink delay rows (2n−2 each)
 //!
-//! pattern p (canonical key, sorted ascending → binary search)
+//! pattern p (canonical key, sorted ascending)
 //!   ids    id arena    [pattern_off[p] .. pattern_off[p+1])  u32 pool ids
 //! ```
+//!
+//! Arenas are [`Arena`]s: either owned `Vec`s (built or stream-loaded
+//! tables) or borrowed slices of a shared read-only file mapping
+//! (zero-copy opens, see [`LookupTable::open_mmap`]). The query kernels
+//! are backing-agnostic.
+//!
+//! Pattern keys are additionally indexed in an Eytzinger (BFS) layout
+//! built at construction: the branchless descent touches one cache line
+//! per level near the root and prefetches grandchildren, replacing the
+//! cache-hostile middle-of-the-array probes of a plain binary search.
 //!
 //! A query computes the net's canonical gap vector once, scores every
 //! candidate topology with integer dot products against its stored rows
 //! (`w = W·l`, `d = maxⱼ Dⱼ·l`), prunes the `(w, d)` pairs numerically,
 //! and materializes [`RoutingTree`]s **only for the frontier survivors**.
-//! Dominated candidates never touch the tree extractor.
+//! Dominated candidates never touch the tree extractor. The dot products
+//! run through a chunked kernel with independent accumulators (wrapping
+//! integer arithmetic is order-independent, so every code path —
+//! autovectorized scalar or the `simd`-feature AVX2 path — is
+//! bit-identical).
 
 use std::collections::HashMap;
 
-use patlabor_dw::symbolic::{dot, SymbolicSolution};
-use patlabor_geom::{Net, NetClass, RankNode};
+use patlabor_dw::symbolic::SymbolicSolution;
+use patlabor_geom::{Net, NetClass, Point, RankNode};
 use patlabor_pareto::{Cost, ParetoSet};
-use patlabor_tree::{extract_from_union, RoutingTree};
+use patlabor_tree::{extract_from_union_with, ExtractScratch, RoutingTree};
+
+use crate::arena::Arena;
 
 /// One pooled topology: tree edges in the canonical pattern's rank grid
 /// (packed as `col · n + row` byte pairs) plus its symbolic cost rows.
@@ -105,11 +121,29 @@ pub struct LutStats {
     /// Total topology references across all patterns.
     pub total_topologies: usize,
     /// Unique topologies after cross-pattern clustering (the paper's
-    /// "store only one topology for each cluster"; v3 clusters on
+    /// "store only one topology for each cluster"; v3+ clusters on
     /// `(edges, cost rows)` so pooled entries are query-equivalent).
     pub unique_topologies: usize,
     /// Approximate in-memory size in bytes of this degree's arenas.
     pub bytes: usize,
+}
+
+/// How a [`LookupTable`]'s arenas are backed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// Arenas are owned `Vec`s (built in-process or stream-parsed).
+    Owned,
+    /// Arenas borrow a shared read-only file mapping (zero-copy open).
+    Mapped,
+}
+
+impl std::fmt::Display for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Owned => write!(f, "owned"),
+            Backing::Mapped => write!(f, "mapped"),
+        }
+    }
 }
 
 /// One degree's table as flat CSR arenas (see the module docs).
@@ -117,23 +151,67 @@ pub struct LutStats {
 pub(crate) struct DegreeTable {
     /// Degree `n` (0 for the empty placeholder tables below degree 3).
     pub(crate) n: u8,
-    /// `edge_off[t] .. edge_off[t+1]` indexes `edges` for pool entry `t`;
-    /// length `npool + 1`, starts at 0.
-    pub(crate) edge_off: Vec<u32>,
-    /// Packed edge arena.
-    pub(crate) edges: Vec<(u8, u8)>,
+    /// `edge_off[t] .. edge_off[t+1]` indexes the edge *pairs* of pool
+    /// entry `t`; length `npool + 1`, starts at 0.
+    pub(crate) edge_off: Arena<u32>,
+    /// Packed edge arena: 2 bytes per edge, flattened `(a, b)` pairs.
+    pub(crate) edges: Arena<u8>,
     /// Cost arena: `npool × n × (2n − 2)` multiplicities, fixed stride.
-    pub(crate) costs: Vec<u16>,
-    /// Canonical pattern keys, sorted ascending (binary-searched).
-    pub(crate) pattern_keys: Vec<u64>,
+    pub(crate) costs: Arena<u16>,
+    /// Canonical pattern keys, sorted ascending.
+    pub(crate) pattern_keys: Arena<u64>,
     /// `pattern_off[p] .. pattern_off[p+1]` indexes `pattern_ids`;
     /// length `npat + 1`, starts at 0.
-    pub(crate) pattern_off: Vec<u32>,
+    pub(crate) pattern_off: Arena<u32>,
     /// Pool-id arena.
-    pub(crate) pattern_ids: Vec<u32>,
+    pub(crate) pattern_ids: Arena<u32>,
+    /// `pattern_keys` in Eytzinger (BFS) order — derived at construction,
+    /// always owned (it is small: one u64 + one u32 per pattern).
+    eyt_keys: Vec<u64>,
+    /// Sorted position of each Eytzinger slot, to recover the CSR index.
+    eyt_pos: Vec<u32>,
 }
 
 impl DegreeTable {
+    /// Builds a table from its arenas, deriving the Eytzinger key index.
+    /// All construction paths (builder, stream parse, mmap open) funnel
+    /// through here so the index can never be stale.
+    pub(crate) fn assemble(
+        n: u8,
+        edge_off: Arena<u32>,
+        edges: Arena<u8>,
+        costs: Arena<u16>,
+        pattern_keys: Arena<u64>,
+        pattern_off: Arena<u32>,
+        pattern_ids: Arena<u32>,
+    ) -> DegreeTable {
+        let (eyt_keys, eyt_pos) = eytzinger(&pattern_keys);
+        DegreeTable {
+            n,
+            edge_off,
+            edges,
+            costs,
+            pattern_keys,
+            pattern_off,
+            pattern_ids,
+            eyt_keys,
+            eyt_pos,
+        }
+    }
+
+    /// An empty placeholder table for `degree`.
+    pub(crate) fn empty(degree: u8) -> DegreeTable {
+        DegreeTable::assemble(
+            degree,
+            vec![0].into(),
+            Arena::default(),
+            Arena::default(),
+            Arena::default(),
+            vec![0].into(),
+            Arena::default(),
+        )
+    }
+
     /// Cost-arena stride per pool entry: one `W` row plus `n − 1` delay
     /// rows, each `2n − 2` long.
     pub(crate) fn row_stride(&self) -> usize {
@@ -145,13 +223,13 @@ impl DegreeTable {
         self.edge_off.len().saturating_sub(1)
     }
 
-    /// Packed edges of pool entry `id`.
-    pub(crate) fn edges_of(&self, id: u32) -> &[(u8, u8)] {
+    /// Packed edges of pool entry `id`, flattened (2 bytes per edge).
+    pub(crate) fn edges_of(&self, id: u32) -> &[u8] {
         let (lo, hi) = (
             self.edge_off[id as usize] as usize,
             self.edge_off[id as usize + 1] as usize,
         );
-        &self.edges[lo..hi]
+        &self.edges[2 * lo..2 * hi]
     }
 
     /// Flattened cost rows of pool entry `id` (`W` first, then delays).
@@ -160,9 +238,38 @@ impl DegreeTable {
         &self.costs[id as usize * stride..(id as usize + 1) * stride]
     }
 
-    /// Pool ids of a canonical pattern key, via binary search.
+    /// CSR position of a canonical pattern key, via branchless Eytzinger
+    /// descent with grandchild prefetch.
+    fn find_key(&self, key: u64) -> Option<usize> {
+        let m = self.eyt_keys.len();
+        if m == 0 {
+            return None;
+        }
+        let mut k = 1usize;
+        while k <= m {
+            #[cfg(target_arch = "x86_64")]
+            // Touch the grandchild pair two levels down so it is in L1 by
+            // the time the descent arrives.
+            if 4 * k <= m {
+                unsafe {
+                    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                    _mm_prefetch(self.eyt_keys.as_ptr().add(4 * k - 1).cast(), _MM_HINT_T0);
+                }
+            }
+            k = 2 * k + usize::from(self.eyt_keys[k - 1] < key);
+        }
+        // Undo the right-turns: the lower bound is the ancestor reached by
+        // the last left turn.
+        k >>= k.trailing_ones() + 1;
+        if k == 0 || self.eyt_keys[k - 1] != key {
+            return None;
+        }
+        Some(self.eyt_pos[k - 1] as usize)
+    }
+
+    /// Pool ids of a canonical pattern key.
     pub(crate) fn ids_of(&self, key: u64) -> Option<&[u32]> {
-        let p = self.pattern_keys.binary_search(&key).ok()?;
+        let p = self.find_key(key)?;
         let (lo, hi) = (
             self.pattern_off[p] as usize,
             self.pattern_off[p + 1] as usize,
@@ -175,12 +282,26 @@ impl DegreeTable {
         self.pattern_keys.len()
     }
 
+    /// True when any arena borrows a file mapping.
+    pub(crate) fn is_mapped(&self) -> bool {
+        self.edge_off.is_mapped()
+            || self.edges.is_mapped()
+            || self.costs.is_mapped()
+            || self.pattern_keys.is_mapped()
+            || self.pattern_off.is_mapped()
+            || self.pattern_ids.is_mapped()
+    }
+
     /// Reassembles pool entry `id` (test and tooling convenience; the
     /// query path reads the arenas directly).
     #[cfg(test)]
     pub(crate) fn topology(&self, id: u32) -> StoredTopology {
         StoredTopology {
-            edges: self.edges_of(id).to_vec(),
+            edges: self
+                .edges_of(id)
+                .chunks_exact(2)
+                .map(|p| (p[0], p[1]))
+                .collect(),
             rows: self.rows_of(id).to_vec(),
         }
     }
@@ -195,13 +316,13 @@ impl DegreeTable {
         degree: u8,
         lists: HashMap<u64, Vec<StoredTopology>>,
     ) -> DegreeTable {
-        let mut table = DegreeTable {
-            n: degree,
-            edge_off: vec![0],
-            pattern_off: vec![0],
-            ..DegreeTable::default()
-        };
-        let stride = table.row_stride();
+        let mut edge_off: Vec<u32> = vec![0];
+        let mut edges: Vec<u8> = Vec::new();
+        let mut costs: Vec<u16> = Vec::new();
+        let mut pattern_keys: Vec<u64> = Vec::new();
+        let mut pattern_off: Vec<u32> = vec![0];
+        let mut pattern_ids: Vec<u32> = Vec::new();
+        let stride = degree as usize * (2 * degree as usize).saturating_sub(2);
         let mut index: HashMap<StoredTopology, u32> = HashMap::new();
         // Deterministic arena order: process patterns by ascending key —
         // which is also the order `pattern_keys` needs for binary search.
@@ -211,18 +332,143 @@ impl DegreeTable {
             for t in &lists[&key] {
                 let id = *index.entry(t.clone()).or_insert_with(|| {
                     assert_eq!(t.rows.len(), stride, "row block has wrong stride");
-                    table.edges.extend_from_slice(&t.edges);
-                    table.edge_off.push(table.edges.len() as u32);
-                    table.costs.extend_from_slice(&t.rows);
-                    (table.edge_off.len() - 2) as u32
+                    for &(a, b) in &t.edges {
+                        edges.push(a);
+                        edges.push(b);
+                    }
+                    edge_off.push((edges.len() / 2) as u32);
+                    costs.extend_from_slice(&t.rows);
+                    (edge_off.len() - 2) as u32
                 });
-                table.pattern_ids.push(id);
+                pattern_ids.push(id);
             }
-            table.pattern_keys.push(key);
-            table.pattern_off.push(table.pattern_ids.len() as u32);
+            pattern_keys.push(key);
+            pattern_off.push(pattern_ids.len() as u32);
         }
-        table
+        DegreeTable::assemble(
+            degree,
+            edge_off.into(),
+            edges.into(),
+            costs.into(),
+            pattern_keys.into(),
+            pattern_off.into(),
+            pattern_ids.into(),
+        )
     }
+}
+
+/// Lays `keys` (sorted ascending) out in Eytzinger (BFS) order, returning
+/// the reordered keys and each slot's original sorted position.
+fn eytzinger(keys: &[u64]) -> (Vec<u64>, Vec<u32>) {
+    fn fill(k: usize, next: &mut usize, keys: &[u64], eyt: &mut [u64], pos: &mut [u32]) {
+        if k <= keys.len() {
+            fill(2 * k, next, keys, eyt, pos);
+            eyt[k - 1] = keys[*next];
+            pos[k - 1] = *next as u32;
+            *next += 1;
+            fill(2 * k + 1, next, keys, eyt, pos);
+        }
+    }
+    let mut eyt = vec![0u64; keys.len()];
+    let mut pos = vec![0u32; keys.len()];
+    let mut next = 0usize;
+    fill(1, &mut next, keys, &mut eyt, &mut pos);
+    (eyt, pos)
+}
+
+/// Integer dot product of a stored multiplicity row against the canonical
+/// gap vector, chunked into four independent accumulators so the scalar
+/// build autovectorizes and pipelines. Wrapping integer arithmetic is
+/// associative and commutative, so every accumulation order — including
+/// the AVX2 path below — produces bit-identical results.
+#[inline]
+fn dot_scalar(row: &[u16], gaps: &[i64]) -> i64 {
+    let mut acc = [0i64; 4];
+    let mut r4 = row.chunks_exact(4);
+    let mut g4 = gaps.chunks_exact(4);
+    for (r, g) in (&mut r4).zip(&mut g4) {
+        for i in 0..4 {
+            acc[i] = acc[i].wrapping_add((r[i] as i64).wrapping_mul(g[i]));
+        }
+    }
+    let mut s = acc[0]
+        .wrapping_add(acc[1])
+        .wrapping_add(acc[2])
+        .wrapping_add(acc[3]);
+    for (&r, &g) in r4.remainder().iter().zip(g4.remainder()) {
+        s = s.wrapping_add((r as i64).wrapping_mul(g));
+    }
+    s
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    //! AVX2 dot-product kernel, runtime-detected with the scalar chunked
+    //! kernel as the always-available fallback. Multiplicities are u16, so
+    //! a 64-bit product decomposes into 32×32→64 partials:
+    //! `m·l = m·lo(l) + (m·hi(l) << 64-bit-wrap 32)`, both exact in
+    //! unsigned 64-bit lanes since `m < 2¹⁶`.
+    use std::arch::x86_64::*;
+
+    pub(super) fn available() -> bool {
+        // std's detection macro caches the cpuid probe internally.
+        std::is_x86_feature_detected!("avx2")
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have checked [`available`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot(row: &[u16], gaps: &[i64]) -> i64 {
+        let n = row.len().min(gaps.len());
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 4 <= n {
+            let g = _mm256_loadu_si256(gaps.as_ptr().add(i).cast());
+            let m128 = _mm_loadl_epi64(row.as_ptr().add(i).cast());
+            let m = _mm256_cvtepu16_epi64(m128);
+            let lo = _mm256_mul_epu32(g, m);
+            let hi = _mm256_mul_epu32(_mm256_srli_epi64::<32>(g), m);
+            let prod = _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(hi));
+            acc = _mm256_add_epi64(acc, prod);
+            i += 4;
+        }
+        let mut s = _mm256_extract_epi64::<0>(acc)
+            .wrapping_add(_mm256_extract_epi64::<1>(acc))
+            .wrapping_add(_mm256_extract_epi64::<2>(acc))
+            .wrapping_add(_mm256_extract_epi64::<3>(acc));
+        while i < n {
+            s = s.wrapping_add((row[i] as i64).wrapping_mul(gaps[i]));
+            i += 1;
+        }
+        s
+    }
+}
+
+/// The dot-product kernel the scoring stages run on: the AVX2 path when
+/// the `simd` feature is enabled and the CPU supports it, the chunked
+/// scalar kernel otherwise. Both are bit-identical (wrapping integer
+/// arithmetic; see [`dot_scalar`]).
+#[inline]
+pub(crate) fn kernel_dot(row: &[u16], gaps: &[i64]) -> i64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::available() {
+        return unsafe { simd::dot(row, gaps) };
+    }
+    dot_scalar(row, gaps)
+}
+
+/// Scores one candidate's full row block: `(W·l, maxⱼ Dⱼ·l)`.
+#[inline]
+fn score_block(rows: &[u16], gaps: &[i64]) -> (i64, i64) {
+    let dims = gaps.len();
+    let w = kernel_dot(&rows[..dims], gaps);
+    let d = rows[dims..]
+        .chunks_exact(dims)
+        .map(|row| kernel_dot(row, gaps))
+        .max()
+        .unwrap_or(0);
+    (w, d)
 }
 
 std::thread_local! {
@@ -235,12 +481,19 @@ std::thread_local! {
     /// steady-state query allocates nothing for scoring.
     static SCORE_SCRATCH: std::cell::RefCell<Vec<(Cost, u32, u32)>> =
         const { std::cell::RefCell::new(Vec::new()) };
+
+    /// Reusable materialization scratch: the instantiated edge list plus
+    /// the tree extractor's graph buffers. Steady-state materialization
+    /// allocates only the returned tree.
+    static MAT_SCRATCH: std::cell::RefCell<(Vec<(Point, Point)>, ExtractScratch)> =
+        std::cell::RefCell::new((Vec::new(), ExtractScratch::new()));
 }
 
 /// Lookup tables for every degree `2 ..= λ`.
 ///
-/// Construct with [`crate::LutBuilder`] or load a serialized table with
-/// [`LookupTable::read_from`].
+/// Construct with [`crate::LutBuilder`], load a serialized table with
+/// [`LookupTable::read_from`] / [`LookupTable::load`] (owned arenas), or
+/// serve it zero-copy from disk with [`LookupTable::open_mmap`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LookupTable {
     pub(crate) lambda: u8,
@@ -252,6 +505,15 @@ impl LookupTable {
     /// The largest tabulated degree λ.
     pub fn lambda(&self) -> u8 {
         self.lambda
+    }
+
+    /// Whether the arenas are owned or borrow a file mapping.
+    pub fn backing(&self) -> Backing {
+        if self.tables.iter().any(DegreeTable::is_mapped) {
+            Backing::Mapped
+        } else {
+            Backing::Owned
+        }
     }
 
     /// The exact Pareto frontier of `net` with one witness tree per point,
@@ -296,7 +558,7 @@ impl LookupTable {
 
     /// The candidate pool ids stored for `class`'s canonical pattern, or
     /// `None` when the pattern is not tabulated. This is the pure *lookup*
-    /// stage of a query: one binary search over the sorted key array.
+    /// stage of a query: one Eytzinger descent over the key index.
     pub fn candidate_ids(&self, class: &NetClass) -> Option<&[u32]> {
         self.tables[class.degree() as usize].ids_of(class.canonical_key())
     }
@@ -314,18 +576,11 @@ impl LookupTable {
     pub fn score_candidates(&self, class: &NetClass, ids: &[u32]) -> Vec<(Cost, u32)> {
         let table = &self.tables[class.degree() as usize];
         let gaps = class.canonical_gaps();
-        let dims = gaps.len();
         SCORE_SCRATCH.with(|cell| {
             let mut scored = cell.borrow_mut();
             scored.clear();
             for (seq, &id) in ids.iter().enumerate() {
-                let rows = table.rows_of(id);
-                let w = dot(&rows[..dims], gaps);
-                let d = rows[dims..]
-                    .chunks_exact(dims)
-                    .map(|row| dot(row, gaps))
-                    .max()
-                    .unwrap_or(0);
+                let (w, d) = score_block(table.rows_of(id), gaps);
                 scored.push((Cost::new(w, d), seq as u32, id));
             }
             // The seq tie-break makes the key total, so the unstable sort
@@ -343,20 +598,25 @@ impl LookupTable {
     }
 
     /// The *materialize* stage: instantiates one stored topology against
-    /// `net`'s coordinates, producing a witness [`RoutingTree`].
+    /// `net`'s coordinates, producing a witness [`RoutingTree`]. Reuses
+    /// per-thread graph scratch — the steady state allocates only the
+    /// returned tree.
     pub fn materialize(&self, net: &Net, class: &NetClass, id: u32) -> RoutingTree {
         MATERIALIZATIONS.with(|c| c.set(c.get() + 1));
         let nb = class.degree();
         let table = &self.tables[nb as usize];
-        let pts: Vec<_> = table
-            .edges_of(id)
-            .iter()
-            .map(|&(a, b)| {
-                let map = |packed: u8| class.instance_point(RankNode::new(packed / nb, packed % nb));
-                (map(a), map(b))
-            })
-            .collect();
-        extract_from_union(net, &pts).expect("stored topologies span every pattern pin")
+        MAT_SCRATCH.with(|cell| {
+            let (pts, scratch) = &mut *cell.borrow_mut();
+            pts.clear();
+            for pair in table.edges_of(id).chunks_exact(2) {
+                let map = |packed: u8| {
+                    class.instance_point(RankNode::new(packed / nb, packed % nb))
+                };
+                pts.push((map(pair[0]), map(pair[1])));
+            }
+            extract_from_union_with(net, pts, scratch)
+                .expect("stored topologies span every pattern pin")
+        })
     }
 
     /// Number of [`RoutingTree`] materializations performed by queries on
@@ -372,8 +632,8 @@ impl LookupTable {
     /// canonical pattern is not tabulated.
     ///
     /// Composes the three query stages: [`LookupTable::candidate_ids`]
-    /// (binary search), [`LookupTable::score_candidates`] (dot products +
-    /// numeric prune) and [`LookupTable::materialize`] (survivors only).
+    /// (key-index lookup), [`LookupTable::score_candidates`] (dot products
+    /// + numeric prune) and [`LookupTable::materialize`] (survivors only).
     ///
     /// The id list is exactly what a frontier cache needs to store:
     /// replaying it through [`LookupTable::query_ids`] on any net with the
@@ -413,17 +673,10 @@ impl LookupTable {
     pub fn query_ids(&self, net: &Net, class: &NetClass, ids: &[u32]) -> ParetoSet<RoutingTree> {
         let table = &self.tables[class.degree() as usize];
         let gaps = class.canonical_gaps();
-        let dims = gaps.len();
         let witnesses: Vec<(Cost, RoutingTree)> = ids
             .iter()
             .map(|&id| {
-                let rows = table.rows_of(id);
-                let w = dot(&rows[..dims], gaps);
-                let d = rows[dims..]
-                    .chunks_exact(dims)
-                    .map(|row| dot(row, gaps))
-                    .max()
-                    .unwrap_or(0);
+                let (w, d) = score_block(table.rows_of(id), gaps);
                 (Cost::new(w, d), self.materialize(net, class, id))
             })
             .collect();
@@ -477,12 +730,7 @@ impl LookupTable {
     /// this condition per net, deterministically by seed.
     pub fn remove_degree(&mut self, degree: u8) {
         if let Some(table) = self.tables.get_mut(degree as usize) {
-            *table = DegreeTable {
-                n: degree,
-                edge_off: vec![0],
-                pattern_off: vec![0],
-                ..DegreeTable::default()
-            };
+            *table = DegreeTable::empty(degree);
         }
     }
 
@@ -499,6 +747,10 @@ impl LookupTable {
     /// a shifted dot-product cost. Tables built by [`crate::LutBuilder`]
     /// are never corrupt.
     ///
+    /// On a mapped table this copies the cost arena out of the mapping
+    /// first (copy-on-write) — the file and other tables sharing the
+    /// mapping are never written through.
+    ///
     /// Like [`LookupTable::remove_degree`], this is the table-local hook;
     /// the router's fault plane (`patlabor::FaultPlane`, kind
     /// `corrupted-row`) injects the equivalent frontier perturbation per
@@ -512,7 +764,8 @@ impl LookupTable {
             return false;
         }
         let stride = table.row_stride();
-        for v in &mut table.costs[id as usize * stride..(id as usize + 1) * stride] {
+        let costs = table.costs.to_mut();
+        for v in &mut costs[id as usize * stride..(id as usize + 1) * stride] {
             *v = v.wrapping_add(delta);
         }
         true
@@ -524,7 +777,7 @@ impl LookupTable {
             .map(|d| {
                 let table = &self.tables[d as usize];
                 let total = table.pattern_ids.len();
-                let bytes = table.edges.len() * 2
+                let bytes = table.edges.len()
                     + table.edge_off.len() * 4
                     + table.costs.len() * 2
                     + table.pattern_keys.len() * 8
@@ -645,11 +898,59 @@ mod tests {
         let mut lists = HashMap::new();
         lists.insert(10u64, vec![a.clone(), b.clone()]);
         let table = DegreeTable::from_lists(3, lists);
-        assert_eq!(table.edges_of(0), &a.edges[..]);
-        assert_eq!(table.edges_of(1), &b.edges[..]);
+        assert_eq!(table.edges_of(0), &[0, 1, 1, 2, 2, 5]);
+        assert_eq!(table.edges_of(1), &[0, 2]);
         assert_eq!(table.rows_of(0), &a.rows[..]);
         assert_eq!(table.rows_of(1), &b.rows[..]);
         assert!(table.ids_of(11).is_none());
         assert_eq!(table.ids_of(10), Some(&[0u32, 1][..]));
+    }
+
+    #[test]
+    fn eytzinger_search_agrees_with_binary_search() {
+        // Exhaustive over sizes 0..=70 with stride-3 keys: every present
+        // key is found at its sorted position, every absent probe misses.
+        for m in 0..=70u64 {
+            let keys: Vec<u64> = (0..m).map(|i| 3 * i + 1).collect();
+            let (eyt, pos) = eytzinger(&keys);
+            let table = DegreeTable {
+                pattern_keys: keys.clone().into(),
+                eyt_keys: eyt,
+                eyt_pos: pos,
+                ..DegreeTable::default()
+            };
+            for probe in 0..=(3 * m + 3) {
+                assert_eq!(
+                    table.find_key(probe),
+                    keys.binary_search(&probe).ok(),
+                    "m={m} probe={probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_dot_matches_reference() {
+        // The kernel (any path) must equal the naive dot on mixed-sign
+        // gaps and all alignments/lengths 0..=17.
+        let rows: Vec<u16> = (0..17).map(|i| (i * 37 + 5) as u16).collect();
+        let gaps: Vec<i64> = (0..17)
+            .map(|i| (i as i64 - 8) * 1_000_000_007)
+            .collect();
+        for len in 0..=17usize {
+            let expect: i64 = rows[..len]
+                .iter()
+                .zip(&gaps[..len])
+                .map(|(&m, &l)| (m as i64).wrapping_mul(l))
+                .fold(0i64, |a, x| a.wrapping_add(x));
+            assert_eq!(kernel_dot(&rows[..len], &gaps[..len]), expect, "len={len}");
+            assert_eq!(dot_scalar(&rows[..len], &gaps[..len]), expect, "len={len}");
+        }
+    }
+
+    #[test]
+    fn lookup_table_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LookupTable>();
     }
 }

@@ -11,9 +11,14 @@
 //! 2. take the shortest-path tree of `G` from the source (delays can only
 //!    shrink: every source→sink path of the union is still a path of `G`);
 //! 3. prune Steiner leaves iteratively (wirelength can only shrink).
+//!
+//! Union graphs are tiny — a handful of pins plus at most a few dozen
+//! Steiner points — so the implementation is sized for that regime: a
+//! linear-scan point index instead of a hash map, a settled-scan Dijkstra
+//! instead of a binary heap, and an [`ExtractScratch`] of reusable buffers
+//! so a hot caller (the lookup table's materialize stage) allocates
+//! nothing per extraction beyond the returned tree.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 use patlabor_geom::{Net, Point};
@@ -35,6 +40,32 @@ impl fmt::Display for ExtractTreeError {
 }
 
 impl std::error::Error for ExtractTreeError {}
+
+/// Reusable buffers for [`extract_from_union_with`].
+///
+/// Holding one of these per thread and passing it to every extraction
+/// keeps the graph bookkeeping allocation-free in the steady state; the
+/// buffers grow to the high-water mark of the unions seen and stay there.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    points: Vec<Point>,
+    /// Deduplicated edges as point indices (kept in input order).
+    edge_ids: Vec<(usize, usize, i64)>,
+    adj: Vec<Vec<(usize, i64)>>,
+    dist: Vec<i64>,
+    parent: Vec<usize>,
+    done: Vec<bool>,
+    needed: Vec<bool>,
+    keep: Vec<usize>,
+    remap: Vec<usize>,
+}
+
+impl ExtractScratch {
+    /// An empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> ExtractScratch {
+        ExtractScratch::default()
+    }
+}
 
 /// Extracts a routing tree from an arbitrary union of edges.
 ///
@@ -71,84 +102,120 @@ pub fn extract_from_union(
     net: &Net,
     edges: &[(Point, Point)],
 ) -> Result<RoutingTree, ExtractTreeError> {
-    // Index points: pins first (dedup by position → first pin wins).
-    let mut points: Vec<Point> = net.pins().to_vec();
-    let mut index: HashMap<Point, usize> = HashMap::new();
-    for (i, &p) in net.pins().iter().enumerate() {
-        index.entry(p).or_insert(i);
-    }
-    let mut id_of = |p: Point, points: &mut Vec<Point>| -> usize {
-        *index.entry(p).or_insert_with(|| {
-            points.push(p);
-            points.len() - 1
-        })
-    };
-    let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); points.len()];
-    for &(a, b) in edges {
-        let ia = id_of(a, &mut points);
-        let ib = id_of(b, &mut points);
-        if adj.len() < points.len() {
-            adj.resize(points.len(), Vec::new());
-        }
-        if ia != ib {
-            let len = a.l1(b);
-            adj[ia].push((ib, len));
-            adj[ib].push((ia, len));
-        }
-    }
-    adj.resize(points.len(), Vec::new());
+    extract_from_union_with(net, edges, &mut ExtractScratch::new())
+}
 
-    // Dijkstra from the source over the union graph.
-    let n = points.len();
-    let mut dist = vec![i64::MAX; n];
-    let mut parent = vec![usize::MAX; n];
-    dist[0] = 0;
-    parent[0] = 0;
-    let mut heap = BinaryHeap::new();
-    heap.push(Reverse((0i64, 0usize)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if d > dist[u] {
-            continue;
+/// [`extract_from_union`] with caller-provided scratch buffers — the
+/// allocation-lean form for hot loops. Results are identical.
+pub fn extract_from_union_with(
+    net: &Net,
+    edges: &[(Point, Point)],
+    s: &mut ExtractScratch,
+) -> Result<RoutingTree, ExtractTreeError> {
+    // Index points: pins first (dedup by position → first occurrence
+    // wins, matching the first-pin rule).
+    s.points.clear();
+    s.points.extend_from_slice(net.pins());
+    s.edge_ids.clear();
+    let id_of = |p: Point, points: &mut Vec<Point>| -> usize {
+        match points.iter().position(|&q| q == p) {
+            Some(i) => i,
+            None => {
+                points.push(p);
+                points.len() - 1
+            }
         }
-        for &(v, len) in &adj[u] {
-            let nd = d + len;
-            if nd < dist[v] {
-                dist[v] = nd;
-                parent[v] = u;
-                heap.push(Reverse((nd, v)));
+    };
+    for &(a, b) in edges {
+        let ia = id_of(a, &mut s.points);
+        let ib = id_of(b, &mut s.points);
+        if ia != ib {
+            s.edge_ids.push((ia, ib, a.l1(b)));
+        }
+    }
+    let n = s.points.len();
+    for v in s.adj.iter_mut() {
+        v.clear();
+    }
+    if s.adj.len() < n {
+        s.adj.resize_with(n, Vec::new);
+    }
+    for &(ia, ib, len) in &s.edge_ids {
+        s.adj[ia].push((ib, len));
+        s.adj[ib].push((ia, len));
+    }
+
+    // Dijkstra from the source over the union graph. The graph is tiny,
+    // so a settled scan beats a heap; nodes settle in ascending
+    // (dist, index) order — the same order a lexicographic min-heap pops
+    // them — and relaxation improves strictly, so the parents are
+    // identical to the heap formulation's.
+    s.dist.clear();
+    s.dist.resize(n, i64::MAX);
+    s.parent.clear();
+    s.parent.resize(n, usize::MAX);
+    s.done.clear();
+    s.done.resize(n, false);
+    s.dist[0] = 0;
+    s.parent[0] = 0;
+    loop {
+        let mut u = usize::MAX;
+        let mut best = i64::MAX;
+        for v in 0..n {
+            if !s.done[v] && s.dist[v] < best {
+                best = s.dist[v];
+                u = v;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        s.done[u] = true;
+        for &(v, len) in &s.adj[u] {
+            let nd = best + len;
+            if nd < s.dist[v] {
+                s.dist[v] = nd;
+                s.parent[v] = u;
             }
         }
     }
     // Map duplicated pin positions onto their representative's path.
     for pin in 0..net.degree() {
-        let rep = index[&points[pin]];
-        if dist[rep] == i64::MAX {
+        let rep = s
+            .points
+            .iter()
+            .position(|&q| q == s.points[pin])
+            .expect("a pin always finds itself");
+        if s.dist[rep] == i64::MAX {
             return Err(ExtractTreeError { pin });
         }
         if rep != pin {
             // Duplicate pin: hang it on its representative with a
             // zero-length edge.
-            dist[pin] = dist[rep];
-            parent[pin] = rep;
+            s.dist[pin] = s.dist[rep];
+            s.parent[pin] = rep;
         }
     }
 
     // Keep only nodes on some root→pin path: prune Steiner branches.
-    let mut needed = vec![false; n];
+    s.needed.clear();
+    s.needed.resize(n, false);
     for pin in 0..net.degree() {
         let mut v = pin;
-        while !needed[v] {
-            needed[v] = true;
-            v = parent[v];
+        while !s.needed[v] {
+            s.needed[v] = true;
+            v = s.parent[v];
         }
     }
-    let keep: Vec<usize> = (0..n).filter(|&v| needed[v]).collect();
-    let mut remap = vec![usize::MAX; n];
-    for (new, &old) in keep.iter().enumerate() {
-        remap[old] = new;
+    s.keep.clear();
+    s.keep.extend((0..n).filter(|&v| s.needed[v]));
+    s.remap.clear();
+    s.remap.resize(n, usize::MAX);
+    for (new, &old) in s.keep.iter().enumerate() {
+        s.remap[old] = new;
     }
-    let tree_points: Vec<Point> = keep.iter().map(|&v| points[v]).collect();
-    let tree_parent: Vec<usize> = keep.iter().map(|&v| remap[parent[v]]).collect();
+    let tree_points: Vec<Point> = s.keep.iter().map(|&v| s.points[v]).collect();
+    let tree_parent: Vec<usize> = s.keep.iter().map(|&v| s.remap[s.parent[v]]).collect();
     let tree = RoutingTree::from_parents(tree_points, tree_parent, net.degree())
         .expect("shortest-path tree construction cannot produce cycles");
     Ok(tree)
@@ -242,5 +309,40 @@ mod tests {
         assert!(t.wirelength() <= bookkept_w);
         assert_eq!(t.wirelength(), 10);
         assert_eq!(t.delay(), 10);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // The same scratch across dissimilar unions (growing and
+        // shrinking) must reproduce the fresh-scratch result each time.
+        let mut scratch = ExtractScratch::new();
+        let cases: Vec<(Net, Vec<(Point, Point)>)> = vec![
+            (
+                net(&[(0, 0), (4, 0), (4, 3)]),
+                vec![e((0, 0), (4, 0)), e((4, 0), (4, 3))],
+            ),
+            (
+                net(&[(0, 0), (2, 0), (2, 2)]),
+                vec![
+                    e((0, 0), (2, 0)),
+                    e((2, 0), (2, 2)),
+                    e((0, 0), (2, 2)),
+                    e((2, 2), (5, 2)),
+                    e((5, 2), (5, 5)),
+                ],
+            ),
+            (net(&[(0, 0), (4, 0)]), vec![e((0, 0), (4, 0))]),
+            (
+                net(&[(0, 0), (4, 0), (4, 0)]),
+                vec![e((0, 0), (4, 0))],
+            ),
+        ];
+        for _round in 0..3 {
+            for (n, edges) in &cases {
+                let fresh = extract_from_union(n, edges).unwrap();
+                let reused = extract_from_union_with(n, edges, &mut scratch).unwrap();
+                assert_eq!(fresh, reused);
+            }
+        }
     }
 }

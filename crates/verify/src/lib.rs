@@ -296,6 +296,9 @@ struct Harness {
     table: LookupTable,
     /// The same table after a `write_to`/`read_from` round trip.
     loaded: LookupTable,
+    /// The same table served zero-copy from a saved file via
+    /// `open_mmap` — borrowed arenas, not owned copies.
+    mapped: LookupTable,
     /// Production-shaped router, minus the degradation ladder: cache
     /// enabled, local search above λ, strict resilience so table damage
     /// surfaces as route errors instead of being absorbed by a fallback
@@ -352,6 +355,37 @@ impl Harness {
                 "serialization is not byte-deterministic across a round trip".to_string(),
             ));
         }
+        // Construction-time half of the mmap pair: save to a file, open
+        // it zero-copy, and demand structural equality plus the mapped
+        // backing. The file is removed immediately — the mapping must
+        // keep itself alive without it.
+        let mmap_failure = |detail: String| Counterexample {
+            pair: PathPair::MmapVsOwned,
+            ..roundtrip_failure(detail)
+        };
+        let path = std::env::temp_dir().join(format!(
+            "patlabor_verify_mmap_{:x}_{}.plut",
+            config.seed,
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes)
+            .map_err(|e| mmap_failure(format!("writing the table file failed: {e}")))?;
+        let mapped = LookupTable::open_mmap(&path).map_err(|e| {
+            std::fs::remove_file(&path).ok();
+            mmap_failure(format!("zero-copy open of the just-saved table failed: {e}"))
+        })?;
+        std::fs::remove_file(&path).ok();
+        if mapped.backing() != patlabor_lut::Backing::Mapped {
+            return Err(mmap_failure(format!(
+                "open_mmap produced a {} table, not a mapped one",
+                mapped.backing()
+            )));
+        }
+        if mapped != table {
+            return Err(mmap_failure(
+                "mmap-backed table differs structurally from the in-memory original".to_string(),
+            ));
+        }
         let strict = RouterConfig {
             resilience: ResilienceConfig::strict(),
             ..RouterConfig::default()
@@ -371,6 +405,7 @@ impl Harness {
             lambda: table.lambda() as usize,
             table,
             loaded,
+            mapped,
             seed: config.seed,
             dw_cap: config.dw_cap(),
             shrink: config.shrink,
@@ -387,7 +422,9 @@ impl Harness {
             PathPair::CachedVsUncached | PathPair::BatchVsSerial => true,
             // Exact-path-only invariants: local search (> λ) promises
             // neither D4 invariance nor table-backed answers.
-            PathPair::D4Translation | PathPair::SaveLoadRoundTrip => (3..=self.lambda).contains(&d),
+            PathPair::D4Translation | PathPair::SaveLoadRoundTrip | PathPair::MmapVsOwned => {
+                (3..=self.lambda).contains(&d)
+            }
             // In-table degrees need the DW oracle's cap; out-of-table
             // degrees exercise the baseline rung instead. Degrees in
             // between (dw_cap < d ≤ λ) have no affordable oracle.
@@ -405,6 +442,7 @@ impl Harness {
             PathPair::CachedVsUncached => self.cached_vs_uncached(net).1,
             PathPair::D4Translation => self.d4_translation(net),
             PathPair::SaveLoadRoundTrip => self.save_load(net),
+            PathPair::MmapVsOwned => self.mmap_vs_owned(net),
             PathPair::FallbackParity => self.fallback_parity(net),
             PathPair::BatchVsSerial => None, // whole-corpus pair, not per-net
         }
@@ -507,6 +545,27 @@ impl Harness {
                     class.canonical_key(),
                     if original.is_some() { "in-memory" } else { "reloaded" }
                 ),
+            }),
+        }
+    }
+
+    /// Mmap pair, per-net half: the zero-copy table must answer the full
+    /// query — candidate lookup, scoring, witness materialization —
+    /// identically to the owned table it was saved from. (Structural
+    /// equality is checked once at construction; this checks the serving
+    /// behavior over the whole corpus.)
+    fn mmap_vs_owned(&self, net: &Net) -> Option<Divergence> {
+        let owned = self.table.query(net)?;
+        match self.mapped.query(net) {
+            Some(mapped) => (mapped != owned).then(|| Divergence {
+                fast: mapped.cost_vec(),
+                reference: owned.cost_vec(),
+                detail: "mmap-backed table serves a different frontier".to_string(),
+            }),
+            None => Some(Divergence {
+                fast: Vec::new(),
+                reference: owned.cost_vec(),
+                detail: "net answerable from the owned table only".to_string(),
             }),
         }
     }

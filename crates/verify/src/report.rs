@@ -22,9 +22,15 @@ pub enum PathPair {
     /// Metamorphic invariance: the frontier costs of every D4 image and
     /// a translated copy vs the base net's.
     D4Translation,
-    /// The v3 table after a `write_to`/`read_from` round trip vs the
+    /// The v4 table after a `write_to`/`read_from` round trip vs the
     /// in-memory original.
     SaveLoadRoundTrip,
+    /// The zero-copy mmap-backed table (`open_mmap`) vs the owned
+    /// in-memory table it was saved from: candidate lookup, scoring and
+    /// the materialized witness trees must be identical — the borrowed
+    /// arenas are the same bytes, so any divergence indicts the mapped
+    /// serving path (alignment, bounds, eytzinger index rebuild).
+    MmapVsOwned,
     /// The degradation ladder with its primary rung forced off by a
     /// `FaultPlane` injection: in-table degrees must fall to the
     /// numeric-DW rung and reproduce the healthy LUT frontier exactly;
@@ -35,11 +41,12 @@ pub enum PathPair {
 
 impl PathPair {
     /// Every pair, in the order the harness checks them.
-    pub const ALL: [PathPair; 6] = [
+    pub const ALL: [PathPair; 7] = [
         PathPair::LutVsNumericDw,
         PathPair::CachedVsUncached,
         PathPair::D4Translation,
         PathPair::SaveLoadRoundTrip,
+        PathPair::MmapVsOwned,
         PathPair::FallbackParity,
         PathPair::BatchVsSerial,
     ];
@@ -52,6 +59,7 @@ impl PathPair {
             PathPair::BatchVsSerial => "batch-vs-serial",
             PathPair::D4Translation => "d4-translation",
             PathPair::SaveLoadRoundTrip => "save-load-roundtrip",
+            PathPair::MmapVsOwned => "mmap-vs-owned",
             PathPair::FallbackParity => "fallback-parity",
         }
     }
@@ -63,7 +71,8 @@ impl PathPair {
             PathPair::CachedVsUncached => "frontier-cache replay",
             PathPair::BatchVsSerial => "lock-free route_batch",
             PathPair::D4Translation => "route of a congruent image",
-            PathPair::SaveLoadRoundTrip => "reloaded v3 table",
+            PathPair::SaveLoadRoundTrip => "reloaded v4 table",
+            PathPair::MmapVsOwned => "mmap-backed zero-copy table",
             PathPair::FallbackParity => "LUT-off degradation ladder",
         }
     }
@@ -76,6 +85,7 @@ impl PathPair {
             PathPair::BatchVsSerial => "serial per-net routing loop",
             PathPair::D4Translation => "route of the base net",
             PathPair::SaveLoadRoundTrip => "in-memory built table",
+            PathPair::MmapVsOwned => "owned-arena table query",
             PathPair::FallbackParity => "healthy-table route / tree invariants",
         }
     }

@@ -106,6 +106,31 @@ fn trees_are_materialized_only_for_frontier_survivors() {
 }
 
 #[test]
+fn lut_roundtrip_mmap_backing_answers_like_the_owned_one() {
+    let table = LutBuilder::new(5).build();
+    let dir = std::env::temp_dir().join("patlabor_lut_v3_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip5_mmap.plut");
+    table.save(&path).unwrap();
+    let mapped = LookupTable::open_mmap(&path).unwrap();
+    assert_eq!(mapped.backing(), patlabor_lut::Backing::Mapped);
+    assert_eq!(mapped, table);
+
+    // Full query parity — frontiers and witness trees — between the
+    // zero-copy mapping and the in-memory build it came from.
+    let mut rng = xorshift(0x5eed_cafe_f00d_1234);
+    for trial in 0..30 {
+        let degree = 3 + trial % 3; // 3, 4, 5
+        let net = random_net(&mut rng, degree, 40);
+        let owned = table.query(&net).expect("degree within lambda");
+        let zero_copy = mapped.query(&net).expect("degree within lambda");
+        assert_eq!(owned, zero_copy);
+    }
+    drop(mapped);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn lut_roundtrip_reload_preserves_table_and_answers() {
     let table = LutBuilder::new(5).build();
     let dir = std::env::temp_dir().join("patlabor_lut_v3_test");
