@@ -1,6 +1,7 @@
-//! Batch-routing throughput: the lock-free driver and the frontier cache
-//! measured on a fixed seeded workload, written to `BENCH_PR1.json` at
-//! the repository root.
+//! Batch-routing throughput: the work-stealing driver and the frontier
+//! cache measured on a fixed seeded workload, written to `BENCH_PR1.json`
+//! at the repository root in the shared `scaling-v1` schema
+//! ([`patlabor_bench::scaling`], also used by `bin/scaling.rs`).
 //!
 //! The workload mixes degrees 3–12 (tabulated nets, cached-query nets and
 //! local-search nets) and three coordinate spans, so the cache sees both
@@ -8,76 +9,19 @@
 //! and essentially unique nets (chip-scale spans). Every configuration
 //! routes the same nets; `PATLABOR_SCALE` scales the net count.
 //!
-//! Results are honest wall-clock numbers for *this* machine —
-//! `hardware_threads` is recorded so a 1-core container's lack of
-//! parallel speedup reads as what it is.
+//! Results are honest wall-clock numbers for *this* machine: runs with
+//! more worker threads than hardware threads land in the schema's
+//! `oversubscribed_runs` array — structurally separated, because they
+//! measure scheduler time-slicing, not scaling.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
 use patlabor::{CacheConfig, Net, PatLabor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use patlabor_bench::scaling::ScalingRun;
 
 const SEED: u64 = 0x7412_0be7;
-
-fn workload(count: usize) -> Vec<Net> {
-    let mut rng = StdRng::seed_from_u64(SEED);
-    // Repeated cells and macros give real placements many congruent
-    // nets: identical relative pin geometry at different offsets and
-    // orientations. A third of the workload instantiates a small pool of
-    // master patterns that way (cache hits after the first encounter);
-    // the rest are fresh random nets of mixed degree (mostly misses, and
-    // above λ the local-search path, which bypasses the cache).
-    let masters: Vec<Net> = (0..64)
-        .map(|_| {
-            let degree = rng.gen_range(3..=5usize);
-            patlabor_netgen::uniform_net(&mut rng, degree, 64)
-        })
-        .collect();
-    (0..count)
-        .map(|i| {
-            if i % 3 == 0 {
-                let master = &masters[rng.gen_range(0..masters.len())];
-                let dx = rng.gen_range(0..100_000i64);
-                let dy = rng.gen_range(0..100_000i64);
-                let swap = rng.gen_bool(0.5);
-                let flip_x = rng.gen_bool(0.5);
-                let flip_y = rng.gen_bool(0.5);
-                master.map_points(|p| {
-                    let (mut x, mut y) = (p.x, p.y);
-                    if swap {
-                        std::mem::swap(&mut x, &mut y);
-                    }
-                    if flip_x {
-                        x = -x;
-                    }
-                    if flip_y {
-                        y = -y;
-                    }
-                    patlabor::Point::new(x + dx, y + dy)
-                })
-            } else {
-                let degree = rng.gen_range(3..=12);
-                let span = if i % 3 == 1 { 24 } else { 10_000 };
-                patlabor_netgen::uniform_net(&mut rng, degree, span)
-            }
-        })
-        .collect()
-}
-
-struct Run {
-    threads: usize,
-    cache: bool,
-    nets_per_sec: f64,
-    cache_hit_rate: f64,
-    speedup_vs_serial: f64,
-    /// More worker threads than the machine has hardware threads: the
-    /// numbers then measure scheduler time-slicing, not scaling, so the
-    /// headline summary skips these runs.
-    oversubscribed: bool,
-}
 
 fn measure(table: &patlabor::LookupTable, nets: &[Net], threads: usize, cache: bool) -> (f64, f64) {
     // A fresh router per run: every measurement starts from a cold cache.
@@ -99,7 +43,7 @@ fn main() {
     let count = patlabor_bench::scaled(50_000, 500);
     let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
     eprintln!("generating {count} nets (degrees 3..=12, seed {SEED:#x}) ...");
-    let nets = workload(count);
+    let nets = patlabor_bench::mixed_workload(count, SEED);
     let table = patlabor_lut::LutBuilder::new(5).build();
 
     // Untimed warmup: the process's first pass over the workload runs
@@ -117,13 +61,13 @@ fn main() {
         for threads in [1usize, 2, 4, 8] {
             eprintln!("threads = {threads}, cache = {cache} ...");
             let (nets_per_sec, cache_hit_rate) = measure(&table, &nets, threads, cache);
-            runs.push(Run {
+            runs.push(ScalingRun {
                 threads,
                 cache,
                 nets_per_sec,
                 cache_hit_rate,
                 speedup_vs_serial: nets_per_sec / serial_nps,
-                oversubscribed: threads > hardware,
+                ..ScalingRun::default()
             });
         }
     }
@@ -141,7 +85,7 @@ fn main() {
                         format!("{:.0}", r.nets_per_sec),
                         format!("{:.3}", r.cache_hit_rate),
                         format!("{:.2}x", r.speedup_vs_serial),
-                        if r.oversubscribed { "yes" } else { "" }.to_string(),
+                        if r.oversubscribed(hardware) { "yes" } else { "" }.to_string(),
                     ]
                 })
                 .collect::<Vec<_>>(),
@@ -150,10 +94,10 @@ fn main() {
 
     // Headline: the best configuration among runs the machine can
     // actually execute in parallel. Oversubscribed runs stay in the JSON
-    // for the record but never in the summary.
+    // for the record (their own array) but never in the summary.
     let headline = runs
         .iter()
-        .filter(|r| !r.oversubscribed)
+        .filter(|r| !r.oversubscribed(hardware))
         .max_by(|a, b| a.nets_per_sec.total_cmp(&b.nets_per_sec))
         .expect("the 1-thread runs are never oversubscribed");
     println!(
@@ -163,45 +107,27 @@ fn main() {
         if headline.cache { "on" } else { "off" },
     );
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"batch_routing_throughput\",");
-    let _ = writeln!(json, "  \"nets\": {count},");
-    let _ = writeln!(json, "  \"degrees\": [3, 12],");
-    let _ = writeln!(json, "  \"seed\": {SEED},");
-    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
-    let _ = writeln!(json, "  \"serial_nets_per_sec\": {serial_nps:.2},");
+    let mut extra = String::new();
     let _ = writeln!(
-        json,
+        extra,
         "  \"headline\": {{\"threads\": {}, \"cache\": {}, \"nets_per_sec\": {:.2}}},",
         headline.threads, headline.cache, headline.nets_per_sec
     );
-    let _ = writeln!(json, "  \"runs\": [");
-    for (i, r) in runs.iter().enumerate() {
-        let comma = if i + 1 < runs.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"threads\": {}, \"cache\": {}, \"nets_per_sec\": {:.2}, \
-             \"cache_hit_rate\": {:.4}, \"speedup_vs_serial\": {:.4}, \
-             \"oversubscribed\": {}}}{comma}",
-            r.threads,
-            r.cache,
-            r.nets_per_sec,
-            r.cache_hit_rate,
-            r.speedup_vs_serial,
-            r.oversubscribed
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(
-        json,
-        "  \"notes\": \"headline considers only runs with threads <= hardware_threads; \
-         oversubscribed runs measure scheduler time-slicing, not scaling. The 8-thread \
-         cache-on slowdown previously reported here was measured oversubscribed on one \
-         hardware thread — treat it as lock/scheduler contention to re-measure on a \
-         multi-core host, not as a cache regression.\""
+    let json = patlabor_bench::scaling::render_report(
+        &patlabor_bench::scaling::ReportHeader {
+            bench: "batch_routing_throughput",
+            nets: count,
+            seed: SEED,
+            hardware_threads: hardware,
+            serial_nets_per_sec: serial_nps,
+        },
+        &runs,
+        &extra,
+        "scaling_runs holds only runs with threads <= hardware_threads; \
+         oversubscribed_runs measure scheduler time-slicing, not scaling, and are \
+         excluded from the headline. For the full scaling curve with worker \
+         utilization and steal telemetry, see BENCH_PR7.json (bin/scaling.rs).",
     );
-    let _ = writeln!(json, "}}");
 
     // crates/bench → repository root.
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR1.json");

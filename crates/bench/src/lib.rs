@@ -10,6 +10,8 @@
 //! (a positive float, default 1.0): the defaults finish in minutes on a
 //! laptop; the paper-scale runs need a beefier budget.
 
+pub mod scaling;
+
 use std::time::{Duration, Instant};
 
 use patlabor::{Cost, Net, ParetoSet, PatLabor, RoutingTree};
@@ -305,6 +307,56 @@ mod tests {
         let names: Vec<&str> = Method::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names, vec!["PatLabor", "SALT", "YSD*", "PD-II"]);
     }
+}
+
+/// The mixed parallel-serving workload shared by the throughput bench
+/// (`BENCH_PR1.json`) and the scaling bench (`BENCH_PR7.json`).
+///
+/// Repeated cells and macros give real placements many congruent nets:
+/// identical relative pin geometry at different offsets and
+/// orientations. A third of the workload instantiates a small pool of
+/// master patterns that way (cache hits after the first encounter); the
+/// rest are fresh random nets of mixed degree 3–12 (mostly misses, and
+/// above λ the local-search path, which bypasses the cache).
+pub fn mixed_workload(count: usize, seed: u64) -> Vec<Net> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let masters: Vec<Net> = (0..64)
+        .map(|_| {
+            let degree = rng.gen_range(3..=5usize);
+            patlabor_netgen::uniform_net(&mut rng, degree, 64)
+        })
+        .collect();
+    (0..count)
+        .map(|i| {
+            if i % 3 == 0 {
+                let master = &masters[rng.gen_range(0..masters.len())];
+                let dx = rng.gen_range(0..100_000i64);
+                let dy = rng.gen_range(0..100_000i64);
+                let swap = rng.gen_bool(0.5);
+                let flip_x = rng.gen_bool(0.5);
+                let flip_y = rng.gen_bool(0.5);
+                master.map_points(|p| {
+                    let (mut x, mut y) = (p.x, p.y);
+                    if swap {
+                        std::mem::swap(&mut x, &mut y);
+                    }
+                    if flip_x {
+                        x = -x;
+                    }
+                    if flip_y {
+                        y = -y;
+                    }
+                    patlabor::Point::new(x + dx, y + dy)
+                })
+            } else {
+                let degree = rng.gen_range(3..=12);
+                let span = if i % 3 == 1 { 24 } else { 10_000 };
+                patlabor_netgen::uniform_net(&mut rng, degree, span)
+            }
+        })
+        .collect()
 }
 
 /// Per-degree statistics shared by Tables III and IV.

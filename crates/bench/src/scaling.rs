@@ -1,0 +1,223 @@
+//! Shared schema for the parallel-scaling benches.
+//!
+//! `BENCH_PR1.json` (`bin/throughput.rs`) and `BENCH_PR7.json`
+//! (`bin/scaling.rs`) report the same kind of measurement — the batch
+//! driver swept across thread counts — so they share one row type and
+//! one JSON layout. The schema's load-bearing rule: **oversubscribed
+//! rows are structurally separated**. A run with more worker threads
+//! than hardware threads measures scheduler time-slicing, not scaling,
+//! so it lives in a distinct `oversubscribed_runs` array that no
+//! consumer can mistake for the scaling curve — the separation is a
+//! field, not a prose caveat.
+
+use std::fmt::Write as _;
+
+/// One measured batch-routing run at a fixed thread count.
+///
+/// The first five fields are the common core both benches fill; the
+/// `Option` telemetry (worker utilization, steal counts, lock
+/// contention) is recorded by `scaling.rs`, which routes through
+/// `route_batch_with_stats`, and omitted from rows produced by the
+/// plain throughput bench. `None` fields are absent from the JSON
+/// rather than zero-filled, so "not measured" and "measured zero"
+/// stay distinguishable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScalingRun {
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Frontier cache enabled.
+    pub cache: bool,
+    /// Nets routed per wall-clock second.
+    pub nets_per_sec: f64,
+    /// Aggregate cache hit rate (0 when the cache is off).
+    pub cache_hit_rate: f64,
+    /// Throughput relative to the serial cache-off baseline.
+    pub speedup_vs_serial: f64,
+    /// Mean worker utilization: Σ busy-ns / (elapsed × workers).
+    pub utilization: Option<f64>,
+    /// The least-utilized worker's busy fraction (a load-balance floor).
+    pub min_worker_utilization: Option<f64>,
+    /// Successful interval steals across all workers.
+    pub steals: Option<u64>,
+    /// Lost steal races across all workers.
+    pub failed_steals: Option<u64>,
+    /// Cache read-lock acquisitions that found the shard lock held.
+    pub contended_reads: Option<u64>,
+    /// Cache write-lock acquisitions that found the shard lock held.
+    pub contended_writes: Option<u64>,
+}
+
+impl ScalingRun {
+    /// Whether this run used more workers than the machine has hardware
+    /// threads.
+    pub fn oversubscribed(&self, hardware_threads: usize) -> bool {
+        self.threads > hardware_threads
+    }
+
+    /// The row as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"threads\": {}, \"cache\": {}, \"nets_per_sec\": {:.2}, \
+             \"cache_hit_rate\": {:.4}, \"speedup_vs_serial\": {:.4}",
+            self.threads, self.cache, self.nets_per_sec, self.cache_hit_rate, self.speedup_vs_serial
+        );
+        if let Some(u) = self.utilization {
+            let _ = write!(s, ", \"utilization\": {u:.4}");
+        }
+        if let Some(u) = self.min_worker_utilization {
+            let _ = write!(s, ", \"min_worker_utilization\": {u:.4}");
+        }
+        if let Some(n) = self.steals {
+            let _ = write!(s, ", \"steals\": {n}");
+        }
+        if let Some(n) = self.failed_steals {
+            let _ = write!(s, ", \"failed_steals\": {n}");
+        }
+        if let Some(n) = self.contended_reads {
+            let _ = write!(s, ", \"contended_reads\": {n}");
+        }
+        if let Some(n) = self.contended_writes {
+            let _ = write!(s, ", \"contended_writes\": {n}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders a JSON array of rows at the given indent.
+fn rows_json(rows: &[&ScalingRun], indent: &str) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(s, "{indent}  {}{comma}", r.to_json());
+    }
+    let _ = write!(s, "{indent}]");
+    s
+}
+
+/// The preamble fields both benches agree on.
+pub struct ReportHeader<'a> {
+    pub bench: &'a str,
+    pub nets: usize,
+    pub seed: u64,
+    pub hardware_threads: usize,
+    pub serial_nets_per_sec: f64,
+}
+
+/// Renders the shared report body: the header preamble, plus runs
+/// split into `scaling_runs` (threads ≤ hardware — real scaling data)
+/// and `oversubscribed_runs` (kept for the record, never scaling
+/// data). `extra` is spliced verbatim after the split arrays for
+/// bench-specific fields (headline, verdicts, sweeps); pass complete
+/// `  "key": value,`-style lines or an empty string.
+pub fn render_report(
+    header: &ReportHeader<'_>,
+    runs: &[ScalingRun],
+    extra: &str,
+    notes: &str,
+) -> String {
+    let hardware_threads = header.hardware_threads;
+    let scaling: Vec<&ScalingRun> = runs
+        .iter()
+        .filter(|r| !r.oversubscribed(hardware_threads))
+        .collect();
+    let oversub: Vec<&ScalingRun> = runs
+        .iter()
+        .filter(|r| r.oversubscribed(hardware_threads))
+        .collect();
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"{}\",", header.bench);
+    let _ = writeln!(json, "  \"schema\": \"scaling-v1\",");
+    let _ = writeln!(json, "  \"nets\": {},", header.nets);
+    let _ = writeln!(json, "  \"seed\": {},", header.seed);
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(
+        json,
+        "  \"serial_nets_per_sec\": {:.2},",
+        header.serial_nets_per_sec
+    );
+    let _ = writeln!(json, "  \"scaling_runs\": {},", rows_json(&scaling, "  "));
+    let _ = writeln!(
+        json,
+        "  \"oversubscribed_runs\": {},",
+        rows_json(&oversub, "  ")
+    );
+    json.push_str(extra);
+    let _ = writeln!(json, "  \"notes\": \"{notes}\"");
+    let _ = writeln!(json, "}}");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(hardware_threads: usize) -> ReportHeader<'static> {
+        ReportHeader {
+            bench: "t",
+            nets: 10,
+            seed: 1,
+            hardware_threads,
+            serial_nets_per_sec: 100.0,
+        }
+    }
+
+    fn run(threads: usize) -> ScalingRun {
+        ScalingRun {
+            threads,
+            cache: false,
+            nets_per_sec: 100.0,
+            cache_hit_rate: 0.0,
+            speedup_vs_serial: 1.0,
+            ..ScalingRun::default()
+        }
+    }
+
+    #[test]
+    fn oversubscription_is_a_structural_split_not_a_caveat() {
+        let runs = vec![run(1), run(2), run(8)];
+        let json = render_report(&header(2), &runs, "", "n");
+        // Rows with threads ≤ hardware land in scaling_runs; the
+        // 8-thread row must be in oversubscribed_runs only.
+        let scaling_part = json
+            .split("\"oversubscribed_runs\"")
+            .next()
+            .unwrap()
+            .to_string();
+        assert!(scaling_part.contains("\"threads\": 1"));
+        assert!(scaling_part.contains("\"threads\": 2"));
+        assert!(!scaling_part.contains("\"threads\": 8"));
+        let oversub_part = json.split("\"oversubscribed_runs\"").nth(1).unwrap();
+        assert!(oversub_part.contains("\"threads\": 8"));
+        assert!(json.contains("\"schema\": \"scaling-v1\""));
+    }
+
+    #[test]
+    fn optional_telemetry_is_absent_not_zeroed() {
+        let bare = run(1).to_json();
+        assert!(!bare.contains("steals"));
+        assert!(!bare.contains("utilization"));
+        let full = ScalingRun {
+            steals: Some(3),
+            utilization: Some(0.5),
+            contended_writes: Some(0),
+            ..run(1)
+        }
+        .to_json();
+        assert!(full.contains("\"steals\": 3"));
+        assert!(full.contains("\"utilization\": 0.5000"));
+        assert!(full.contains("\"contended_writes\": 0"));
+    }
+
+    #[test]
+    fn empty_split_renders_an_empty_array() {
+        let json = render_report(&header(4), &[run(1)], "", "n");
+        assert!(json.contains("\"oversubscribed_runs\": [],"));
+    }
+}

@@ -193,6 +193,11 @@ pub struct RouteOptions {
     pub fault_seed: u64,
     /// Per-net routing deadline in milliseconds (wall clock).
     pub deadline_ms: Option<u64>,
+    /// Worker threads for the batch driver. With more than one, routing
+    /// goes through the work-stealing batch path (results identical to
+    /// serial) and the output ends with the per-worker scaling report:
+    /// utilization, steals and cache lock contention.
+    pub threads: usize,
 }
 
 impl Default for RouteOptions {
@@ -204,7 +209,35 @@ impl Default for RouteOptions {
             faults: Vec::new(),
             fault_seed: 0x5eed,
             deadline_ms: None,
+            threads: 1,
         }
+    }
+}
+
+/// Renders the `--threads` scaling report: one line of batch-level
+/// telemetry plus one line per worker.
+fn render_batch_stats(out: &mut String, stats: &patlabor::BatchStats) {
+    out.push_str(&format!(
+        "batch: {} workers, chunk {}, {:.1} ms, utilization {:.2} (min {:.2}), \
+         {} steals ({} failed)\n",
+        stats.workers,
+        stats.chunk_size,
+        stats.elapsed().as_secs_f64() * 1e3,
+        stats.utilization(),
+        stats.min_worker_utilization(),
+        stats.total_steals(),
+        stats.total_failed_steals(),
+    ));
+    for (i, w) in stats.per_worker.iter().enumerate() {
+        out.push_str(&format!(
+            "  worker {i}: {} nets in {} chunks, busy {:.1} ms, \
+             {} steals ({} failed)\n",
+            w.nets,
+            w.chunks,
+            w.busy_ns as f64 / 1e6,
+            w.steals,
+            w.failed_steals,
+        ));
     }
 }
 
@@ -257,7 +290,7 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Cli
         // Drills route through the batch driver so an injected panic
         // downgrades to a per-net diagnostic instead of killing the
         // process, and the run ends with the aggregated report.
-        let (results, report) = router.route_batch_with_report(nets, 1);
+        let (results, report) = router.route_batch_with_report(nets, options.threads.max(1));
         for (i, (net, result)) in nets.iter().zip(&results).enumerate() {
             match result {
                 Ok(outcome) => {
@@ -271,6 +304,33 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Cli
         }
         out.push_str(&format!("provenance: {summary} ({} nets)\n", summary.total()));
         out.push_str(&format!("resilience: {report}\n"));
+        return Ok(out);
+    }
+    if options.threads > 1 {
+        // The parallel path: same results as the serial loop below (the
+        // batch driver publishes in order, bit-identical), plus the
+        // per-worker scaling report.
+        let (results, stats) = router.route_batch_with_stats(nets, options.threads);
+        for (i, (net, result)) in nets.iter().zip(results).enumerate() {
+            let outcome = result.map_err(|source| CliError::Route { net: i, source })?;
+            summary.record(&outcome.provenance);
+            render_outcome(&mut out, i, net, &outcome, options);
+        }
+        out.push_str(&format!(
+            "provenance: {summary} ({} nets)\n",
+            summary.total()
+        ));
+        render_batch_stats(&mut out, &stats);
+        if let Some(cache) = router.cache_stats() {
+            out.push_str(&format!(
+                "cache: {} shards, hit rate {:.3}, contention {}r/{}w{}\n",
+                cache.shards,
+                cache.hit_rate(),
+                cache.contended_reads,
+                cache.contended_writes,
+                if cache.bypassed { ", bypassed" } else { "" },
+            ));
+        }
         return Ok(out);
     }
     for (i, net) in nets.iter().enumerate() {
@@ -518,7 +578,7 @@ pub const USAGE: &str = "\
 patlabor — Pareto optimization of timing-driven routing trees
 
 USAGE:
-  patlabor route [--lambda L] [--tables FILE] [--pick SLACK]
+  patlabor route [--lambda L] [--tables FILE] [--pick SLACK] [--threads T]
                  [--faults SPEC[,SPEC..]] [--fault-seed N] [--deadline-ms MS]
                  <nets.txt>
   patlabor route [...] --bookshelf DESIGN.aux
@@ -533,6 +593,10 @@ USAGE:
 
 Net list: one net per line, `x,y` pins separated by spaces, source first;
 `#` comments.
+
+`route --threads T` routes through the work-stealing batch driver
+(results identical to serial) and appends a scaling report: per-worker
+utilization, steal counts and cache lock contention.
 
 `verify` cross-checks every fast path against its slow oracle on a seeded
 corpus and reports the first divergence as a minimized counterexample;
@@ -595,6 +659,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                                 .parse()
                                 .map_err(|_| usage_error("--deadline-ms expects an integer"))?,
                         );
+                    }
+                    "--threads" => {
+                        options.threads = next_value(&mut it, "--threads")?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&t| t >= 1)
+                            .ok_or_else(|| {
+                                usage_error("--threads expects a positive integer")
+                            })?;
                     }
                     other if !other.starts_with('-') => file = Some(other.to_string()),
                     other => return Err(usage_error(format!("unknown flag {other}"))),
@@ -788,6 +861,50 @@ mod tests {
         assert!(out.contains("net 0 (degree 3): 1 Pareto solutions via exact-lut"));
         assert!(out.contains("net 1 (degree 3): 1 Pareto solutions via cache-hit"));
         assert!(out.contains("cache-hit 1, exact-lut 1"));
+    }
+
+    #[test]
+    fn route_threads_matches_serial_and_appends_scaling_report() {
+        let nets = parse_nets(
+            "0,0 7,2 3,9\n100,50 107,52 103,59\n0,0 5,5 9,1 2,8\n1,1 8,3 4,4\n",
+        )
+        .unwrap();
+        let serial = route_command(&nets, &RouteOptions::default()).unwrap();
+        let parallel = route_command(
+            &nets,
+            &RouteOptions {
+                threads: 3,
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap();
+        // Identical per-net output, then the scaling report on top.
+        assert!(parallel.starts_with(&serial[..serial.find("provenance").unwrap()]));
+        assert!(parallel.contains("batch: "));
+        assert!(parallel.contains("worker 0:"));
+        assert!(parallel.contains("cache: "));
+        assert!(parallel.contains("hit rate"));
+        assert!(!serial.contains("batch: "));
+    }
+
+    #[test]
+    fn route_threads_flag_is_parsed_and_validated() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("threads_nets.txt");
+        std::fs::write(&file, "0,0 4,2 2,4\n6,0 1,5 3,3\n").unwrap();
+        let path = file.to_string_lossy().into_owned();
+        let out = run(&[
+            "route".into(),
+            "--threads".into(),
+            "2".into(),
+            path.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("batch: "));
+        let err = run(&["route".into(), "--threads".into(), "0".into(), path]).unwrap_err();
+        assert!(err.to_string().contains("--threads"));
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

@@ -3,38 +3,273 @@
 //! VLSI designs contain millions of nets and every net routes
 //! independently, so the paper evaluates all methods with multithreading
 //! (its footnote 4 chides YSD for comparing GPU batches against serial
-//! SALT). This module provides the high-throughput driver: a lock-free
-//! chunked work distributor over a shared [`PatLabor`] instance (the
-//! lookup tables are immutable after construction, so one router serves
-//! every thread).
+//! SALT). This module provides the high-throughput driver: a
+//! work-stealing chunked distributor over a shared [`PatLabor`] instance
+//! (the lookup tables are immutable after construction, so one router
+//! serves every thread).
 //!
 //! # Design
 //!
-//! The only shared mutable state is one atomic chunk cursor. Workers claim
-//! contiguous index ranges with `fetch_add` and write each result directly
-//! into its final slot of the (uninitialized) output vector — slots are
-//! disjoint by construction, so no locks, no per-slot `Mutex`, and no
-//! post-hoc reordering are needed. Chunk size adapts to the workload
-//! (`nets.len() / (threads × 8)`, clamped to `[1, 256]`) so small batches
-//! still balance across threads while large batches amortize cursor
-//! traffic.
+//! The net list is cut into fixed-size chunks and the chunk index space
+//! is pre-partitioned into one contiguous interval per worker. Each
+//! worker owns a lock-free deque holding its remaining interval, packed
+//! `(next, end)` into a single cache-line-padded `AtomicU64`
+//! ([`ChunkDeque`]): the owner pops chunks from the front with a CAS,
+//! and a worker that runs dry steals the back half of the fullest-
+//! looking victim's interval with a CAS on the same word. In the steady
+//! state every worker touches only its own padded cursor — zero shared
+//! write traffic — and the steal path only activates when the static
+//! partition turns out imbalanced (expensive nets clustered in one
+//! worker's span). Compare the previous design, where every chunk claim
+//! bounced one global cursor line between all cores.
+//!
+//! Results are still published in input order and bit-identical to a
+//! serial loop: workers write each result directly into its final slot
+//! of the (uninitialized) output vector — slots are disjoint by
+//! construction (chunks are claimed exactly once; see the ABA argument
+//! on [`ChunkDeque`]), so no locks and no post-hoc reordering are
+//! needed.
+//!
+//! Chunk size trades deque traffic against steal granularity; with
+//! stealing, it no longer has to bound tail imbalance the way the old
+//! `nets.len() / (threads × 8)` heuristic did. The default is derived
+//! from measured steal rates (see [`BatchConfig::chunk_size`]) and can
+//! be overridden per router.
+//!
+//! Every batch also returns per-worker telemetry ([`BatchStats`]): busy
+//! nanoseconds, chunks and nets executed, successful and failed steals —
+//! the raw material of the scaling bench (`BENCH_PR7.json`) and the
+//! `route --threads` report.
 
 use std::any::Any;
 use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use patlabor_geom::Net;
 
+use crate::pad::CachePadded;
 use crate::pipeline::{RouteError, RouteResult};
 use crate::resilience::ResilienceReport;
 use crate::PatLabor;
 
+/// Hard ceiling on the auto-derived chunk size.
+///
+/// Measured on the BENCH_PR7 workload: above ~64 nets per chunk the
+/// steal granularity gets coarse enough that one late steal of a chunk
+/// of expensive nets re-creates the tail imbalance stealing exists to
+/// fix, while deque CAS traffic is already unmeasurable at 64 (one CAS
+/// per chunk ≈ one per 64 routed nets). See `BatchConfig::chunk_size`.
+const MAX_AUTO_CHUNK: usize = 64;
+
+/// Batch-driver tuning, part of [`crate::RouterConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchConfig {
+    /// Nets per work-stealing chunk; `None` derives it from the batch.
+    ///
+    /// The auto heuristic is `nets / (workers × 4)`, clamped to
+    /// `[1, 64]`. Rationale, re-derived from measured steal rates on the
+    /// BENCH_PR7 mixed-degree workload: with work stealing the chunk
+    /// size no longer bounds tail imbalance (steals rebalance any
+    /// leftover work), so the old ~8-chunks-per-worker rule only bought
+    /// extra cursor traffic. Four chunks per worker keeps the initial
+    /// partition coarse — on a balanced workload the steady state is
+    /// *zero* steals and every worker walks its own span — while the 64-
+    /// net cap keeps what a steal transfers fine-grained enough that
+    /// measured steal counts stay in the single digits per worker on
+    /// skewed workloads instead of one worker dragging a mega-chunk.
+    pub chunk_size: Option<usize>,
+}
+
+impl BatchConfig {
+    /// The chunk size for a batch of `len` nets over `workers` workers:
+    /// the explicit override if set, the auto heuristic otherwise. Public
+    /// so benches can report where the auto default lands in their sweeps.
+    pub fn auto_chunk(&self, len: usize, workers: usize) -> usize {
+        match self.chunk_size {
+            Some(size) => size.max(1),
+            None => (len / (workers.max(1) * 4)).clamp(1, MAX_AUTO_CHUNK),
+        }
+    }
+}
+
+/// One worker's telemetry for a batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Nanoseconds spent executing chunks (routing nets), excluding
+    /// deque traffic, steal scans and scheduler wait.
+    pub busy_ns: u64,
+    /// Chunks this worker executed (own and stolen).
+    pub chunks: u64,
+    /// Nets this worker routed.
+    pub nets: u64,
+    /// Successful steals: intervals taken from another worker's deque.
+    pub steals: u64,
+    /// Steal probes that found the victim's deque empty (or lost the
+    /// race for its last chunks).
+    pub failed_steals: u64,
+}
+
+/// Batch-level telemetry from [`PatLabor::route_batch_with_stats`]:
+/// what actually happened on each worker, so scaling claims can be
+/// checked against per-thread utilization instead of inferred from
+/// wall-clock alone.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Workers actually spawned (`min(threads, nets)`; 1 = serial path).
+    pub workers: usize,
+    /// Chunk size used (see [`BatchConfig`]).
+    pub chunk_size: usize,
+    /// Total chunks the batch was cut into.
+    pub chunks: usize,
+    /// Wall-clock time of the whole batch.
+    pub elapsed_ns: u64,
+    /// Per-worker telemetry, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl BatchStats {
+    /// Wall-clock elapsed as a `Duration`.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_ns)
+    }
+
+    /// Successful steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.steals).sum()
+    }
+
+    /// Failed steal probes across all workers.
+    pub fn total_failed_steals(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.failed_steals).sum()
+    }
+
+    /// Mean worker utilization: busy time across workers divided by
+    /// `workers × elapsed`. 1.0 means every worker routed nets for the
+    /// whole wall-clock window; the gap to 1.0 is scheduler wait, steal
+    /// scans and exit skew. Meaningless (and typically ≪ 1) when the
+    /// process is oversubscribed — more workers than hardware threads.
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.per_worker.iter().map(|w| w.busy_ns).sum();
+        busy as f64 / (self.elapsed_ns as f64 * self.workers as f64)
+    }
+
+    /// The least-utilized worker's busy fraction (the straggler bound:
+    /// how much of the window the worst worker actually worked).
+    pub fn min_worker_utilization(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.per_worker
+            .iter()
+            .map(|w| w.busy_ns as f64 / self.elapsed_ns as f64)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+}
+
+/// A worker's remaining chunk interval `[next, end)`, packed into one
+/// cache-line-padded atomic word (`next` in the high 32 bits).
+///
+/// The owner pops from the front (`next += 1`), thieves take the back
+/// half (`end → mid`), both via CAS on the same word, so every claim is
+/// linearizable and each chunk index is handed out exactly once.
+///
+/// No ABA: intervals are only ever split, never merged, and a chunk
+/// index is claimed (popped or handed to exactly one thief) at most
+/// once. For a CAS to succeed on a stale read `(a, b)`, the word would
+/// have to hold `(a, b)` again later — impossible, because leaving state
+/// `(a, b)` either claims chunk `a` (pop) or shrinks `end` below `b`
+/// with `a` still queued here, and a new interval is stored into this
+/// deque only by its owner after the previous interval emptied, which
+/// claims `a` first. A claimed index never re-enters any interval.
+struct ChunkDeque(CachePadded<AtomicU64>);
+
+/// `u32` is plenty: chunk counts are bounded by net counts, and a batch
+/// of 4 billion nets would not fit in memory anyway (checked at entry).
+fn pack(next: u32, end: u32) -> u64 {
+    (u64::from(next) << 32) | u64::from(end)
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+impl ChunkDeque {
+    fn new(next: u32, end: u32) -> Self {
+        ChunkDeque(CachePadded::new(AtomicU64::new(pack(next, end))))
+    }
+
+    /// Owner-side pop of the front chunk.
+    fn pop_front(&self) -> Option<u32> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(next + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(next),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief-side steal of the back half (all of a 1-chunk remainder);
+    /// returns the stolen interval.
+    fn steal_half(&self) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            // The owner keeps the front floor(half); the thief takes the
+            // back ceil(half) so a 1-chunk interval is stealable too.
+            let mid = next + (end - next) / 2;
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(next, mid),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((mid, end)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// How many chunks remain (steal-victim selection heuristic; racy
+    /// by nature, which is fine — a stale read only picks a worse
+    /// victim).
+    fn remaining(&self) -> u32 {
+        let (next, end) = unpack(self.0.load(Ordering::Relaxed));
+        end.saturating_sub(next)
+    }
+
+    /// Owner-side replacement of an emptied interval with a stolen one.
+    /// A plain store suffices: only the owner stores, and thieves never
+    /// modify an empty deque (their CAS is preceded by the emptiness
+    /// check), so no concurrent writer exists while this runs.
+    fn refill(&self, interval: (u32, u32)) {
+        self.0.store(pack(interval.0, interval.1), Ordering::Release);
+    }
+}
+
 /// Shares a raw pointer to the output slots between workers.
 ///
-/// Safety contract: every index is written by exactly one worker (the
-/// chunk cursor hands out disjoint ranges), and the owning vector outlives
-/// the thread scope.
+/// Safety contract: every index is written by exactly one worker (chunk
+/// claims are disjoint), and the owning vector outlives the thread
+/// scope.
 struct OutputSlots<T>(*mut MaybeUninit<T>);
 
 // SAFETY: workers write disjoint slots; the pointer itself is only copied.
@@ -69,18 +304,31 @@ impl<T> Drop for SlotDropGuard<'_, T> {
     }
 }
 
-/// Fills a `len`-slot output vector by claiming chunked index ranges from
-/// an atomic cursor across `workers` scoped threads; `fill(i)` produces
-/// slot `i`. Results are in index order, identical to a serial loop.
+/// Fills a `len`-slot output vector across `workers` scoped threads via
+/// per-worker chunk deques with work stealing; `fill(i)` produces slot
+/// `i`. Results are in index order, identical to a serial loop. Returns
+/// the values and the per-worker telemetry.
 ///
-/// Panic safety: if a `fill` call panics, the scope joins the remaining
-/// workers and re-panics, and the [`SlotDropGuard`] drops every slot that
-/// was initialized before the unwind — nothing leaks.
-fn fill_slots_parallel<T, F>(len: usize, workers: usize, chunk: usize, fill: F) -> Vec<T>
+/// Panic safety: if a `fill` call panics, the panicking worker unwinds,
+/// the surviving workers keep draining every remaining chunk (steals
+/// from the dead worker's deque included — its unprocessed interval is
+/// still claimable), the scope joins and re-panics, and the
+/// [`SlotDropGuard`] drops every slot that was initialized before the
+/// unwind — nothing leaks.
+fn fill_slots_parallel<T, F>(
+    len: usize,
+    workers: usize,
+    chunk: usize,
+    fill: F,
+) -> (Vec<T>, Vec<WorkerStats>)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    assert!(
+        u32::try_from(len).is_ok(),
+        "batch of {len} nets exceeds the u32 chunk index space"
+    );
     let mut results: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
     let slots = OutputSlots(results.as_mut_ptr());
     let init: Box<[AtomicBool]> = (0..len).map(|_| AtomicBool::new(false)).collect();
@@ -91,43 +339,107 @@ where
         slots: results.as_mut_ptr(),
         init: &init,
     };
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let slots = &slots;
-            let cursor = &cursor;
-            let init = &init;
-            let fill = &fill;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                let end = (start + chunk).min(len);
-                for i in start..end {
-                    let value = fill(i);
-                    // SAFETY: `i` is inside this worker's claimed range;
-                    // ranges are disjoint and within the vector's
-                    // allocated capacity.
-                    unsafe { (*slots.0.add(i)).write(value) };
-                    // Publish only after the write completes, so the
-                    // guard never drops a half-written slot.
-                    init[i].store(true, Ordering::Release);
-                }
-            });
-        }
+    // Static partition: worker `w` starts with the contiguous chunk
+    // interval [w·n/W, (w+1)·n/W) — balanced to within one chunk.
+    let nchunks = len.div_ceil(chunk);
+    let deques: Box<[ChunkDeque]> = (0..workers)
+        .map(|w| {
+            ChunkDeque::new(
+                (w * nchunks / workers) as u32,
+                ((w + 1) * nchunks / workers) as u32,
+            )
+        })
+        .collect();
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let slots = &slots;
+                let init = &init;
+                let fill = &fill;
+                let deques = &deques;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        // Drain the own deque front-to-back.
+                        while let Some(c) = deques[w].pop_front() {
+                            let start = (c as usize) * chunk;
+                            let end = (start + chunk).min(len);
+                            let t0 = Instant::now();
+                            for i in start..end {
+                                let value = fill(i);
+                                // SAFETY: chunk `c` was claimed exactly
+                                // once (deque CAS), so slot `i` has a
+                                // unique writer, inside the vector's
+                                // allocated capacity.
+                                unsafe { (*slots.0.add(i)).write(value) };
+                                // Publish only after the write completes,
+                                // so the guard never drops a half-written
+                                // slot.
+                                init[i].store(true, Ordering::Release);
+                            }
+                            stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                            stats.chunks += 1;
+                            stats.nets += (end - start) as u64;
+                        }
+                        // Own deque empty: steal the back half of the
+                        // fullest victim. Exiting requires observing
+                        // every other deque empty — losing a race for a
+                        // victim's last chunks rescans, because another
+                        // victim may still hold work. Once all deques
+                        // read empty, the remaining work (if any) is
+                        // already claimed by its holders, so exiting
+                        // never orphans a chunk.
+                        let mut stolen = None;
+                        loop {
+                            let victim = (0..workers)
+                                .filter(|&v| v != w)
+                                .max_by_key(|&v| deques[v].remaining());
+                            match victim {
+                                Some(v) if deques[v].remaining() > 0 => {
+                                    if let Some(interval) = deques[v].steal_half() {
+                                        stolen = Some(interval);
+                                        break;
+                                    }
+                                    stats.failed_steals += 1;
+                                }
+                                _ => break,
+                            }
+                        }
+                        match stolen {
+                            Some(interval) => {
+                                stats.steals += 1;
+                                deques[w].refill(interval);
+                            }
+                            None => break,
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(stats) => stats,
+                // Re-raise inside the scope: the scope has already joined
+                // this worker; re-panicking here unwinds through the
+                // scope (joining the rest) into the guard.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     });
-    // Every worker joined without panicking and the cursor covered
-    // 0..len, so all slots are initialized; ownership passes to the
+    // Every worker joined without panicking and the deques drained
+    // 0..nchunks, so all slots are initialized; ownership passes to the
     // returned vector and the guard must not double-drop.
     std::mem::forget(guard);
     // SAFETY: all `len` slots were written exactly once (see above).
     unsafe { results.set_len(len) };
     // MaybeUninit<T> → T is a transparent no-op once initialized.
-    results
+    let values = results
         .into_iter()
         .map(|slot| unsafe { slot.assume_init() })
-        .collect()
+        .collect();
+    (values, stats)
 }
 
 /// Renders a caught panic payload for [`RouteError::Panicked`] (panics
@@ -161,7 +473,8 @@ impl PatLabor {
     /// `threads` is clamped to at least 1 (a zero request degrades to
     /// serial routing instead of panicking). Results are in input order
     /// and bit-identical to calling [`PatLabor::route`] per net (routing
-    /// is deterministic, with or without the frontier cache).
+    /// is deterministic, with or without the frontier cache, at every
+    /// thread count, steals included).
     ///
     /// Each slot is that net's own [`RouteResult`]: a net the tables
     /// cannot serve yields `Err` in its slot without poisoning the rest
@@ -169,21 +482,58 @@ impl PatLabor {
     /// caught per net ([`RouteError::Panicked`]) — one pathological net
     /// never takes the batch down.
     pub fn route_batch(&self, nets: &[Net], threads: usize) -> Vec<RouteResult> {
+        self.route_batch_with_stats(nets, threads).0
+    }
+
+    /// [`PatLabor::route_batch`] plus the driver telemetry: per-worker
+    /// busy time, chunk/net tallies and steal counts ([`BatchStats`]).
+    /// The scaling bench and `route --threads` read utilization from
+    /// here instead of inferring it from wall clock.
+    pub fn route_batch_with_stats(
+        &self,
+        nets: &[Net],
+        threads: usize,
+    ) -> (Vec<RouteResult>, BatchStats) {
         let threads = threads.max(1);
+        let t0 = Instant::now();
         if threads == 1 || nets.len() <= 1 {
-            return nets.iter().map(|n| self.route_caught(n)).collect();
+            let busy = Instant::now();
+            let results: Vec<RouteResult> =
+                nets.iter().map(|n| self.route_caught(n)).collect();
+            let busy_ns = busy.elapsed().as_nanos() as u64;
+            let stats = BatchStats {
+                workers: 1,
+                chunk_size: nets.len().max(1),
+                chunks: 1,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+                per_worker: vec![WorkerStats {
+                    busy_ns,
+                    chunks: 1,
+                    nets: nets.len() as u64,
+                    ..WorkerStats::default()
+                }],
+            };
+            return (results, stats);
         }
         let workers = threads.min(nets.len());
-        // Adaptive chunking: ~8 chunks per worker bounds the tail-latency
-        // imbalance at ~1/8 of one worker's share, while chunks ≥ 1 and
-        // ≤ 256 keep cursor traffic negligible on huge batches.
-        let chunk = (nets.len() / (workers * 8)).clamp(1, 256);
-        fill_slots_parallel(nets.len(), workers, chunk, |i| self.route_caught(&nets[i]))
+        let chunk = self.config().batch.auto_chunk(nets.len(), workers);
+        let (results, per_worker) =
+            fill_slots_parallel(nets.len(), workers, chunk, |i| self.route_caught(&nets[i]));
+        let stats = BatchStats {
+            workers,
+            chunk_size: chunk,
+            chunks: nets.len().div_ceil(chunk),
+            elapsed_ns: t0.elapsed().as_nanos() as u64,
+            per_worker,
+        };
+        (results, stats)
     }
 
     /// [`PatLabor::route_batch`] plus the batch-level
     /// [`ResilienceReport`] aggregating every slot's ladder activity
-    /// (what served, what degraded, what panicked, what hit deadlines).
+    /// (what served, what degraded, what panicked, what hit deadlines)
+    /// and the frontier cache's health (bypass state and lock
+    /// contention).
     pub fn route_batch_with_report(
         &self,
         nets: &[Net],
@@ -191,7 +541,11 @@ impl PatLabor {
     ) -> (Vec<RouteResult>, ResilienceReport) {
         let results = self.route_batch(nets, threads);
         let mut report = ResilienceReport::from_results(&results);
-        report.cache_bypassed = self.cache_stats().is_some_and(|s| s.bypassed);
+        if let Some(stats) = self.cache_stats() {
+            report.cache_bypassed = stats.bypassed;
+            report.cache_contended_reads = stats.contended_reads;
+            report.cache_contended_writes = stats.contended_writes;
+        }
         (results, report)
     }
 
@@ -231,6 +585,57 @@ mod tests {
     }
 
     #[test]
+    fn deque_pop_and_steal_partition_the_interval() {
+        let deque = ChunkDeque::new(0, 10);
+        assert_eq!(deque.pop_front(), Some(0));
+        assert_eq!(deque.remaining(), 9);
+        // Thief takes the back ceil(half) of [1, 10).
+        assert_eq!(deque.steal_half(), Some((5, 10)));
+        assert_eq!(deque.remaining(), 4);
+        for expect in 1..5 {
+            assert_eq!(deque.pop_front(), Some(expect));
+        }
+        assert_eq!(deque.pop_front(), None);
+        assert_eq!(deque.steal_half(), None);
+        // A 1-chunk interval is stealable whole.
+        let last = ChunkDeque::new(7, 8);
+        assert_eq!(last.steal_half(), Some((7, 8)));
+        assert_eq!(last.pop_front(), None);
+    }
+
+    /// Hammer one deque from many threads (owner pops, thieves steal):
+    /// every chunk index must be claimed exactly once.
+    #[test]
+    fn deque_claims_are_disjoint_under_contention() {
+        use std::sync::atomic::AtomicUsize;
+        const CHUNKS: u32 = 10_000;
+        let deque = ChunkDeque::new(0, CHUNKS);
+        let claims: Box<[AtomicUsize]> =
+            (0..CHUNKS).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            // One owner popping the front...
+            scope.spawn(|| {
+                while let Some(c) = deque.pop_front() {
+                    claims[c as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            // ...and thieves carving up the back.
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while let Some((lo, hi)) = deque.steal_half() {
+                        for c in lo..hi {
+                            claims[c as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        for (c, claim) in claims.iter().enumerate() {
+            assert_eq!(claim.load(Ordering::Relaxed), 1, "chunk {c} claim count");
+        }
+    }
+
+    #[test]
     fn batch_matches_sequential_and_is_order_stable() {
         let router = PatLabor::with_config(RouterConfig {
             lambda: 4,
@@ -245,6 +650,51 @@ mod tests {
             let batch = frontiers(router.route_batch(&nets, threads));
             assert_eq!(batch, sequential, "threads = {threads}");
         }
+    }
+
+    /// Satellite: the determinism matrix. Bit-identical frontiers at
+    /// thread counts {1, 2, 4, N, N+3} (N = hardware threads) under work
+    /// stealing, with a chunk size small enough that steals actually
+    /// happen when the counts exceed the initial partition's balance.
+    #[test]
+    fn determinism_matrix_across_thread_counts() {
+        let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let router = PatLabor::with_config(RouterConfig {
+            lambda: 4,
+            batch: BatchConfig { chunk_size: Some(2) },
+            ..RouterConfig::default()
+        });
+        let nets = patlabor_netgen::iccad_like_suite(0xde7e2, 60, 10);
+        let sequential: Vec<_> = nets
+            .iter()
+            .map(|n| router.route(n).expect("serial net failed").frontier)
+            .collect();
+        for threads in [1, 2, 4, hardware, hardware + 3] {
+            let (results, stats) = router.route_batch_with_stats(&nets, threads);
+            assert_eq!(frontiers(results), sequential, "threads = {threads}");
+            assert_eq!(stats.workers, threads.min(nets.len()).max(1));
+            let routed: u64 = stats.per_worker.iter().map(|w| w.nets).sum();
+            assert_eq!(routed as usize, nets.len(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn explicit_chunk_size_is_honored() {
+        let router = PatLabor::with_config(RouterConfig {
+            lambda: 4,
+            batch: BatchConfig { chunk_size: Some(3) },
+            ..RouterConfig::default()
+        });
+        let nets = patlabor_netgen::iccad_like_suite(0xc4u64, 20, 8);
+        let (results, stats) = router.route_batch_with_stats(&nets, 2);
+        assert_eq!(stats.chunk_size, 3);
+        assert_eq!(stats.chunks, nets.len().div_ceil(3));
+        assert_eq!(results.len(), nets.len());
+        // The auto heuristic: nets/(workers·4) clamped to [1, 64].
+        assert_eq!(BatchConfig::default().auto_chunk(1000, 4), 62);
+        assert_eq!(BatchConfig::default().auto_chunk(10, 8), 1);
+        assert_eq!(BatchConfig::default().auto_chunk(1_000_000, 2), 64);
+        assert_eq!(BatchConfig { chunk_size: Some(0) }.auto_chunk(10, 2), 1);
     }
 
     #[test]
@@ -330,13 +780,69 @@ mod tests {
         assert!(created.load(SeqCst) > 0);
     }
 
+    /// Satellite: a worker dying mid-steal. The panicking worker's
+    /// still-queued interval stays claimable, the survivors steal and
+    /// finish every other slot, and the unwind drops exactly the
+    /// initialized ones — slot isolation holds through worker death.
+    #[test]
+    fn worker_death_mid_steal_leaves_other_slots_claimed() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        let filled = AtomicUsize::new(0);
+        let len = 400usize;
+        // Chunk 1 with 4 workers: worker 0 owns [0, 100) and dies on its
+        // very first net; the other three keep draining their own spans
+        // and then steal the dead worker's remainder.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fill_slots_parallel(len, 4, 1, |i| {
+                if i == 0 {
+                    panic!("worker 0 dies immediately");
+                }
+                filled.fetch_add(1, SeqCst);
+                i
+            })
+        }));
+        assert!(result.is_err(), "the worker death must propagate");
+        // Every slot except the poisoned one was produced: the dead
+        // worker's interval was stolen and finished by the survivors.
+        assert_eq!(filled.load(SeqCst), len - 1);
+    }
+
     /// The happy path through the guard: values transfer out exactly once
-    /// (each slot dropped once by the caller, never by the guard).
+    /// (each slot dropped once by the caller, never by the guard), and
+    /// the per-worker tallies cover the batch.
     #[test]
     fn fill_slots_parallel_matches_serial_and_owns_results() {
-        let squares = fill_slots_parallel(1000, 7, 16, |i| i * i);
+        let (squares, stats) = fill_slots_parallel(1000, 7, 16, |i| i * i);
         assert_eq!(squares.len(), 1000);
         assert!(squares.iter().enumerate().all(|(i, &v)| v == i * i));
+        assert_eq!(stats.len(), 7);
+        assert_eq!(stats.iter().map(|w| w.nets).sum::<u64>(), 1000);
+        assert_eq!(
+            stats.iter().map(|w| w.chunks).sum::<u64>(),
+            1000u64.div_ceil(16)
+        );
+    }
+
+    /// A deliberately skewed workload (all cost in the last quarter of
+    /// the batch) must trigger steals: the statically-partitioned owner
+    /// of the expensive span cannot be left to finish alone.
+    #[test]
+    fn skewed_workloads_actually_steal() {
+        let (_, stats) = fill_slots_parallel(256, 4, 1, |i| {
+            if i >= 192 {
+                // The expensive span: burn enough real time (≈ 1 ms per
+                // net, past any OS timeslice) that the other three
+                // workers drain their cheap spans first and go stealing
+                // — even on a single hardware thread.
+                std::hint::black_box((0..2_000_000u64).sum::<u64>());
+            }
+            i
+        });
+        let steals: u64 = stats.iter().map(|w| w.steals).sum();
+        assert!(steals > 0, "no steals on a 4:1 skewed workload: {stats:?}");
+        assert_eq!(stats.iter().map(|w| w.nets).sum::<u64>(), 256);
     }
 
     /// Regression: a net the tables cannot serve must produce an `Err` in
@@ -435,7 +941,15 @@ mod tests {
 
             // The aggregate report sees the same picture.
             let (reported, report) = faulty.route_batch_with_report(&nets, threads);
-            assert_eq!(report, ResilienceReport::from_results(&reported));
+            assert_eq!(
+                ResilienceReport {
+                    cache_bypassed: report.cache_bypassed,
+                    cache_contended_reads: report.cache_contended_reads,
+                    cache_contended_writes: report.cache_contended_writes,
+                    ..ResilienceReport::from_results(&reported)
+                },
+                report
+            );
             assert_eq!(report.nets as usize, nets.len());
             assert_eq!(report.served + report.errors, report.nets);
             assert_eq!(report.errors, report.panicked);

@@ -48,6 +48,7 @@
 
 mod batch;
 pub mod cache;
+pub mod pad;
 pub mod ks;
 pub mod local_search;
 pub mod pipeline;
@@ -55,7 +56,9 @@ pub mod policy;
 pub mod resilience;
 mod router;
 
-pub use cache::{CacheConfig, CacheStats};
+pub use batch::{BatchConfig, BatchStats, WorkerStats};
+pub use cache::{CacheConfig, CacheStats, ShardStats};
+pub use pad::CachePadded;
 pub use pipeline::{
     ProvenanceSummary, RouteError, RouteOutcome, RouteProvenance, RouteResult, RouteSource,
     RouteStage, StageCounters,

@@ -654,6 +654,14 @@ pub struct ResilienceReport {
     /// Stamped by [`crate::PatLabor::route_batch_with_report`];
     /// [`ResilienceReport::from_results`] alone cannot know it.
     pub cache_bypassed: bool,
+    /// Cache read-lock acquisitions that found the shard lock held
+    /// (failed `try_read` before blocking), summed across shards.
+    /// Stamped like [`cache_bypassed`](ResilienceReport::cache_bypassed).
+    pub cache_contended_reads: u64,
+    /// Cache write-lock acquisitions that found the shard lock held
+    /// (failed `try_write` before blocking), summed across shards.
+    /// Stamped like [`cache_bypassed`](ResilienceReport::cache_bypassed).
+    pub cache_contended_writes: u64,
 }
 
 impl ResilienceReport {
@@ -718,6 +726,13 @@ impl fmt::Display for ResilienceReport {
         }
         if self.cache_bypassed {
             write!(f, "; cache bypassed (hit rate below floor)")?;
+        }
+        if self.cache_contended_reads + self.cache_contended_writes > 0 {
+            write!(
+                f,
+                "; cache lock contention: {} reads, {} writes",
+                self.cache_contended_reads, self.cache_contended_writes
+            )?;
         }
         Ok(())
     }

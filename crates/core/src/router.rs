@@ -20,7 +20,8 @@ use patlabor_lut::{LookupTable, LutBuilder};
 use patlabor_pareto::{Cost, ParetoSet};
 use patlabor_tree::RoutingTree;
 
-use crate::cache::{CacheConfig, CacheKey, CacheStats, FrontierCache};
+use crate::batch::BatchConfig;
+use crate::cache::{CacheConfig, CacheKey, CacheStats, FrontierCache, ShardStats};
 use crate::local_search::{local_search_cancellable, LocalSearchConfig};
 use crate::pipeline::{
     RouteError, RouteOutcome, RouteProvenance, RouteSource, StageCounters,
@@ -65,6 +66,9 @@ pub struct RouterConfig {
     /// table doctoring in tests and drills. Empty by default: nothing
     /// fires and the serving path skips all fault bookkeeping.
     pub faults: FaultPlane,
+    /// Batch-driver tuning ([`crate::batch::BatchConfig`]): the
+    /// work-stealing chunk size, auto-derived by default.
+    pub batch: BatchConfig,
 }
 
 impl Default for RouterConfig {
@@ -75,6 +79,7 @@ impl Default for RouterConfig {
             cache: CacheConfig::default(),
             resilience: ResilienceConfig::default(),
             faults: FaultPlane::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -220,6 +225,12 @@ impl PatLabor {
     /// The active pin-selection policy.
     pub fn policy(&self) -> &Policy {
         &self.policy
+    }
+
+    /// The router's configuration (the batch driver reads its chunk
+    /// tuning from here).
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
     }
 
     /// Routes one net through the staged pipeline, returning the Pareto
@@ -580,6 +591,14 @@ impl PatLabor {
     /// Frontier-cache counters, or `None` when the cache is disabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Per-shard frontier-cache counters (hits, misses, occupancy, lock
+    /// contention), or `None` when the cache is disabled. The scaling
+    /// bench reads these to spot hot shards instead of averaging them
+    /// away in the aggregate [`CacheStats`].
+    pub fn cache_shard_stats(&self) -> Option<Vec<ShardStats>> {
+        self.cache.as_ref().map(|c| c.shard_stats())
     }
 
     /// Whether `route` is exact for this degree.

@@ -176,27 +176,36 @@ pub fn verify_with_table(table: LookupTable, config: &VerifyConfig) -> VerifyRep
         }
     }
 
-    // Pair (c): the lock-free batch driver vs the serial loop above.
-    let batch = harness.cached.route_batch(&nets, config.threads.max(1));
+    // Pair (c): the work-stealing batch driver vs the serial loop above,
+    // swept across thread counts — determinism must hold under every
+    // steal schedule, including oversubscribed ones (more workers than
+    // hardware threads, maximal preemption) and the configured count.
     let batch_slot = PathPair::ALL
         .iter()
         .position(|&p| p == PathPair::BatchVsSerial)
         .expect("BatchVsSerial is in ALL");
-    for (index, (batched, serial)) in batch.iter().zip(serial.iter()).enumerate() {
-        counts[batch_slot] += 1;
-        if let Some((fast, reference, why)) = result_mismatch(batched, serial) {
-            let cx = Counterexample {
-                pair: PathPair::BatchVsSerial,
-                seed: config.seed,
-                net_index: index,
-                original_degree: nets[index].degree(),
-                net: nets[index].clone(),
-                shrink_steps: 0, // a 1-net batch degrades to the serial path
-                fast,
-                reference,
-                detail: format!("{} worker threads; {why}", config.threads.max(1)),
-            };
-            return finish(config, nets.len(), counts, Some(cx), None);
+    let configured = config.threads.max(1);
+    let mut thread_sweep = vec![1, 2, configured, configured + 3];
+    thread_sweep.sort_unstable();
+    thread_sweep.dedup();
+    for threads in thread_sweep {
+        let batch = harness.cached.route_batch(&nets, threads);
+        for (index, (batched, serial)) in batch.iter().zip(serial.iter()).enumerate() {
+            counts[batch_slot] += 1;
+            if let Some((fast, reference, why)) = result_mismatch(batched, serial) {
+                let cx = Counterexample {
+                    pair: PathPair::BatchVsSerial,
+                    seed: config.seed,
+                    net_index: index,
+                    original_degree: nets[index].degree(),
+                    net: nets[index].clone(),
+                    shrink_steps: 0, // a 1-net batch degrades to the serial path
+                    fast,
+                    reference,
+                    detail: format!("{threads} worker threads; {why}"),
+                };
+                return finish(config, nets.len(), counts, Some(cx), None);
+            }
         }
     }
 
