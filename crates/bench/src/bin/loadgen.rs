@@ -1,0 +1,576 @@
+//! The serving-path loadgen: drives a `patlabor serve` daemon with a
+//! fixed-seed workload and writes `BENCH_PR8.json` in the shared
+//! `scaling-v1` schema ([`patlabor_bench::scaling`]).
+//!
+//! Two modes:
+//!
+//! * **Self-host** (default): builds a λ = 4 engine in-process, starts
+//!   the daemon on a loopback port, and sweeps the coalescing window
+//!   (0 µs, 200 µs, 1 ms). Per window it measures connect-to-first-reply
+//!   on a fresh connection, closed-loop request latency percentiles
+//!   (p50 / p99 / p999) across 4 pipeline-free connections, saturation
+//!   throughput, and the mean coalesced batch size scraped from
+//!   `/metrics`. Every reply's frontier is checked bit-identical to the
+//!   in-process `Engine::route` answer — the daemon must add transport,
+//!   never semantics.
+//!
+//! * **External** (`PATLABOR_SERVE_ADDR` set, optionally
+//!   `PATLABOR_SERVE_HTTP`): the CI serve job's client. Fires the same
+//!   fixed-seed workload — plus deadline-exceeded (`deadline_ms: 0`)
+//!   and malformed-frame cases — at an already-running daemon, asserts
+//!   the documented reply vocabulary, then scrapes `/metrics` and
+//!   asserts the counters are present and mutually consistent
+//!   (Σ served-by-rung == responses, latency count == responses,
+//!   malformed rejections counted). When `PATLABOR_SERVE_LAMBDA` is
+//!   set, replies are additionally checked bit-identical against a
+//!   local engine at that λ (the CI daemon serves a λ = 4 fixture).
+//!   Exits nonzero on any violation.
+//!
+//! Both modes write `BENCH_PR8.json` at the repository root.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use patlabor::{Engine, Net};
+use patlabor_bench::scaling::{render_report, serve_rows_json, ReportHeader, ServeRun};
+use patlabor_serve::{scrape_metrics, RouteClient, RouteRequest};
+
+const SEED: u64 = 0x10ad_6e4e;
+/// Valid route requests per run (the "~500 requests" of the CI job).
+const REQUESTS: usize = 500;
+/// Closed-loop connections driving the daemon concurrently.
+const CONNECTIONS: usize = 4;
+/// Deadline-exceeded probes in external mode (`deadline_ms: 0`).
+const DEADLINE_PROBES: usize = 25;
+/// Malformed frames in external mode.
+const MALFORMED_PROBES: usize = 10;
+/// The coalescing windows the self-host sweep visits, µs.
+const WINDOWS_US: [u64; 3] = [0, 200, 1000];
+const LAMBDA: u8 = 4;
+
+fn fail(message: &str) -> ! {
+    eprintln!("loadgen: FAIL: {message}");
+    exit(1);
+}
+
+fn check(condition: bool, message: &str) {
+    if !condition {
+        fail(message);
+    }
+}
+
+/// The canonical frontier rendering used for bit-identity checks:
+/// every `(w, d)` point in frontier order.
+fn frontier_key(json: &patlabor_serve::Json) -> String {
+    let Some(points) = json.get("frontier").and_then(|f| f.as_array()) else {
+        return "<no frontier>".to_string();
+    };
+    points
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}",
+                p.get("w").and_then(|v| v.as_i64()).unwrap_or(i64::MIN),
+                p.get("d").and_then(|v| v.as_i64()).unwrap_or(i64::MIN),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// The same rendering computed from an in-process route, for the
+/// expected side of the comparison.
+fn expected_keys(engine: &Engine, nets: &[Net]) -> Vec<String> {
+    nets.iter()
+        .map(|net| match engine.route(net) {
+            Ok(outcome) => outcome
+                .frontier
+                .iter()
+                .map(|(c, _)| format!("{}:{}", c.wirelength, c.delay))
+                .collect::<Vec<_>>()
+                .join(";"),
+            Err(e) => fail(&format!("in-process route failed: {e}")),
+        })
+        .collect()
+}
+
+struct LoadOutcome {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    degraded: u64,
+    open_to_first_us: f64,
+    wall: Duration,
+}
+
+/// Closed-loop load: `CONNECTIONS` threads, each with its own
+/// connection, each round-tripping its interleaved share of `nets` one
+/// request at a time. Replies are asserted `ok` and (when `expected`
+/// is given) bit-identical to the in-process frontier.
+fn drive(addr: SocketAddr, nets: &[Net], expected: Option<&[String]>) -> LoadOutcome {
+    // A fresh connection's first round trip, before the load starts:
+    // the open-to-first-response number a cold client sees.
+    let opened = Instant::now();
+    let mut probe = RouteClient::connect(addr).unwrap_or_else(|e| {
+        fail(&format!("connect to {addr} failed: {e}"));
+    });
+    let request = RouteRequest {
+        id: 1 << 32,
+        net: nets[0].clone(),
+        deadline_ms: None,
+    };
+    let reply = probe
+        .route(&request)
+        .unwrap_or_else(|e| fail(&format!("first round trip failed: {e}")));
+    check(
+        reply.get("ok").and_then(|v| v.as_bool()) == Some(true),
+        "first round trip not ok",
+    );
+    let open_to_first_us = opened.elapsed().as_secs_f64() * 1e6;
+    drop(probe);
+
+    let started = Instant::now();
+    let mut shards: Vec<LoadOutcome> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CONNECTIONS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = RouteClient::connect(addr)
+                        .unwrap_or_else(|e| fail(&format!("connect failed: {e}")));
+                    let mut latencies = Vec::new();
+                    let (mut ok, mut degraded) = (0u64, 0u64);
+                    for i in (t..nets.len()).step_by(CONNECTIONS) {
+                        let request = RouteRequest {
+                            id: i as u64,
+                            net: nets[i].clone(),
+                            deadline_ms: None,
+                        };
+                        let sent = Instant::now();
+                        let reply = client
+                            .route(&request)
+                            .unwrap_or_else(|e| fail(&format!("request {i} failed: {e}")));
+                        latencies.push(sent.elapsed().as_nanos() as u64);
+                        check(
+                            reply.get("id").and_then(|v| v.as_u64()) == Some(i as u64),
+                            "reply id does not correlate",
+                        );
+                        check(
+                            reply.get("ok").and_then(|v| v.as_bool()) == Some(true),
+                            &format!("request {i} not ok: {}", reply.render()),
+                        );
+                        ok += 1;
+                        if reply.get("degraded").and_then(|v| v.as_bool()) == Some(true) {
+                            degraded += 1;
+                        }
+                        if let Some(expected) = expected {
+                            check(
+                                frontier_key(&reply) == expected[i],
+                                &format!("request {i}: served frontier differs from direct route"),
+                            );
+                        }
+                    }
+                    LoadOutcome {
+                        latencies_ns: latencies,
+                        ok,
+                        degraded,
+                        open_to_first_us: 0.0,
+                        wall: Duration::ZERO,
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().unwrap_or_else(|_| fail("load worker panicked")))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut merged = LoadOutcome {
+        latencies_ns: Vec::with_capacity(nets.len()),
+        ok: 0,
+        degraded: 0,
+        open_to_first_us,
+        wall,
+    };
+    for shard in &mut shards {
+        merged.latencies_ns.append(&mut shard.latencies_ns);
+        merged.ok += shard.ok;
+        merged.degraded += shard.degraded;
+    }
+    merged.latencies_ns.sort_unstable();
+    merged
+}
+
+/// The q-th quantile of an already-sorted latency list, in µs.
+fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e3
+}
+
+fn run_row(window_us: u64, outcome: &LoadOutcome, rejected: u64, mean_batch: Option<f64>) -> ServeRun {
+    ServeRun {
+        window_us,
+        connections: CONNECTIONS,
+        requests: outcome.latencies_ns.len(),
+        ok: outcome.ok,
+        degraded: outcome.degraded,
+        rejected,
+        throughput_rps: outcome.latencies_ns.len() as f64 / outcome.wall.as_secs_f64().max(1e-9),
+        open_to_first_response_us: outcome.open_to_first_us,
+        p50_us: quantile_us(&outcome.latencies_ns, 0.5),
+        p99_us: quantile_us(&outcome.latencies_ns, 0.99),
+        p999_us: quantile_us(&outcome.latencies_ns, 0.999),
+        mean_batch,
+    }
+}
+
+/// The value of an unlabeled metric family, e.g. `patlabor_queue_depth`.
+fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            let mut parts = l.split_whitespace();
+            (parts.next() == Some(name)).then(|| parts.next())?
+        })
+        .and_then(|v| v.parse().ok())
+}
+
+/// The sum over every labeled sample of a family, e.g. all
+/// `patlabor_served_by_rung_total{rung=...}` lines.
+fn metric_sum(exposition: &str, family: &str) -> f64 {
+    let prefix = format!("{family}{{");
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.split_whitespace();
+            parts.next().filter(|t| t.starts_with(&prefix))?;
+            parts.next()?.parse::<f64>().ok()
+        })
+        .sum()
+}
+
+/// One labeled sample, e.g. `rejected_total{reason="malformed"}`.
+fn metric_labeled(exposition: &str, sample: &str) -> Option<f64> {
+    metric_value(exposition, sample)
+}
+
+fn mean_batch_from(http: Option<SocketAddr>) -> Option<f64> {
+    let exposition = scrape_metrics(http?).ok()?;
+    let batches = metric_value(&exposition, "patlabor_batches_total")?;
+    let nets = metric_value(&exposition, "patlabor_batched_nets_total")?;
+    (batches > 0.0).then(|| nets / batches)
+}
+
+fn write_report(header: &ReportHeader<'_>, rows: &[ServeRun], headline: &str, notes: &str) {
+    let extra = format!(
+        "  \"serve_runs\": {},\n  \"headline\": {headline},\n",
+        serve_rows_json(rows, "  ")
+    );
+    let json = render_report(header, &[], &extra, notes);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| fail(&format!("write BENCH_PR8.json: {e}")));
+    eprintln!("wrote {}", path.display());
+    print!("{json}");
+}
+
+fn workload() -> Vec<Net> {
+    patlabor_netgen::iccad_like_suite(SEED, REQUESTS, 8)
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Serial in-process baseline: the direct-call throughput that served
+/// latency and throughput are judged against.
+fn serial_baseline(engine: &Engine, nets: &[Net]) -> f64 {
+    let started = Instant::now();
+    for net in nets {
+        if engine.route(net).is_err() {
+            fail("serial baseline route failed");
+        }
+    }
+    nets.len() as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+// ---------------------------------------------------------------- modes
+
+fn self_host() {
+    let hardware = hardware_threads();
+    eprintln!(
+        "self-host: {REQUESTS} nets (seed {SEED:#x}), λ = {LAMBDA}, \
+         {CONNECTIONS} connections, hardware threads = {hardware}"
+    );
+    let engine = Engine::with_table(patlabor_lut::LutBuilder::new(LAMBDA).threads(hardware).build());
+    let nets = workload();
+    let expected = expected_keys(&engine, &nets);
+    let serial = serial_baseline(&engine, &nets);
+
+    let mut rows = Vec::new();
+    for window_us in WINDOWS_US {
+        let config = patlabor_serve::ServeConfig {
+            http_addr: Some("127.0.0.1:0".to_string()),
+            window: Duration::from_micros(window_us),
+            ..patlabor_serve::ServeConfig::default()
+        };
+        let server = patlabor_serve::serve(engine.clone(), config)
+            .unwrap_or_else(|e| fail(&format!("serve failed to start: {e}")));
+        let outcome = drive(server.addr(), &nets, Some(&expected));
+        let mean_batch = mean_batch_from(server.http_addr());
+        let summary = server.shutdown();
+        check(summary.rejected == 0, "self-host run saw admission rejections");
+        check(summary.malformed == 0, "self-host run saw malformed frames");
+        let row = run_row(window_us, &outcome, summary.rejected, mean_batch);
+        eprintln!(
+            "window {:>4} µs: {:.0} req/s, p50 {:.0} µs, p99 {:.0} µs, \
+             mean batch {:.2}",
+            window_us,
+            row.throughput_rps,
+            row.p50_us,
+            row.p99_us,
+            mean_batch.unwrap_or(0.0),
+        );
+        rows.push(row);
+    }
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+        .expect("at least one window");
+    let headline = format!(
+        "{{\"best_window_us\": {}, \"saturation_rps\": {:.2}, \
+         \"served_vs_direct_identical\": true}}",
+        best.window_us, best.throughput_rps
+    );
+    let header = ReportHeader {
+        bench: "loadgen",
+        nets: REQUESTS,
+        seed: SEED,
+        hardware_threads: hardware,
+        serial_nets_per_sec: serial,
+    };
+    write_report(
+        &header,
+        &rows,
+        &headline,
+        "self-host coalescing-window sweep; every served frontier checked \
+         bit-identical to the in-process route; latencies are closed-loop \
+         round trips including the accumulation window",
+    );
+}
+
+fn external(addr: SocketAddr) {
+    let http: Option<SocketAddr> = std::env::var("PATLABOR_SERVE_HTTP")
+        .ok()
+        .map(|s| s.parse().unwrap_or_else(|_| fail("bad PATLABOR_SERVE_HTTP")));
+    let lambda: Option<u8> = std::env::var("PATLABOR_SERVE_LAMBDA")
+        .ok()
+        .map(|s| s.parse().unwrap_or_else(|_| fail("bad PATLABOR_SERVE_LAMBDA")));
+    let window_us: u64 = std::env::var("PATLABOR_SERVE_WINDOW_US")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    eprintln!(
+        "external: daemon {addr}, http {http:?}, {REQUESTS} valid + \
+         {DEADLINE_PROBES} deadline + {MALFORMED_PROBES} malformed requests"
+    );
+    let nets = workload();
+    let expected = lambda.map(|lambda| {
+        let engine =
+            Engine::with_table(patlabor_lut::LutBuilder::new(lambda).threads(hardware_threads()).build());
+        expected_keys(&engine, &nets)
+    });
+
+    // The main closed-loop load.
+    let outcome = drive(addr, &nets, expected.as_deref());
+    check(outcome.ok == REQUESTS as u64, "not every valid request was served");
+
+    // Deadline-exceeded probes: an impossible budget must degrade, not
+    // fail — `ok` with `degraded: true` and a deadline in the trace.
+    // Degree-2 nets are excluded (their closed form beats any
+    // deadline), and the nets come from a *different* seed than the
+    // main load: a net already routed would be a frontier-cache hit,
+    // and a cache hit legitimately serves full-fidelity with no budget.
+    let mut probe = RouteClient::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("deadline probe connect failed: {e}")));
+    let deadline_pool = patlabor_netgen::iccad_like_suite(SEED ^ 0xdead_beef, 4 * DEADLINE_PROBES, 8);
+    let deadline_nets: Vec<&Net> = deadline_pool
+        .iter()
+        .filter(|n| n.degree() >= 3)
+        .take(DEADLINE_PROBES)
+        .collect();
+    check(
+        deadline_nets.len() == DEADLINE_PROBES,
+        "probe pool has too few degree>=3 nets for the deadline probes",
+    );
+    for (i, net) in deadline_nets.iter().enumerate() {
+        let request = RouteRequest {
+            id: 10_000 + i as u64,
+            net: (*net).clone(),
+            deadline_ms: Some(0),
+        };
+        let reply = probe
+            .route(&request)
+            .unwrap_or_else(|e| fail(&format!("deadline probe {i} failed: {e}")));
+        check(
+            reply.get("ok").and_then(|v| v.as_bool()) == Some(true),
+            "deadline probe was refused instead of degraded",
+        );
+        check(
+            reply.get("degraded").and_then(|v| v.as_bool()) == Some(true),
+            "deadline probe was not served degraded",
+        );
+    }
+
+    // Malformed frames: each one answered with the documented error,
+    // on the same connection, without poisoning it.
+    let malformed: [&[u8]; 5] = [
+        b"not json at all",
+        br#"{"id": 1}"#,
+        br#"{"id": 2, "net": "nope"}"#,
+        br#"{"id": 3, "net": [[0,0]]}"#,
+        br#"{"id": 4, "net": [[0,0],[1]]}"#,
+    ];
+    for i in 0..MALFORMED_PROBES {
+        probe
+            .send_raw(malformed[i % malformed.len()])
+            .unwrap_or_else(|e| fail(&format!("malformed send failed: {e}")));
+        let reply = probe
+            .recv()
+            .unwrap_or_else(|e| fail(&format!("malformed recv failed: {e}")))
+            .unwrap_or_else(|| fail("server hung up on a malformed frame"));
+        check(
+            reply.get("error").and_then(|v| v.as_str()) == Some("malformed"),
+            "malformed frame not rejected with error=malformed",
+        );
+    }
+    // The connection still works after the malformed barrage.
+    let request = RouteRequest {
+        id: 20_000,
+        net: nets[0].clone(),
+        deadline_ms: None,
+    };
+    let reply = probe
+        .route(&request)
+        .unwrap_or_else(|e| fail(&format!("post-malformed request failed: {e}")));
+    check(
+        reply.get("ok").and_then(|v| v.as_bool()) == Some(true),
+        "connection poisoned after malformed frames",
+    );
+
+    // The metrics plane: families present and mutually consistent.
+    let mean_batch = if let Some(http) = http {
+        let exposition =
+            scrape_metrics(http).unwrap_or_else(|e| fail(&format!("metrics scrape failed: {e}")));
+        for family in [
+            "patlabor_requests_total",
+            "patlabor_responses_total",
+            "patlabor_queue_depth",
+            "patlabor_batches_total",
+            "patlabor_batched_nets_total",
+            "patlabor_deadline_hits_total",
+            "patlabor_cache_hit_rate",
+            "patlabor_latency_seconds_count",
+        ] {
+            check(
+                metric_value(&exposition, family).is_some(),
+                &format!("metrics family missing: {family}"),
+            );
+        }
+        let responses = metric_value(&exposition, "patlabor_responses_total").unwrap_or(0.0);
+        let valid_sent = (REQUESTS + DEADLINE_PROBES + 2) as f64; // + probe + post-malformed
+        check(responses >= valid_sent, "responses_total below what we sent");
+        check(
+            metric_value(&exposition, "patlabor_requests_total").unwrap_or(0.0) >= valid_sent,
+            "requests_total below what we sent",
+        );
+        check(
+            metric_labeled(&exposition, "patlabor_rejected_total{reason=\"malformed\"}")
+                .unwrap_or(0.0)
+                >= MALFORMED_PROBES as f64,
+            "malformed rejections not counted",
+        );
+        check(
+            metric_value(&exposition, "patlabor_deadline_hits_total").unwrap_or(0.0)
+                >= DEADLINE_PROBES as f64,
+            "deadline hits not counted",
+        );
+        // Internal consistency, independent of who else hit the daemon:
+        // every response was served by exactly one rung and timed once.
+        check(
+            metric_sum(&exposition, "patlabor_served_by_rung_total") == responses,
+            "served-by-rung histogram does not sum to responses_total",
+        );
+        check(
+            metric_value(&exposition, "patlabor_latency_seconds_count") == Some(responses),
+            "latency histogram count does not match responses_total",
+        );
+        for quantile in ["0.5", "0.99", "0.999"] {
+            check(
+                metric_labeled(
+                    &exposition,
+                    &format!("patlabor_latency_seconds{{quantile=\"{quantile}\"}}"),
+                )
+                .is_some(),
+                "latency quantile missing from /metrics",
+            );
+        }
+        eprintln!("metrics plane: all families present and consistent");
+        metric_value(&exposition, "patlabor_batches_total")
+            .zip(metric_value(&exposition, "patlabor_batched_nets_total"))
+            .filter(|(b, _)| *b > 0.0)
+            .map(|(b, n)| n / b)
+    } else {
+        None
+    };
+
+    // The serial baseline comes from a local λ = 4 engine (or the
+    // daemon's λ when given) so the report's speed context is real.
+    let baseline_engine = Engine::with_table(
+        patlabor_lut::LutBuilder::new(lambda.unwrap_or(LAMBDA))
+            .threads(hardware_threads())
+            .build(),
+    );
+    let serial = serial_baseline(&baseline_engine, &nets);
+    let row = run_row(window_us, &outcome, 0, mean_batch);
+    let headline = format!(
+        "{{\"mode\": \"external\", \"deadline_probes\": {DEADLINE_PROBES}, \
+         \"malformed_probes\": {MALFORMED_PROBES}, \
+         \"served_vs_direct_identical\": {}}}",
+        expected.is_some()
+    );
+    let header = ReportHeader {
+        bench: "loadgen",
+        nets: REQUESTS,
+        seed: SEED,
+        hardware_threads: hardware_threads(),
+        serial_nets_per_sec: serial,
+    };
+    write_report(
+        &header,
+        std::slice::from_ref(&row),
+        &headline,
+        "external daemon mode (CI serve job): fixed-seed load plus deadline \
+         and malformed probes; /metrics families asserted present and \
+         mutually consistent",
+    );
+    eprintln!("external mode: all checks passed");
+}
+
+fn main() {
+    match std::env::var("PATLABOR_SERVE_ADDR") {
+        Ok(addr) => {
+            let addr = addr
+                .parse()
+                .unwrap_or_else(|_| fail("PATLABOR_SERVE_ADDR is not a socket address"));
+            external(addr);
+        }
+        Err(_) => self_host(),
+    }
+}

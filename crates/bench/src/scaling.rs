@@ -100,6 +100,86 @@ fn rows_json(rows: &[&ScalingRun], indent: &str) -> String {
     s
 }
 
+/// One measured serving run at a fixed coalescing window — the serve
+/// bench's (`bin/loadgen.rs`, `BENCH_PR8.json`) row type. It rides the
+/// same `scaling-v1` report as [`ScalingRun`]: loadgen reports its
+/// serve rows through [`render_report`]'s `extra` splice (rendered by
+/// [`serve_rows_json`]) so the preamble, schema tag, and notes field
+/// stay byte-compatible with the batch benches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeRun {
+    /// The coalescing window the daemon accumulated under, µs.
+    pub window_us: u64,
+    /// Closed-loop client connections driving the daemon.
+    pub connections: usize,
+    /// Requests sent (valid route requests only).
+    pub requests: usize,
+    /// Replies with `ok: true`.
+    pub ok: u64,
+    /// Ok replies that were served degraded (a lower rung answered).
+    pub degraded: u64,
+    /// Admission-control rejections (`"overloaded"`).
+    pub rejected: u64,
+    /// Completed requests per wall-clock second at saturation.
+    pub throughput_rps: f64,
+    /// Fresh connection: connect + first request + first reply, µs.
+    pub open_to_first_response_us: f64,
+    /// Request-to-reply latency percentiles under load, µs.
+    pub p50_us: f64,
+    /// 99th percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile latency, µs.
+    pub p999_us: f64,
+    /// Mean nets per coalesced batch (batched_nets / batches), when the
+    /// daemon's metrics plane was scraped.
+    pub mean_batch: Option<f64>,
+}
+
+impl ServeRun {
+    /// The row as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"window_us\": {}, \"connections\": {}, \"requests\": {}, \
+             \"ok\": {}, \"degraded\": {}, \"rejected\": {}, \
+             \"throughput_rps\": {:.2}, \"open_to_first_response_us\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}",
+            self.window_us,
+            self.connections,
+            self.requests,
+            self.ok,
+            self.degraded,
+            self.rejected,
+            self.throughput_rps,
+            self.open_to_first_response_us,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+        );
+        if let Some(b) = self.mean_batch {
+            let _ = write!(s, ", \"mean_batch\": {b:.2}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders serve rows as a JSON array at the given indent — the value
+/// side of a `"serve_runs": ...` line in [`render_report`]'s `extra`.
+pub fn serve_rows_json(rows: &[ServeRun], indent: &str) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(s, "{indent}  {}{comma}", r.to_json());
+    }
+    let _ = write!(s, "{indent}]");
+    s
+}
+
 /// The preamble fields both benches agree on.
 pub struct ReportHeader<'a> {
     pub bench: &'a str,
@@ -213,6 +293,38 @@ mod tests {
         assert!(full.contains("\"steals\": 3"));
         assert!(full.contains("\"utilization\": 0.5000"));
         assert!(full.contains("\"contended_writes\": 0"));
+    }
+
+    #[test]
+    fn serve_rows_splice_into_the_shared_report() {
+        let rows = vec![
+            ServeRun {
+                window_us: 200,
+                connections: 4,
+                requests: 500,
+                ok: 500,
+                throughput_rps: 1234.5,
+                open_to_first_response_us: 321.0,
+                p50_us: 100.0,
+                p99_us: 900.0,
+                p999_us: 1500.0,
+                mean_batch: Some(3.2),
+                ..ServeRun::default()
+            },
+            ServeRun::default(),
+        ];
+        let extra = format!("  \"serve_runs\": {},\n", serve_rows_json(&rows, "  "));
+        let json = render_report(&header(4), &[], &extra, "n");
+        assert!(json.contains("\"schema\": \"scaling-v1\""));
+        assert!(json.contains("\"serve_runs\": ["));
+        assert!(json.contains("\"window_us\": 200"));
+        assert!(json.contains("\"mean_batch\": 3.20"));
+        // The unscraped row omits mean_batch instead of zero-filling it.
+        let bare = ServeRun::default().to_json();
+        assert!(!bare.contains("mean_batch"));
+        // Splicing keeps the report a single well-formed object: the
+        // notes line still closes it.
+        assert!(json.trim_end().ends_with('}'));
     }
 
     #[test]

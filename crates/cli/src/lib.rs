@@ -37,14 +37,16 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
 use patlabor::pipeline::RouteOutcome;
 use patlabor::{
-    Fault, FaultPlane, LutBuilder, Net, PatLabor, Point, ProvenanceSummary, ResilienceConfig,
+    Engine, Fault, FaultPlane, LutBuilder, Net, Point, ProvenanceSummary, ResilienceConfig,
     RouteError,
 };
 use patlabor_lut::{LookupTable, TableInfo};
+use patlabor_serve::{serve, ServeConfig};
 use patlabor_verify::{mutation_smoke_with_table, verify_with_table, VerifyConfig};
 
 /// Error from parsing a net list.
@@ -198,6 +200,10 @@ pub struct RouteOptions {
     /// serial) and the output ends with the per-worker scaling report:
     /// utilization, steals and cache lock contention.
     pub threads: usize,
+    /// Emit NDJSON instead of the human rendering: one wire-protocol
+    /// reply object per net, serialized by [`patlabor_serve::wire`] —
+    /// byte-compatible with what `patlabor serve` answers.
+    pub json: bool,
 }
 
 impl Default for RouteOptions {
@@ -210,7 +216,30 @@ impl Default for RouteOptions {
             fault_seed: 0x5eed,
             deadline_ms: None,
             threads: 1,
+            json: false,
         }
+    }
+}
+
+/// Builds the long-lived [`Engine`]: mmap'd tables when `--tables` is
+/// given, freshly built λ tables otherwise. Both `route` and `serve`
+/// go through here — the serving daemon and the one-shot command share
+/// one construction path.
+fn build_engine(tables: Option<&str>, lambda: u8) -> Result<Engine, CliError> {
+    match tables {
+        Some(path) => {
+            // Zero-copy open: checksum + structure validated once, then
+            // the arenas are borrowed from the page-cache mapping.
+            let table = LookupTable::open_mmap(path).map_err(|e| CliError::Table {
+                path: path.to_string(),
+                message: e.to_string(),
+            })?;
+            Ok(Engine::with_table(table))
+        }
+        None => Ok(Engine::with_config(patlabor::RouterConfig {
+            lambda,
+            ..patlabor::RouterConfig::default()
+        })),
     }
 }
 
@@ -258,24 +287,8 @@ fn render_batch_stats(out: &mut String, stats: &patlabor::BatchStats) {
 /// Propagates table-loading problems and (outside drill mode) per-net
 /// [`RouteError`]s as [`CliError`] (the CLI prints them as diagnostics).
 pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, CliError> {
-    let router = match &options.tables {
-        Some(path) => {
-            // Zero-copy open: checksum + structure validated once, then
-            // the arenas are borrowed from the page-cache mapping.
-            let table = LookupTable::open_mmap(path).map_err(|e| CliError::Table {
-                path: path.clone(),
-                message: e.to_string(),
-            })?;
-            PatLabor::with_table(table)
-        }
-        None => PatLabor::with_config(patlabor::RouterConfig {
-            lambda: options.lambda,
-            ..patlabor::RouterConfig::default()
-        }),
-    };
+    let mut engine = build_engine(options.tables.as_deref(), options.lambda)?;
     let drills = !options.faults.is_empty() || options.deadline_ms.is_some();
-    let mut out = String::new();
-    let mut summary = ProvenanceSummary::default();
     if drills {
         let plane = options
             .faults
@@ -283,14 +296,31 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Cli
             .fold(FaultPlane::seeded(options.fault_seed), |plane, &fault| {
                 plane.with_fault(fault)
             });
-        let router = router.with_faults(plane).with_resilience(ResilienceConfig {
+        engine = engine.with_faults(plane).with_resilience(ResilienceConfig {
             deadline: options.deadline_ms.map(Duration::from_millis),
             ..ResilienceConfig::default()
         });
+    }
+    if options.json {
+        // NDJSON: one wire-protocol reply object per net, serialized by
+        // the same module the serve daemon uses — the two outputs can
+        // never drift. Per-net failures become `"error": "route"` lines
+        // instead of aborting the run, exactly like the daemon.
+        let (results, _report) = engine.route_batch_with_report(nets, options.threads.max(1));
+        let mut out = String::new();
+        for (i, result) in results.iter().enumerate() {
+            out.push_str(&patlabor_serve::result_to_json(i as u64, result).render());
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    let mut out = String::new();
+    let mut summary = ProvenanceSummary::default();
+    if drills {
         // Drills route through the batch driver so an injected panic
         // downgrades to a per-net diagnostic instead of killing the
         // process, and the run ends with the aggregated report.
-        let (results, report) = router.route_batch_with_report(nets, options.threads.max(1));
+        let (results, report) = engine.route_batch_with_report(nets, options.threads.max(1));
         for (i, (net, result)) in nets.iter().zip(&results).enumerate() {
             match result {
                 Ok(outcome) => {
@@ -310,7 +340,7 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Cli
         // The parallel path: same results as the serial loop below (the
         // batch driver publishes in order, bit-identical), plus the
         // per-worker scaling report.
-        let (results, stats) = router.route_batch_with_stats(nets, options.threads);
+        let (results, stats) = engine.route_batch_with_stats(nets, options.threads);
         for (i, (net, result)) in nets.iter().zip(results).enumerate() {
             let outcome = result.map_err(|source| CliError::Route { net: i, source })?;
             summary.record(&outcome.provenance);
@@ -321,7 +351,7 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Cli
             summary.total()
         ));
         render_batch_stats(&mut out, &stats);
-        if let Some(cache) = router.cache_stats() {
+        if let Some(cache) = engine.cache_stats() {
             out.push_str(&format!(
                 "cache: {} shards, hit rate {:.3}, contention {}r/{}w{}\n",
                 cache.shards,
@@ -334,7 +364,7 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Cli
         return Ok(out);
     }
     for (i, net) in nets.iter().enumerate() {
-        let outcome = router
+        let outcome = engine
             .route(net)
             .map_err(|source| CliError::Route { net: i, source })?;
         summary.record(&outcome.provenance);
@@ -573,6 +603,148 @@ pub fn lut_command(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Options of the `serve` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// λ of freshly built tables (ignored when `tables` is given).
+    pub lambda: u8,
+    /// Pre-generated table file to mmap instead of building.
+    pub tables: Option<String>,
+    /// Socket-protocol bind address (port 0 picks a free port).
+    pub addr: String,
+    /// HTTP adapter bind address; `None` disables `/metrics`.
+    pub http_addr: Option<String>,
+    /// Worker threads per coalescing window (0 ⇒ hardware threads).
+    pub threads: usize,
+    /// Coalescing window, microseconds (0 disables coalescing).
+    pub window_us: u64,
+    /// Requests per window cap.
+    pub max_batch: usize,
+    /// Admission bound: queued requests beyond this are rejected.
+    pub queue_depth: usize,
+    /// Default per-request deadline (requests can override per-call).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let defaults = ServeConfig::default();
+        ServeOptions {
+            lambda: 5,
+            tables: None,
+            addr: defaults.addr,
+            http_addr: Some("127.0.0.1:0".to_string()),
+            threads: defaults.threads,
+            window_us: 200,
+            max_batch: defaults.max_batch,
+            queue_depth: defaults.queue_depth,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// What a finished `serve` run reports: the stdout summary line and
+/// the stderr resilience report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeExit {
+    /// One line for stdout: requests served/rejected.
+    pub summary: String,
+    /// The final aggregated [`patlabor::ResilienceReport`], for stderr.
+    pub report: String,
+}
+
+/// Runs the serving daemon until `stop` becomes non-zero, then drains
+/// and returns the exit summary. `announce` receives the one
+/// "listening" line once both listeners are bound (the daemon prints
+/// it; tests parse the port out of it).
+///
+/// # Errors
+///
+/// Table-loading and bind failures surface as [`CliError`]; once
+/// serving starts, per-request failures are answered on the wire, not
+/// returned here.
+pub fn serve_command_with(
+    options: &ServeOptions,
+    stop: &AtomicU32,
+    announce: &mut dyn FnMut(&str),
+) -> Result<ServeExit, CliError> {
+    let mut engine = build_engine(options.tables.as_deref(), options.lambda)?;
+    if let Some(ms) = options.deadline_ms {
+        engine = engine.with_resilience(ResilienceConfig {
+            deadline: Some(Duration::from_millis(ms)),
+            ..ResilienceConfig::default()
+        });
+    }
+    let config = ServeConfig {
+        addr: options.addr.clone(),
+        http_addr: options.http_addr.clone(),
+        threads: options.threads,
+        window: Duration::from_micros(options.window_us),
+        max_batch: options.max_batch,
+        queue_depth: options.queue_depth,
+        ..ServeConfig::default()
+    };
+    let server = serve(engine, config).map_err(|e| CliError::Io {
+        path: options.addr.clone(),
+        message: e.to_string(),
+    })?;
+    let http = match server.http_addr() {
+        Some(a) => format!(", http {a}"),
+        None => String::new(),
+    };
+    announce(&format!("listening on {}{http}\n", server.addr()));
+    while stop.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // First signal: drain. In-flight windows and everything admitted
+    // complete; new requests are rejected as "shutting-down".
+    let summary = server.shutdown();
+    Ok(ServeExit {
+        summary: format!(
+            "serve: drained; {} nets routed, {} rejected, {} malformed\n",
+            summary.report.nets, summary.rejected, summary.malformed
+        ),
+        report: format!("resilience: {}\n", summary.report),
+    })
+}
+
+/// Signal plumbing for `patlabor serve`: SIGINT/SIGTERM flip a counter
+/// the serve loop polls (first signal drains, second aborts). Raw
+/// `signal(2)` against libc — the one place the workspace talks to the
+/// OS beyond std, kept to two symbols so everything stays
+/// dependency-free.
+pub mod signals {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// How many SIGINT/SIGTERM deliveries the process has seen.
+    pub static INTERRUPTS: AtomicU32 = AtomicU32::new(0);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe by construction: one atomic increment, and
+        // on the second delivery an immediate _exit with the
+        // conventional 128+SIGINT status — no allocation, no locks.
+        if INTERRUPTS.fetch_add(1, Ordering::SeqCst) >= 1 {
+            unsafe { _exit(130) }
+        }
+    }
+
+    /// Installs the drain-on-signal handlers for SIGINT and SIGTERM.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 patlabor — Pareto optimization of timing-driven routing trees
@@ -580,8 +752,12 @@ patlabor — Pareto optimization of timing-driven routing trees
 USAGE:
   patlabor route [--lambda L] [--tables FILE] [--pick SLACK] [--threads T]
                  [--faults SPEC[,SPEC..]] [--fault-seed N] [--deadline-ms MS]
-                 <nets.txt>
+                 [--json] <nets.txt>
   patlabor route [...] --bookshelf DESIGN.aux
+  patlabor serve [--lambda L] [--tables FILE] [--addr HOST:PORT]
+                 [--http-addr HOST:PORT | --no-http] [--threads T]
+                 [--window-us US] [--max-batch N] [--queue-depth N]
+                 [--deadline-ms MS]
   patlabor lut build --lambda L [--format v4] -o FILE
   patlabor lut info FILE
   patlabor verify [--seed N] [--nets N] [--lambda L] [--tables FILE]
@@ -596,7 +772,15 @@ Net list: one net per line, `x,y` pins separated by spaces, source first;
 
 `route --threads T` routes through the work-stealing batch driver
 (results identical to serial) and appends a scaling report: per-worker
-utilization, steal counts and cache lock contention.
+utilization, steal counts and cache lock contention. `route --json`
+emits one wire-protocol reply object per net (NDJSON), byte-compatible
+with the `serve` daemon's responses.
+
+`serve` runs the routing daemon: a length-prefixed JSON socket protocol
+with request coalescing and admission control, plus an HTTP adapter
+(GET /metrics Prometheus exposition, GET /healthz, POST /route). First
+SIGINT/SIGTERM drains in-flight windows and exits 0 with the final
+resilience report on stderr; a second signal aborts immediately.
 
 `verify` cross-checks every fast path against its slow oracle on a seeded
 corpus and reports the first divergence as a minimized counterexample;
@@ -669,6 +853,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                                 usage_error("--threads expects a positive integer")
                             })?;
                     }
+                    "--json" => options.json = true,
                     other if !other.starts_with('-') => file = Some(other.to_string()),
                     other => return Err(usage_error(format!("unknown flag {other}"))),
                 }
@@ -697,6 +882,73 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             route_command(&nets, &options)
         }
         Some("lut") => lut_command(&args[1..]),
+        Some("serve") => {
+            let mut options = ServeOptions::default();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--lambda" => {
+                        options.lambda = next_value(&mut it, "--lambda")?
+                            .parse()
+                            .map_err(|_| usage_error("--lambda expects an integer"))?;
+                    }
+                    "--tables" => options.tables = Some(next_value(&mut it, "--tables")?),
+                    "--addr" => options.addr = next_value(&mut it, "--addr")?,
+                    "--http-addr" => {
+                        options.http_addr = Some(next_value(&mut it, "--http-addr")?);
+                    }
+                    "--no-http" => options.http_addr = None,
+                    "--threads" => {
+                        options.threads = next_value(&mut it, "--threads")?
+                            .parse()
+                            .map_err(|_| usage_error("--threads expects an integer"))?;
+                    }
+                    "--window-us" => {
+                        options.window_us = next_value(&mut it, "--window-us")?
+                            .parse()
+                            .map_err(|_| usage_error("--window-us expects an integer"))?;
+                    }
+                    "--max-batch" => {
+                        options.max_batch = next_value(&mut it, "--max-batch")?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| {
+                                usage_error("--max-batch expects a positive integer")
+                            })?;
+                    }
+                    "--queue-depth" => {
+                        options.queue_depth = next_value(&mut it, "--queue-depth")?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| {
+                                usage_error("--queue-depth expects a positive integer")
+                            })?;
+                    }
+                    "--deadline-ms" => {
+                        options.deadline_ms = Some(
+                            next_value(&mut it, "--deadline-ms")?
+                                .parse()
+                                .map_err(|_| usage_error("--deadline-ms expects an integer"))?,
+                        );
+                    }
+                    other => return Err(usage_error(format!("unknown flag {other}"))),
+                }
+            }
+            signals::install();
+            let exit = serve_command_with(&options, &signals::INTERRUPTS, &mut |line| {
+                // The listening line must reach the operator before the
+                // (possibly hours-long) serve loop, so it bypasses the
+                // run() return value.
+                print!("{line}");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            })?;
+            // The final resilience report goes to stderr, keeping
+            // stdout machine-readable.
+            eprint!("{}", exit.report);
+            Ok(exit.summary)
+        }
         Some("verify") => {
             let mut options = VerifyOptions::default();
             let mut fault_specs: Vec<Fault> = Vec::new();
@@ -1192,6 +1444,109 @@ mod tests {
         assert!(err.to_string().contains("unknown flag"));
         // Usage text advertises the subcommand.
         assert!(run(&[]).unwrap().contains("patlabor verify"));
+    }
+
+    #[test]
+    fn route_json_is_byte_compatible_with_the_wire_protocol() {
+        let nets = parse_nets("19,2 8,4 4,3 5,4 13,12\n5,5 25,5\n").unwrap();
+        let options = RouteOptions {
+            json: true,
+            ..RouteOptions::default()
+        };
+        let out = route_command(&nets, &options).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), nets.len());
+        // Each line is exactly what a serve daemon over the same engine
+        // would answer — same serializer, same bytes.
+        let reference = Engine::with_config(patlabor::RouterConfig {
+            lambda: options.lambda,
+            ..patlabor::RouterConfig::default()
+        });
+        for (i, (line, net)) in lines.iter().zip(&nets).enumerate() {
+            let expected =
+                patlabor_serve::result_to_json(i as u64, &reference.route(net)).render();
+            assert_eq!(*line, expected, "net {i} diverged from the wire serializer");
+            let parsed = patlabor_serve::parse(line).unwrap();
+            assert_eq!(parsed.get("ok").and_then(|j| j.as_bool()), Some(true));
+        }
+    }
+
+    #[test]
+    fn route_json_reports_failures_inline_like_the_daemon() {
+        let nets = parse_nets("0,0 9,1 8,8\n5,5 25,5\n").unwrap();
+        let options = RouteOptions {
+            json: true,
+            faults: vec![Fault::parse("stage-panic@all").unwrap()],
+            ..RouteOptions::default()
+        };
+        let out = route_command(&nets, &options).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let failed = patlabor_serve::parse(lines[0]).unwrap();
+        assert_eq!(
+            failed.get("error").and_then(|j| j.as_str()),
+            Some("route"),
+            "line was: {}",
+            lines[0]
+        );
+        // Degree 2 is a closed form — no rung to panic, so it serves.
+        let served = patlabor_serve::parse(lines[1]).unwrap();
+        assert_eq!(served.get("ok").and_then(|j| j.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn serve_command_serves_then_drains_on_stop() {
+        use std::sync::mpsc;
+        let stop = AtomicU32::new(0);
+        let options = ServeOptions {
+            lambda: 4,
+            window_us: 0,
+            http_addr: None,
+            ..ServeOptions::default()
+        };
+        let (tx, rx) = mpsc::channel::<String>();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                serve_command_with(&options, &stop, &mut |line| {
+                    tx.send(line.to_string()).unwrap();
+                })
+            });
+            let line = rx.recv().unwrap();
+            let addr: std::net::SocketAddr = line
+                .trim()
+                .strip_prefix("listening on ")
+                .unwrap()
+                .parse()
+                .unwrap();
+            let mut client = patlabor_serve::RouteClient::connect(addr).unwrap();
+            let nets = parse_nets("0,0 7,2 3,9\n").unwrap();
+            let reply = client
+                .route(&patlabor_serve::RouteRequest {
+                    id: 1,
+                    net: nets[0].clone(),
+                    deadline_ms: None,
+                })
+                .unwrap();
+            assert_eq!(reply.get("ok").and_then(|j| j.as_bool()), Some(true));
+            // The "signal": the serve loop polls this flag exactly like
+            // the SIGINT handler flips it.
+            stop.store(1, Ordering::SeqCst);
+            let exit = handle.join().unwrap().unwrap();
+            assert!(exit.summary.contains("1 nets routed"), "{}", exit.summary);
+            assert!(exit.report.starts_with("resilience: "), "{}", exit.report);
+        });
+    }
+
+    #[test]
+    fn run_parses_serve_and_json_flags() {
+        let err = run(&["serve".into(), "--queue-depth".into(), "0".into()]).unwrap_err();
+        assert!(err.to_string().contains("--queue-depth"));
+        let err = run(&["serve".into(), "--max-batch".into(), "none".into()]).unwrap_err();
+        assert!(err.to_string().contains("--max-batch"));
+        let err = run(&["serve".into(), "--bogus".into()]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"));
+        assert!(USAGE.contains("patlabor serve"));
+        assert!(USAGE.contains("--json"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 
 use patlabor_geom::Net;
 
+use crate::engine::{Engine, Session};
 use crate::pad::CachePadded;
 use crate::pipeline::{RouteError, RouteResult};
 use crate::resilience::ResilienceReport;
@@ -454,13 +455,16 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
-impl PatLabor {
-    /// [`PatLabor::route`] with batch-level panic isolation: a panic that
-    /// escapes the degradation ladder (a fault no rung could absorb) is
-    /// converted into [`RouteError::Panicked`] for this net's slot
-    /// instead of unwinding — and thereby poisoning — the whole batch.
-    fn route_caught(&self, net: &Net) -> RouteResult {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.route(net))) {
+impl Engine {
+    /// [`Engine::route_session`] with batch-level panic isolation: a
+    /// panic that escapes the degradation ladder (a fault no rung could
+    /// absorb) is converted into [`RouteError::Panicked`] for this net's
+    /// slot instead of unwinding — and thereby poisoning — the whole
+    /// batch.
+    fn route_caught(&self, net: &Net, session: &Session) -> RouteResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.route_session(net, session)
+        })) {
             Ok(result) => result,
             Err(payload) => Err(RouteError::Panicked {
                 payload: panic_message(payload.as_ref()),
@@ -468,6 +472,124 @@ impl PatLabor {
         }
     }
 
+    /// Routes every net, spreading work over `threads` OS threads.
+    ///
+    /// `threads` is clamped to at least 1 (a zero request degrades to
+    /// serial routing instead of panicking). Results are in input order
+    /// and bit-identical to calling [`Engine::route`] per net (routing
+    /// is deterministic, with or without the frontier cache, at every
+    /// thread count, steals included).
+    ///
+    /// Each slot is that net's own [`RouteResult`]: a net the tables
+    /// cannot serve yields `Err` in its slot without poisoning the rest
+    /// of the batch, and a panic that escapes the routing ladder is
+    /// caught per net ([`RouteError::Panicked`]) — one pathological net
+    /// never takes the batch down.
+    pub fn route_batch(&self, nets: &[Net], threads: usize) -> Vec<RouteResult> {
+        self.route_batch_with_stats(nets, threads).0
+    }
+
+    /// [`Engine::route_batch`] plus the driver telemetry: per-worker
+    /// busy time, chunk/net tallies and steal counts ([`BatchStats`]).
+    /// The scaling bench and `route --threads` read utilization from
+    /// here instead of inferring it from wall clock.
+    pub fn route_batch_with_stats(
+        &self,
+        nets: &[Net],
+        threads: usize,
+    ) -> (Vec<RouteResult>, BatchStats) {
+        let default = Session::default();
+        self.drive_batch(nets.len(), threads, |i| self.route_caught(&nets[i], &default))
+    }
+
+    /// Routes a coalesced window of requests, each under its own
+    /// [`Session`], over the same work-stealing driver. Results are in
+    /// input order, one slot per request, and each request's frontier is
+    /// bit-identical to routing it alone via
+    /// [`Engine::route_session`] — coalescing changes latency, never
+    /// answers. The serve layer closes its accumulation windows into
+    /// this call.
+    pub fn route_batch_sessions(
+        &self,
+        requests: &[(Net, Session)],
+        threads: usize,
+    ) -> (Vec<RouteResult>, BatchStats) {
+        self.drive_batch(requests.len(), threads, |i| {
+            let (net, session) = &requests[i];
+            self.route_caught(net, session)
+        })
+    }
+
+    /// The shared driver body: serial fast path or work-stealing fill
+    /// over `len` independent slots.
+    fn drive_batch(
+        &self,
+        len: usize,
+        threads: usize,
+        fill: impl Fn(usize) -> RouteResult + Sync,
+    ) -> (Vec<RouteResult>, BatchStats) {
+        let threads = threads.max(1);
+        let t0 = Instant::now();
+        if threads == 1 || len <= 1 {
+            let busy = Instant::now();
+            let results: Vec<RouteResult> = (0..len).map(&fill).collect();
+            let busy_ns = busy.elapsed().as_nanos() as u64;
+            let stats = BatchStats {
+                workers: 1,
+                chunk_size: len.max(1),
+                chunks: 1,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+                per_worker: vec![WorkerStats {
+                    busy_ns,
+                    chunks: 1,
+                    nets: len as u64,
+                    ..WorkerStats::default()
+                }],
+            };
+            return (results, stats);
+        }
+        let workers = threads.min(len);
+        let chunk = self.config().batch.auto_chunk(len, workers);
+        let (results, per_worker) = fill_slots_parallel(len, workers, chunk, fill);
+        let stats = BatchStats {
+            workers,
+            chunk_size: chunk,
+            chunks: len.div_ceil(chunk),
+            elapsed_ns: t0.elapsed().as_nanos() as u64,
+            per_worker,
+        };
+        (results, stats)
+    }
+
+    /// [`Engine::route_batch`] plus the batch-level
+    /// [`ResilienceReport`] aggregating every slot's ladder activity
+    /// (what served, what degraded, what panicked, what hit deadlines)
+    /// and the frontier cache's health (bypass state and lock
+    /// contention).
+    pub fn route_batch_with_report(
+        &self,
+        nets: &[Net],
+        threads: usize,
+    ) -> (Vec<RouteResult>, ResilienceReport) {
+        let results = self.route_batch(nets, threads);
+        let report = self.stamp_report_cache_health(ResilienceReport::from_results(&results));
+        (results, report)
+    }
+
+    /// Folds the frontier cache's health counters into a report built
+    /// from batch results (the serve layer calls this on its own
+    /// accumulated report at shutdown).
+    pub fn stamp_report_cache_health(&self, mut report: ResilienceReport) -> ResilienceReport {
+        if let Some(stats) = self.cache_stats() {
+            report.cache_bypassed = stats.bypassed;
+            report.cache_contended_reads = stats.contended_reads;
+            report.cache_contended_writes = stats.contended_writes;
+        }
+        report
+    }
+}
+
+impl PatLabor {
     /// Routes every net, spreading work over `threads` OS threads.
     ///
     /// `threads` is clamped to at least 1 (a zero request degrades to
@@ -482,7 +604,7 @@ impl PatLabor {
     /// caught per net ([`RouteError::Panicked`]) — one pathological net
     /// never takes the batch down.
     pub fn route_batch(&self, nets: &[Net], threads: usize) -> Vec<RouteResult> {
-        self.route_batch_with_stats(nets, threads).0
+        self.engine().route_batch(nets, threads)
     }
 
     /// [`PatLabor::route_batch`] plus the driver telemetry: per-worker
@@ -494,39 +616,7 @@ impl PatLabor {
         nets: &[Net],
         threads: usize,
     ) -> (Vec<RouteResult>, BatchStats) {
-        let threads = threads.max(1);
-        let t0 = Instant::now();
-        if threads == 1 || nets.len() <= 1 {
-            let busy = Instant::now();
-            let results: Vec<RouteResult> =
-                nets.iter().map(|n| self.route_caught(n)).collect();
-            let busy_ns = busy.elapsed().as_nanos() as u64;
-            let stats = BatchStats {
-                workers: 1,
-                chunk_size: nets.len().max(1),
-                chunks: 1,
-                elapsed_ns: t0.elapsed().as_nanos() as u64,
-                per_worker: vec![WorkerStats {
-                    busy_ns,
-                    chunks: 1,
-                    nets: nets.len() as u64,
-                    ..WorkerStats::default()
-                }],
-            };
-            return (results, stats);
-        }
-        let workers = threads.min(nets.len());
-        let chunk = self.config().batch.auto_chunk(nets.len(), workers);
-        let (results, per_worker) =
-            fill_slots_parallel(nets.len(), workers, chunk, |i| self.route_caught(&nets[i]));
-        let stats = BatchStats {
-            workers,
-            chunk_size: chunk,
-            chunks: nets.len().div_ceil(chunk),
-            elapsed_ns: t0.elapsed().as_nanos() as u64,
-            per_worker,
-        };
-        (results, stats)
+        self.engine().route_batch_with_stats(nets, threads)
     }
 
     /// [`PatLabor::route_batch`] plus the batch-level
@@ -539,14 +629,7 @@ impl PatLabor {
         nets: &[Net],
         threads: usize,
     ) -> (Vec<RouteResult>, ResilienceReport) {
-        let results = self.route_batch(nets, threads);
-        let mut report = ResilienceReport::from_results(&results);
-        if let Some(stats) = self.cache_stats() {
-            report.cache_bypassed = stats.bypassed;
-            report.cache_contended_reads = stats.contended_reads;
-            report.cache_contended_writes = stats.contended_writes;
-        }
-        (results, report)
+        self.engine().route_batch_with_report(nets, threads)
     }
 
     /// [`PatLabor::route_batch`] with a caller-proven non-zero thread

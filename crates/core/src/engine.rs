@@ -1,0 +1,815 @@
+//! The long-lived serving core: [`Engine`] and per-request [`Session`]s.
+//!
+//! The paper's amortization argument (§V-A) only pays off when the
+//! lookup tables are loaded **once** and queried millions of times, so
+//! the serving state is split into two layers:
+//!
+//! * [`Engine`] — everything expensive and shared: the (possibly
+//!   mmap'd) [`LookupTable`], the sharded frontier cache, the policy
+//!   weights, the fault plane and the deadline clock, all behind one
+//!   `Arc`. Built once; [`Engine::clone`] is a reference-count bump, so
+//!   every connection handler, batch worker and CLI invocation can hold
+//!   its own handle without duplicating a byte of table data.
+//! * [`Session`] — everything per-request: the deadline budget, an
+//!   identity for provenance, and an optional fault-seed override for
+//!   drills. A `Session` is a few machine words of `Copy` data; the
+//!   server mints one per wire request.
+//!
+//! [`crate::PatLabor`] survives as a thin wrapper over an `Engine` (its
+//! public API is unchanged), and `patlabor serve` drives the engine
+//! directly: one engine per process, one session per request, coalesced
+//! into [`Engine::route_batch_sessions`] windows.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use patlabor_baselines::fallback_frontier;
+use patlabor_dw::{numeric, Cancelled, DwConfig};
+use patlabor_geom::{Net, NetClass};
+use patlabor_lut::{LookupTable, LutBuilder};
+use patlabor_pareto::{Cost, ParetoSet};
+use patlabor_tree::RoutingTree;
+
+use crate::cache::{CacheKey, CacheStats, FrontierCache, ShardStats};
+use crate::local_search::{local_search_cancellable, LocalSearchConfig};
+use crate::pipeline::{
+    RouteError, RouteOutcome, RouteProvenance, RouteResult, RouteSource, StageCounters,
+};
+use crate::policy::Policy;
+use crate::resilience::{
+    net_key, Budget, Clock, DegradationTrace, FaultKind, FaultPlane, ResilienceConfig, Rung,
+    RungOutcome, SystemClock,
+};
+use crate::router::RouterConfig;
+
+/// Cancellation checkpoints between clock reads. Checkpoints are counted
+/// on every poll, but the deadline clock — the expensive part of a poll —
+/// is consulted only on this stride, keeping the budgeted/unbudgeted gap
+/// on the BENCH_PR5 workload under its 2% guard. Rung gates still read
+/// the clock unconditionally, so deadline granularity stays bounded by a
+/// rung even when an inner loop finishes in fewer polls than one stride.
+const BUDGET_POLL_STRIDE: u32 = 64;
+
+/// The per-request layer: deadline, identity, fault-seed override.
+///
+/// Cheap (`Copy`, a few words) by design — the server mints one per wire
+/// request, the batch driver carries one per slot. A default session
+/// adds nothing: [`Engine::route`] with `Session::default()` behaves
+/// exactly like the engine-level configuration alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Session {
+    /// Caller-chosen identity, carried for provenance/logging (the serve
+    /// layer stores the wire request id here). Not consulted by routing.
+    pub id: u64,
+    /// Per-request deadline. `Some` overrides the engine's configured
+    /// [`ResilienceConfig::deadline`]; `None` inherits it.
+    pub deadline: Option<Duration>,
+    /// Per-request fault-plane seed override for drills: the plane's
+    /// registered faults are kept but their per-net decisions re-hash
+    /// under this seed. `None` uses the plane's own seed.
+    pub fault_seed: Option<u64>,
+}
+
+impl Session {
+    /// A session with the given identity and no overrides.
+    pub fn new(id: u64) -> Self {
+        Session { id, ..Session::default() }
+    }
+
+    /// Sets the per-request deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-request fault-seed override.
+    #[must_use]
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+}
+
+/// Everything the engine shares between requests. One allocation,
+/// behind the engine's `Arc`.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineInner {
+    pub(crate) table: LookupTable,
+    pub(crate) policy: Policy,
+    pub(crate) config: RouterConfig,
+    /// Present iff `config.cache.enabled`. Shared (not deep-copied) by
+    /// clones, so batch workers cloning a handle still pool their hits.
+    pub(crate) cache: Option<Arc<FrontierCache>>,
+    /// The clock deadlines are read against. Production engines keep the
+    /// default [`SystemClock`]; tests inject a
+    /// [`crate::resilience::VirtualClock`].
+    pub(crate) clock: Arc<dyn Clock>,
+}
+
+/// The long-lived routing engine (see the module docs for the
+/// engine/session split).
+///
+/// `Clone` is an `Arc` bump: handles share the table, cache, policy,
+/// fault plane and clock. Builder methods (`with_*`) rebuild the shared
+/// state — call them while setting up, before handing clones out.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Builds an engine with freshly generated λ = 5 lookup tables and
+    /// the default trained policy.
+    pub fn new() -> Self {
+        Self::with_config(RouterConfig::default())
+    }
+
+    /// Builds an engine with the given configuration (generating tables
+    /// for its λ).
+    pub fn with_config(config: RouterConfig) -> Self {
+        let table = LutBuilder::new(config.lambda).build();
+        Self::assemble(table, config)
+    }
+
+    /// Builds an engine around pre-generated tables (e.g. mmap'd from
+    /// disk via [`LookupTable::open_mmap`]).
+    pub fn with_table(table: LookupTable) -> Self {
+        let config = RouterConfig {
+            lambda: table.lambda(),
+            ..RouterConfig::default()
+        };
+        Self::assemble(table, config)
+    }
+
+    /// Builds an engine around pre-generated tables with an explicit
+    /// configuration. `config.lambda` is overridden by the table's λ —
+    /// the table, not the config, decides which degrees are tabulated.
+    pub fn with_table_and_config(table: LookupTable, config: RouterConfig) -> Self {
+        let config = RouterConfig {
+            lambda: table.lambda(),
+            ..config
+        };
+        Self::assemble(table, config)
+    }
+
+    fn assemble(table: LookupTable, config: RouterConfig) -> Self {
+        Engine {
+            inner: Arc::new(EngineInner {
+                table,
+                policy: Policy::default(),
+                cache: Self::build_cache(&config),
+                config,
+                clock: Arc::new(SystemClock::new()),
+            }),
+        }
+    }
+
+    fn build_cache(config: &RouterConfig) -> Option<Arc<FrontierCache>> {
+        config
+            .cache
+            .enabled
+            .then(|| Arc::new(FrontierCache::new(&config.cache)))
+    }
+
+    /// Applies a mutation to the shared state, cloning it out of the
+    /// `Arc` only when other handles exist (builder calls during setup
+    /// mutate in place).
+    fn map_inner(self, f: impl FnOnce(&mut EngineInner)) -> Self {
+        let mut inner = Arc::try_unwrap(self.inner).unwrap_or_else(|arc| (*arc).clone());
+        f(&mut inner);
+        Engine { inner: Arc::new(inner) }
+    }
+
+    /// Replaces the pin-selection policy (e.g. with a freshly trained one).
+    #[must_use]
+    pub fn with_policy(self, policy: Policy) -> Self {
+        self.map_inner(|inner| inner.policy = policy)
+    }
+
+    /// Replaces the local-search configuration.
+    #[must_use]
+    pub fn with_local_search(self, local_search: LocalSearchConfig) -> Self {
+        self.map_inner(|inner| inner.config.local_search = local_search)
+    }
+
+    /// Replaces the frontier-cache configuration, dropping any cached
+    /// entries (and the old counters) in the process.
+    #[must_use]
+    pub fn with_cache(self, cache: crate::cache::CacheConfig) -> Self {
+        self.map_inner(|inner| {
+            inner.config.cache = cache;
+            inner.cache = Self::build_cache(&inner.config);
+        })
+    }
+
+    /// Replaces the resilience configuration (armed fallback rungs,
+    /// frontier validation, per-net deadline).
+    #[must_use]
+    pub fn with_resilience(self, resilience: ResilienceConfig) -> Self {
+        self.map_inner(|inner| inner.config.resilience = resilience)
+    }
+
+    /// Replaces the fault plane (deterministic fault injection).
+    #[must_use]
+    pub fn with_faults(self, faults: FaultPlane) -> Self {
+        self.map_inner(|inner| inner.config.faults = faults)
+    }
+
+    /// Replaces the deadline clock (tests inject a
+    /// [`crate::resilience::VirtualClock`] so deadline behavior is a
+    /// pure function of the configuration).
+    #[must_use]
+    pub fn with_clock(self, clock: Arc<dyn Clock>) -> Self {
+        self.map_inner(|inner| inner.clock = clock)
+    }
+
+    /// The lookup tables backing this engine.
+    pub fn table(&self) -> &LookupTable {
+        &self.inner.table
+    }
+
+    /// The active pin-selection policy.
+    pub fn policy(&self) -> &Policy {
+        &self.inner.policy
+    }
+
+    /// The engine's configuration (the batch driver reads its chunk
+    /// tuning from here).
+    pub fn config(&self) -> &RouterConfig {
+        &self.inner.config
+    }
+
+    /// The clock deadlines are read against (the serve layer shares it
+    /// for coalescing-window timing so tests stay wall-time-free).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    /// Frontier-cache counters, or `None` when the cache is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Per-shard frontier-cache counters, or `None` when the cache is
+    /// disabled.
+    pub fn cache_shard_stats(&self) -> Option<Vec<ShardStats>> {
+        self.inner.cache.as_ref().map(|c| c.shard_stats())
+    }
+
+    /// Whether routing is exact for this degree.
+    pub fn is_exact_for(&self, degree: usize) -> bool {
+        degree <= self.inner.table.lambda() as usize
+    }
+
+    /// Routes one net under the engine-level configuration alone
+    /// (equivalent to [`Engine::route_session`] with a default session).
+    pub fn route(&self, net: &Net) -> RouteResult {
+        self.route_session(net, &Session::default())
+    }
+
+    /// Routes one net through the staged pipeline under a per-request
+    /// [`Session`], returning the Pareto frontier with its provenance.
+    ///
+    /// Exact (the full Pareto frontier, one witness tree per point) for
+    /// degrees `≤ λ`; the local-search approximation above. A rung that
+    /// cannot serve — missing table degree or pattern, corrupted cost
+    /// row caught by validation, expired deadline, or a panic — falls
+    /// through the degradation ladder
+    ///
+    /// ```text
+    /// cache → LUT query → numeric DW → baseline      (degree ≤ λ)
+    ///         local search → baseline                (degree > λ)
+    /// ```
+    ///
+    /// and the descent is recorded in [`RouteProvenance::trace`]. The
+    /// session's `deadline` overrides the engine's configured deadline
+    /// for this request only; its `fault_seed` re-seeds the fault
+    /// plane's per-net decisions for this request only. Routing is
+    /// deterministic: the frontier is bit-identical regardless of the
+    /// frontier cache's state and of any session deadline generous
+    /// enough not to expire.
+    pub fn route_session(&self, net: &Net, session: &Session) -> RouteResult {
+        let inner = &*self.inner;
+        let degree = net.degree();
+        let mut counters = StageCounters::default();
+        let mut trace = DegradationTrace::default();
+
+        // Stage: Classify — pick the serving path by degree.
+        if degree == 2 {
+            // Closed form: the direct tree is the entire frontier; no
+            // class, no cache, no table involvement, no fault surface.
+            let tree = RoutingTree::direct(net);
+            let (w, d) = tree.objectives();
+            let mut frontier = ParetoSet::new();
+            frontier.insert(Cost::new(w, d), tree);
+            counters.trees_materialized = 1;
+            trace.push(Rung::ClosedForm, RungOutcome::Served);
+            return Ok(outcome(frontier, degree, RouteSource::ClosedForm, counters, trace));
+        }
+
+        let res = inner.config.resilience;
+        let deadline = session.deadline.or(res.deadline);
+        let budget =
+            deadline.map(|deadline| Budget::new(Arc::clone(&inner.clock), deadline));
+        let ctx = LadderCtx {
+            faults: &inner.config.faults,
+            fault_seed: session.fault_seed.unwrap_or_else(|| inner.config.faults.seed()),
+            clock: inner.clock.as_ref(),
+            budget: budget.as_ref(),
+            key: net_key(net),
+        };
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        let mut table_error: Option<RouteError> = None;
+
+        if degree <= inner.table.lambda() as usize {
+            let class = inner
+                .table
+                .classify(net)
+                .ok_or(RouteError::UnclassifiableDegree { degree })?;
+
+            // Rung: Cache — replay the class's winning ids on a hit. A
+            // cache the adaptive bypass has retired (hit rate below the
+            // configured floor through the warmup window) is skipped
+            // entirely: no probe, no insert, no rung attempt.
+            if let Some(cache) = inner.cache.as_ref().filter(|c| !c.bypassed()) {
+                let outcome_ =
+                    run_rung(&ctx, Rung::Cache, &mut counters, &mut panic_payload, |counters| {
+                        counters.cache_probes = 1;
+                        let key = CacheKey::from_class(&class);
+                        let ids = cache.get(&key).ok_or(RungOutcome::Unavailable)?;
+                        counters.cache_hits = 1;
+                        counters.trees_materialized = ids.len() as u32;
+                        let mut frontier = inner.table.query_ids(net, &class, &ids);
+                        if ctx.fires(FaultKind::CorruptedRow, Rung::Cache) {
+                            frontier = corrupt_first_cost(frontier);
+                        }
+                        if res.validate_frontiers && !frontier_consistent(&frontier) {
+                            return Err(RungOutcome::CorruptRow);
+                        }
+                        Ok(frontier)
+                    });
+                match outcome_ {
+                    Ok(frontier) => {
+                        trace.push(Rung::Cache, RungOutcome::Served);
+                        return Ok(outcome(
+                            frontier,
+                            degree,
+                            RouteSource::CacheHit,
+                            counters,
+                            trace,
+                        ));
+                    }
+                    // A plain miss is the normal path, not a degradation.
+                    Err(RungOutcome::Unavailable) => {}
+                    Err(o) => trace.push(Rung::Cache, o),
+                }
+            }
+
+            // Rung: Lut — the primary rung for tabulated degrees.
+            let outcome_ =
+                run_rung(&ctx, Rung::Lut, &mut counters, &mut panic_payload, |counters| {
+                    // In this branch degree ≤ λ ≤ u8::MAX, so the narrowing
+                    // casts below are lossless.
+                    if ctx.fires(FaultKind::MissingDegree, Rung::Lut) {
+                        table_error.get_or_insert(RouteError::MissingDegree {
+                            degree: degree as u8,
+                            lambda: inner.table.lambda(),
+                        });
+                        return Err(RungOutcome::MissingDegree);
+                    }
+                    if ctx.fires(FaultKind::MissingPattern, Rung::Lut) {
+                        table_error.get_or_insert(RouteError::MissingPattern {
+                            degree: degree as u8,
+                            key: class.canonical_key(),
+                        });
+                        return Err(RungOutcome::MissingPattern);
+                    }
+                    let (mut frontier, winners) = match lut_query(inner, net, &class, counters) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            let outcome = if matches!(e, RouteError::MissingDegree { .. }) {
+                                RungOutcome::MissingDegree
+                            } else {
+                                RungOutcome::MissingPattern
+                            };
+                            table_error.get_or_insert(e);
+                            return Err(outcome);
+                        }
+                    };
+                    if ctx.fires(FaultKind::CorruptedRow, Rung::Lut) {
+                        frontier = corrupt_first_cost(frontier);
+                    }
+                    if res.validate_frontiers && !frontier_consistent(&frontier) {
+                        return Err(RungOutcome::CorruptRow);
+                    }
+                    Ok((frontier, winners))
+                });
+            match outcome_ {
+                Ok((frontier, winners)) => {
+                    if let Some(cache) = inner.cache.as_ref().filter(|c| !c.bypassed()) {
+                        cache.insert(CacheKey::from_class(&class), winners.into());
+                    }
+                    trace.push(Rung::Lut, RungOutcome::Served);
+                    return Ok(outcome(
+                        frontier,
+                        degree,
+                        RouteSource::ExactLut,
+                        counters,
+                        trace,
+                    ));
+                }
+                Err(o) => trace.push(Rung::Lut, o),
+            }
+
+            // Rung: NumericDw — re-enumerate from scratch what the table
+            // could not serve. Exact but per-instance expensive, hence
+            // capped at `numeric::MAX_DEGREE`.
+            if res.dw_fallback && degree <= numeric::MAX_DEGREE {
+                let outcome_ =
+                    run_rung(&ctx, Rung::NumericDw, &mut counters, &mut panic_payload, |counters| {
+                        let checks = Cell::new(0u32);
+                        let result =
+                            numeric::pareto_frontier_cancellable(net, &DwConfig::default(), &|| {
+                                let n = checks.get() + 1;
+                                checks.set(n);
+                                // Reading the clock is what costs, not the
+                                // checkpoint itself: stride the reads so a
+                                // hot DP loop stays under the BENCH_PR5
+                                // overhead budget.
+                                n.is_multiple_of(BUDGET_POLL_STRIDE)
+                                    && ctx.budget.is_some_and(Budget::exceeded)
+                            });
+                        counters.budget_checks += checks.get();
+                        result.map_err(|Cancelled| RungOutcome::DeadlineExceeded)
+                    });
+                match outcome_ {
+                    Ok(frontier) => {
+                        trace.push(Rung::NumericDw, RungOutcome::Served);
+                        return Ok(outcome(
+                            frontier,
+                            degree,
+                            RouteSource::NumericDw,
+                            counters,
+                            trace,
+                        ));
+                    }
+                    Err(o) => trace.push(Rung::NumericDw, o),
+                }
+            }
+        } else {
+            // Rung: LocalSearch — the primary rung above λ.
+            let outcome_ =
+                run_rung(&ctx, Rung::LocalSearch, &mut counters, &mut panic_payload, |counters| {
+                    // A missing-degree fault here simulates reroute tables
+                    // the search cannot use (its subnets query the same
+                    // LUT), demoting the net to the baseline rung.
+                    if ctx.fires(FaultKind::MissingDegree, Rung::LocalSearch) {
+                        return Err(RungOutcome::MissingDegree);
+                    }
+                    let checks = Cell::new(0u32);
+                    let result = local_search_cancellable(
+                        net,
+                        &inner.table,
+                        &inner.policy,
+                        &inner.config.local_search,
+                        &|| {
+                            let n = checks.get() + 1;
+                            checks.set(n);
+                            n.is_multiple_of(BUDGET_POLL_STRIDE)
+                                && ctx.budget.is_some_and(Budget::exceeded)
+                        },
+                    );
+                    counters.budget_checks += checks.get();
+                    match result {
+                        Ok((frontier, report)) => {
+                            counters.local_search_rounds = report.rounds as u32;
+                            counters.local_search_candidates = report.candidates as u32;
+                            Ok(frontier)
+                        }
+                        Err(Cancelled) => Err(RungOutcome::DeadlineExceeded),
+                    }
+                });
+            match outcome_ {
+                Ok(frontier) => {
+                    trace.push(Rung::LocalSearch, RungOutcome::Served);
+                    return Ok(outcome(
+                        frontier,
+                        degree,
+                        RouteSource::LocalSearch,
+                        counters,
+                        trace,
+                    ));
+                }
+                Err(o) => trace.push(Rung::LocalSearch, o),
+            }
+        }
+
+        // Rung: Baseline — deliberately cheap and never deadline-gated:
+        // an expired budget still yields valid (approximate) trees
+        // instead of nothing.
+        if res.baseline_fallback {
+            let outcome_ =
+                run_rung(&ctx, Rung::Baseline, &mut counters, &mut panic_payload, |counters| {
+                    let frontier = fallback_frontier(net);
+                    counters.trees_materialized += frontier.len() as u32;
+                    Ok(frontier)
+                });
+            match outcome_ {
+                Ok(frontier) => {
+                    trace.push(Rung::Baseline, RungOutcome::Served);
+                    return Ok(outcome(
+                        frontier,
+                        degree,
+                        RouteSource::Baseline,
+                        counters,
+                        trace,
+                    ));
+                }
+                Err(o) => trace.push(Rung::Baseline, o),
+            }
+        }
+
+        // Ladder exhausted. A caught panic is not ours to swallow when no
+        // rung could absorb it (the batch driver isolates it per slot);
+        // otherwise prefer the real table error over the generic
+        // exhaustion report.
+        if let Some(payload) = panic_payload {
+            panic::resume_unwind(payload);
+        }
+        Err(table_error.unwrap_or(RouteError::RungsExhausted { degree, trace }))
+    }
+}
+
+/// Stages LutQuery + Materialize: score the stored candidates, prune,
+/// and build witness trees for the survivors only. Composes the same
+/// stage calls as [`LookupTable::query_witnesses`], so the frontier
+/// (including tie-break order) is bit-identical to it.
+fn lut_query(
+    inner: &EngineInner,
+    net: &Net,
+    class: &NetClass,
+    counters: &mut StageCounters,
+) -> Result<(ParetoSet<RoutingTree>, Vec<u32>), RouteError> {
+    let Some(ids) = inner.table.candidate_ids(class) else {
+        let degree = class.degree();
+        return Err(if inner.table.pattern_count(degree) == 0 {
+            RouteError::MissingDegree {
+                degree,
+                lambda: inner.table.lambda(),
+            }
+        } else {
+            RouteError::MissingPattern {
+                degree,
+                key: class.canonical_key(),
+            }
+        });
+    };
+    counters.candidates_scored = ids.len() as u32;
+    let survivors = inner.table.score_candidates(class, ids);
+    counters.trees_materialized = survivors.len() as u32;
+    let mut winners = Vec::with_capacity(survivors.len());
+    let entries: Vec<(Cost, RoutingTree)> = survivors
+        .into_iter()
+        .map(|(cost, id)| {
+            let tree = inner.table.materialize(net, class, id);
+            winners.push(id);
+            (cost, tree)
+        })
+        .collect();
+    Ok((ParetoSet::from_unpruned(entries), winners))
+}
+
+fn outcome(
+    frontier: ParetoSet<RoutingTree>,
+    degree: usize,
+    source: RouteSource,
+    counters: StageCounters,
+    trace: DegradationTrace,
+) -> RouteOutcome {
+    RouteOutcome {
+        frontier,
+        provenance: RouteProvenance {
+            degree,
+            source,
+            counters,
+            trace,
+        },
+    }
+}
+
+/// The per-route context [`run_rung`] reads: the fault plane, the
+/// session-resolved decision seed, the clock it advances on injected
+/// delays, the deadline budget, and the net's fault-decision key.
+struct LadderCtx<'a> {
+    faults: &'a FaultPlane,
+    fault_seed: u64,
+    clock: &'a dyn Clock,
+    budget: Option<&'a Budget>,
+    key: u64,
+}
+
+impl LadderCtx<'_> {
+    /// [`FaultPlane::fires_seeded`] under the session-resolved seed.
+    fn fires(&self, kind: FaultKind, rung: Rung) -> bool {
+        self.faults.fires_seeded(self.fault_seed, kind, rung, self.key)
+    }
+}
+
+/// Runs one rung inside the ladder's shared harness:
+///
+/// 1. an injected stage delay advances the clock *before* the deadline
+///    gate, so a stalled stage burns the budget it is about to be judged
+///    against;
+/// 2. compute rungs ([`Rung::deadline_gated`]) are skipped once the
+///    budget is exceeded;
+/// 3. the body runs under `catch_unwind` (with an injected stage panic
+///    fired inside it), so a panicking rung falls through instead of
+///    unwinding the caller. The first caught payload is kept so an
+///    unabsorbed panic can resume after the ladder is exhausted.
+fn run_rung<T>(
+    ctx: &LadderCtx<'_>,
+    rung: Rung,
+    counters: &mut StageCounters,
+    panic_payload: &mut Option<Box<dyn Any + Send>>,
+    body: impl FnOnce(&mut StageCounters) -> Result<T, RungOutcome>,
+) -> Result<T, RungOutcome> {
+    if ctx.fires(FaultKind::StageDelay, rung) {
+        ctx.clock.advance(ctx.faults.delay());
+    }
+    if rung.deadline_gated() {
+        if let Some(budget) = ctx.budget {
+            counters.budget_checks += 1;
+            if budget.exceeded() {
+                return Err(RungOutcome::DeadlineExceeded);
+            }
+        }
+    }
+    let inject = ctx.fires(FaultKind::StagePanic, rung);
+    match panic::catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            panic!("injected fault: stage panic at rung {rung}");
+        }
+        body(counters)
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            panic_payload.get_or_insert(payload);
+            Err(RungOutcome::Panicked)
+        }
+    }
+}
+
+/// Every cost must equal its witness tree's recomputed objectives; a
+/// corrupted cost row breaks exactly this invariant.
+pub(crate) fn frontier_consistent(frontier: &ParetoSet<RoutingTree>) -> bool {
+    frontier
+        .iter()
+        .all(|(c, t)| (c.wirelength, c.delay) == t.objectives())
+}
+
+/// The corrupted-row injection: shift the first cost off its witness.
+/// Decrementing (not incrementing) keeps the perturbed point dominant,
+/// so [`ParetoSet::from_unpruned`]'s re-pruning cannot silently discard
+/// the corruption before validation sees it.
+fn corrupt_first_cost(frontier: ParetoSet<RoutingTree>) -> ParetoSet<RoutingTree> {
+    let mut entries: Vec<(Cost, RoutingTree)> =
+        frontier.iter().map(|(c, t)| (c, t.clone())).collect();
+    if let Some((cost, _)) = entries.first_mut() {
+        cost.wirelength -= 1;
+    }
+    ParetoSet::from_unpruned(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::{Fault, FaultScope, VirtualClock};
+    use patlabor_geom::Point;
+
+    fn net3() -> Net {
+        Net::new(vec![Point::new(0, 0), Point::new(5, 9), Point::new(9, 4)]).unwrap()
+    }
+
+    fn engine4() -> Engine {
+        Engine::with_table(LutBuilder::new(4).threads(2).build())
+    }
+
+    #[test]
+    fn engine_clone_is_a_shared_handle() {
+        let engine = engine4();
+        let clone = engine.clone();
+        // Same shared state: a route through one handle warms the
+        // other's cache.
+        let net = net3();
+        let first = engine.route(&net).unwrap();
+        assert_eq!(first.provenance.source, RouteSource::ExactLut);
+        let second = clone.route(&net).unwrap();
+        assert_eq!(second.provenance.source, RouteSource::CacheHit);
+        assert_eq!(first.frontier, second.frontier);
+        // And no table bytes were duplicated: both handles point at one
+        // EngineInner.
+        assert!(Arc::ptr_eq(&engine.inner, &clone.inner));
+    }
+
+    #[test]
+    fn default_session_matches_engine_route() {
+        let engine = engine4();
+        let net = net3();
+        let plain = engine.route(&net).unwrap();
+        let session = engine.route_session(&net, &Session::new(42)).unwrap();
+        // Provenance differs only through the cache warmup; compare a
+        // fresh engine for full equality.
+        assert_eq!(plain.frontier, session.frontier);
+    }
+
+    #[test]
+    fn session_deadline_overrides_engine_deadline() {
+        // Engine has a generous deadline; the session's zero deadline
+        // must win and push the net down to the baseline rung.
+        let clock = Arc::new(VirtualClock::new());
+        clock.advance(Duration::from_secs(1));
+        let engine = Engine::with_table_and_config(
+            LutBuilder::new(4).threads(2).build(),
+            RouterConfig {
+                resilience: ResilienceConfig {
+                    deadline: Some(Duration::from_secs(3600)),
+                    ..ResilienceConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        )
+        .with_cache(crate::cache::CacheConfig::disabled())
+        .with_clock(clock);
+        let net = net3();
+        let generous = engine.route(&net).unwrap();
+        assert_eq!(generous.provenance.source, RouteSource::ExactLut);
+        let strict = engine
+            .route_session(&net, &Session::new(1).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert_eq!(strict.provenance.source, RouteSource::Baseline);
+        assert!(strict
+            .provenance
+            .trace
+            .contains(Rung::Lut, RungOutcome::DeadlineExceeded));
+        // The engine-level deadline still applies to sessions that do
+        // not override it.
+        let inherited = engine.route_session(&net, &Session::new(2)).unwrap();
+        assert_eq!(inherited.provenance.source, RouteSource::ExactLut);
+    }
+
+    #[test]
+    fn session_fault_seed_reseeds_the_plane() {
+        // A 50% plane: across many nets, at least one net must flip its
+        // decision between two seeds, and a session override must
+        // reproduce the other seed's outcome exactly.
+        let faults = |seed| {
+            FaultPlane::seeded(seed).with_fault(Fault {
+                kind: FaultKind::MissingDegree,
+                scope: FaultScope::Primary,
+                probability: 0.5,
+            })
+        };
+        let base = engine4()
+            .with_cache(crate::cache::CacheConfig::disabled())
+            .with_faults(faults(7));
+        let other = engine4()
+            .with_cache(crate::cache::CacheConfig::disabled())
+            .with_faults(faults(8));
+        let nets = patlabor_netgen::iccad_like_suite(0x5e55, 24, 4);
+        let mut flipped = 0;
+        for net in nets.iter().filter(|n| n.degree() >= 3) {
+            let a = base.route(net).unwrap();
+            let b = other.route(net).unwrap();
+            let via_session = base
+                .route_session(net, &Session::new(0).with_fault_seed(8))
+                .unwrap();
+            assert_eq!(via_session.provenance.source, b.provenance.source);
+            assert_eq!(via_session.frontier.cost_vec(), b.frontier.cost_vec());
+            if a.provenance.source != b.provenance.source {
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 0, "two seeds should disagree on some net at p=0.5");
+    }
+
+    #[test]
+    fn builder_methods_on_shared_engine_leave_clones_untouched() {
+        let engine = engine4();
+        let clone = engine.clone();
+        let rebuilt = engine.with_resilience(ResilienceConfig::strict());
+        assert_eq!(rebuilt.config().resilience, ResilienceConfig::strict());
+        // The pre-existing clone still routes with the default ladder.
+        assert_eq!(clone.config().resilience, ResilienceConfig::default());
+        assert!(!Arc::ptr_eq(&rebuilt.inner, &clone.inner));
+    }
+}

@@ -48,6 +48,7 @@
 
 mod batch;
 pub mod cache;
+mod engine;
 pub mod pad;
 pub mod ks;
 pub mod local_search;
@@ -57,6 +58,7 @@ pub mod resilience;
 mod router;
 
 pub use batch::{BatchConfig, BatchStats, WorkerStats};
+pub use engine::{Engine, Session};
 pub use cache::{CacheConfig, CacheStats, ShardStats};
 pub use pad::CachePadded;
 pub use pipeline::{

@@ -316,6 +316,14 @@ impl FaultPlane {
         &self.faults
     }
 
+    /// The plane's decision seed ([`Engine`] sessions read it so a
+    /// per-request seed override can default to the plane's own).
+    ///
+    /// [`Engine`]: crate::Engine
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The stage-delay fault's clock advance.
     pub fn delay(&self) -> Duration {
         self.delay
@@ -326,13 +334,21 @@ impl FaultPlane {
     /// the rung only gates on scope, so an `AllRungs` fault that hits a
     /// net hits it at every rung.
     pub fn fires(&self, kind: FaultKind, rung: Rung, net_key: u64) -> bool {
+        self.fires_seeded(self.seed, kind, rung, net_key)
+    }
+
+    /// [`FaultPlane::fires`] with the decision seed supplied by the
+    /// caller instead of the plane. Sessions use this to re-hash the
+    /// plane's registered faults under a per-request seed override
+    /// (same faults, same probabilities, independent per-net decisions).
+    pub fn fires_seeded(&self, seed: u64, kind: FaultKind, rung: Rung, net_key: u64) -> bool {
         if self.faults.is_empty() {
             return false;
         }
         self.faults.iter().any(|f| {
             f.kind == kind
                 && f.scope.matches(rung)
-                && unit_hash(self.seed ^ kind_salt(kind) ^ net_key) < f.probability
+                && unit_hash(seed ^ kind_salt(kind) ^ net_key) < f.probability
         })
     }
 }

@@ -1,44 +1,29 @@
-//! The top-level router: the staged serving pipeline
-//! `Classify → CacheLookup → LutQuery → LocalSearch → Materialize`
-//! (see [`crate::pipeline`] for the stage diagram), hardened by the
-//! degradation ladder of [`crate::resilience`] (DESIGN.md §12).
+//! The top-level router: [`RouterConfig`] plus the classic [`PatLabor`]
+//! handle, now a thin wrapper over the long-lived [`Engine`]
+//! (see [`crate::engine`] for the engine/session split).
 //!
-//! Every serving rung runs inside a shared harness ([`run_rung`]) that
-//! applies the fault plane's injections, gates compute rungs on the
-//! per-net deadline budget, and isolates panics so a failing rung falls
-//! through to the next instead of taking the process down.
+//! The staged serving pipeline
+//! `Classify → CacheLookup → LutQuery → LocalSearch → Materialize`
+//! (see [`crate::pipeline`] for the stage diagram) and the degradation
+//! ladder of [`crate::resilience`] (DESIGN.md §12) live on the engine;
+//! `PatLabor` keeps the original construct-once/route-per-net API for
+//! library users and tests while the serve layer drives the engine
+//! directly with per-request [`Session`]s.
 
-use std::any::Any;
-use std::cell::Cell;
-use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use patlabor_baselines::fallback_frontier;
-use patlabor_dw::{numeric, Cancelled, DwConfig};
-use patlabor_geom::{Net, NetClass};
-use patlabor_lut::{LookupTable, LutBuilder};
-use patlabor_pareto::{Cost, ParetoSet};
+use patlabor_geom::Net;
+use patlabor_lut::LookupTable;
+use patlabor_pareto::ParetoSet;
 use patlabor_tree::RoutingTree;
 
 use crate::batch::BatchConfig;
-use crate::cache::{CacheConfig, CacheKey, CacheStats, FrontierCache, ShardStats};
-use crate::local_search::{local_search_cancellable, LocalSearchConfig};
-use crate::pipeline::{
-    RouteError, RouteOutcome, RouteProvenance, RouteSource, StageCounters,
-};
+use crate::cache::{CacheConfig, CacheStats, ShardStats};
+use crate::engine::{Engine, Session};
+use crate::local_search::LocalSearchConfig;
+use crate::pipeline::{RouteError, RouteOutcome};
 use crate::policy::Policy;
-use crate::resilience::{
-    net_key, Budget, Clock, DegradationTrace, FaultKind, FaultPlane, ResilienceConfig, Rung,
-    RungOutcome, SystemClock,
-};
-
-/// Cancellation checkpoints between clock reads. Checkpoints are counted
-/// on every poll, but the deadline clock — the expensive part of a poll —
-/// is consulted only on this stride, keeping the budgeted/unbudgeted gap
-/// on the BENCH_PR5 workload under its 2% guard. Rung gates still read
-/// the clock unconditionally, so deadline granularity stays bounded by a
-/// rung even when an inner loop finishes in fewer polls than one stride.
-const BUDGET_POLL_STRIDE: u32 = 64;
+use crate::resilience::{Clock, FaultPlane, ResilienceConfig};
 
 /// Router-level configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,7 +73,10 @@ impl Default for RouterConfig {
 ///
 /// Construct once (table generation is the expensive part), then call
 /// [`PatLabor::route`] per net — the intended usage pattern for routing
-/// millions of nets.
+/// millions of nets. Internally this is a handle to a long-lived
+/// [`Engine`]; cloning shares the table, cache and fault plane rather
+/// than duplicating them. Long-lived services (the `patlabor serve`
+/// daemon) use the [`Engine`]/[`Session`] API directly.
 ///
 /// # Example
 ///
@@ -104,133 +92,113 @@ impl Default for RouterConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PatLabor {
-    table: LookupTable,
-    policy: Policy,
-    config: RouterConfig,
-    /// Present iff `config.cache.enabled`. Shared (not deep-copied) by
-    /// clones, so batch workers cloning a router still pool their hits.
-    cache: Option<Arc<FrontierCache>>,
-    /// The clock deadlines are read against. Production routers keep the
-    /// default [`SystemClock`]; tests inject a
-    /// [`crate::resilience::VirtualClock`].
-    clock: Arc<dyn Clock>,
-}
-
-impl Default for PatLabor {
-    fn default() -> Self {
-        Self::new()
-    }
+    engine: Engine,
 }
 
 impl PatLabor {
     /// Builds a router with freshly generated λ = 5 lookup tables and the
     /// default trained policy.
     pub fn new() -> Self {
-        Self::with_config(RouterConfig::default())
+        PatLabor { engine: Engine::new() }
     }
 
     /// Builds a router with the given configuration (generating tables for
     /// its λ).
     pub fn with_config(config: RouterConfig) -> Self {
-        let table = LutBuilder::new(config.lambda).build();
-        Self::assemble(table, config)
+        PatLabor { engine: Engine::with_config(config) }
     }
 
     /// Builds a router around pre-generated tables (e.g. loaded from disk
     /// via [`LookupTable::load`]).
     pub fn with_table(table: LookupTable) -> Self {
-        let config = RouterConfig {
-            lambda: table.lambda(),
-            ..RouterConfig::default()
-        };
-        Self::assemble(table, config)
+        PatLabor { engine: Engine::with_table(table) }
     }
 
     /// Builds a router around pre-generated tables with an explicit
     /// configuration. `config.lambda` is overridden by the table's λ —
     /// the table, not the config, decides which degrees are tabulated.
     pub fn with_table_and_config(table: LookupTable, config: RouterConfig) -> Self {
-        let config = RouterConfig {
-            lambda: table.lambda(),
-            ..config
-        };
-        Self::assemble(table, config)
-    }
-
-    fn assemble(table: LookupTable, config: RouterConfig) -> Self {
         PatLabor {
-            table,
-            policy: Policy::default(),
-            cache: Self::build_cache(&config),
-            config,
-            clock: Arc::new(SystemClock::new()),
+            engine: Engine::with_table_and_config(table, config),
         }
     }
 
-    fn build_cache(config: &RouterConfig) -> Option<Arc<FrontierCache>> {
-        config
-            .cache
-            .enabled
-            .then(|| Arc::new(FrontierCache::new(&config.cache)))
+    /// Wraps an existing engine handle in the classic router API.
+    pub fn from_engine(engine: Engine) -> Self {
+        PatLabor { engine }
+    }
+
+    /// The underlying long-lived engine handle (an `Arc` clone away from
+    /// being shared with a server).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Unwraps into the underlying engine handle.
+    pub fn into_engine(self) -> Engine {
+        self.engine
     }
 
     /// Replaces the pin-selection policy (e.g. with a freshly trained one).
-    pub fn with_policy(mut self, policy: Policy) -> Self {
-        self.policy = policy;
-        self
+    #[must_use]
+    pub fn with_policy(self, policy: Policy) -> Self {
+        PatLabor { engine: self.engine.with_policy(policy) }
     }
 
     /// Replaces the local-search configuration.
-    pub fn with_local_search(mut self, local_search: LocalSearchConfig) -> Self {
-        self.config.local_search = local_search;
-        self
+    #[must_use]
+    pub fn with_local_search(self, local_search: LocalSearchConfig) -> Self {
+        PatLabor {
+            engine: self.engine.with_local_search(local_search),
+        }
     }
 
     /// Replaces the frontier-cache configuration, dropping any cached
     /// entries (and the old counters) in the process.
-    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
-        self.config.cache = cache;
-        self.cache = Self::build_cache(&self.config);
-        self
+    #[must_use]
+    pub fn with_cache(self, cache: CacheConfig) -> Self {
+        PatLabor { engine: self.engine.with_cache(cache) }
     }
 
     /// Replaces the resilience configuration (armed fallback rungs,
     /// frontier validation, per-net deadline).
-    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
-        self.config.resilience = resilience;
-        self
+    #[must_use]
+    pub fn with_resilience(self, resilience: ResilienceConfig) -> Self {
+        PatLabor {
+            engine: self.engine.with_resilience(resilience),
+        }
     }
 
     /// Replaces the fault plane (deterministic fault injection).
-    pub fn with_faults(mut self, faults: FaultPlane) -> Self {
-        self.config.faults = faults;
-        self
+    #[must_use]
+    pub fn with_faults(self, faults: FaultPlane) -> Self {
+        PatLabor { engine: self.engine.with_faults(faults) }
     }
 
     /// Replaces the deadline clock (tests inject a
     /// [`crate::resilience::VirtualClock`] so deadline behavior is a pure
     /// function of the configuration).
-    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
-        self.clock = clock;
-        self
+    #[must_use]
+    pub fn with_clock(self, clock: Arc<dyn Clock>) -> Self {
+        PatLabor { engine: self.engine.with_clock(clock) }
     }
 
     /// The lookup tables backing this router.
     pub fn table(&self) -> &LookupTable {
-        &self.table
+        self.engine.table()
     }
 
     /// The active pin-selection policy.
     pub fn policy(&self) -> &Policy {
-        &self.policy
+        self.engine.policy()
     }
 
     /// The router's configuration (the batch driver reads its chunk
     /// tuning from here).
     pub fn config(&self) -> &RouterConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Routes one net through the staged pipeline, returning the Pareto
@@ -238,8 +206,8 @@ impl PatLabor {
     ///
     /// Exact (the full Pareto frontier, one witness tree per point) for
     /// degrees `≤ λ`; the local-search approximation above. The outcome's
-    /// [`RouteProvenance`] records which stage answered and how much work
-    /// each stage did.
+    /// [`crate::pipeline::RouteProvenance`] records which stage answered
+    /// and how much work each stage did.
     ///
     /// A rung that cannot serve — missing table degree or pattern,
     /// corrupted cost row caught by validation, expired deadline, or a
@@ -250,8 +218,8 @@ impl PatLabor {
     ///         local search → baseline                (degree > λ)
     /// ```
     ///
-    /// and the descent is recorded in [`RouteProvenance::trace`]. Only
-    /// when every armed rung fails does the call return a structured
+    /// and the descent is recorded in the provenance trace. Only when
+    /// every armed rung fails does the call return a structured
     /// [`RouteError`]; with the default [`ResilienceConfig`] the baseline
     /// rung is always armed, so errors require a fault nothing can absorb
     /// (an `AllRungs` stage panic) or a disarmed ladder
@@ -261,310 +229,14 @@ impl PatLabor {
     /// of the frontier cache's state (only the provenance differs between
     /// a cache hit and a full query).
     pub fn route(&self, net: &Net) -> Result<RouteOutcome, RouteError> {
-        let degree = net.degree();
-        let mut counters = StageCounters::default();
-        let mut trace = DegradationTrace::default();
-
-        // Stage: Classify — pick the serving path by degree.
-        if degree == 2 {
-            // Closed form: the direct tree is the entire frontier; no
-            // class, no cache, no table involvement, no fault surface.
-            let tree = RoutingTree::direct(net);
-            let (w, d) = tree.objectives();
-            let mut frontier = ParetoSet::new();
-            frontier.insert(Cost::new(w, d), tree);
-            counters.trees_materialized = 1;
-            trace.push(Rung::ClosedForm, RungOutcome::Served);
-            return Ok(self.outcome(frontier, degree, RouteSource::ClosedForm, counters, trace));
-        }
-
-        let res = self.config.resilience;
-        let budget = res
-            .deadline
-            .map(|deadline| Budget::new(Arc::clone(&self.clock), deadline));
-        let ctx = LadderCtx {
-            faults: &self.config.faults,
-            clock: self.clock.as_ref(),
-            budget: budget.as_ref(),
-            key: net_key(net),
-        };
-        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
-        let mut table_error: Option<RouteError> = None;
-
-        if degree <= self.table.lambda() as usize {
-            let class = self
-                .table
-                .classify(net)
-                .ok_or(RouteError::UnclassifiableDegree { degree })?;
-
-            // Rung: Cache — replay the class's winning ids on a hit. A
-            // cache the adaptive bypass has retired (hit rate below the
-            // configured floor through the warmup window) is skipped
-            // entirely: no probe, no insert, no rung attempt.
-            if let Some(cache) = self.cache.as_ref().filter(|c| !c.bypassed()) {
-                let outcome =
-                    run_rung(&ctx, Rung::Cache, &mut counters, &mut panic_payload, |counters| {
-                        counters.cache_probes = 1;
-                        let key = CacheKey::from_class(&class);
-                        let ids = cache.get(&key).ok_or(RungOutcome::Unavailable)?;
-                        counters.cache_hits = 1;
-                        counters.trees_materialized = ids.len() as u32;
-                        let mut frontier = self.table.query_ids(net, &class, &ids);
-                        if ctx.faults.fires(FaultKind::CorruptedRow, Rung::Cache, ctx.key) {
-                            frontier = corrupt_first_cost(frontier);
-                        }
-                        if res.validate_frontiers && !frontier_consistent(&frontier) {
-                            return Err(RungOutcome::CorruptRow);
-                        }
-                        Ok(frontier)
-                    });
-                match outcome {
-                    Ok(frontier) => {
-                        trace.push(Rung::Cache, RungOutcome::Served);
-                        return Ok(self.outcome(
-                            frontier,
-                            degree,
-                            RouteSource::CacheHit,
-                            counters,
-                            trace,
-                        ));
-                    }
-                    // A plain miss is the normal path, not a degradation.
-                    Err(RungOutcome::Unavailable) => {}
-                    Err(o) => trace.push(Rung::Cache, o),
-                }
-            }
-
-            // Rung: Lut — the primary rung for tabulated degrees.
-            let outcome =
-                run_rung(&ctx, Rung::Lut, &mut counters, &mut panic_payload, |counters| {
-                    // In this branch degree ≤ λ ≤ u8::MAX, so the narrowing
-                    // casts below are lossless.
-                    if ctx.faults.fires(FaultKind::MissingDegree, Rung::Lut, ctx.key) {
-                        table_error.get_or_insert(RouteError::MissingDegree {
-                            degree: degree as u8,
-                            lambda: self.table.lambda(),
-                        });
-                        return Err(RungOutcome::MissingDegree);
-                    }
-                    if ctx.faults.fires(FaultKind::MissingPattern, Rung::Lut, ctx.key) {
-                        table_error.get_or_insert(RouteError::MissingPattern {
-                            degree: degree as u8,
-                            key: class.canonical_key(),
-                        });
-                        return Err(RungOutcome::MissingPattern);
-                    }
-                    let (mut frontier, winners) = match self.lut_query(net, &class, counters) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            let outcome = if matches!(e, RouteError::MissingDegree { .. }) {
-                                RungOutcome::MissingDegree
-                            } else {
-                                RungOutcome::MissingPattern
-                            };
-                            table_error.get_or_insert(e);
-                            return Err(outcome);
-                        }
-                    };
-                    if ctx.faults.fires(FaultKind::CorruptedRow, Rung::Lut, ctx.key) {
-                        frontier = corrupt_first_cost(frontier);
-                    }
-                    if res.validate_frontiers && !frontier_consistent(&frontier) {
-                        return Err(RungOutcome::CorruptRow);
-                    }
-                    Ok((frontier, winners))
-                });
-            match outcome {
-                Ok((frontier, winners)) => {
-                    if let Some(cache) = self.cache.as_ref().filter(|c| !c.bypassed()) {
-                        cache.insert(CacheKey::from_class(&class), winners.into());
-                    }
-                    trace.push(Rung::Lut, RungOutcome::Served);
-                    return Ok(self.outcome(
-                        frontier,
-                        degree,
-                        RouteSource::ExactLut,
-                        counters,
-                        trace,
-                    ));
-                }
-                Err(o) => trace.push(Rung::Lut, o),
-            }
-
-            // Rung: NumericDw — re-enumerate from scratch what the table
-            // could not serve. Exact but per-instance expensive, hence
-            // capped at `numeric::MAX_DEGREE`.
-            if res.dw_fallback && degree <= numeric::MAX_DEGREE {
-                let outcome =
-                    run_rung(&ctx, Rung::NumericDw, &mut counters, &mut panic_payload, |counters| {
-                        let checks = Cell::new(0u32);
-                        let result =
-                            numeric::pareto_frontier_cancellable(net, &DwConfig::default(), &|| {
-                                let n = checks.get() + 1;
-                                checks.set(n);
-                                // Reading the clock is what costs, not the
-                                // checkpoint itself: stride the reads so a
-                                // hot DP loop stays under the BENCH_PR5
-                                // overhead budget.
-                                n.is_multiple_of(BUDGET_POLL_STRIDE)
-                                    && ctx.budget.is_some_and(Budget::exceeded)
-                            });
-                        counters.budget_checks += checks.get();
-                        result.map_err(|Cancelled| RungOutcome::DeadlineExceeded)
-                    });
-                match outcome {
-                    Ok(frontier) => {
-                        trace.push(Rung::NumericDw, RungOutcome::Served);
-                        return Ok(self.outcome(
-                            frontier,
-                            degree,
-                            RouteSource::NumericDw,
-                            counters,
-                            trace,
-                        ));
-                    }
-                    Err(o) => trace.push(Rung::NumericDw, o),
-                }
-            }
-        } else {
-            // Rung: LocalSearch — the primary rung above λ.
-            let outcome =
-                run_rung(&ctx, Rung::LocalSearch, &mut counters, &mut panic_payload, |counters| {
-                    // A missing-degree fault here simulates reroute tables
-                    // the search cannot use (its subnets query the same
-                    // LUT), demoting the net to the baseline rung.
-                    if ctx.faults.fires(FaultKind::MissingDegree, Rung::LocalSearch, ctx.key) {
-                        return Err(RungOutcome::MissingDegree);
-                    }
-                    let checks = Cell::new(0u32);
-                    let result = local_search_cancellable(
-                        net,
-                        &self.table,
-                        &self.policy,
-                        &self.config.local_search,
-                        &|| {
-                            let n = checks.get() + 1;
-                            checks.set(n);
-                            n.is_multiple_of(BUDGET_POLL_STRIDE)
-                                && ctx.budget.is_some_and(Budget::exceeded)
-                        },
-                    );
-                    counters.budget_checks += checks.get();
-                    match result {
-                        Ok((frontier, report)) => {
-                            counters.local_search_rounds = report.rounds as u32;
-                            counters.local_search_candidates = report.candidates as u32;
-                            Ok(frontier)
-                        }
-                        Err(Cancelled) => Err(RungOutcome::DeadlineExceeded),
-                    }
-                });
-            match outcome {
-                Ok(frontier) => {
-                    trace.push(Rung::LocalSearch, RungOutcome::Served);
-                    return Ok(self.outcome(
-                        frontier,
-                        degree,
-                        RouteSource::LocalSearch,
-                        counters,
-                        trace,
-                    ));
-                }
-                Err(o) => trace.push(Rung::LocalSearch, o),
-            }
-        }
-
-        // Rung: Baseline — deliberately cheap and never deadline-gated:
-        // an expired budget still yields valid (approximate) trees
-        // instead of nothing.
-        if res.baseline_fallback {
-            let outcome =
-                run_rung(&ctx, Rung::Baseline, &mut counters, &mut panic_payload, |counters| {
-                    let frontier = fallback_frontier(net);
-                    counters.trees_materialized += frontier.len() as u32;
-                    Ok(frontier)
-                });
-            match outcome {
-                Ok(frontier) => {
-                    trace.push(Rung::Baseline, RungOutcome::Served);
-                    return Ok(self.outcome(
-                        frontier,
-                        degree,
-                        RouteSource::Baseline,
-                        counters,
-                        trace,
-                    ));
-                }
-                Err(o) => trace.push(Rung::Baseline, o),
-            }
-        }
-
-        // Ladder exhausted. A caught panic is not ours to swallow when no
-        // rung could absorb it (the batch driver isolates it per slot);
-        // otherwise prefer the real table error over the generic
-        // exhaustion report.
-        if let Some(payload) = panic_payload {
-            panic::resume_unwind(payload);
-        }
-        Err(table_error.unwrap_or(RouteError::RungsExhausted { degree, trace }))
+        self.engine.route(net)
     }
 
-    /// Stages LutQuery + Materialize: score the stored candidates, prune,
-    /// and build witness trees for the survivors only. Composes the same
-    /// stage calls as [`LookupTable::query_witnesses`], so the frontier
-    /// (including tie-break order) is bit-identical to it.
-    fn lut_query(
-        &self,
-        net: &Net,
-        class: &NetClass,
-        counters: &mut StageCounters,
-    ) -> Result<(ParetoSet<RoutingTree>, Vec<u32>), RouteError> {
-        let Some(ids) = self.table.candidate_ids(class) else {
-            let degree = class.degree();
-            return Err(if self.table.pattern_count(degree) == 0 {
-                RouteError::MissingDegree {
-                    degree,
-                    lambda: self.table.lambda(),
-                }
-            } else {
-                RouteError::MissingPattern {
-                    degree,
-                    key: class.canonical_key(),
-                }
-            });
-        };
-        counters.candidates_scored = ids.len() as u32;
-        let survivors = self.table.score_candidates(class, ids);
-        counters.trees_materialized = survivors.len() as u32;
-        let mut winners = Vec::with_capacity(survivors.len());
-        let entries: Vec<(Cost, RoutingTree)> = survivors
-            .into_iter()
-            .map(|(cost, id)| {
-                let tree = self.table.materialize(net, class, id);
-                winners.push(id);
-                (cost, tree)
-            })
-            .collect();
-        Ok((ParetoSet::from_unpruned(entries), winners))
-    }
-
-    fn outcome(
-        &self,
-        frontier: ParetoSet<RoutingTree>,
-        degree: usize,
-        source: RouteSource,
-        counters: StageCounters,
-        trace: DegradationTrace,
-    ) -> RouteOutcome {
-        RouteOutcome {
-            frontier,
-            provenance: RouteProvenance {
-                degree,
-                source,
-                counters,
-                trace,
-            },
-        }
+    /// [`Engine::route_session`] through the classic handle: one net
+    /// under a per-request [`Session`] (deadline override, fault-seed
+    /// override, request identity).
+    pub fn route_session(&self, net: &Net, session: &Session) -> Result<RouteOutcome, RouteError> {
+        self.engine.route_session(net, session)
     }
 
     /// [`PatLabor::route`], discarding provenance.
@@ -590,7 +262,7 @@ impl PatLabor {
 
     /// Frontier-cache counters, or `None` when the cache is disabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(|c| c.stats())
+        self.engine.cache_stats()
     }
 
     /// Per-shard frontier-cache counters (hits, misses, occupancy, lock
@@ -598,96 +270,26 @@ impl PatLabor {
     /// bench reads these to spot hot shards instead of averaging them
     /// away in the aggregate [`CacheStats`].
     pub fn cache_shard_stats(&self) -> Option<Vec<ShardStats>> {
-        self.cache.as_ref().map(|c| c.shard_stats())
+        self.engine.cache_shard_stats()
     }
 
     /// Whether `route` is exact for this degree.
     pub fn is_exact_for(&self, degree: usize) -> bool {
-        degree <= self.table.lambda() as usize
+        self.engine.is_exact_for(degree)
     }
-}
-
-/// The per-route context [`run_rung`] reads: the fault plane, the clock
-/// it advances on injected delays, the deadline budget, and the net's
-/// fault-decision key.
-struct LadderCtx<'a> {
-    faults: &'a FaultPlane,
-    clock: &'a dyn Clock,
-    budget: Option<&'a Budget>,
-    key: u64,
-}
-
-/// Runs one rung inside the ladder's shared harness:
-///
-/// 1. an injected stage delay advances the clock *before* the deadline
-///    gate, so a stalled stage burns the budget it is about to be judged
-///    against;
-/// 2. compute rungs ([`Rung::deadline_gated`]) are skipped once the
-///    budget is exceeded;
-/// 3. the body runs under `catch_unwind` (with an injected stage panic
-///    fired inside it), so a panicking rung falls through instead of
-///    unwinding the caller. The first caught payload is kept so an
-///    unabsorbed panic can resume after the ladder is exhausted.
-fn run_rung<T>(
-    ctx: &LadderCtx<'_>,
-    rung: Rung,
-    counters: &mut StageCounters,
-    panic_payload: &mut Option<Box<dyn Any + Send>>,
-    body: impl FnOnce(&mut StageCounters) -> Result<T, RungOutcome>,
-) -> Result<T, RungOutcome> {
-    if ctx.faults.fires(FaultKind::StageDelay, rung, ctx.key) {
-        ctx.clock.advance(ctx.faults.delay());
-    }
-    if rung.deadline_gated() {
-        if let Some(budget) = ctx.budget {
-            counters.budget_checks += 1;
-            if budget.exceeded() {
-                return Err(RungOutcome::DeadlineExceeded);
-            }
-        }
-    }
-    let inject = ctx.faults.fires(FaultKind::StagePanic, rung, ctx.key);
-    match panic::catch_unwind(AssertUnwindSafe(|| {
-        if inject {
-            panic!("injected fault: stage panic at rung {rung}");
-        }
-        body(counters)
-    })) {
-        Ok(result) => result,
-        Err(payload) => {
-            panic_payload.get_or_insert(payload);
-            Err(RungOutcome::Panicked)
-        }
-    }
-}
-
-/// Every cost must equal its witness tree's recomputed objectives; a
-/// corrupted cost row breaks exactly this invariant.
-fn frontier_consistent(frontier: &ParetoSet<RoutingTree>) -> bool {
-    frontier
-        .iter()
-        .all(|(c, t)| (c.wirelength, c.delay) == t.objectives())
-}
-
-/// The corrupted-row injection: shift the first cost off its witness.
-/// Decrementing (not incrementing) keeps the perturbed point dominant,
-/// so [`ParetoSet::from_unpruned`]'s re-pruning cannot silently discard
-/// the corruption before validation sees it.
-fn corrupt_first_cost(frontier: ParetoSet<RoutingTree>) -> ParetoSet<RoutingTree> {
-    let mut entries: Vec<(Cost, RoutingTree)> =
-        frontier.iter().map(|(c, t)| (c, t.clone())).collect();
-    if let Some((cost, _)) = entries.first_mut() {
-        cost.wirelength -= 1;
-    }
-    ParetoSet::from_unpruned(entries)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::resilience::{Fault, FaultScope, VirtualClock};
+    use crate::engine::frontier_consistent;
+    use crate::pipeline::RouteSource;
+    use crate::resilience::{
+        Fault, FaultKind, FaultPlane, FaultScope, Rung, RungOutcome, VirtualClock,
+    };
     use patlabor_dw::{numeric, DwConfig};
     use patlabor_geom::Point;
+    use std::panic::{self, AssertUnwindSafe};
     use std::time::Duration;
 
     fn random_net(seed: &mut u64, degree: usize, span: u64) -> Net {

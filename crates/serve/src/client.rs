@@ -1,0 +1,129 @@
+//! A minimal client for the serve protocol — used by the loadgen
+//! bench, the differential verifier, and the integration tests.
+//!
+//! [`RouteClient`] speaks the framed socket protocol and supports
+//! pipelining: `send` any number of requests, then `recv` the replies
+//! and correlate by `id` (the server replies to *accepted* requests in
+//! per-connection arrival order, but immediate rejections — overload,
+//! drain, malformed — jump the queue, so id correlation is the only
+//! contract). [`scrape_metrics`] and [`http_post`] cover the HTTP
+//! adapter with the same no-dependency discipline.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{parse, Json};
+use crate::wire::{read_frame, write_frame, RouteRequest};
+
+/// One framed-protocol connection.
+#[derive(Debug)]
+pub struct RouteClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl RouteClient {
+    /// Connects to a serve daemon's socket address.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(RouteClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sets the read timeout (None blocks forever, the default).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request frame (pipelinable: does not wait for the
+    /// reply).
+    pub fn send(&mut self, request: &RouteRequest) -> io::Result<()> {
+        self.send_raw(request.to_json().render().as_bytes())
+    }
+
+    /// Sends an arbitrary payload as one frame — the loadgen's
+    /// malformed-request path.
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, payload)?;
+        self.writer.flush()
+    }
+
+    /// Receives one reply frame, parsed. `Ok(None)` when the server
+    /// closed the connection cleanly.
+    pub fn recv(&mut self) -> io::Result<Option<Json>> {
+        let Some(payload) = read_frame(&mut self.reader)? else {
+            return Ok(None);
+        };
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 reply"))?;
+        parse(text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Round-trips one request (send + recv). Errors if the server
+    /// hung up instead of replying.
+    pub fn route(&mut self, request: &RouteRequest) -> io::Result<Json> {
+        self.send(request)?;
+        self.recv()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
+    /// Half-closes the write side: the server sees EOF, finishes any
+    /// queued replies for this connection, then hangs up.
+    pub fn finish_writes(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(std::net::Shutdown::Write)
+    }
+}
+
+/// One HTTP/1.1 request against the adapter; returns (status, body).
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: patlabor\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let response_body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, response_body))
+}
+
+/// Fetches `/metrics` from the HTTP adapter as exposition text.
+pub fn scrape_metrics(addr: SocketAddr) -> io::Result<String> {
+    let (status, body) = http_request(addr, "GET", "/metrics", &[])?;
+    if status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("/metrics returned {status}"),
+        ));
+    }
+    Ok(body)
+}
+
+/// POSTs a route-request JSON body to the adapter's `/route`.
+pub fn http_post_route(addr: SocketAddr, body: &[u8]) -> io::Result<(u16, String)> {
+    http_request(addr, "POST", "/route", body)
+}

@@ -1,0 +1,52 @@
+//! `patlabor-serve` — routing as a long-lived service.
+//!
+//! The per-call entry points in `patlabor` rebuild nothing, but a
+//! process that answers many requests still wants one [`Engine`]
+//! (mmap'd table, warm cache, fault plane) shared across all of them.
+//! This crate is that process: a daemon that owns an `Engine` and
+//! serves route requests over a hand-rolled, std-only wire protocol.
+//!
+//! Layers, bottom up:
+//!
+//! - [`json`] — a dependency-free JSON value, parser, and renderer.
+//!   The same module serializes wire replies and the CLI's
+//!   `route --json` output, so the two can never drift.
+//! - [`wire`] — u32-length-prefixed frames carrying request/response
+//!   JSON, plus the error vocabulary (`overloaded`, `shutting-down`,
+//!   `malformed`, `route`).
+//! - [`metrics`] — lock-free counters and a log₂ latency histogram,
+//!   rendered as Prometheus text for `/metrics`.
+//! - [`server`] — the daemon: per-connection reader/writer threads,
+//!   bounded admission queue, a coalescing batcher that closes
+//!   accumulation windows into [`Engine::route_batch_sessions`], and
+//!   drain-then-exit shutdown.
+//! - [`client`] — a pipelining client for benches, tests, and the
+//!   differential verifier.
+//!
+//! Everything here is std-only by design (mirroring `patlabor`'s
+//! `core::pad` discipline): no async runtime, no serde, no HTTP
+//! framework. A routing request is microseconds of work — the server
+//! is a thread-per-connection front over the work-stealing batch
+//! driver, and the interesting engineering lives in admission control
+//! and window coalescing, not in transport plumbing.
+//!
+//! [`Engine`]: patlabor::Engine
+//! [`Engine::route_batch_sessions`]: patlabor::Engine::route_batch_sessions
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![deny(unsafe_code)]
+
+pub mod client;
+mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{http_post_route, http_request, scrape_metrics, RouteClient};
+pub use json::{parse, Json, ParseError};
+pub use metrics::{LatencyHistogram, Metrics};
+pub use server::{serve, ServeConfig, ServeSummary, Server};
+pub use wire::{
+    parse_request, read_frame, result_to_json, write_frame, RouteRequest, MAX_FRAME,
+};

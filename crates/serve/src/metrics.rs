@@ -1,0 +1,349 @@
+//! The serving metrics plane: lock-free counters and a log₂ latency
+//! histogram, rendered as Prometheus-style text exposition.
+//!
+//! Every counter is a plain relaxed `AtomicU64` — the hot path (request
+//! accept, batch close, reply send) only ever increments, and the
+//! scrape path only ever reads, so there is no lock anywhere and a
+//! scrape can never stall serving. The histogram buckets latencies by
+//! `floor(log₂(ns))`: 64 fixed buckets cover 1 ns to ~584 years with
+//! ~2× resolution, which is exactly the precision a percentile over a
+//! serving distribution needs (p99 at 2× resolution distinguishes
+//! "microseconds" from "milliseconds" from "seconds", the operational
+//! question), for 512 bytes of memory and one atomic add per sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use patlabor::{CacheStats, Rung};
+
+use std::fmt::Write as _;
+
+/// Latency histogram with power-of-two buckets.
+///
+/// `record` is wait-free (one relaxed fetch-add); `quantile` takes a
+/// relaxed snapshot and scans 64 words. Concurrent recording during a
+/// scan can skew a quantile by at most the samples that arrived
+/// mid-scan — acceptable for monitoring, which is this type's only
+/// consumer.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Zero-nanosecond samples land in bucket 0.
+    pub fn record(&self, ns: u64) {
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound (in ns) of the bucket containing the `q`-th
+    /// quantile (`0.0 ≤ q ≤ 1.0`), or `None` with no samples. The true
+    /// quantile lies within 2× of the returned bound by construction.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let snapshot: [u64; 64] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // ceil(q × total), clamped to [1, total]: the rank of the
+        // sample we want.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, n) in snapshot.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { 2u64 << i });
+            }
+        }
+        None
+    }
+}
+
+/// All serving counters. One instance per server, shared by every
+/// connection thread and the batcher.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests admitted into the queue.
+    pub requests: AtomicU64,
+    /// Successful route responses sent.
+    pub responses: AtomicU64,
+    /// Responses carrying `"error": "route"`.
+    pub route_errors: AtomicU64,
+    /// Admission-control rejections (`"error": "overloaded"`).
+    pub rejected: AtomicU64,
+    /// Drain-mode rejections (`"error": "shutting-down"`).
+    pub shed_shutdown: AtomicU64,
+    /// Unparseable frames (`"error": "malformed"`).
+    pub malformed: AtomicU64,
+    /// Served responses whose ladder trace recorded a deadline hit.
+    pub deadline_hits: AtomicU64,
+    /// Coalescing windows closed into `route_batch_sessions`.
+    pub batches: AtomicU64,
+    /// Requests routed through those windows.
+    pub batched_nets: AtomicU64,
+    /// Current queue depth (gauge, not a counter).
+    pub queue_depth: AtomicU64,
+    /// Served-by-rung histogram, indexed by [`Rung::index`].
+    pub served_by: [AtomicU64; Rung::COUNT],
+    /// Enqueue-to-reply latency of successful responses.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relaxed add on a named counter (the only mutation idiom).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed read.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition. `cache` is the engine's
+    /// live cache counters (absent when the frontier cache is disabled).
+    pub fn render(&self, cache: Option<&CacheStats>) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            &mut out,
+            "patlabor_requests_total",
+            "Requests admitted into the coalescing queue.",
+            Self::get(&self.requests),
+        );
+        counter(
+            &mut out,
+            "patlabor_responses_total",
+            "Successful route responses.",
+            Self::get(&self.responses),
+        );
+        counter(
+            &mut out,
+            "patlabor_route_errors_total",
+            "Responses carrying a structured routing error.",
+            Self::get(&self.route_errors),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP patlabor_rejected_total Requests rejected before routing, by reason."
+        );
+        let _ = writeln!(out, "# TYPE patlabor_rejected_total counter");
+        let _ = writeln!(
+            out,
+            "patlabor_rejected_total{{reason=\"overloaded\"}} {}",
+            Self::get(&self.rejected)
+        );
+        let _ = writeln!(
+            out,
+            "patlabor_rejected_total{{reason=\"shutting-down\"}} {}",
+            Self::get(&self.shed_shutdown)
+        );
+        let _ = writeln!(
+            out,
+            "patlabor_rejected_total{{reason=\"malformed\"}} {}",
+            Self::get(&self.malformed)
+        );
+        counter(
+            &mut out,
+            "patlabor_deadline_hits_total",
+            "Served responses whose degradation trace recorded an expired deadline.",
+            Self::get(&self.deadline_hits),
+        );
+        counter(
+            &mut out,
+            "patlabor_batches_total",
+            "Coalescing windows closed into the batch driver.",
+            Self::get(&self.batches),
+        );
+        counter(
+            &mut out,
+            "patlabor_batched_nets_total",
+            "Requests routed through coalescing windows.",
+            Self::get(&self.batched_nets),
+        );
+        let _ = writeln!(out, "# HELP patlabor_queue_depth Requests currently queued.");
+        let _ = writeln!(out, "# TYPE patlabor_queue_depth gauge");
+        let _ = writeln!(out, "patlabor_queue_depth {}", Self::get(&self.queue_depth));
+        let _ = writeln!(
+            out,
+            "# HELP patlabor_served_by_rung_total Served responses by degradation-ladder rung."
+        );
+        let _ = writeln!(out, "# TYPE patlabor_served_by_rung_total counter");
+        for rung in Rung::ALL {
+            let _ = writeln!(
+                out,
+                "patlabor_served_by_rung_total{{rung=\"{}\"}} {}",
+                rung.label(),
+                Self::get(&self.served_by[rung.index()])
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP patlabor_latency_seconds Enqueue-to-reply latency quantiles \
+             (log2-bucket upper bounds)."
+        );
+        let _ = writeln!(out, "# TYPE patlabor_latency_seconds summary");
+        for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+            if let Some(ns) = self.latency.quantile_ns(q) {
+                let _ = writeln!(
+                    out,
+                    "patlabor_latency_seconds{{quantile=\"{label}\"}} {:.9}",
+                    ns as f64 / 1e9
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "patlabor_latency_seconds_sum {:.9}",
+            self.latency.sum_ns() as f64 / 1e9
+        );
+        let _ = writeln!(out, "patlabor_latency_seconds_count {}", self.latency.count());
+        if let Some(stats) = cache {
+            counter(
+                &mut out,
+                "patlabor_cache_hits_total",
+                "Frontier-cache hits.",
+                stats.hits,
+            );
+            counter(
+                &mut out,
+                "patlabor_cache_misses_total",
+                "Frontier-cache misses.",
+                stats.misses,
+            );
+            let probes = stats.hits + stats.misses;
+            let rate = if probes == 0 {
+                0.0
+            } else {
+                stats.hits as f64 / probes as f64
+            };
+            let _ = writeln!(
+                out,
+                "# HELP patlabor_cache_hit_rate Frontier-cache hit rate over all probes."
+            );
+            let _ = writeln!(out, "# TYPE patlabor_cache_hit_rate gauge");
+            let _ = writeln!(out, "patlabor_cache_hit_rate {rate:.6}");
+            let _ = writeln!(
+                out,
+                "# HELP patlabor_cache_bypassed Whether the adaptive bypass retired the cache."
+            );
+            let _ = writeln!(out, "# TYPE patlabor_cache_bypassed gauge");
+            let _ = writeln!(out, "patlabor_cache_bypassed {}", u64::from(stats.bypassed));
+            counter(
+                &mut out,
+                "patlabor_cache_contended_reads_total",
+                "Cache shard read locks found held.",
+                stats.contended_reads,
+            );
+            counter(
+                &mut out,
+                "patlabor_cache_contended_writes_total",
+                "Cache shard write locks found held.",
+                stats.contended_writes,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_land_in_the_right_bucket() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), None);
+        // 90 samples at ~1µs, 10 at ~1ms: p50 must report the µs
+        // bucket's bound, p999 the ms bucket's.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile_ns(0.5).unwrap();
+        assert!((1_000..=2_048).contains(&p50), "{p50}");
+        let p999 = h.quantile_ns(0.999).unwrap();
+        assert!((1_000_000..=2_097_152).contains(&p999), "{p999}");
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_ns(), 90 * 1_000 + 10 * 1_000_000);
+        // q=0 is the minimum bucket, q=1 the maximum.
+        assert!(h.quantile_ns(0.0).unwrap() <= 2_048);
+        assert!(h.quantile_ns(1.0).unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn zero_and_max_samples_do_not_panic() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_ns(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn render_lists_every_documented_family() {
+        let m = Metrics::new();
+        Metrics::add(&m.requests, 3);
+        Metrics::add(&m.rejected, 1);
+        m.latency.record(5_000);
+        let cache = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        let text = m.render(Some(&cache));
+        for family in [
+            "patlabor_requests_total 3",
+            "patlabor_rejected_total{reason=\"overloaded\"} 1",
+            "patlabor_rejected_total{reason=\"malformed\"} 0",
+            "patlabor_served_by_rung_total{rung=\"lut\"} 0",
+            "patlabor_latency_seconds{quantile=\"0.5\"}",
+            "patlabor_latency_seconds_count 1",
+            "patlabor_queue_depth 0",
+            "patlabor_cache_hit_rate 0.75",
+            "patlabor_batches_total 0",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        // Cache families vanish when the cache is disabled.
+        assert!(!m.render(None).contains("patlabor_cache"));
+    }
+}

@@ -1,0 +1,626 @@
+//! The coalescing socket server.
+//!
+//! # Architecture
+//!
+//! ```text
+//! conn reader ──┐                      ┌── conn writer (mpsc drain)
+//! conn reader ──┼─► bounded queue ─► batcher ─► route_batch_sessions
+//! conn reader ──┘   (admission)        │            (work stealing)
+//!                                      └─► metrics + report fold
+//! ```
+//!
+//! One reader thread per connection parses frames and **admits** them
+//! into the shared bounded queue: a full queue rejects immediately with
+//! `"overloaded"` + `retry_after_ms` (the request is never routed, the
+//! queue never grows past `queue_depth` — memory is bounded by
+//! construction), a draining server rejects with `"shutting-down"`,
+//! and an unparseable frame answers `"malformed"` without touching the
+//! queue. Rejections are written through the same per-connection
+//! channel as real replies, so one writer thread per connection owns
+//! the socket's write half and frames are never interleaved.
+//!
+//! The single **batcher** thread turns the queue into
+//! [`Engine::route_batch_sessions`] calls. When work arrives it opens a
+//! coalescing window and closes it at the first of: `max_batch`
+//! requests accumulated, the window duration elapsing **on the
+//! engine's clock**, or shutdown draining. Reading the window from the
+//! engine clock is what makes the whole pipeline testable: under a
+//! [`VirtualClock`] time never passes, so a window only closes by
+//! count or by drain, and tests can stage any arrival interleaving
+//! they want without a single sleep-based race.
+//!
+//! [`VirtualClock`]: patlabor::VirtualClock
+//!
+//! # Shutdown
+//!
+//! [`Server::begin_shutdown`] flips `draining` under the queue lock
+//! (so no admission can race past it), pokes the acceptor awake with a
+//! loopback connect, and half-closes every registered connection's
+//! read side. The batcher then drains what was already admitted —
+//! in-flight windows complete, nothing queued is dropped — and
+//! [`Server::shutdown`] joins everything and returns the final
+//! [`ResilienceReport`].
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use patlabor::{Engine, Net, ResilienceReport, RouteResult, RungOutcome, Session};
+
+use crate::http;
+use crate::metrics::Metrics;
+use crate::wire::{
+    malformed_json, overloaded_json, parse_request, read_frame, result_to_json,
+    shutting_down_json, write_frame,
+};
+
+/// Server tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Socket-protocol bind address. Port 0 picks a free port
+    /// (read it back from [`Server::addr`]).
+    pub addr: String,
+    /// HTTP adapter bind address (`/metrics`, `/healthz`, `POST
+    /// /route`); `None` disables the adapter.
+    pub http_addr: Option<String>,
+    /// Worker threads per coalescing window (0 ⇒ all hardware threads).
+    pub threads: usize,
+    /// Coalescing window: how long the batcher waits for more requests
+    /// after the first one arrives, measured on the engine's clock.
+    /// `Duration::ZERO` disables coalescing (every request routes in
+    /// its own batch).
+    pub window: Duration,
+    /// Hard cap on requests per window (closes the window early).
+    pub max_batch: usize,
+    /// Admission bound: requests queued beyond this are rejected with
+    /// `"overloaded"`. This is the server's entire buffering — there is
+    /// no hidden unbounded buffer behind it.
+    pub queue_depth: usize,
+    /// The `retry_after_ms` hint sent with `"overloaded"` rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_addr: None,
+            threads: 0,
+            window: Duration::from_micros(200),
+            max_batch: 64,
+            queue_depth: 1024,
+            retry_after_ms: 5,
+        }
+    }
+}
+
+/// One admitted request waiting for a window.
+struct Pending {
+    net: Net,
+    session: Session,
+    enqueued: Instant,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+/// Queue state guarded by one mutex: the pending requests and the
+/// draining flag. Keeping `draining` under the same lock as the queue
+/// closes the shutdown race — an admission that saw `draining ==
+/// false` has already enqueued before `begin_shutdown` can flip it, so
+/// the batcher is guaranteed to drain it.
+struct QueueState {
+    pending: VecDeque<Pending>,
+    draining: bool,
+}
+
+pub(crate) struct Shared {
+    engine: Engine,
+    config: ServeConfig,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    metrics: Metrics,
+    report: Mutex<ResilienceReport>,
+    /// Live connections by id, for shutdown unblocking. Entries are
+    /// removed when the connection finishes — keeping a clone of the
+    /// fd here past close would hold the socket ESTABLISHED (the peer
+    /// never sees FIN) and leak one fd per connection served.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Per-connection thread handles, joined at shutdown; finished
+    /// handles are pruned on registration so the vec tracks live
+    /// connections, not lifetime connection count.
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+}
+
+/// Mutex lock that shrugs off poisoning: the protected state (a queue
+/// of requests, a metrics report) stays coherent even if a holder
+/// panicked between operations, and a serving daemon must keep
+/// answering rather than propagate the poison.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a request was turned away at admission.
+enum Rejection {
+    Overloaded,
+    ShuttingDown,
+}
+
+impl Shared {
+    /// Admission control: enqueue or reject, atomically with the
+    /// draining check.
+    fn submit(&self, p: Pending) -> Result<(), Rejection> {
+        let mut q = lock(&self.queue);
+        if q.draining {
+            return Err(Rejection::ShuttingDown);
+        }
+        if q.pending.len() >= self.config.queue_depth {
+            return Err(Rejection::Overloaded);
+        }
+        q.pending.push_back(p);
+        Metrics::add(&self.metrics.requests, 1);
+        self.metrics
+            .queue_depth
+            .store(q.pending.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        drop(q);
+        self.queue_cv.notify_all();
+        Ok(())
+    }
+
+    /// The batcher body: accumulate windows, close them into the batch
+    /// driver, reply, fold metrics. Returns when draining and empty.
+    fn run_batcher(&self) {
+        let clock = Arc::clone(self.engine.clock());
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.config.threads
+        };
+        loop {
+            let mut q = lock(&self.queue);
+            while q.pending.is_empty() && !q.draining {
+                q = self
+                    .queue_cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if q.pending.is_empty() && q.draining {
+                return;
+            }
+            // Window accumulation, timed on the engine clock. Under a
+            // VirtualClock `elapsed` never grows, so the window closes
+            // only by max_batch or drain — the mechanism the
+            // determinism and shutdown tests drive.
+            let opened = clock.now();
+            while q.pending.len() < self.config.max_batch && !q.draining {
+                let elapsed = clock.now().saturating_sub(opened);
+                if elapsed >= self.config.window {
+                    break;
+                }
+                let remaining = self.config.window - elapsed;
+                // Cap the OS wait so a virtual clock (whose `remaining`
+                // never shrinks) still re-checks drain/max_batch
+                // promptly.
+                let wait = remaining.min(Duration::from_millis(5));
+                let (guard, _) = self
+                    .queue_cv
+                    .wait_timeout(q, wait)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+            let take = q.pending.len().min(self.config.max_batch);
+            let batch: Vec<Pending> = q.pending.drain(..take).collect();
+            self.metrics
+                .queue_depth
+                .store(q.pending.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            drop(q);
+            self.close_window(batch, threads);
+        }
+    }
+
+    /// Routes one closed window and replies per request.
+    fn close_window(&self, batch: Vec<Pending>, threads: usize) {
+        if batch.is_empty() {
+            return;
+        }
+        Metrics::add(&self.metrics.batches, 1);
+        Metrics::add(&self.metrics.batched_nets, batch.len() as u64);
+        let requests: Vec<(Net, Session)> = batch
+            .iter()
+            .map(|p| (p.net.clone(), p.session))
+            .collect();
+        let (results, _stats) = self.engine.route_batch_sessions(&requests, threads);
+        let mut report = lock(&self.report);
+        for (pending, result) in batch.iter().zip(&results) {
+            report.record(result);
+            self.fold_result_metrics(pending, result);
+            let payload = result_to_json(pending.session.id, result).render();
+            // A receiver gone (client disconnected mid-flight) is not an
+            // error; the route still counted.
+            let _ = pending.reply.send(payload.into_bytes());
+        }
+    }
+
+    fn fold_result_metrics(&self, pending: &Pending, result: &RouteResult) {
+        match result {
+            Ok(outcome) => {
+                Metrics::add(&self.metrics.responses, 1);
+                let trace = &outcome.provenance.trace;
+                if let Some(rung) = trace.served_by() {
+                    Metrics::add(&self.metrics.served_by[rung.index()], 1);
+                }
+                if trace
+                    .attempts()
+                    .iter()
+                    .any(|a| a.outcome == RungOutcome::DeadlineExceeded)
+                {
+                    Metrics::add(&self.metrics.deadline_hits, 1);
+                }
+                let ns = pending.enqueued.elapsed().as_nanos();
+                self.metrics
+                    .latency
+                    .record(u64::try_from(ns).unwrap_or(u64::MAX));
+            }
+            Err(_) => Metrics::add(&self.metrics.route_errors, 1),
+        }
+    }
+
+    /// One connection's read loop: parse frames, admit, send immediate
+    /// rejections through the writer channel.
+    fn run_reader(&self, stream: TcpStream, reply_tx: mpsc::Sender<Vec<u8>>) {
+        let mut reader = io::BufReader::new(stream);
+        loop {
+            let payload = match read_frame(&mut reader) {
+                Ok(Some(p)) => p,
+                // Clean EOF, torn frame or reset: either way this
+                // connection is done reading.
+                Ok(None) | Err(_) => return,
+            };
+            let request = match parse_request(&payload) {
+                Ok(r) => r,
+                Err(m) => {
+                    Metrics::add(&self.metrics.malformed, 1);
+                    let _ = reply_tx.send(malformed_json(&m).render().into_bytes());
+                    continue;
+                }
+            };
+            let mut session = Session::new(request.id);
+            if let Some(ms) = request.deadline_ms {
+                session = session.with_deadline(Duration::from_millis(ms));
+            }
+            let pending = Pending {
+                net: request.net,
+                session,
+                enqueued: Instant::now(),
+                reply: reply_tx.clone(),
+            };
+            match self.submit(pending) {
+                Ok(()) => {}
+                Err(Rejection::Overloaded) => {
+                    Metrics::add(&self.metrics.rejected, 1);
+                    let json = overloaded_json(request.id, self.config.retry_after_ms);
+                    let _ = reply_tx.send(json.render().into_bytes());
+                }
+                Err(Rejection::ShuttingDown) => {
+                    Metrics::add(&self.metrics.shed_shutdown, 1);
+                    let _ = reply_tx.send(shutting_down_json(request.id).render().into_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Handles a request payload arriving over the HTTP adapter (`POST
+/// /route`): same admission, same queue, but the reply is awaited
+/// inline (HTTP is request/response, not pipelined).
+pub(crate) fn http_route(shared: &Arc<Shared>, body: &[u8]) -> Vec<u8> {
+    let request = match parse_request(body) {
+        Ok(r) => r,
+        Err(m) => {
+            Metrics::add(&shared.metrics.malformed, 1);
+            return malformed_json(&m).render().into_bytes();
+        }
+    };
+    let mut session = Session::new(request.id);
+    if let Some(ms) = request.deadline_ms {
+        session = session.with_deadline(Duration::from_millis(ms));
+    }
+    let (tx, rx) = mpsc::channel();
+    let pending = Pending {
+        net: request.net,
+        session,
+        enqueued: Instant::now(),
+        reply: tx,
+    };
+    match shared.submit(pending) {
+        Ok(()) => match rx.recv() {
+            Ok(payload) => payload,
+            Err(_) => shutting_down_json(request.id).render().into_bytes(),
+        },
+        Err(Rejection::Overloaded) => {
+            Metrics::add(&shared.metrics.rejected, 1);
+            overloaded_json(request.id, shared.config.retry_after_ms)
+                .render()
+                .into_bytes()
+        }
+        Err(Rejection::ShuttingDown) => {
+            Metrics::add(&shared.metrics.shed_shutdown, 1);
+            shutting_down_json(request.id).render().into_bytes()
+        }
+    }
+}
+
+pub(crate) fn render_metrics(shared: &Shared) -> String {
+    shared
+        .metrics
+        .render(shared.engine.cache_stats().as_ref())
+}
+
+/// Whether shutdown draining has begun (checked by the acceptors).
+pub(crate) fn is_draining(shared: &Shared) -> bool {
+    lock(&shared.queue).draining
+}
+
+/// Registers a connection for shutdown unblocking. Must be paired
+/// with [`deregister_conn`] when the connection finishes.
+pub(crate) fn register_conn(shared: &Shared, id: u64, stream: &TcpStream) {
+    if let Ok(clone) = stream.try_clone() {
+        lock(&shared.conns).insert(id, clone);
+    }
+}
+
+/// Drops the registry's handle on a finished connection, releasing
+/// the fd so the peer sees FIN once the conn threads drop theirs.
+pub(crate) fn deregister_conn(shared: &Shared, id: u64) {
+    lock(&shared.conns).remove(&id);
+}
+
+/// Registers a per-connection thread for joining at shutdown,
+/// reaping already-finished ones so the registry stays proportional
+/// to live connections.
+pub(crate) fn register_thread(shared: &Shared, handle: JoinHandle<()>) {
+    let mut threads = lock(&shared.conn_threads);
+    threads.retain(|h| !h.is_finished());
+    threads.push(handle);
+}
+
+/// Hands out a fresh connection id (thread naming only).
+pub(crate) fn next_conn_id(shared: &Shared) -> u64 {
+    shared
+        .next_conn
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// A running server. Dropping it shuts it down (draining the queue).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
+    batcher: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    http_acceptor: Option<JoinHandle<()>>,
+}
+
+/// What the server did over its lifetime, returned by
+/// [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// The ladder/fault aggregate over every routed request, cache
+    /// health stamped.
+    pub report: ResilienceReport,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Frames rejected as malformed.
+    pub malformed: u64,
+}
+
+/// Starts serving `engine` per `config`. Binds synchronously (so the
+/// caller can read back [`Server::addr`]) and spawns the acceptor,
+/// batcher and optional HTTP adapter threads.
+pub fn serve(engine: Engine, config: ServeConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let http_listener = match &config.http_addr {
+        Some(a) => Some(TcpListener::bind(a)?),
+        None => None,
+    };
+    let http_addr = match &http_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+    let shared = Arc::new(Shared {
+        engine,
+        config,
+        queue: Mutex::new(QueueState {
+            pending: VecDeque::new(),
+            draining: false,
+        }),
+        queue_cv: Condvar::new(),
+        metrics: Metrics::new(),
+        report: Mutex::new(ResilienceReport::default()),
+        conns: Mutex::new(HashMap::new()),
+        conn_threads: Mutex::new(Vec::new()),
+        next_conn: AtomicU64::new(0),
+    });
+
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("patlabor-batcher".to_string())
+            .spawn(move || shared.run_batcher())?
+    };
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("patlabor-accept".to_string())
+            .spawn(move || accept_loop(&shared, &listener))?
+    };
+
+    let http_acceptor = match http_listener {
+        Some(listener) => {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("patlabor-http".to_string())
+                    .spawn(move || http::accept_loop(&shared, &listener))?,
+            )
+        }
+        None => None,
+    };
+
+    Ok(Server {
+        shared,
+        addr,
+        http_addr,
+        batcher: Some(batcher),
+        acceptor: Some(acceptor),
+        http_acceptor: Some(http_acceptor).flatten(),
+    })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if lock(&shared.queue).draining {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_id = next_conn_id(shared);
+        register_conn(shared, conn_id, &stream);
+        let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+        let write_half = stream.try_clone();
+        // Writer: sole owner of the socket's write half; drains the
+        // reply channel until every sender (reader + queued requests)
+        // has dropped, then closes the socket so the peer sees FIN
+        // after the final reply.
+        let writer = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("patlabor-conn-{conn_id}-w"))
+                .spawn(move || {
+                    if let Ok(write_half) = write_half {
+                        let mut out = io::BufWriter::new(write_half);
+                        while let Ok(payload) = reply_rx.recv() {
+                            if write_frame(&mut out, &payload).is_err() {
+                                break;
+                            }
+                            // Flush per reply: replies are
+                            // latency-sensitive and pipelining gains come
+                            // from the coalescer, not from batching
+                            // socket writes.
+                            if out.flush().is_err() {
+                                break;
+                            }
+                        }
+                        let _ = out.flush();
+                        let _ = out.get_ref().shutdown(Shutdown::Both);
+                    }
+                    deregister_conn(&shared, conn_id);
+                })
+        };
+        let reader = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("patlabor-conn-{conn_id}-r"))
+                .spawn(move || {
+                    shared.run_reader(stream, reply_tx);
+                })
+        };
+        let mut threads = lock(&shared.conn_threads);
+        if let Ok(h) = writer {
+            threads.push(h);
+        }
+        if let Ok(h) = reader {
+            threads.push(h);
+        }
+    }
+}
+
+impl Server {
+    /// The bound socket-protocol address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound HTTP-adapter address, when enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// The live metrics plane (what `/metrics` renders).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Starts draining: no new admissions, in-flight windows and
+    /// everything already queued still complete. Idempotent.
+    pub fn begin_shutdown(&self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            if q.draining {
+                return;
+            }
+            q.draining = true;
+        }
+        self.shared.queue_cv.notify_all();
+        // Poke the acceptors awake so their `incoming()` loops observe
+        // the flag (accept(2) has no timeout).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(addr) = self.http_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        // Half-close every registered connection's read side: blocked
+        // reader threads see EOF and exit; replies still flow out.
+        for conn in lock(&self.shared.conns).values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    }
+
+    /// Drains and stops the server, returning the lifetime summary.
+    pub fn shutdown(mut self) -> ServeSummary {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> ServeSummary {
+        self.begin_shutdown();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http_acceptor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *lock(&self.shared.conn_threads));
+        for h in handles {
+            let _ = h.join();
+        }
+        let report = self
+            .shared
+            .engine
+            .stamp_report_cache_health(*lock(&self.shared.report));
+        ServeSummary {
+            report,
+            rejected: Metrics::get(&self.shared.metrics.rejected),
+            malformed: Metrics::get(&self.shared.metrics.malformed),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.batcher.is_some() {
+            let _ = self.finish();
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The socket wire protocol: length-prefixed JSON frames.
+//!
+//! Each frame is a `u32` little-endian byte length followed by that many
+//! bytes of UTF-8 JSON. The prefix is capped at [`MAX_FRAME`] so a
+//! hostile or corrupt length can never allocate unboundedly. One
+//! request frame yields exactly one response frame, correlated by the
+//! caller-chosen `id` (responses to pipelined requests stay in arrival
+//! order per connection, but the id is what clients should key on).
+//!
+//! Request: `{"id": 7, "net": [[0,0],[5,9],[9,4]], "deadline_ms": 10}`
+//! — `net` is the pin list (source first), `deadline_ms` optionally
+//! overrides the engine's per-net deadline for this request.
+//!
+//! Response (success):
+//! `{"id":7,"ok":true,"degree":3,"source":"exact-lut","rung":"lut",
+//!   "degraded":false,"trace":["lut:served"],
+//!   "frontier":[{"w":19,"d":14},...]}`
+//!
+//! Response (failure): `{"id":7,"ok":false,"error":E,...}` where `E` is
+//! one of the documented vocabulary:
+//! * `"overloaded"` — admission control rejected the request; carries
+//!   `retry_after_ms`. The request was **not** routed.
+//! * `"shutting-down"` — the server is draining; reconnect elsewhere.
+//! * `"malformed"` — unparseable frame; carries `detail`. The `id`
+//!   echoes the request's when one could be recovered, else 0.
+//! * `"route"` — the engine's structured [`RouteError`]; carries
+//!   `detail`.
+//!
+//! The same serialization (`outcome_to_json`/`result_to_json`) backs
+//! `route --json` in the CLI, so scripted consumers see one format
+//! whether they read a socket or a pipe.
+
+use std::io::{self, Read, Write};
+
+use patlabor::{Net, Point, RouteError, RouteOutcome, RouteResult};
+
+use crate::json::{parse, Json};
+
+/// Hard cap on a frame's payload length (1 MiB). The largest legitimate
+/// frame — a λ = 9 frontier with full trace — is under 64 KiB; anything
+/// bigger is a corrupt prefix or an attack, and is rejected before any
+/// allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF
+/// at a frame boundary (the peer closed after a complete exchange);
+/// EOF mid-frame and oversized prefixes are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame prefix of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A parsed route request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The net to route (source pin first).
+    pub net: Net,
+    /// Optional per-request deadline override, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl RouteRequest {
+    /// Encodes the request as its wire JSON.
+    pub fn to_json(&self) -> Json {
+        let pins = self
+            .net
+            .pins()
+            .iter()
+            .map(|p| Json::Arr(vec![int(p.x), int(p.y)]))
+            .collect();
+        let mut obj = vec![
+            ("id".to_string(), Json::Int(self.id as i64)),
+            ("net".to_string(), Json::Arr(pins)),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            obj.push(("deadline_ms".to_string(), Json::Int(ms as i64)));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// A request frame that could not be turned into a [`RouteRequest`].
+/// `id` is recovered from the payload when possible so the rejection
+/// can still be correlated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MalformedRequest {
+    pub id: u64,
+    pub detail: String,
+}
+
+/// Parses a request frame's payload.
+pub fn parse_request(payload: &[u8]) -> Result<RouteRequest, MalformedRequest> {
+    let text = std::str::from_utf8(payload).map_err(|e| MalformedRequest {
+        id: 0,
+        detail: format!("frame is not UTF-8: {e}"),
+    })?;
+    let value = parse(text).map_err(|e| MalformedRequest {
+        id: 0,
+        detail: e.to_string(),
+    })?;
+    let id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let fail = |detail: String| MalformedRequest { id, detail };
+    let pins = value
+        .get("net")
+        .and_then(Json::as_array)
+        .ok_or_else(|| fail("missing \"net\" array".to_string()))?;
+    let mut points = Vec::with_capacity(pins.len());
+    for pin in pins {
+        let pair = pin.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+            fail("each pin must be a [x, y] pair".to_string())
+        })?;
+        let x = pair[0].as_i64().ok_or_else(|| fail("pin x must be an integer".to_string()))?;
+        let y = pair[1].as_i64().ok_or_else(|| fail("pin y must be an integer".to_string()))?;
+        points.push(Point::new(x, y));
+    }
+    let net = Net::new(points).map_err(|e| fail(format!("invalid net: {e}")))?;
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| fail("deadline_ms must be a non-negative integer".to_string()))?,
+        ),
+    };
+    Ok(RouteRequest { id, net, deadline_ms })
+}
+
+fn int(n: i64) -> Json {
+    Json::Int(n)
+}
+
+/// Serializes a successful route outcome — the shared shape behind both
+/// wire responses and `route --json` lines.
+pub fn outcome_to_json(id: u64, outcome: &RouteOutcome) -> Json {
+    let frontier = outcome
+        .frontier
+        .iter()
+        .map(|(c, _)| {
+            Json::Obj(vec![
+                ("w".to_string(), int(c.wirelength)),
+                ("d".to_string(), int(c.delay)),
+            ])
+        })
+        .collect();
+    let p = &outcome.provenance;
+    let trace = p
+        .trace
+        .attempts()
+        .iter()
+        .map(|a| Json::Str(format!("{}:{}", a.rung.label(), a.outcome.label())))
+        .collect();
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(true)),
+        ("degree".to_string(), int(p.degree as i64)),
+        ("source".to_string(), Json::Str(p.source.label().to_string())),
+        (
+            "rung".to_string(),
+            match p.trace.served_by() {
+                Some(rung) => Json::Str(rung.label().to_string()),
+                None => Json::Null,
+            },
+        ),
+        ("degraded".to_string(), Json::Bool(p.trace.degraded())),
+        ("trace".to_string(), Json::Arr(trace)),
+        ("frontier".to_string(), Json::Arr(frontier)),
+    ])
+}
+
+/// Serializes a routing failure (`"error": "route"`).
+pub fn route_error_to_json(id: u64, error: &RouteError) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str("route".to_string())),
+        ("detail".to_string(), Json::Str(error.to_string())),
+    ])
+}
+
+/// Serializes a per-net [`RouteResult`] — success or routing failure.
+pub fn result_to_json(id: u64, result: &RouteResult) -> Json {
+    match result {
+        Ok(outcome) => outcome_to_json(id, outcome),
+        Err(e) => route_error_to_json(id, e),
+    }
+}
+
+/// The admission-control rejection (`"error": "overloaded"`): the queue
+/// was full, the request was not routed, retry after the given delay.
+pub fn overloaded_json(id: u64, retry_after_ms: u64) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str("overloaded".to_string())),
+        ("retry_after_ms".to_string(), Json::Int(retry_after_ms as i64)),
+    ])
+}
+
+/// The drain-mode rejection (`"error": "shutting-down"`).
+pub fn shutting_down_json(id: u64) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str("shutting-down".to_string())),
+    ])
+}
+
+/// The unparseable-frame rejection (`"error": "malformed"`).
+pub fn malformed_json(m: &MalformedRequest) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(m.id as i64)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str("malformed".to_string())),
+        ("detail".to_string(), Json::Str(m.detail.clone())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net3() -> Net {
+        Net::new(vec![Point::new(0, 0), Point::new(5, 9), Point::new(9, 4)]).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        // Clean EOF at the boundary is None, not an error.
+        assert!(read_frame(&mut r).unwrap().is_none());
+        // An oversized prefix is rejected before allocating.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        // EOF mid-frame is an error, not a silent truncation.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"hello").unwrap();
+        torn.truncate(6);
+        let mut r = torn.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let req = RouteRequest {
+            id: 42,
+            net: net3(),
+            deadline_ms: Some(10),
+        };
+        let parsed = parse_request(req.to_json().render().as_bytes()).unwrap();
+        assert_eq!(parsed, req);
+        let bare = RouteRequest {
+            id: 7,
+            net: net3(),
+            deadline_ms: None,
+        };
+        let parsed = parse_request(bare.to_json().render().as_bytes()).unwrap();
+        assert_eq!(parsed, bare);
+    }
+
+    #[test]
+    fn malformed_requests_recover_the_id_when_possible() {
+        let m = parse_request(br#"{"id": 9, "net": "nope"}"#).unwrap_err();
+        assert_eq!(m.id, 9);
+        assert!(m.detail.contains("net"));
+        let m = parse_request(b"not json").unwrap_err();
+        assert_eq!(m.id, 0);
+        // A degenerate net (degree < 2) is malformed at the wire layer.
+        let m = parse_request(br#"{"id": 3, "net": [[0,0]]}"#).unwrap_err();
+        assert_eq!(m.id, 3);
+        assert!(m.detail.contains("invalid net"));
+    }
+
+    #[test]
+    fn outcome_json_carries_frontier_provenance_and_trace() {
+        let engine = patlabor::Engine::with_table(
+            patlabor::LutBuilder::new(4).threads(2).build(),
+        );
+        let outcome = engine.route(&net3()).unwrap();
+        let json = outcome_to_json(5, &outcome);
+        assert_eq!(json.get("id").unwrap().as_u64(), Some(5));
+        assert_eq!(json.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(json.get("degree").unwrap().as_i64(), Some(3));
+        assert_eq!(json.get("source").unwrap().as_str(), Some("exact-lut"));
+        assert_eq!(json.get("rung").unwrap().as_str(), Some("lut"));
+        assert_eq!(json.get("degraded").unwrap().as_bool(), Some(false));
+        let frontier = json.get("frontier").unwrap().as_array().unwrap();
+        assert_eq!(frontier.len(), outcome.frontier.len());
+        for ((cost, _), point) in outcome.frontier.iter().zip(frontier) {
+            assert_eq!(point.get("w").unwrap().as_i64(), Some(cost.wirelength));
+            assert_eq!(point.get("d").unwrap().as_i64(), Some(cost.delay));
+        }
+        let trace = json.get("trace").unwrap().as_array().unwrap();
+        assert_eq!(trace.last().unwrap().as_str(), Some("lut:served"));
+        // The rendered form is valid JSON.
+        assert!(crate::json::parse(&json.render()).is_ok());
+    }
+
+    #[test]
+    fn error_vocabulary_is_the_documented_one() {
+        assert_eq!(
+            overloaded_json(1, 5).get("error").unwrap().as_str(),
+            Some("overloaded")
+        );
+        assert_eq!(
+            overloaded_json(1, 5).get("retry_after_ms").unwrap().as_i64(),
+            Some(5)
+        );
+        assert_eq!(
+            shutting_down_json(2).get("error").unwrap().as_str(),
+            Some("shutting-down")
+        );
+        let m = MalformedRequest { id: 3, detail: "x".to_string() };
+        assert_eq!(malformed_json(&m).get("error").unwrap().as_str(), Some("malformed"));
+    }
+}

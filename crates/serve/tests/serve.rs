@@ -1,0 +1,392 @@
+//! End-to-end tests for the serve daemon: coalescing determinism,
+//! admission-control backpressure, virtual-clock drain semantics, and
+//! the HTTP adapter. Every test that needs to control time runs the
+//! engine on a [`VirtualClock`], under which a coalescing window can
+//! only close by `max_batch` or by drain — so the tests stage exact
+//! interleavings with zero sleeps and zero race-prone timing.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use patlabor::{Engine, LutBuilder, Net, VirtualClock};
+use patlabor_serve::{
+    http_post_route, scrape_metrics, serve, Json, RouteClient, RouteRequest, ServeConfig,
+};
+
+fn test_engine() -> Engine {
+    Engine::with_table(LutBuilder::new(4).threads(2).build())
+}
+
+fn suite(seed: u64, count: usize) -> Vec<Net> {
+    patlabor_netgen::iccad_like_suite(seed, count, 4)
+}
+
+/// The reference answer: what an in-process `route` serializes for
+/// this net. The wire reply must match this bit for bit on the fields
+/// that describe the routing answer (frontier, degree, ok).
+fn direct_frontier(engine: &Engine, id: u64, net: &Net) -> String {
+    let result = engine.route(net);
+    let json = patlabor_serve::result_to_json(id, &result);
+    frontier_fields(&json)
+}
+
+fn frontier_fields(json: &Json) -> String {
+    format!(
+        "ok={} degree={} frontier={}",
+        json.get("ok").map_or("-".into(), Json::render),
+        json.get("degree").map_or("-".into(), Json::render),
+        json.get("frontier").map_or("-".into(), Json::render),
+    )
+}
+
+fn wait_for(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+/// Any interleaving of concurrent clients through the coalescer must
+/// produce exactly the frontiers the in-process router produces.
+#[test]
+fn coalesced_replies_match_direct_route_under_concurrency() {
+    let engine = test_engine();
+    let server = serve(
+        engine.clone(),
+        ServeConfig {
+            // A real coalescing window on the system clock: batches
+            // form from whatever several threads land together.
+            window: Duration::from_millis(2),
+            max_batch: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    const THREADS: u64 = 4;
+    const PER_THREAD: usize = 25;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = RouteClient::connect(addr).expect("connect");
+                let nets = suite(0xC0A1 + t, PER_THREAD);
+                // Pipeline everything, then collect.
+                for (i, net) in nets.iter().enumerate() {
+                    let request = RouteRequest {
+                        id: t * 1_000 + i as u64,
+                        net: net.clone(),
+                        deadline_ms: None,
+                    };
+                    client.send(&request).expect("send");
+                }
+                let mut replies = Vec::new();
+                for _ in 0..nets.len() {
+                    let reply = client.recv().expect("recv").expect("reply");
+                    replies.push(reply);
+                }
+                (t, nets, replies)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (t, nets, replies) = handle.join().expect("client thread");
+        assert_eq!(replies.len(), nets.len());
+        for (i, reply) in replies.iter().enumerate() {
+            // Accepted requests answer in per-connection arrival order.
+            let id = t * 1_000 + i as u64;
+            assert_eq!(reply.get("id").and_then(Json::as_u64), Some(id));
+            assert_eq!(
+                frontier_fields(reply),
+                direct_frontier(&engine, id, &nets[i]),
+                "thread {t} net {i} diverged from direct route"
+            );
+        }
+    }
+
+    let summary = server.shutdown();
+    assert_eq!(summary.report.nets, THREADS * PER_THREAD as u64);
+    assert_eq!(summary.rejected, 0);
+    assert_eq!(summary.report.errors, 0);
+}
+
+/// A saturated queue rejects with the documented `"overloaded"` error
+/// and `retry_after_ms`; what was admitted still completes at drain.
+#[test]
+fn backpressure_rejects_beyond_queue_depth() {
+    let clock = Arc::new(VirtualClock::new());
+    let engine = test_engine().with_clock(clock);
+    let server = serve(
+        engine.clone(),
+        ServeConfig {
+            // The window is an hour of *virtual* time: it never closes
+            // on its own, so the queue must absorb or reject every
+            // request we pipeline.
+            window: Duration::from_secs(3600),
+            max_batch: 64,
+            queue_depth: 2,
+            retry_after_ms: 7,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut client = RouteClient::connect(server.addr()).expect("connect");
+    let nets = suite(0xBAC4, 10);
+    for (i, net) in nets.iter().enumerate() {
+        client
+            .send(&RouteRequest {
+                id: i as u64,
+                net: net.clone(),
+                deadline_ms: None,
+            })
+            .expect("send");
+    }
+    // 2 admitted, 8 rejected — confirmed via metrics before draining.
+    let metrics = server.metrics();
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            patlabor_serve::Metrics::get(&metrics.rejected) == 8
+        }),
+        "expected 8 overload rejections, saw {}",
+        patlabor_serve::Metrics::get(&metrics.rejected)
+    );
+    assert_eq!(patlabor_serve::Metrics::get(&metrics.requests), 2);
+
+    // Rejections arrive immediately; the 2 admitted replies only
+    // arrive once shutdown drains the never-closing window.
+    server.begin_shutdown();
+    let mut ok = Vec::new();
+    let mut overloaded = Vec::new();
+    for _ in 0..nets.len() {
+        let reply = client.recv().expect("recv").expect("reply");
+        let id = reply.get("id").and_then(Json::as_u64).expect("id");
+        match reply.get("error").and_then(Json::as_str) {
+            None => ok.push(id),
+            Some("overloaded") => {
+                assert_eq!(
+                    reply.get("retry_after_ms").and_then(Json::as_u64),
+                    Some(7),
+                    "overload rejections must carry the retry hint"
+                );
+                overloaded.push(id);
+            }
+            Some(other) => panic!("unexpected error {other}"),
+        }
+    }
+    ok.sort_unstable();
+    overloaded.sort_unstable();
+    assert_eq!(ok, vec![0, 1], "the first two requests fill the queue");
+    assert_eq!(overloaded, (2..10).collect::<Vec<u64>>());
+
+    let summary = server.shutdown();
+    assert_eq!(summary.report.nets, 2);
+    assert_eq!(summary.rejected, 8);
+}
+
+/// Graceful shutdown drains in-flight coalescing windows: requests
+/// parked in a window that virtual time can never close are still
+/// answered, bit-identical to direct routing, before the server exits.
+#[test]
+fn shutdown_drains_inflight_windows_on_a_virtual_clock() {
+    let clock = Arc::new(VirtualClock::new());
+    let engine = test_engine().with_clock(clock);
+    let server = serve(
+        engine.clone(),
+        ServeConfig {
+            window: Duration::from_secs(3600),
+            max_batch: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut client = RouteClient::connect(server.addr()).expect("connect");
+    let nets = suite(0xD4A1, 12);
+    for (i, net) in nets.iter().enumerate() {
+        client
+            .send(&RouteRequest {
+                id: i as u64,
+                net: net.clone(),
+                deadline_ms: None,
+            })
+            .expect("send");
+    }
+    let metrics = server.metrics();
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            patlabor_serve::Metrics::get(&metrics.requests) == 12
+        }),
+        "requests never reached the queue"
+    );
+    // Nothing can have been answered: the window cannot close.
+    assert_eq!(patlabor_serve::Metrics::get(&metrics.responses), 0);
+
+    server.begin_shutdown();
+    for (i, net) in nets.iter().enumerate() {
+        let reply = client.recv().expect("recv").expect("reply");
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(i as u64));
+        assert_eq!(
+            frontier_fields(&reply),
+            direct_frontier(&engine, i as u64, net),
+            "drained reply {i} diverged from direct route"
+        );
+    }
+    // After the drain the server hangs up cleanly.
+    assert!(client.recv().expect("recv after drain").is_none());
+
+    // Exactly one window carried everything.
+    assert_eq!(patlabor_serve::Metrics::get(&metrics.batches), 1);
+    let summary = server.shutdown();
+    assert_eq!(summary.report.nets, 12);
+    assert_eq!(summary.report.errors, 0);
+    assert_eq!(summary.rejected, 0);
+}
+
+/// Malformed frames answer `"malformed"` without poisoning the
+/// connection: the next valid request on the same socket still routes.
+#[test]
+fn malformed_frames_do_not_poison_the_connection() {
+    let server = serve(
+        test_engine(),
+        ServeConfig {
+            window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut client = RouteClient::connect(server.addr()).expect("connect");
+    client.send_raw(b"this is not json").expect("send raw");
+    let reply = client.recv().expect("recv").expect("reply");
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("malformed"));
+    assert!(reply.get("detail").is_some());
+
+    // The connection survives: a valid request still routes.
+    let net = suite(0x11, 1).remove(0);
+    let reply = client
+        .route(&RouteRequest {
+            id: 99,
+            net,
+            deadline_ms: None,
+        })
+        .expect("route after malformed");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+    let summary = server.shutdown();
+    assert_eq!(summary.malformed, 1);
+    assert_eq!(summary.report.nets, 1);
+}
+
+/// Per-request deadlines ride the degradation ladder: an impossible
+/// deadline is still answered (degraded), never errored.
+#[test]
+fn impossible_deadline_degrades_but_answers() {
+    // A zero deadline is exceeded the moment the budget is minted, on
+    // any clock; the virtual clock just keeps the rest of the ladder's
+    // timing out of the picture.
+    let clock = Arc::new(VirtualClock::new());
+    let engine = test_engine().with_clock(clock);
+    let server = serve(
+        engine,
+        ServeConfig {
+            window: Duration::from_secs(3600),
+            max_batch: 1, // close each window immediately by count
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut client = RouteClient::connect(server.addr()).expect("connect");
+    // Degree ≥ 3 so the degree-2 closed form (never deadline-gated)
+    // cannot answer.
+    let net = suite(0x22, 16)
+        .into_iter()
+        .find(|n| n.degree() >= 3)
+        .expect("degree-3 net");
+    let reply = client
+        .route(&RouteRequest {
+            id: 1,
+            net,
+            deadline_ms: Some(0),
+        })
+        .expect("route");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        reply.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "a zero deadline must degrade: {}",
+        reply.render()
+    );
+    assert_eq!(reply.get("rung").and_then(Json::as_str), Some("baseline"));
+
+    let summary = server.shutdown();
+    assert_eq!(summary.report.deadline_hits, 1);
+}
+
+/// The HTTP adapter: /healthz, /metrics exposition, and POST /route
+/// sharing the wire JSON verbatim.
+#[test]
+fn http_adapter_serves_metrics_and_routes() {
+    let engine = test_engine();
+    let server = serve(
+        engine.clone(),
+        ServeConfig {
+            http_addr: Some("127.0.0.1:0".to_string()),
+            window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let http = server.http_addr().expect("http enabled");
+
+    let (status, body) = patlabor_serve::http_request(http, "GET", "/healthz", &[]).expect("GET");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Route a couple of nets over HTTP; replies match direct routing.
+    for (i, net) in suite(0x33, 3).iter().enumerate() {
+        let request = RouteRequest {
+            id: i as u64,
+            net: net.clone(),
+            deadline_ms: None,
+        };
+        let (status, body) =
+            http_post_route(http, request.to_json().render().as_bytes()).expect("POST /route");
+        assert_eq!(status, 200);
+        let reply = patlabor_serve::parse(&body).expect("json body");
+        assert_eq!(
+            frontier_fields(&reply),
+            direct_frontier(&engine, i as u64, net)
+        );
+    }
+
+    let text = scrape_metrics(http).expect("scrape");
+    for family in [
+        "patlabor_requests_total 3",
+        "patlabor_responses_total 3",
+        "patlabor_served_by_rung_total{rung=\"lut\"}",
+        "patlabor_latency_seconds{quantile=\"0.99\"}",
+        "patlabor_latency_seconds_count 3",
+        "patlabor_cache_hit_rate",
+        "patlabor_queue_depth 0",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+
+    // Unknown paths 404 without killing the listener.
+    let (status, _) = patlabor_serve::http_request(http, "GET", "/nope", &[]).expect("GET");
+    assert_eq!(status, 404);
+
+    // A malformed HTTP route body gets the wire error vocabulary.
+    let (status, body) = http_post_route(http, b"not json").expect("POST");
+    assert_eq!(status, 200);
+    let reply = patlabor_serve::parse(&body).expect("json");
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("malformed"));
+
+    server.shutdown();
+}

@@ -28,13 +28,15 @@ mod shrink;
 pub use report::{CheckSummary, Counterexample, PathPair, SmokeReport, VerifyReport};
 pub use shrink::shrink_net;
 
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::time::Duration;
 
 use patlabor::{
-    Fault, FaultKind, FaultPlane, FaultScope, Net, PatLabor, Point, ResilienceConfig,
+    Engine, Fault, FaultKind, FaultPlane, FaultScope, Net, PatLabor, Point, ResilienceConfig,
     ResilienceReport, RouterConfig, VirtualClock,
 };
+use patlabor_serve::{result_to_json, RouteClient, RouteRequest, ServeConfig, Server};
 use patlabor_dw::{numeric, DwConfig};
 use patlabor_lut::{LookupTable, LutBuilder};
 use patlabor_netgen::{clustered_net, uniform_net};
@@ -319,6 +321,24 @@ struct Harness {
     /// forced off by an injected missing-degree fault, so in-table nets
     /// serve via numeric DW and out-of-table nets via the baseline.
     fallback: PatLabor,
+    /// The in-process side of the served-vs-direct pair: a
+    /// cache-disabled engine over the same table the daemon serves, so
+    /// both sides are pure functions of the net and the wire reply can
+    /// be demanded byte-identical (a shared cache would make provenance
+    /// depend on call order).
+    serve_engine: Engine,
+    /// The wire side: a client connected to `server`. `RefCell` because
+    /// the harness checks pairs serially but through `&self`. Declared
+    /// before `server` so the connection closes before the daemon's
+    /// `Drop` drains and joins.
+    wire: RefCell<RouteClient>,
+    /// Monotone wire correlation ids (shrinking re-sends nets, so ids
+    /// cannot be derived from the corpus index).
+    wire_id: Cell<u64>,
+    /// The daemon under test, serving `serve_engine`'s twin over the
+    /// framed socket protocol for the whole run. Held for its `Drop`
+    /// (drain + join); never read.
+    _server: Server,
     seed: u64,
     lambda: usize,
     dw_cap: usize,
@@ -404,6 +424,29 @@ impl Harness {
             scope: FaultScope::Primary,
             probability: 1.0,
         });
+        // The served-vs-direct pair: one daemon for the whole run,
+        // serving the table under test with the cache disabled on both
+        // sides (so wire and direct replies are pure functions of the
+        // net and can be demanded byte-identical). Zero coalescing
+        // window — transport is under test here, not batching.
+        let serve_failure = |detail: String| Counterexample {
+            pair: PathPair::ServedVsDirect,
+            ..roundtrip_failure(detail)
+        };
+        let serve_engine =
+            Engine::with_table(table.clone()).with_cache(CacheConfig::disabled());
+        let server = patlabor_serve::serve(
+            serve_engine.clone(),
+            ServeConfig {
+                threads: 1,
+                window: Duration::ZERO,
+                http_addr: None,
+                ..ServeConfig::default()
+            },
+        )
+        .map_err(|e| serve_failure(format!("starting the serve daemon failed: {e}")))?;
+        let wire = RouteClient::connect(server.addr())
+            .map_err(|e| serve_failure(format!("connecting to the serve daemon failed: {e}")))?;
         Ok(Harness {
             cached: PatLabor::with_table_and_config(table.clone(), strict.clone()),
             uncached: PatLabor::with_table_and_config(table.clone(), strict)
@@ -411,6 +454,10 @@ impl Harness {
             fallback: PatLabor::with_table(table.clone())
                 .with_cache(CacheConfig::disabled())
                 .with_faults(lut_off),
+            serve_engine,
+            wire: RefCell::new(wire),
+            wire_id: Cell::new(0),
+            _server: server,
             lambda: table.lambda() as usize,
             table,
             loaded,
@@ -427,8 +474,10 @@ impl Harness {
         match pair {
             // The DW oracle is exponential in degree; capped explicitly.
             PathPair::LutVsNumericDw => (3..=self.dw_cap).contains(&d),
-            // Cache and batch cover every degree, local search included.
-            PathPair::CachedVsUncached | PathPair::BatchVsSerial => true,
+            // Cache, batch and the wire round trip cover every degree,
+            // local search included — the daemon must be transparent
+            // for whatever the engine can route.
+            PathPair::CachedVsUncached | PathPair::BatchVsSerial | PathPair::ServedVsDirect => true,
             // Exact-path-only invariants: local search (> λ) promises
             // neither D4 invariance nor table-backed answers.
             PathPair::D4Translation | PathPair::SaveLoadRoundTrip | PathPair::MmapVsOwned => {
@@ -453,6 +502,7 @@ impl Harness {
             PathPair::SaveLoadRoundTrip => self.save_load(net),
             PathPair::MmapVsOwned => self.mmap_vs_owned(net),
             PathPair::FallbackParity => self.fallback_parity(net),
+            PathPair::ServedVsDirect => self.served_vs_direct(net),
             PathPair::BatchVsSerial => None, // whole-corpus pair, not per-net
         }
     }
@@ -647,6 +697,40 @@ impl Harness {
         })
     }
 
+    /// Served-vs-direct pair: round-trip the net through the daemon's
+    /// framed socket and demand the reply byte-identical to the
+    /// locally-serialized result of the same engine's in-process
+    /// `route`. Costs, provenance labels, the degradation trace, JSON
+    /// framing — all of it; both sides are cache-disabled pure
+    /// functions, so any difference is the transport's fault.
+    fn served_vs_direct(&self, net: &Net) -> Option<Divergence> {
+        let id = self.wire_id.get();
+        self.wire_id.set(id + 1);
+        let request = RouteRequest {
+            id,
+            net: net.clone(),
+            deadline_ms: None,
+        };
+        let reply = match self.wire.borrow_mut().route(&request) {
+            Ok(reply) => reply,
+            Err(e) => {
+                return Some(Divergence {
+                    fast: Vec::new(),
+                    reference: Vec::new(),
+                    detail: format!("wire round trip failed: {e}"),
+                })
+            }
+        };
+        let direct = self.serve_engine.route(net);
+        let expected = result_to_json(id, &direct).render();
+        let served = reply.render();
+        (served != expected).then(|| Divergence {
+            fast: wire_frontier_costs(&reply),
+            reference: direct.map(|o| o.frontier.cost_vec()).unwrap_or_default(),
+            detail: format!("wire reply != in-process serialization\n    wire:   {served}\n    direct: {expected}"),
+        })
+    }
+
     /// Replays the corpus through a fault-armed copy of the router (the
     /// batch driver, so panic isolation is under test too) and checks
     /// the ladder's service invariants: the process survives, every `Ok`
@@ -759,6 +843,26 @@ fn served_invariants(net: &Net, outcome: &RouteOutcome) -> Option<String> {
         }
     }
     None
+}
+
+/// Extracts the `(w, d)` frontier from a wire reply, for counterexample
+/// rendering (byte comparison is the actual oracle).
+fn wire_frontier_costs(reply: &patlabor_serve::Json) -> Vec<Cost> {
+    reply
+        .get("frontier")
+        .and_then(|f| f.as_array())
+        .map(|points| {
+            points
+                .iter()
+                .filter_map(|p| {
+                    Some(Cost::new(
+                        p.get("w")?.as_i64()?,
+                        p.get("d")?.as_i64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 /// Compares two route results; `Some((fast_costs, reference_costs, why))`

@@ -37,17 +37,25 @@ pub enum PathPair {
     /// out-of-table degrees must fall to the baseline rung and serve
     /// valid, cost-consistent, mutually non-dominated trees.
     FallbackParity,
+    /// The serve daemon's wire round trip vs an in-process route on a
+    /// cache-disabled clone of the daemon's engine: the framed reply
+    /// must be *byte-identical* to the locally-serialized
+    /// `result_to_json` of the direct call — frontier, provenance,
+    /// trace and all. Any byte of daylight indicts the transport
+    /// (framing, JSON round trip, session plumbing), never the router.
+    ServedVsDirect,
 }
 
 impl PathPair {
     /// Every pair, in the order the harness checks them.
-    pub const ALL: [PathPair; 7] = [
+    pub const ALL: [PathPair; 8] = [
         PathPair::LutVsNumericDw,
         PathPair::CachedVsUncached,
         PathPair::D4Translation,
         PathPair::SaveLoadRoundTrip,
         PathPair::MmapVsOwned,
         PathPair::FallbackParity,
+        PathPair::ServedVsDirect,
         PathPair::BatchVsSerial,
     ];
 
@@ -61,6 +69,7 @@ impl PathPair {
             PathPair::SaveLoadRoundTrip => "save-load-roundtrip",
             PathPair::MmapVsOwned => "mmap-vs-owned",
             PathPair::FallbackParity => "fallback-parity",
+            PathPair::ServedVsDirect => "served-vs-direct",
         }
     }
 
@@ -74,6 +83,7 @@ impl PathPair {
             PathPair::SaveLoadRoundTrip => "reloaded v4 table",
             PathPair::MmapVsOwned => "mmap-backed zero-copy table",
             PathPair::FallbackParity => "LUT-off degradation ladder",
+            PathPair::ServedVsDirect => "serve-daemon wire round trip",
         }
     }
 
@@ -87,6 +97,7 @@ impl PathPair {
             PathPair::SaveLoadRoundTrip => "in-memory built table",
             PathPair::MmapVsOwned => "owned-arena table query",
             PathPair::FallbackParity => "healthy-table route / tree invariants",
+            PathPair::ServedVsDirect => "in-process engine route, serialized locally",
         }
     }
 }
