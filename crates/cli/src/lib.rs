@@ -42,8 +42,8 @@ use std::time::Duration;
 
 use patlabor::pipeline::RouteOutcome;
 use patlabor::{
-    Engine, Fault, FaultPlane, LutBuilder, Net, Point, ProvenanceSummary, ResilienceConfig,
-    RouteError,
+    DeltaKind, Engine, Fault, FaultPlane, LutBuilder, Net, NetDelta, Point, ProvenanceSummary,
+    ResilienceConfig, RouteError, Session,
 };
 use patlabor_lut::{LookupTable, TableInfo};
 use patlabor_serve::{serve, ServeConfig};
@@ -204,6 +204,20 @@ pub struct RouteOptions {
     /// reply object per net, serialized by [`patlabor_serve::wire`] —
     /// byte-compatible with what `patlabor serve` answers.
     pub json: bool,
+    /// ECO edits (parsed from `--eco <edits file>`), replayed after the
+    /// initial routing pass through [`Engine::reroute`]. Edits chain:
+    /// each applies to the net as left by the previous edit, and
+    /// class-preserving edits answer from replay (`via reused`).
+    pub eco: Vec<EcoEdit>,
+}
+
+/// One line of an `--eco` edits file: which net to mutate and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcoEdit {
+    /// 0-based index into the routed net list.
+    pub net: usize,
+    /// The geometric edit to apply.
+    pub kind: DeltaKind,
 }
 
 impl Default for RouteOptions {
@@ -217,8 +231,94 @@ impl Default for RouteOptions {
             deadline_ms: None,
             threads: 1,
             json: false,
+            eco: Vec::new(),
         }
     }
+}
+
+/// Parses the `--eco` edits format: one edit per line,
+/// `<net-index> <kind> <args>`, `#` comments and blank lines ignored.
+///
+/// ```text
+/// # chained edits; staleness grows per net
+/// 0 translate 5,-2
+/// 1 move-pin 2 7,7
+/// 2 add-sink 3,4
+/// 0 remove-sink 1
+/// 3 blockage 2,2 8,8
+/// ```
+///
+/// # Errors
+///
+/// Returns the first offending line with a description.
+pub fn parse_edits(text: &str) -> Result<Vec<EcoEdit>, ParseNetsError> {
+    let mut edits = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseNetsError { line, message };
+        let tokens: Vec<&str> = content.split_whitespace().collect();
+        let net: usize = tokens
+            .first()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("expected a 0-based net index".to_string()))?;
+        let kind_token = *tokens
+            .get(1)
+            .ok_or_else(|| err("expected an edit kind after the net index".to_string()))?;
+        let point = |slot: usize, what: &str| -> Result<Point, ParseNetsError> {
+            let token = tokens
+                .get(slot)
+                .ok_or_else(|| err(format!("{kind_token} expects {what} as `x,y`")))?;
+            let (x, y) = token
+                .split_once(',')
+                .ok_or_else(|| err(format!("expected `x,y`, got `{token}`")))?;
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<i64>()
+                    .map_err(|_| err(format!("`{s}` is not an integer coordinate")))
+            };
+            Ok(Point::new(parse(x)?, parse(y)?))
+        };
+        let index = || -> Result<usize, ParseNetsError> {
+            tokens
+                .get(2)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(format!("{kind_token} expects a pin index")))
+        };
+        let (kind, args) = match kind_token {
+            "translate" => {
+                let d = point(2, "an offset")?;
+                (DeltaKind::Translate { dx: d.x, dy: d.y }, 1)
+            }
+            "add-sink" => (DeltaKind::AddSink { at: point(2, "a pin")? }, 1),
+            "move-pin" => (
+                DeltaKind::MovePin { index: index()?, to: point(3, "a destination")? },
+                2,
+            ),
+            "remove-sink" => (DeltaKind::RemoveSink { index: index()? }, 1),
+            "blockage" => (
+                DeltaKind::BlockageMask {
+                    min: point(2, "a corner")?,
+                    max: point(3, "a corner")?,
+                },
+                2,
+            ),
+            other => {
+                return Err(err(format!(
+                    "unknown edit kind `{other}` (translate | move-pin | add-sink | \
+                     remove-sink | blockage)"
+                )))
+            }
+        };
+        if tokens.len() > 2 + args {
+            return Err(err(format!("trailing tokens after {kind_token} edit")));
+        }
+        edits.push(EcoEdit { net, kind });
+    }
+    Ok(edits)
 }
 
 /// Builds the long-lived [`Engine`]: mmap'd tables when `--tables` is
@@ -289,6 +389,12 @@ fn render_batch_stats(out: &mut String, stats: &patlabor::BatchStats) {
 pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, CliError> {
     let mut engine = build_engine(options.tables.as_deref(), options.lambda)?;
     let drills = !options.faults.is_empty() || options.deadline_ms.is_some();
+    if !options.eco.is_empty() && (options.json || drills || options.threads > 1) {
+        return Err(usage_error(
+            "--eco replays edits on the serial human-readable path; it cannot \
+             combine with --json, --threads, --faults or --deadline-ms",
+        ));
+    }
     if drills {
         let plane = options
             .faults
@@ -363,18 +469,70 @@ pub fn route_command(nets: &[Net], options: &RouteOptions) -> Result<String, Cli
         }
         return Ok(out);
     }
+    let mut outcomes = Vec::with_capacity(nets.len());
     for (i, net) in nets.iter().enumerate() {
         let outcome = engine
             .route(net)
             .map_err(|source| CliError::Route { net: i, source })?;
         summary.record(&outcome.provenance);
         render_outcome(&mut out, i, net, &outcome, options);
+        outcomes.push(outcome);
     }
     out.push_str(&format!(
         "provenance: {summary} ({} nets)\n",
         summary.total()
     ));
+    if !options.eco.is_empty() {
+        render_eco(&mut out, nets, &outcomes, &engine, options)?;
+    }
     Ok(out)
+}
+
+/// The `--eco` replay pass: applies the edits in file order against the
+/// outcomes of the initial routing pass, chaining per net so staleness
+/// grows with each edit, and appends the ECO section to the output.
+fn render_eco(
+    out: &mut String,
+    nets: &[Net],
+    outcomes: &[RouteOutcome],
+    engine: &Engine,
+    options: &RouteOptions,
+) -> Result<(), CliError> {
+    let mut current: Vec<Net> = nets.to_vec();
+    let mut last: Vec<RouteOutcome> = outcomes.to_vec();
+    let mut summary = ProvenanceSummary::default();
+    out.push_str(&format!("eco: {} edits\n", options.eco.len()));
+    for (e, edit) in options.eco.iter().enumerate() {
+        if edit.net >= current.len() {
+            return Err(usage_error(format!(
+                "eco edit {e}: net index {} out of range ({} nets)",
+                edit.net,
+                current.len()
+            )));
+        }
+        let delta = NetDelta::new(current[edit.net].clone(), edit.kind);
+        let outcome = engine
+            .reroute(&last[edit.net], &delta, Session::default())
+            .map_err(|source| CliError::Route { net: edit.net, source })?;
+        current[edit.net] = delta.apply();
+        summary.record(&outcome.provenance);
+        out.push_str(&format!(
+            "edit {e}: net {} {}: {} Pareto solutions via {}\n",
+            edit.net,
+            edit.kind.label(),
+            outcome.frontier.len(),
+            outcome.provenance.source,
+        ));
+        for (cost, _) in outcome.frontier.iter() {
+            out.push_str(&format!("  w={} d={}\n", cost.wirelength, cost.delay));
+        }
+        last[edit.net] = outcome;
+    }
+    out.push_str(&format!(
+        "eco provenance: {summary} ({} edits)\n",
+        summary.total()
+    ));
+    Ok(())
 }
 
 /// Renders one routed net: header, frontier, degradation trace (when a
@@ -752,7 +910,7 @@ patlabor — Pareto optimization of timing-driven routing trees
 USAGE:
   patlabor route [--lambda L] [--tables FILE] [--pick SLACK] [--threads T]
                  [--faults SPEC[,SPEC..]] [--fault-seed N] [--deadline-ms MS]
-                 [--json] <nets.txt>
+                 [--json] [--eco EDITS.txt] <nets.txt>
   patlabor route [...] --bookshelf DESIGN.aux
   patlabor serve [--lambda L] [--tables FILE] [--addr HOST:PORT]
                  [--http-addr HOST:PORT | --no-http] [--threads T]
@@ -776,9 +934,18 @@ utilization, steal counts and cache lock contention. `route --json`
 emits one wire-protocol reply object per net (NDJSON), byte-compatible
 with the `serve` daemon's responses.
 
+`route --eco EDITS.txt` replays incremental edits after the base route:
+one edit per line, `<net-index> <kind> <args>` where kind is one of
+`translate dx,dy`, `move-pin IDX x,y`, `add-sink x,y`,
+`remove-sink IDX`, `blockage x0,y0 x1,y1` (`#` comments). Each edit
+reroutes through the delta API — class-preserving edits replay the
+cached winners (provenance `reused`), class-breaking edits fall back
+to the full ladder.
+
 `serve` runs the routing daemon: a length-prefixed JSON socket protocol
 with request coalescing and admission control, plus an HTTP adapter
-(GET /metrics Prometheus exposition, GET /healthz, POST /route). First
+(GET /metrics Prometheus exposition, GET /healthz, POST /route,
+POST /reroute). First
 SIGINT/SIGTERM drains in-flight windows and exits 0 with the final
 resilience report on stderr; a second signal aborts immediately.
 
@@ -809,6 +976,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let mut options = RouteOptions::default();
             let mut file = None;
             let mut bookshelf = None;
+            let mut eco_path = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -854,6 +1022,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             })?;
                     }
                     "--json" => options.json = true,
+                    "--eco" => eco_path = Some(next_value(&mut it, "--eco")?),
                     other if !other.starts_with('-') => file = Some(other.to_string()),
                     other => return Err(usage_error(format!("unknown flag {other}"))),
                 }
@@ -879,6 +1048,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     return Err(usage_error("route needs a net-list file or --bookshelf AUX"))
                 }
             };
+            if let Some(path) = eco_path {
+                let text = std::fs::read_to_string(&path).map_err(|e| CliError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
+                options.eco = parse_edits(&text)?;
+            }
             route_command(&nets, &options)
         }
         Some("lut") => lut_command(&args[1..]),
@@ -1101,7 +1277,7 @@ mod tests {
         assert!(out.contains("pick (budget 19): w=26 d=18"));
         assert!(out.contains(" -- "));
         assert!(out.contains(
-            "provenance: closed-form 0, cache-hit 0, exact-lut 1, numeric-dw 0, local-search 0, baseline 0 (1 nets)"
+            "provenance: closed-form 0, cache-hit 0, exact-lut 1, numeric-dw 0, local-search 0, baseline 0, reused 0 (1 nets)"
         ));
     }
 
@@ -1113,6 +1289,135 @@ mod tests {
         assert!(out.contains("net 0 (degree 3): 1 Pareto solutions via exact-lut"));
         assert!(out.contains("net 1 (degree 3): 1 Pareto solutions via cache-hit"));
         assert!(out.contains("cache-hit 1, exact-lut 1"));
+    }
+
+    #[test]
+    fn parse_edits_covers_every_kind_and_reports_errors() {
+        let edits = parse_edits(
+            "# chained edits\n\
+             0 translate 5,-2\n\
+             1 move-pin 2 7,7\n\
+             2 add-sink 3,4   # trailing comment\n\
+             0 remove-sink 1\n\
+             \n\
+             3 blockage 2,2 8,8\n",
+        )
+        .unwrap();
+        assert_eq!(edits.len(), 5);
+        assert_eq!(
+            edits[0],
+            EcoEdit {
+                net: 0,
+                kind: DeltaKind::Translate { dx: 5, dy: -2 }
+            }
+        );
+        assert_eq!(
+            edits[1],
+            EcoEdit {
+                net: 1,
+                kind: DeltaKind::MovePin {
+                    index: 2,
+                    to: Point::new(7, 7)
+                }
+            }
+        );
+        assert_eq!(
+            edits[4],
+            EcoEdit {
+                net: 3,
+                kind: DeltaKind::BlockageMask {
+                    min: Point::new(2, 2),
+                    max: Point::new(8, 8)
+                }
+            }
+        );
+
+        let err = parse_edits("0 teleport 1,1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("teleport"));
+        assert!(err.message.contains("translate"));
+        let err = parse_edits("0 translate 5,-2\nnope translate 1,1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("net index"));
+        let err = parse_edits("0 move-pin 2\n").unwrap_err();
+        assert!(err.message.contains("x,y"));
+        let err = parse_edits("0 remove-sink 1 9,9\n").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn route_eco_replays_class_preserving_edits() {
+        // A translate preserves the congruence class exactly, so the
+        // edit must answer from winner-id replay (`via reused`) — and a
+        // second translate of the same net chains to staleness 2
+        // without changing the provenance label.
+        let nets = parse_nets("19,2 8,4 4,3 5,4\n").unwrap();
+        let options = RouteOptions {
+            eco: parse_edits("0 translate 5,-2\n0 translate 1,1\n").unwrap(),
+            ..RouteOptions::default()
+        };
+        let out = route_command(&nets, &options).unwrap();
+        assert!(out.contains("eco: 2 edits"), "missing eco header:\n{out}");
+        assert!(
+            out.contains("edit 0: net 0 translate: ")
+                && out.contains("via reused"),
+            "translate should replay:\n{out}"
+        );
+        assert!(out.contains("eco provenance: "));
+        assert!(out.contains("reused 2 (2 edits)"), "both edits replay:\n{out}");
+    }
+
+    #[test]
+    fn route_eco_rejects_incompatible_modes_and_bad_indices() {
+        let nets = parse_nets("19,2 8,4 4,3 5,4\n").unwrap();
+        let eco = parse_edits("0 translate 5,-2\n").unwrap();
+        for options in [
+            RouteOptions {
+                eco: eco.clone(),
+                json: true,
+                ..RouteOptions::default()
+            },
+            RouteOptions {
+                eco: eco.clone(),
+                threads: 2,
+                ..RouteOptions::default()
+            },
+            RouteOptions {
+                eco: eco.clone(),
+                deadline_ms: Some(10),
+                ..RouteOptions::default()
+            },
+        ] {
+            let err = route_command(&nets, &options).unwrap_err();
+            assert!(err.to_string().contains("--eco"), "{err}");
+        }
+        let options = RouteOptions {
+            eco: parse_edits("7 translate 1,1\n").unwrap(),
+            ..RouteOptions::default()
+        };
+        let err = route_command(&nets, &options).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn route_eco_flag_reads_the_edits_file() {
+        let dir = std::env::temp_dir().join("patlabor_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let nets_file = dir.join("eco_nets.txt");
+        let edits_file = dir.join("eco_edits.txt");
+        std::fs::write(&nets_file, "19,2 8,4 4,3 5,4\n").unwrap();
+        std::fs::write(&edits_file, "0 translate 3,3\n").unwrap();
+        let out = run(&[
+            "route".into(),
+            "--eco".into(),
+            edits_file.to_string_lossy().into_owned(),
+            nets_file.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("eco: 1 edits"));
+        assert!(out.contains("via reused"));
+        std::fs::remove_file(&nets_file).ok();
+        std::fs::remove_file(&edits_file).ok();
     }
 
     #[test]

@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 
 use patlabor_geom::Net;
 
+use crate::eco::DeltaJob;
 use crate::engine::{Engine, Session};
 use crate::pad::CachePadded;
 use crate::pipeline::{RouteError, RouteResult};
@@ -518,6 +519,34 @@ impl Engine {
             let (net, session) = &requests[i];
             self.route_caught(net, session)
         })
+    }
+
+    /// [`Engine::reroute_with_staleness`] with batch-level panic
+    /// isolation, mirroring [`Engine::route_caught`].
+    fn reroute_caught(&self, job: &DeltaJob) -> RouteResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.reroute_with_staleness(&job.delta, job.prior_edits, &job.session)
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(RouteError::Panicked {
+                payload: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Reroutes a batch of edits over the same work-stealing driver as
+    /// [`Engine::route_batch_sessions`]. Results are in input order, one
+    /// slot per job; class-preserving edits replay from the frontier
+    /// cache (provenance [`crate::RouteSource::Reused`]) and everything
+    /// else falls through the ordinary ladder. The serve layer coalesces
+    /// `reroute` wire requests into the same accumulation windows as
+    /// fresh routes and closes mixed windows into this call.
+    pub fn route_batch_deltas(
+        &self,
+        jobs: &[DeltaJob],
+        threads: usize,
+    ) -> (Vec<RouteResult>, BatchStats) {
+        self.drive_batch(jobs.len(), threads, |i| self.reroute_caught(&jobs[i]))
     }
 
     /// The shared driver body: serial fast path or work-stealing fill

@@ -31,8 +31,9 @@
 //!   and carries its *own* hit/miss/contention counters, so one shard's
 //!   counter traffic never invalidates another shard's line — the
 //!   global-counter ping-pong the old layout paid on every probe from
-//!   every core is gone. The adaptive-bypass flag lives on its own
-//!   padded line too: it is read on every route and written once.
+//!   every core is gone. The adaptive-bypass state lives on its own
+//!   padded line too: it is read on every route and written only at
+//!   bypass and re-probe boundaries.
 //! * **Contention is measured, not guessed** — lock acquisitions go
 //!   through `try_read`/`try_write` first and count a failed attempt
 //!   before falling back to the blocking path. The per-shard counters
@@ -117,6 +118,16 @@ pub struct CacheConfig {
     /// warmup window has elapsed. Expressed as an integer so the config
     /// stays `Eq`/`Hash`-able; `100` means 10%.
     pub bypass_threshold_permille: u16,
+    /// How many probes a retired cache swallows before it re-arms for a
+    /// fresh observation window. Workloads change phase — a cold
+    /// miss-heavy warmup can be followed by a high-reuse ECO phase — so
+    /// a bypass that never re-probes runs cache-off forever. After this
+    /// many skipped probes the cache re-arms, judges the hit rate over
+    /// the next [`CacheConfig::bypass_warmup`] probes *in isolation*
+    /// (history before the window does not count against it), and either
+    /// stays armed or retires again for another period. `0` restores the
+    /// old sticky behavior: once bypassed, never probed again.
+    pub bypass_reprobe_period: u64,
 }
 
 impl Default for CacheConfig {
@@ -127,6 +138,7 @@ impl Default for CacheConfig {
             shards: 0,
             bypass_warmup: 1024,
             bypass_threshold_permille: 100,
+            bypass_reprobe_period: 4096,
         }
     }
 }
@@ -284,19 +296,30 @@ pub struct FrontierCache {
     per_shard_cap: usize,
     bypass_warmup: u64,
     bypass_threshold_permille: u64,
-    /// On its own padded line: read on every route, written at most
-    /// once each, and must not ride any shard's counter line.
+    bypass_reprobe_period: u64,
+    /// On its own padded line: read on every route, written rarely (at
+    /// re-probe boundaries), and must not ride any shard's counter line.
     bypass: CachePadded<BypassState>,
 }
 
-/// The adaptive bypass's two sticky bits, padded as a unit.
+/// The adaptive bypass's state, padded as a unit.
 #[derive(Debug, Default)]
 struct BypassState {
-    /// The decision: true once the cache is retired.
+    /// The decision: true while the cache is retired.
     bypassed: AtomicBool,
-    /// Whether the warmup window has closed (switches judging from
-    /// every-miss to strided).
+    /// Whether the current observation window has closed (switches
+    /// judging from every-miss to strided).
     warmed: AtomicBool,
+    /// Probes skipped while bypassed; crossing a multiple of the
+    /// re-probe period re-arms the cache. Monotone — never reset — so
+    /// exactly one thread observes each boundary.
+    skipped: AtomicU64,
+    /// Baseline subtracted from the cumulative hit counter: judgments
+    /// are about the current observation window, not all history, so a
+    /// cold warmup phase cannot condemn a later high-reuse phase.
+    base_hits: AtomicU64,
+    /// Baseline subtracted from the cumulative probe total.
+    base_total: AtomicU64,
 }
 
 impl FrontierCache {
@@ -308,6 +331,7 @@ impl FrontierCache {
             per_shard_cap: (config.capacity / shards).max(1),
             bypass_warmup: config.bypass_warmup,
             bypass_threshold_permille: config.bypass_threshold_permille as u64,
+            bypass_reprobe_period: config.bypass_reprobe_period,
             bypass: CachePadded::default(),
         }
     }
@@ -317,13 +341,50 @@ impl FrontierCache {
         self.shards.len()
     }
 
-    /// Whether the adaptive bypass has fired. The router consults this
-    /// before probing; once true, the cache is dead weight and is never
-    /// touched again (sticky — a workload that stopped reusing patterns
-    /// rarely starts again, and stickiness keeps the hot path branch
-    /// perfectly predictable).
+    /// Whether the adaptive bypass is currently tripped. The insert path
+    /// consults this directly; the probe path goes through
+    /// [`FrontierCache::skip_probe`], which also drives the periodic
+    /// re-arm. With `bypass_reprobe_period == 0` the flag is sticky as
+    /// before; otherwise it clears at each re-probe boundary and is
+    /// re-set only if the fresh observation window fails the threshold.
     pub fn bypassed(&self) -> bool {
         self.bypass.bypassed.load(Ordering::Relaxed)
+    }
+
+    /// The router's probe gate: `true` means "do not probe this route".
+    ///
+    /// While the bypass is tripped, skipped probes are counted; every
+    /// `bypass_reprobe_period`-th one re-arms the cache and opens a fresh
+    /// observation window (the cumulative counters at that instant become
+    /// the window baseline, so the judgment that follows sees only the
+    /// window's own hit rate). A workload that flipped from miss-heavy to
+    /// high-reuse therefore gets its cache back one period later, while a
+    /// genuinely reuse-free workload pays one warmup window of probe
+    /// overhead per period and retires again.
+    pub fn skip_probe(&self) -> bool {
+        if !self.bypassed() {
+            return false;
+        }
+        if self.bypass_reprobe_period == 0 {
+            return true; // sticky legacy behavior
+        }
+        let skipped = self.bypass.skipped.fetch_add(1, Ordering::Relaxed) + 1;
+        if !skipped.is_multiple_of(self.bypass_reprobe_period) {
+            return true;
+        }
+        // This thread crossed the period boundary (the counter is
+        // monotone, so exactly one thread sees each multiple): open a
+        // fresh observation window and re-arm.
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for shard in self.shards.iter() {
+            hits += shard.hits.load(Ordering::Relaxed);
+            misses += shard.misses.load(Ordering::Relaxed);
+        }
+        self.bypass.base_hits.store(hits, Ordering::Relaxed);
+        self.bypass.base_total.store(hits + misses, Ordering::Relaxed);
+        self.bypass.warmed.store(false, Ordering::Relaxed);
+        self.bypass.bypassed.store(false, Ordering::Relaxed);
+        false
     }
 
     /// Re-judges the hit rate after a miss. Only misses can push the rate
@@ -342,12 +403,17 @@ impl FrontierCache {
         {
             return;
         }
-        let (mut hits, mut misses) = (0u64, 0u64);
+        let (mut cum_hits, mut cum_misses) = (0u64, 0u64);
         for shard in self.shards.iter() {
-            hits += shard.hits.load(Ordering::Relaxed);
-            misses += shard.misses.load(Ordering::Relaxed);
+            cum_hits += shard.hits.load(Ordering::Relaxed);
+            cum_misses += shard.misses.load(Ordering::Relaxed);
         }
-        let total = hits + misses;
+        // Judge the current observation window, not all history: the
+        // baselines are zero until the first re-probe re-arm snapshots
+        // the counters, so the initial warmup behaves as before.
+        let hits = cum_hits.saturating_sub(self.bypass.base_hits.load(Ordering::Relaxed));
+        let total = (cum_hits + cum_misses)
+            .saturating_sub(self.bypass.base_total.load(Ordering::Relaxed));
         if total >= self.bypass_warmup {
             self.bypass.warmed.store(true, Ordering::Relaxed);
             if hits * 1000 < self.bypass_threshold_permille * total {
@@ -800,6 +866,121 @@ mod tests {
             }
         }
         assert!(!cache.bypassed());
+    }
+
+    /// Drives the cache the way the router's probe+insert sites do: ask
+    /// [`FrontierCache::skip_probe`] first, and on a miss insert iff the
+    /// bypass is not tripped.
+    fn probe_like_router(cache: &FrontierCache, k: CacheKey) -> bool {
+        if cache.skip_probe() {
+            return false;
+        }
+        let hit = cache.get(&k).is_some();
+        if !hit && !cache.bypassed() {
+            cache.insert(k, vec![1].into());
+        }
+        hit
+    }
+
+    /// Satellite regression: the bypass must not be sticky across a
+    /// workload phase change. A cold miss-heavy phase trips it; once the
+    /// re-probe period elapses, a high-reuse phase must win the cache
+    /// back — and the window judgment must not hold the cold history
+    /// against it.
+    #[test]
+    fn reprobe_rearms_after_a_workload_flip() {
+        let config = CacheConfig {
+            bypass_warmup: 16,
+            bypass_threshold_permille: 500,
+            bypass_reprobe_period: 8,
+            shards: 1,
+            capacity: 1024,
+            ..CacheConfig::default()
+        };
+        let cache = FrontierCache::new(&config);
+        // Phase 1: pure misses through the warmup window → retired.
+        for i in 0..16u64 {
+            assert!(!probe_like_router(&cache, key(i, &[i as i64])));
+        }
+        assert!(cache.bypassed(), "cold phase must trip the bypass");
+        // Phase 2: the workload flips to a single hot class. The first 7
+        // probes are swallowed; the 8th crosses the period and re-arms.
+        for _ in 0..7 {
+            assert!(cache.skip_probe(), "within the period probes are skipped");
+        }
+        assert!(!cache.skip_probe(), "period boundary must re-arm");
+        assert!(!cache.bypassed());
+        // Hot phase: 3 hits per miss (750‰), comfortably above the 500‰
+        // floor — the observation window closes with the cache still
+        // armed even though the cumulative history is well below it.
+        let hot = key(999, &[9]);
+        cache.insert(hot.clone(), vec![1].into());
+        for i in 0..24u64 {
+            if i % 4 == 0 {
+                probe_like_router(&cache, key(50_000 + i, &[i as i64]));
+            } else {
+                assert!(probe_like_router(&cache, hot.clone()), "hot class must hit");
+            }
+        }
+        assert!(
+            !cache.bypassed(),
+            "a high-reuse window must keep the cache armed despite cold history"
+        );
+        assert!(!cache.skip_probe(), "an armed cache keeps probing");
+    }
+
+    /// The flip side: a workload that is still reuse-free after a re-arm
+    /// must retire the cache again once the fresh window closes.
+    #[test]
+    fn reprobe_retires_again_when_reuse_never_comes() {
+        let config = CacheConfig {
+            bypass_warmup: 16,
+            bypass_threshold_permille: 500,
+            bypass_reprobe_period: 8,
+            shards: 1,
+            capacity: 1024,
+            ..CacheConfig::default()
+        };
+        let cache = FrontierCache::new(&config);
+        let mut fresh = 0u64;
+        let mut unique = move || {
+            fresh += 1;
+            key(100_000 + fresh, &[fresh as i64])
+        };
+        for _ in 0..16 {
+            probe_like_router(&cache, unique());
+        }
+        assert!(cache.bypassed());
+        // Burn one period of skips, then feed the re-armed window more
+        // unique keys: it must fail the threshold and retire again.
+        for _ in 0..8 {
+            let _ = cache.skip_probe();
+        }
+        assert!(!cache.bypassed(), "re-armed at the boundary");
+        for _ in 0..16 {
+            probe_like_router(&cache, unique());
+        }
+        assert!(cache.bypassed(), "a reuse-free window must re-retire the cache");
+    }
+
+    #[test]
+    fn zero_reprobe_period_keeps_the_bypass_sticky() {
+        let config = CacheConfig {
+            bypass_warmup: 8,
+            bypass_threshold_permille: 1000,
+            bypass_reprobe_period: 0,
+            shards: 1,
+            ..CacheConfig::default()
+        };
+        let cache = FrontierCache::new(&config);
+        for i in 0..8u64 {
+            probe_like_router(&cache, key(i, &[i as i64]));
+        }
+        assert!(cache.bypassed());
+        for _ in 0..10_000 {
+            assert!(cache.skip_probe(), "period 0 must never re-arm");
+        }
+        assert!(cache.bypassed());
     }
 
     #[test]

@@ -34,6 +34,7 @@ use patlabor_pareto::{Cost, ParetoSet};
 use patlabor_tree::RoutingTree;
 
 use crate::cache::{CacheKey, CacheStats, FrontierCache, ShardStats};
+use crate::eco::{DeltaKind, NetDelta};
 use crate::local_search::{local_search_cancellable, LocalSearchConfig};
 use crate::pipeline::{
     RouteError, RouteOutcome, RouteProvenance, RouteResult, RouteSource, StageCounters,
@@ -339,9 +340,10 @@ impl Engine {
 
             // Rung: Cache — replay the class's winning ids on a hit. A
             // cache the adaptive bypass has retired (hit rate below the
-            // configured floor through the warmup window) is skipped
-            // entirely: no probe, no insert, no rung attempt.
-            if let Some(cache) = inner.cache.as_ref().filter(|c| !c.bypassed()) {
+            // configured floor through the warmup window) is skipped:
+            // no probe, no insert, no rung attempt — until the periodic
+            // re-probe window re-arms it (`skip_probe` drives that).
+            if let Some(cache) = inner.cache.as_ref().filter(|c| !c.skip_probe()) {
                 let outcome_ =
                     run_rung(&ctx, Rung::Cache, &mut counters, &mut panic_payload, |counters| {
                         counters.cache_probes = 1;
@@ -547,6 +549,100 @@ impl Engine {
             panic::resume_unwind(payload);
         }
         Err(table_error.unwrap_or(RouteError::RungsExhausted { degree, trace }))
+    }
+
+    /// Incremental (ECO) rerouting: applies `delta` to its base net and
+    /// answers from replay when the edit preserved the congruence class
+    /// (see [`crate::eco`] and DESIGN.md §16).
+    ///
+    /// `prev` supplies the staleness lineage: a prior
+    /// [`RouteSource::Reused`] outcome continues the edit count, any
+    /// other provenance restarts it. [`RouterConfig::eco`]'s
+    /// `staleness_cap` bounds how many consecutive edits replay may
+    /// serve; past the cap the mutated net routes fresh, which resets
+    /// the counter (a fresh outcome's provenance is no longer `Reused`).
+    ///
+    /// The replayed frontier is bit-identical to routing the mutated net
+    /// from scratch: the cached winner set is a pure function of the
+    /// (unchanged) congruence class, and replay only skips the scoring
+    /// of candidates that were already dominated. When the class
+    /// changed, the winners are not resident, or validation fails, the
+    /// mutated net falls through the ordinary degradation ladder.
+    pub fn reroute(&self, prev: &RouteOutcome, delta: &NetDelta, session: Session) -> RouteResult {
+        let prior_edits = match prev.provenance.source {
+            RouteSource::Reused { staleness } => staleness,
+            _ => 0,
+        };
+        self.reroute_with_staleness(delta, prior_edits, &session)
+    }
+
+    /// [`Engine::reroute`] without a prior outcome in hand: the caller
+    /// supplies the number of edits already served from replay for this
+    /// net's lineage (the serve layer forwards the wire request's
+    /// `staleness` field here; 0 after a fresh route).
+    pub fn reroute_with_staleness(
+        &self,
+        delta: &NetDelta,
+        prior_edits: u32,
+        session: &Session,
+    ) -> RouteResult {
+        let mutated = delta.apply();
+        let staleness = prior_edits.saturating_add(1);
+        if staleness <= self.inner.config.eco.staleness_cap {
+            if let Some(outcome) = self.replay_reuse(delta, &mutated, staleness) {
+                return Ok(outcome);
+            }
+        }
+        self.route_session(&mutated, session)
+    }
+
+    /// The ECO replay fast path: `Some` only when the edit is provably
+    /// class-preserving (base and mutated nets canonicalize to the same
+    /// cache key), the class's winners are resident in an armed frontier
+    /// cache, and the replayed frontier passes validation. No LUT
+    /// candidate is scored on this path (`candidates_scored` stays 0).
+    fn replay_reuse(&self, delta: &NetDelta, mutated: &Net, staleness: u32) -> Option<RouteOutcome> {
+        let inner = &*self.inner;
+        let base = &delta.base;
+        let degree = mutated.degree();
+        if degree != base.degree() || degree < 3 || degree > inner.table.lambda() as usize {
+            return None;
+        }
+        let cache = inner.cache.as_ref().filter(|c| !c.skip_probe())?;
+        let class = inner.table.classify(mutated)?;
+        let key = CacheKey::from_class(&class);
+        // A rigid translate is class-preserving by theorem (the
+        // canonical pattern key and gap vector are translation
+        // invariant), so the base never needs canonicalizing — a second
+        // classify would double the replay path's dominant cost for the
+        // most common ECO edit. Every other kind must prove
+        // preservation by canonicalizing both sides.
+        if !matches!(delta.kind, DeltaKind::Translate { .. }) {
+            let base_class = inner.table.classify(base)?;
+            if key != CacheKey::from_class(&base_class) {
+                return None; // the edit broke the congruence class
+            }
+        }
+        let mut counters = StageCounters {
+            cache_probes: 1,
+            ..StageCounters::default()
+        };
+        let ids = cache.get(&key)?;
+        counters.cache_hits = 1;
+        counters.trees_materialized = ids.len() as u32;
+        let frontier = inner.table.query_ids(mutated, &class, &ids);
+        if inner.config.resilience.validate_frontiers && !frontier_consistent(&frontier) {
+            return None;
+        }
+        let mut trace = DegradationTrace::default();
+        trace.push(Rung::Cache, RungOutcome::Served);
+        Some(outcome(
+            frontier,
+            degree,
+            RouteSource::Reused { staleness },
+            counters,
+            trace,
+        ))
     }
 }
 

@@ -48,6 +48,7 @@
 
 mod batch;
 pub mod cache;
+pub mod eco;
 mod engine;
 pub mod pad;
 pub mod ks;
@@ -58,6 +59,7 @@ pub mod resilience;
 mod router;
 
 pub use batch::{BatchConfig, BatchStats, WorkerStats};
+pub use eco::{DeltaJob, DeltaKind, EcoConfig, NetDelta};
 pub use engine::{Engine, Session};
 pub use cache::{CacheConfig, CacheStats, ShardStats};
 pub use pad::CachePadded;

@@ -67,6 +67,13 @@ pub enum RouteSource {
     LocalSearch,
     /// Baseline heuristic sweep — the ladder's approximate last resort.
     Baseline,
+    /// ECO replay: a prior route's winning ids re-evaluated against the
+    /// edited geometry because the edit preserved the congruence class.
+    /// `staleness` counts edits since the last full route.
+    Reused {
+        /// Edits applied since the net was last routed from scratch.
+        staleness: u32,
+    },
 }
 
 impl RouteSource {
@@ -79,6 +86,7 @@ impl RouteSource {
             RouteSource::NumericDw => "numeric-dw",
             RouteSource::LocalSearch => "local-search",
             RouteSource::Baseline => "baseline",
+            RouteSource::Reused { .. } => "reused",
         }
     }
 
@@ -245,6 +253,8 @@ pub struct ProvenanceSummary {
     pub local_search: u64,
     /// Nets answered by the baseline fallback rung.
     pub baseline: u64,
+    /// Nets answered by ECO replay of a prior route's winners.
+    pub reused: u64,
 }
 
 impl ProvenanceSummary {
@@ -257,6 +267,7 @@ impl ProvenanceSummary {
             RouteSource::NumericDw => self.numeric_dw += 1,
             RouteSource::LocalSearch => self.local_search += 1,
             RouteSource::Baseline => self.baseline += 1,
+            RouteSource::Reused { .. } => self.reused += 1,
         }
     }
 
@@ -268,6 +279,7 @@ impl ProvenanceSummary {
             + self.numeric_dw
             + self.local_search
             + self.baseline
+            + self.reused
     }
 }
 
@@ -276,13 +288,14 @@ impl fmt::Display for ProvenanceSummary {
         write!(
             f,
             "closed-form {}, cache-hit {}, exact-lut {}, numeric-dw {}, \
-             local-search {}, baseline {}",
+             local-search {}, baseline {}, reused {}",
             self.closed_form,
             self.cache_hits,
             self.exact_lut,
             self.numeric_dw,
             self.local_search,
-            self.baseline
+            self.baseline,
+            self.reused
         )
     }
 }
@@ -299,9 +312,11 @@ mod tests {
         assert_eq!(RouteSource::LocalSearch.to_string(), "local-search");
         assert_eq!(RouteSource::NumericDw.label(), "numeric-dw");
         assert_eq!(RouteSource::Baseline.label(), "baseline");
+        assert_eq!(RouteSource::Reused { staleness: 3 }.label(), "reused");
         assert!(RouteSource::ExactLut.is_exact());
         assert!(RouteSource::ClosedForm.is_exact());
         assert!(RouteSource::NumericDw.is_exact());
+        assert!(RouteSource::Reused { staleness: 1 }.is_exact());
         assert!(!RouteSource::LocalSearch.is_exact());
         assert!(!RouteSource::Baseline.is_exact());
     }
@@ -341,14 +356,17 @@ mod tests {
         s.record(&p(RouteSource::ClosedForm));
         s.record(&p(RouteSource::NumericDw));
         s.record(&p(RouteSource::Baseline));
-        assert_eq!(s.total(), 7);
+        s.record(&p(RouteSource::Reused { staleness: 2 }));
+        assert_eq!(s.total(), 8);
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.numeric_dw, 1);
         assert_eq!(s.baseline, 1);
+        assert_eq!(s.reused, 1);
         let line = s.to_string();
         assert!(line.contains("cache-hit 2"));
         assert!(line.contains("exact-lut 1"));
         assert!(line.contains("numeric-dw 1"));
         assert!(line.contains("baseline 1"));
+        assert!(line.contains("reused 1"));
     }
 }

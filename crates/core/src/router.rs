@@ -19,6 +19,7 @@ use patlabor_tree::RoutingTree;
 
 use crate::batch::BatchConfig;
 use crate::cache::{CacheConfig, CacheStats, ShardStats};
+use crate::eco::EcoConfig;
 use crate::engine::{Engine, Session};
 use crate::local_search::LocalSearchConfig;
 use crate::pipeline::{RouteError, RouteOutcome};
@@ -54,6 +55,10 @@ pub struct RouterConfig {
     /// Batch-driver tuning ([`crate::batch::BatchConfig`]): the
     /// work-stealing chunk size, auto-derived by default.
     pub batch: BatchConfig,
+    /// Incremental-rerouting policy ([`crate::eco::EcoConfig`]): how
+    /// many consecutive edits [`Engine::reroute`] may serve from replay
+    /// before forcing a fresh route.
+    pub eco: EcoConfig,
 }
 
 impl Default for RouterConfig {
@@ -65,6 +70,7 @@ impl Default for RouterConfig {
             resilience: ResilienceConfig::default(),
             faults: FaultPlane::default(),
             batch: BatchConfig::default(),
+            eco: EcoConfig::default(),
         }
     }
 }

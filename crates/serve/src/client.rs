@@ -14,7 +14,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use crate::json::{parse, Json};
-use crate::wire::{read_frame, write_frame, RouteRequest};
+use crate::wire::{read_frame, write_frame, RerouteRequest, RouteRequest};
 
 /// One framed-protocol connection.
 #[derive(Debug)]
@@ -73,6 +73,18 @@ impl RouteClient {
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
     }
 
+    /// Sends one ECO reroute frame (pipelinable).
+    pub fn send_reroute(&mut self, request: &RerouteRequest) -> io::Result<()> {
+        self.send_raw(request.to_json().render().as_bytes())
+    }
+
+    /// Round-trips one ECO reroute (send + recv).
+    pub fn reroute(&mut self, request: &RerouteRequest) -> io::Result<Json> {
+        self.send_reroute(request)?;
+        self.recv()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
     /// Half-closes the write side: the server sees EOF, finishes any
     /// queued replies for this connection, then hangs up.
     pub fn finish_writes(&mut self) -> io::Result<()> {
@@ -126,4 +138,9 @@ pub fn scrape_metrics(addr: SocketAddr) -> io::Result<String> {
 /// POSTs a route-request JSON body to the adapter's `/route`.
 pub fn http_post_route(addr: SocketAddr, body: &[u8]) -> io::Result<(u16, String)> {
     http_request(addr, "POST", "/route", body)
+}
+
+/// POSTs an ECO reroute-request JSON body to the adapter's `/reroute`.
+pub fn http_post_reroute(addr: SocketAddr, body: &[u8]) -> io::Result<(u16, String)> {
+    http_request(addr, "POST", "/reroute", body)
 }

@@ -1,5 +1,5 @@
-//! Minimal HTTP/1.1 adapter: `GET /metrics`, `GET /healthz`, and
-//! `POST /route`.
+//! Minimal HTTP/1.1 adapter: `GET /metrics`, `GET /healthz`,
+//! `POST /route`, and `POST /reroute`.
 //!
 //! This is deliberately a sliver of HTTP — enough for a Prometheus
 //! scraper and a curl-driven smoke test, nothing more. One thread per
@@ -101,6 +101,12 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> Response {
             reason: "OK",
             content_type: "application/json",
             body: server::http_route(shared, &request.body),
+        },
+        ("POST", "/reroute") => Response {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            body: server::http_reroute(shared, &request.body),
         },
         ("GET" | "POST", _) => Response::text(404, "Not Found", "not found\n"),
         _ => Response::text(405, "Method Not Allowed", "method not allowed\n"),

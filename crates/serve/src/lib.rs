@@ -43,10 +43,13 @@ pub mod metrics;
 pub mod server;
 pub mod wire;
 
-pub use client::{http_post_route, http_request, scrape_metrics, RouteClient};
+pub use client::{
+    http_post_reroute, http_post_route, http_request, scrape_metrics, RouteClient,
+};
 pub use json::{parse, Json, ParseError};
 pub use metrics::{LatencyHistogram, Metrics};
-pub use server::{serve, ServeConfig, ServeSummary, Server};
+pub use server::{serve, ServeConfig, ServeSummary, Server, RETRY_AFTER_CAP_MS};
 pub use wire::{
-    parse_request, read_frame, result_to_json, write_frame, RouteRequest, MAX_FRAME,
+    parse_any_request, parse_request, parse_reroute_request, read_frame, result_to_json,
+    write_frame, RerouteRequest, Request, RouteRequest, MAX_FRAME,
 };

@@ -64,9 +64,15 @@ impl LatencyHistogram {
         self.sum_ns.load(Ordering::Relaxed)
     }
 
-    /// The upper bound (in ns) of the bucket containing the `q`-th
-    /// quantile (`0.0 ≤ q ≤ 1.0`), or `None` with no samples. The true
-    /// quantile lies within 2× of the returned bound by construction.
+    /// The geometric midpoint (in ns) of the bucket containing the
+    /// `q`-th quantile (`0.0 ≤ q ≤ 1.0`), or `None` with no samples.
+    ///
+    /// The midpoint `√(lo·hi) = lo·√2` is the minimax estimator for a
+    /// log₂ bucket: the true quantile lies within √2 (~41%) of the
+    /// reported value in either direction. Reporting the bucket's
+    /// *upper* bound — the previous behavior — biased every quantile
+    /// high by up to 2×, which made p50 read as double the real median
+    /// for workloads sitting at the bottom of a bucket.
     pub fn quantile_ns(&self, q: f64) -> Option<u64> {
         let snapshot: [u64; 64] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         let total: u64 = snapshot.iter().sum();
@@ -80,7 +86,13 @@ impl LatencyHistogram {
         for (i, n) in snapshot.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(if i >= 63 { u64::MAX } else { 2u64 << i });
+                if i >= 63 {
+                    // The top bucket's upper edge overflows u64; keep
+                    // the sentinel rather than a fabricated midpoint.
+                    return Some(u64::MAX);
+                }
+                let lo = 1u64 << i;
+                return Some(lo + (lo as f64 * (std::f64::consts::SQRT_2 - 1.0)) as u64);
             }
         }
         None
@@ -216,7 +228,7 @@ impl Metrics {
         let _ = writeln!(
             out,
             "# HELP patlabor_latency_seconds Enqueue-to-reply latency quantiles \
-             (log2-bucket upper bounds)."
+             (log2-bucket geometric midpoints, true value within sqrt(2))."
         );
         let _ = writeln!(out, "# TYPE patlabor_latency_seconds summary");
         for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
@@ -291,7 +303,11 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile_ns(0.5), None);
         // 90 samples at ~1µs, 10 at ~1ms: p50 must report the µs
-        // bucket's bound, p999 the ms bucket's.
+        // bucket's midpoint, p999 the ms bucket's. 1 000 ns lands in
+        // bucket 9 ([512, 1024)) whose geometric midpoint is 512·√2 ≈
+        // 724; 1 000 000 ns lands in bucket 19 ([524288, 1048576)),
+        // midpoint ≈ 741 455. The old upper-bound report would have
+        // claimed 1 024 and 1 048 576 — overstating p50 by ~2×.
         for _ in 0..90 {
             h.record(1_000);
         }
@@ -299,14 +315,16 @@ mod tests {
             h.record(1_000_000);
         }
         let p50 = h.quantile_ns(0.5).unwrap();
-        assert!((1_000..=2_048).contains(&p50), "{p50}");
+        assert!((512..=1_024).contains(&p50), "{p50}");
+        assert_eq!(p50, 724);
         let p999 = h.quantile_ns(0.999).unwrap();
-        assert!((1_000_000..=2_097_152).contains(&p999), "{p999}");
+        assert!((524_288..=1_048_576).contains(&p999), "{p999}");
+        assert_eq!(p999, 741_455);
         assert_eq!(h.count(), 100);
         assert_eq!(h.sum_ns(), 90 * 1_000 + 10 * 1_000_000);
         // q=0 is the minimum bucket, q=1 the maximum.
-        assert!(h.quantile_ns(0.0).unwrap() <= 2_048);
-        assert!(h.quantile_ns(1.0).unwrap() >= 1_000_000);
+        assert!(h.quantile_ns(0.0).unwrap() <= 1_024);
+        assert!(h.quantile_ns(1.0).unwrap() >= 524_288);
     }
 
     #[test]

@@ -49,13 +49,13 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use patlabor::{Engine, Net, ResilienceReport, RouteResult, RungOutcome, Session};
+use patlabor::{DeltaJob, Engine, Net, NetDelta, ResilienceReport, RouteResult, RungOutcome, Session};
 
 use crate::http;
 use crate::metrics::Metrics;
 use crate::wire::{
-    malformed_json, overloaded_json, parse_request, read_frame, result_to_json,
-    shutting_down_json, write_frame,
+    malformed_json, overloaded_json, parse_any_request, parse_request, parse_reroute_request,
+    read_frame, result_to_json, shutting_down_json, write_frame, Request,
 };
 
 /// Server tuning.
@@ -80,8 +80,35 @@ pub struct ServeConfig {
     /// `"overloaded"`. This is the server's entire buffering — there is
     /// no hidden unbounded buffer behind it.
     pub queue_depth: usize,
-    /// The `retry_after_ms` hint sent with `"overloaded"` rejections.
+    /// The `retry_after_ms` hint sent with `"overloaded"` rejections
+    /// before any window has closed (cold start). Once the batcher has
+    /// drained at least one window, the hint is computed instead: queue
+    /// occupancy × the recent per-net drain time, clamped to
+    /// `[1, RETRY_AFTER_CAP_MS]` — so a client backing off by the hint
+    /// retries roughly when the queue has actually drained.
     pub retry_after_ms: u64,
+}
+
+/// Upper clamp on computed `retry_after_ms` hints. A second of backoff
+/// is already "come back much later"; anything larger would just park
+/// clients on a transient spike.
+pub const RETRY_AFTER_CAP_MS: u64 = 1_000;
+
+/// The backoff hint for an `"overloaded"` rejection: how long the
+/// current occupancy takes to drain at the recently observed rate.
+///
+/// `drain_ns_per_net == 0` means no window has closed yet — fall back
+/// to the configured hint. Otherwise `ceil(occupancy × per-net ns)` in
+/// milliseconds, clamped to `[1, RETRY_AFTER_CAP_MS]`. Monotone in
+/// both occupancy and drain time by construction (a fuller queue or a
+/// slower engine can only raise the hint until the cap).
+fn computed_retry_after_ms(occupancy: usize, drain_ns_per_net: u64, fallback_ms: u64) -> u64 {
+    if drain_ns_per_net == 0 {
+        return fallback_ms.max(1);
+    }
+    let drain_ns = occupancy as u128 * drain_ns_per_net as u128;
+    let ms = u64::try_from(drain_ns.div_ceil(1_000_000)).unwrap_or(u64::MAX);
+    ms.clamp(1, RETRY_AFTER_CAP_MS)
 }
 
 impl Default for ServeConfig {
@@ -98,9 +125,16 @@ impl Default for ServeConfig {
     }
 }
 
+/// What an admitted request asks the engine to do: route a net from
+/// scratch, or replay an ECO edit against a prior route.
+enum Job {
+    Route(Net),
+    Reroute { delta: NetDelta, prior_edits: u32 },
+}
+
 /// One admitted request waiting for a window.
 struct Pending {
-    net: Net,
+    job: Job,
     session: Session,
     enqueued: Instant,
     reply: mpsc::Sender<Vec<u8>>,
@@ -133,6 +167,10 @@ pub(crate) struct Shared {
     /// connections, not lifetime connection count.
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     next_conn: AtomicU64,
+    /// Recent per-net window drain time, nanoseconds (EWMA, α = ¼).
+    /// Zero until the first window closes; read by admission control to
+    /// compute `retry_after_ms`.
+    drain_ns_per_net: AtomicU64,
 }
 
 /// Mutex lock that shrugs off poisoning: the protected state (a queue
@@ -145,7 +183,8 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Why a request was turned away at admission.
 enum Rejection {
-    Overloaded,
+    /// Queue full; carries the computed backoff hint.
+    Overloaded { retry_after_ms: u64 },
     ShuttingDown,
 }
 
@@ -158,7 +197,12 @@ impl Shared {
             return Err(Rejection::ShuttingDown);
         }
         if q.pending.len() >= self.config.queue_depth {
-            return Err(Rejection::Overloaded);
+            let retry_after_ms = computed_retry_after_ms(
+                q.pending.len(),
+                self.drain_ns_per_net.load(std::sync::atomic::Ordering::Relaxed),
+                self.config.retry_after_ms,
+            );
+            return Err(Rejection::Overloaded { retry_after_ms });
         }
         q.pending.push_back(p);
         Metrics::add(&self.metrics.requests, 1);
@@ -221,20 +265,69 @@ impl Shared {
         }
     }
 
-    /// Routes one closed window and replies per request.
+    /// Routes one closed window and replies per request. A window may
+    /// mix fresh routes and ECO reroutes: each kind goes through its
+    /// own batch-driver call and the replies are reassembled in the
+    /// window's arrival order.
     fn close_window(&self, batch: Vec<Pending>, threads: usize) {
         if batch.is_empty() {
             return;
         }
         Metrics::add(&self.metrics.batches, 1);
         Metrics::add(&self.metrics.batched_nets, batch.len() as u64);
-        let requests: Vec<(Net, Session)> = batch
-            .iter()
-            .map(|p| (p.net.clone(), p.session))
-            .collect();
-        let (results, _stats) = self.engine.route_batch_sessions(&requests, threads);
+        let started = Instant::now();
+        let mut fresh = Vec::new();
+        let mut fresh_slots = Vec::new();
+        let mut deltas = Vec::new();
+        let mut delta_slots = Vec::new();
+        for (slot, p) in batch.iter().enumerate() {
+            match &p.job {
+                Job::Route(net) => {
+                    fresh.push((net.clone(), p.session));
+                    fresh_slots.push(slot);
+                }
+                Job::Reroute { delta, prior_edits } => {
+                    deltas.push(DeltaJob {
+                        delta: delta.clone(),
+                        prior_edits: *prior_edits,
+                        session: p.session,
+                    });
+                    delta_slots.push(slot);
+                }
+            }
+        }
+        let mut results: Vec<Option<RouteResult>> = Vec::new();
+        results.resize_with(batch.len(), || None);
+        if !fresh.is_empty() {
+            let (routed, _stats) = self.engine.route_batch_sessions(&fresh, threads);
+            for (slot, result) in fresh_slots.into_iter().zip(routed) {
+                results[slot] = Some(result);
+            }
+        }
+        if !deltas.is_empty() {
+            let (rerouted, _stats) = self.engine.route_batch_deltas(&deltas, threads);
+            for (slot, result) in delta_slots.into_iter().zip(rerouted) {
+                results[slot] = Some(result);
+            }
+        }
+        // Fold the window's wall time into the drain-rate EWMA that
+        // admission control prices rejections with.
+        let per_net_ns = u64::try_from(
+            started.elapsed().as_nanos() / batch.len() as u128,
+        )
+        .unwrap_or(u64::MAX)
+        .max(1);
+        let ordering = std::sync::atomic::Ordering::Relaxed;
+        let old = self.drain_ns_per_net.load(ordering);
+        let blended = if old == 0 {
+            per_net_ns
+        } else {
+            old - old / 4 + per_net_ns / 4
+        };
+        self.drain_ns_per_net.store(blended.max(1), ordering);
         let mut report = lock(&self.report);
         for (pending, result) in batch.iter().zip(&results) {
+            let Some(result) = result else { continue };
             report.record(result);
             self.fold_result_metrics(pending, result);
             let payload = result_to_json(pending.session.id, result).render();
@@ -279,7 +372,7 @@ impl Shared {
                 // connection is done reading.
                 Ok(None) | Err(_) => return,
             };
-            let request = match parse_request(&payload) {
+            let request = match parse_any_request(&payload) {
                 Ok(r) => r,
                 Err(m) => {
                     Metrics::add(&self.metrics.malformed, 1);
@@ -287,26 +380,34 @@ impl Shared {
                     continue;
                 }
             };
-            let mut session = Session::new(request.id);
-            if let Some(ms) = request.deadline_ms {
+            let (id, deadline_ms, job) = match request {
+                Request::Route(r) => (r.id, r.deadline_ms, Job::Route(r.net)),
+                Request::Reroute(r) => (
+                    r.id,
+                    r.deadline_ms,
+                    Job::Reroute { delta: r.delta, prior_edits: r.prior_edits },
+                ),
+            };
+            let mut session = Session::new(id);
+            if let Some(ms) = deadline_ms {
                 session = session.with_deadline(Duration::from_millis(ms));
             }
             let pending = Pending {
-                net: request.net,
+                job,
                 session,
                 enqueued: Instant::now(),
                 reply: reply_tx.clone(),
             };
             match self.submit(pending) {
                 Ok(()) => {}
-                Err(Rejection::Overloaded) => {
+                Err(Rejection::Overloaded { retry_after_ms }) => {
                     Metrics::add(&self.metrics.rejected, 1);
-                    let json = overloaded_json(request.id, self.config.retry_after_ms);
+                    let json = overloaded_json(id, retry_after_ms);
                     let _ = reply_tx.send(json.render().into_bytes());
                 }
                 Err(Rejection::ShuttingDown) => {
                     Metrics::add(&self.metrics.shed_shutdown, 1);
-                    let _ = reply_tx.send(shutting_down_json(request.id).render().into_bytes());
+                    let _ = reply_tx.send(shutting_down_json(id).render().into_bytes());
                 }
             }
         }
@@ -324,13 +425,41 @@ pub(crate) fn http_route(shared: &Arc<Shared>, body: &[u8]) -> Vec<u8> {
             return malformed_json(&m).render().into_bytes();
         }
     };
-    let mut session = Session::new(request.id);
-    if let Some(ms) = request.deadline_ms {
+    submit_and_await(shared, request.id, request.deadline_ms, Job::Route(request.net))
+}
+
+/// The HTTP adapter's ECO verb (`POST /reroute`): same admission, same
+/// coalescing windows as the socket protocol's reroute frames.
+pub(crate) fn http_reroute(shared: &Arc<Shared>, body: &[u8]) -> Vec<u8> {
+    let request = match parse_reroute_request(body) {
+        Ok(r) => r,
+        Err(m) => {
+            Metrics::add(&shared.metrics.malformed, 1);
+            return malformed_json(&m).render().into_bytes();
+        }
+    };
+    submit_and_await(
+        shared,
+        request.id,
+        request.deadline_ms,
+        Job::Reroute { delta: request.delta, prior_edits: request.prior_edits },
+    )
+}
+
+/// Shared HTTP tail: admit one job and await its reply inline.
+fn submit_and_await(
+    shared: &Arc<Shared>,
+    id: u64,
+    deadline_ms: Option<u64>,
+    job: Job,
+) -> Vec<u8> {
+    let mut session = Session::new(id);
+    if let Some(ms) = deadline_ms {
         session = session.with_deadline(Duration::from_millis(ms));
     }
     let (tx, rx) = mpsc::channel();
     let pending = Pending {
-        net: request.net,
+        job,
         session,
         enqueued: Instant::now(),
         reply: tx,
@@ -338,17 +467,15 @@ pub(crate) fn http_route(shared: &Arc<Shared>, body: &[u8]) -> Vec<u8> {
     match shared.submit(pending) {
         Ok(()) => match rx.recv() {
             Ok(payload) => payload,
-            Err(_) => shutting_down_json(request.id).render().into_bytes(),
+            Err(_) => shutting_down_json(id).render().into_bytes(),
         },
-        Err(Rejection::Overloaded) => {
+        Err(Rejection::Overloaded { retry_after_ms }) => {
             Metrics::add(&shared.metrics.rejected, 1);
-            overloaded_json(request.id, shared.config.retry_after_ms)
-                .render()
-                .into_bytes()
+            overloaded_json(id, retry_after_ms).render().into_bytes()
         }
         Err(Rejection::ShuttingDown) => {
             Metrics::add(&shared.metrics.shed_shutdown, 1);
-            shutting_down_json(request.id).render().into_bytes()
+            shutting_down_json(id).render().into_bytes()
         }
     }
 }
@@ -444,6 +571,7 @@ pub fn serve(engine: Engine, config: ServeConfig) -> io::Result<Server> {
         conns: Mutex::new(HashMap::new()),
         conn_threads: Mutex::new(Vec::new()),
         next_conn: AtomicU64::new(0),
+        drain_ns_per_net: AtomicU64::new(0),
     });
 
     let batcher = {
@@ -622,5 +750,43 @@ impl Drop for Server {
         if self.batcher.is_some() {
             let _ = self.finish();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: the overload hint must track how long the
+    /// queue actually takes to drain, not a constant.
+    #[test]
+    fn retry_after_is_monotone_in_occupancy_and_drain_time() {
+        // Cold start (no window closed yet) falls back to the config
+        // hint, floored at 1 ms so "retry immediately" is never sent.
+        assert_eq!(computed_retry_after_ms(1024, 0, 5), 5);
+        assert_eq!(computed_retry_after_ms(0, 0, 0), 1);
+        // 100 queued × 1 ms/net = 100 ms.
+        assert_eq!(computed_retry_after_ms(100, 1_000_000, 5), 100);
+        // Sub-millisecond drains round up, never to zero.
+        assert_eq!(computed_retry_after_ms(1, 10_000, 5), 1);
+        // Monotone in occupancy at a fixed drain rate…
+        let mut last = 0;
+        for occupancy in [1, 4, 64, 512, 4096] {
+            let hint = computed_retry_after_ms(occupancy, 250_000, 5);
+            assert!(hint >= last, "occupancy {occupancy}: {hint} < {last}");
+            last = hint;
+        }
+        // …and in drain time at a fixed occupancy.
+        let mut last = 0;
+        for drain_ns in [1_000, 50_000, 1_000_000, 20_000_000] {
+            let hint = computed_retry_after_ms(64, drain_ns, 5);
+            assert!(hint >= last, "drain {drain_ns}: {hint} < {last}");
+            last = hint;
+        }
+        // The documented cap bounds even pathological backlogs.
+        assert_eq!(
+            computed_retry_after_ms(1_000_000, u64::MAX, 5),
+            RETRY_AFTER_CAP_MS
+        );
     }
 }

@@ -11,6 +11,16 @@
 //! — `net` is the pin list (source first), `deadline_ms` optionally
 //! overrides the engine's per-net deadline for this request.
 //!
+//! Reroute request (ECO): `{"id": 7, "base": [[0,0],[5,9],[9,4]],
+//! "edit": {"kind": "translate", "dx": 3, "dy": -1}, "staleness": 2}`
+//! — `base` is the previously-routed pin list, `edit` one of the
+//! [`DeltaKind`] grammar objects (`move-pin`, `add-sink`,
+//! `remove-sink`, `translate`, `blockage-mask`), and optional
+//! `staleness` the number of edits already applied since the last full
+//! route (defaults to 0). The presence of `"edit"` is what routes a
+//! frame down the reroute path; responses share the route response
+//! shape, with `"source": "reused"` marking a replay.
+//!
 //! Response (success):
 //! `{"id":7,"ok":true,"degree":3,"source":"exact-lut","rung":"lut",
 //!   "degraded":false,"trace":["lut:served"],
@@ -32,7 +42,7 @@
 
 use std::io::{self, Read, Write};
 
-use patlabor::{Net, Point, RouteError, RouteOutcome, RouteResult};
+use patlabor::{DeltaKind, Net, NetDelta, Point, RouteError, RouteOutcome, RouteResult};
 
 use crate::json::{parse, Json};
 
@@ -107,6 +117,125 @@ impl RouteRequest {
     }
 }
 
+/// A parsed ECO reroute request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RerouteRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The edit: base net plus the delta to apply.
+    pub delta: NetDelta,
+    /// Edits already applied since the last full route (feeds the
+    /// staleness counter; 0 when the base was routed from scratch).
+    pub prior_edits: u32,
+    /// Optional per-request deadline override, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl RerouteRequest {
+    /// Encodes the request as its wire JSON.
+    pub fn to_json(&self) -> Json {
+        let pins = self
+            .delta
+            .base
+            .pins()
+            .iter()
+            .map(|p| Json::Arr(vec![int(p.x), int(p.y)]))
+            .collect();
+        let mut obj = vec![
+            ("id".to_string(), Json::Int(self.id as i64)),
+            ("base".to_string(), Json::Arr(pins)),
+            ("edit".to_string(), delta_kind_to_json(&self.delta.kind)),
+        ];
+        if self.prior_edits != 0 {
+            obj.push(("staleness".to_string(), Json::Int(self.prior_edits as i64)));
+        }
+        if let Some(ms) = self.deadline_ms {
+            obj.push(("deadline_ms".to_string(), Json::Int(ms as i64)));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Either verb the socket protocol accepts: the presence of an
+/// `"edit"` key selects the reroute path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Route(RouteRequest),
+    Reroute(RerouteRequest),
+}
+
+/// Serializes a [`DeltaKind`] into the wire edit grammar.
+pub fn delta_kind_to_json(kind: &DeltaKind) -> Json {
+    let pt = |p: Point| Json::Arr(vec![int(p.x), int(p.y)]);
+    let tag = ("kind".to_string(), Json::Str(kind.label().to_string()));
+    match *kind {
+        DeltaKind::MovePin { index, to } => Json::Obj(vec![
+            tag,
+            ("index".to_string(), Json::Int(index as i64)),
+            ("to".to_string(), pt(to)),
+        ]),
+        DeltaKind::AddSink { at } => Json::Obj(vec![tag, ("at".to_string(), pt(at))]),
+        DeltaKind::RemoveSink { index } => Json::Obj(vec![
+            tag,
+            ("index".to_string(), Json::Int(index as i64)),
+        ]),
+        DeltaKind::Translate { dx, dy } => Json::Obj(vec![
+            tag,
+            ("dx".to_string(), Json::Int(dx)),
+            ("dy".to_string(), Json::Int(dy)),
+        ]),
+        DeltaKind::BlockageMask { min, max } => Json::Obj(vec![
+            tag,
+            ("min".to_string(), pt(min)),
+            ("max".to_string(), pt(max)),
+        ]),
+    }
+}
+
+fn parse_point_pair(value: &Json) -> Option<Point> {
+    let pair = value.as_array().filter(|p| p.len() == 2)?;
+    Some(Point::new(pair[0].as_i64()?, pair[1].as_i64()?))
+}
+
+/// Parses an `"edit"` object into a [`DeltaKind`], or a human-readable
+/// reason it could not be.
+fn parse_delta_kind(value: &Json) -> Result<DeltaKind, String> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "edit must carry a \"kind\" string".to_string())?;
+    let index = || {
+        value
+            .get("index")
+            .and_then(Json::as_u64)
+            .map(|i| i as usize)
+            .ok_or_else(|| format!("{kind} edit needs an \"index\" integer"))
+    };
+    let point = |field: &str| {
+        value
+            .get(field)
+            .and_then(parse_point_pair)
+            .ok_or_else(|| format!("{kind} edit needs a \"{field}\" [x, y] pair"))
+    };
+    let offset = |field: &str| {
+        value
+            .get(field)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("{kind} edit needs a \"{field}\" integer"))
+    };
+    match kind {
+        "move-pin" => Ok(DeltaKind::MovePin { index: index()?, to: point("to")? }),
+        "add-sink" => Ok(DeltaKind::AddSink { at: point("at")? }),
+        "remove-sink" => Ok(DeltaKind::RemoveSink { index: index()? }),
+        "translate" => Ok(DeltaKind::Translate { dx: offset("dx")?, dy: offset("dy")? }),
+        "blockage-mask" => Ok(DeltaKind::BlockageMask {
+            min: point("min")?,
+            max: point("max")?,
+        }),
+        other => Err(format!("unknown edit kind {other:?}")),
+    }
+}
+
 /// A request frame that could not be turned into a [`RouteRequest`].
 /// `id` is recovered from the payload when possible so the rejection
 /// can still be correlated.
@@ -150,6 +279,75 @@ pub fn parse_request(payload: &[u8]) -> Result<RouteRequest, MalformedRequest> {
         ),
     };
     Ok(RouteRequest { id, net, deadline_ms })
+}
+
+/// Parses a pin-list field into a net.
+fn parse_pins(value: &Json, field: &str) -> Result<Net, String> {
+    let pins = value
+        .get(field)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing \"{field}\" array"))?;
+    let mut points = Vec::with_capacity(pins.len());
+    for pin in pins {
+        points.push(
+            parse_point_pair(pin)
+                .ok_or_else(|| "each pin must be an integer [x, y] pair".to_string())?,
+        );
+    }
+    Net::new(points).map_err(|e| format!("invalid net: {e}"))
+}
+
+/// Parses an ECO reroute frame's payload.
+pub fn parse_reroute_request(payload: &[u8]) -> Result<RerouteRequest, MalformedRequest> {
+    let text = std::str::from_utf8(payload).map_err(|e| MalformedRequest {
+        id: 0,
+        detail: format!("frame is not UTF-8: {e}"),
+    })?;
+    let value = parse(text).map_err(|e| MalformedRequest {
+        id: 0,
+        detail: e.to_string(),
+    })?;
+    let id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let fail = |detail: String| MalformedRequest { id, detail };
+    let base = parse_pins(&value, "base").map_err(&fail)?;
+    let edit = value
+        .get("edit")
+        .ok_or_else(|| fail("missing \"edit\" object".to_string()))?;
+    let kind = parse_delta_kind(edit).map_err(&fail)?;
+    let prior_edits = match value.get("staleness") {
+        None | Some(Json::Null) => 0,
+        Some(v) => u32::try_from(v.as_u64().ok_or_else(|| {
+            fail("staleness must be a non-negative integer".to_string())
+        })?)
+        .map_err(|_| fail("staleness exceeds u32".to_string()))?,
+    };
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| fail("deadline_ms must be a non-negative integer".to_string()))?,
+        ),
+    };
+    Ok(RerouteRequest {
+        id,
+        delta: NetDelta::new(base, kind),
+        prior_edits,
+        deadline_ms,
+    })
+}
+
+/// Parses either verb: a frame carrying `"edit"` is a reroute,
+/// anything else takes the route path (whose errors are unchanged).
+pub fn parse_any_request(payload: &[u8]) -> Result<Request, MalformedRequest> {
+    let is_reroute = std::str::from_utf8(payload)
+        .ok()
+        .and_then(|t| parse(t).ok())
+        .is_some_and(|v| v.get("edit").is_some());
+    if is_reroute {
+        parse_reroute_request(payload).map(Request::Reroute)
+    } else {
+        parse_request(payload).map(Request::Route)
+    }
 }
 
 fn int(n: i64) -> Json {
@@ -287,6 +485,61 @@ mod tests {
         };
         let parsed = parse_request(bare.to_json().render().as_bytes()).unwrap();
         assert_eq!(parsed, bare);
+    }
+
+    #[test]
+    fn reroute_requests_round_trip_for_every_edit_kind() {
+        let kinds = [
+            DeltaKind::MovePin { index: 1, to: Point::new(6, 8) },
+            DeltaKind::AddSink { at: Point::new(2, 2) },
+            DeltaKind::RemoveSink { index: 0 },
+            DeltaKind::Translate { dx: -3, dy: 7 },
+            DeltaKind::BlockageMask { min: Point::new(1, 1), max: Point::new(7, 7) },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let req = RerouteRequest {
+                id: 10 + i as u64,
+                delta: NetDelta::new(net3(), kind),
+                prior_edits: i as u32,
+                deadline_ms: if i % 2 == 0 { Some(8) } else { None },
+            };
+            let payload = req.to_json().render();
+            let parsed = parse_reroute_request(payload.as_bytes()).unwrap();
+            assert_eq!(parsed, req, "kind {}", kind.label());
+            // The verb dispatcher sends it down the reroute path.
+            match parse_any_request(payload.as_bytes()).unwrap() {
+                Request::Reroute(r) => assert_eq!(r, req),
+                Request::Route(_) => panic!("edit frame took the route path"),
+            }
+        }
+        // A plain route frame still takes the route path.
+        let plain = RouteRequest { id: 1, net: net3(), deadline_ms: None };
+        match parse_any_request(plain.to_json().render().as_bytes()).unwrap() {
+            Request::Route(r) => assert_eq!(r, plain),
+            Request::Reroute(_) => panic!("route frame took the reroute path"),
+        }
+    }
+
+    #[test]
+    fn malformed_reroutes_name_the_missing_piece() {
+        let m = parse_reroute_request(br#"{"id": 4, "base": [[0,0],[1,1]]}"#).unwrap_err();
+        assert_eq!(m.id, 4);
+        assert!(m.detail.contains("edit"), "{}", m.detail);
+        let m = parse_reroute_request(
+            br#"{"id": 5, "base": [[0,0],[1,1]], "edit": {"kind": "teleport"}}"#,
+        )
+        .unwrap_err();
+        assert!(m.detail.contains("teleport"), "{}", m.detail);
+        let m = parse_reroute_request(
+            br#"{"id": 6, "base": [[0,0],[1,1]], "edit": {"kind": "move-pin", "index": 0}}"#,
+        )
+        .unwrap_err();
+        assert!(m.detail.contains("\"to\""), "{}", m.detail);
+        let m = parse_reroute_request(
+            br#"{"id": 7, "base": [[0,0]], "edit": {"kind": "translate", "dx": 1, "dy": 1}}"#,
+        )
+        .unwrap_err();
+        assert!(m.detail.contains("invalid net"), "{}", m.detail);
     }
 
     #[test]

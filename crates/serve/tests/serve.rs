@@ -8,9 +8,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use patlabor::{Engine, LutBuilder, Net, VirtualClock};
+use patlabor::{DeltaKind, Engine, LutBuilder, Net, NetDelta, VirtualClock};
 use patlabor_serve::{
-    http_post_route, scrape_metrics, serve, Json, RouteClient, RouteRequest, ServeConfig,
+    http_post_reroute, http_post_route, scrape_metrics, serve, Json, RerouteRequest, RouteClient,
+    RouteRequest, ServeConfig,
 };
 
 fn test_engine() -> Engine {
@@ -327,6 +328,133 @@ fn impossible_deadline_degrades_but_answers() {
 
     let summary = server.shutdown();
     assert_eq!(summary.report.deadline_hits, 1);
+}
+
+/// ECO reroute frames share the coalescing windows with fresh routes:
+/// a mixed window answers both, and a class-preserving edit whose base
+/// was routed in the same window replays (`"source": "reused"`) —
+/// fresh sub-batches close before delta sub-batches, so the winners
+/// are already resident.
+#[test]
+fn reroute_frames_replay_in_mixed_windows() {
+    let clock = Arc::new(VirtualClock::new());
+    let engine = test_engine().with_clock(clock);
+    let server = serve(
+        engine.clone(),
+        ServeConfig {
+            // Virtual time never closes the window; the 4th request
+            // does, making the mixed window deterministic.
+            window: Duration::from_secs(3600),
+            max_batch: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut client = RouteClient::connect(server.addr()).expect("connect");
+    let nets: Vec<Net> = suite(0x44, 24)
+        .into_iter()
+        .filter(|n| (3..=4).contains(&n.degree()))
+        .take(3)
+        .collect();
+    for (i, net) in nets.iter().enumerate() {
+        client
+            .send(&RouteRequest { id: i as u64, net: net.clone(), deadline_ms: None })
+            .expect("send route");
+    }
+    let delta = NetDelta::new(nets[0].clone(), DeltaKind::Translate { dx: 5, dy: -2 });
+    client
+        .send_reroute(&RerouteRequest {
+            id: 3,
+            delta: delta.clone(),
+            prior_edits: 0,
+            deadline_ms: None,
+        })
+        .expect("send reroute");
+
+    let mut replies = Vec::new();
+    for _ in 0..4 {
+        replies.push(client.recv().expect("recv").expect("reply"));
+    }
+    for (i, reply) in replies.iter().enumerate() {
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(i as u64));
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    let eco = &replies[3];
+    assert_eq!(
+        eco.get("source").and_then(Json::as_str),
+        Some("reused"),
+        "a translate edit preserves the class and must replay: {}",
+        eco.render()
+    );
+    // The replayed frontier is the one a fresh route of the mutated
+    // net produces.
+    assert_eq!(
+        frontier_fields(eco),
+        direct_frontier(&engine, 3, &delta.apply()),
+        "replay diverged from routing the mutated net"
+    );
+
+    assert_eq!(
+        patlabor_serve::Metrics::get(&server.metrics().batches),
+        1,
+        "one mixed window carried all four requests"
+    );
+    let summary = server.shutdown();
+    assert_eq!(summary.report.nets, 4);
+    assert_eq!(summary.report.errors, 0);
+}
+
+/// `POST /reroute` mirrors the socket reroute verb: replay after a
+/// prior `/route`, malformed bodies get the wire vocabulary.
+#[test]
+fn http_reroute_replays_after_a_route() {
+    let engine = test_engine();
+    let server = serve(
+        engine.clone(),
+        ServeConfig {
+            http_addr: Some("127.0.0.1:0".to_string()),
+            window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let http = server.http_addr().expect("http enabled");
+
+    let base = suite(0x55, 24)
+        .into_iter()
+        .find(|n| (3..=4).contains(&n.degree()))
+        .expect("tabulated net");
+    let route = RouteRequest { id: 1, net: base.clone(), deadline_ms: None };
+    let (status, _) =
+        http_post_route(http, route.to_json().render().as_bytes()).expect("POST /route");
+    assert_eq!(status, 200);
+
+    let delta = NetDelta::new(base, DeltaKind::Translate { dx: -4, dy: 9 });
+    let reroute = RerouteRequest { id: 2, delta: delta.clone(), prior_edits: 0, deadline_ms: None };
+    let (status, body) =
+        http_post_reroute(http, reroute.to_json().render().as_bytes()).expect("POST /reroute");
+    assert_eq!(status, 200);
+    let reply = patlabor_serve::parse(&body).expect("json body");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        reply.get("source").and_then(Json::as_str),
+        Some("reused"),
+        "{}",
+        reply.render()
+    );
+    assert_eq!(frontier_fields(&reply), direct_frontier(&engine, 2, &delta.apply()));
+
+    // A reroute body without an edit is malformed, not a 4xx.
+    let (status, body) =
+        http_post_reroute(http, br#"{"id": 3, "base": [[0,0],[1,1]]}"#).expect("POST");
+    assert_eq!(status, 200);
+    let reply = patlabor_serve::parse(&body).expect("json");
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("malformed"));
+
+    let summary = server.shutdown();
+    assert_eq!(summary.malformed, 1);
+    assert_eq!(summary.report.nets, 2);
 }
 
 /// The HTTP adapter: /healthz, /metrics exposition, and POST /route

@@ -33,8 +33,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use patlabor::{
-    Engine, Fault, FaultKind, FaultPlane, FaultScope, Net, PatLabor, Point, ResilienceConfig,
-    ResilienceReport, RouterConfig, VirtualClock,
+    DeltaJob, DeltaKind, Engine, Fault, FaultKind, FaultPlane, FaultScope, Net, NetDelta,
+    PatLabor, Point, ResilienceConfig, ResilienceReport, RouterConfig, Session, VirtualClock,
 };
 use patlabor_serve::{result_to_json, RouteClient, RouteRequest, ServeConfig, Server};
 use patlabor_dw::{numeric, DwConfig};
@@ -208,6 +208,54 @@ pub fn verify_with_table(table: LookupTable, config: &VerifyConfig) -> VerifyRep
                 };
                 return finish(config, nets.len(), counts, Some(cx), None);
             }
+        }
+    }
+
+    // ECO pair, batch half: the per-net loop above already held every
+    // serial `reroute` to the fresh-route oracle; here the same deltas
+    // go through `route_batch_deltas` at 1 and N threads and must agree
+    // slot-for-slot — replay determinism under every steal schedule.
+    let delta_slot = PathPair::ALL
+        .iter()
+        .position(|&p| p == PathPair::DeltaVsFresh)
+        .expect("DeltaVsFresh is in ALL");
+    let mut jobs = Vec::new();
+    let mut job_origin = Vec::new();
+    for (index, net) in nets.iter().enumerate() {
+        if !harness.in_scope(PathPair::DeltaVsFresh, net) {
+            continue;
+        }
+        for (name, kind) in delta_kinds(net) {
+            jobs.push(DeltaJob {
+                delta: NetDelta::new(net.clone(), kind),
+                prior_edits: 0,
+                session: Session::default(),
+            });
+            job_origin.push((index, name));
+        }
+    }
+    let engine = harness.cached.engine();
+    let (serial_deltas, _) = engine.route_batch_deltas(&jobs, 1);
+    let (threaded_deltas, _) = engine.route_batch_deltas(&jobs, configured.max(2));
+    for (slot, (one, many)) in serial_deltas.iter().zip(&threaded_deltas).enumerate() {
+        counts[delta_slot] += 1;
+        if let Some((fast, reference, why)) = result_mismatch(many, one) {
+            let (index, name) = job_origin[slot];
+            let cx = Counterexample {
+                pair: PathPair::DeltaVsFresh,
+                seed: config.seed,
+                net_index: index,
+                original_degree: nets[index].degree(),
+                net: nets[index].clone(),
+                shrink_steps: 0, // thread schedules are not net-shrinkable
+                fast,
+                reference,
+                detail: format!(
+                    "route_batch_deltas at {} threads vs serial, delta {name}: {why}",
+                    configured.max(2)
+                ),
+            };
+            return finish(config, nets.len(), counts, Some(cx), None);
         }
     }
 
@@ -487,6 +535,10 @@ impl Harness {
             // degrees exercise the baseline rung instead. Degrees in
             // between (dw_cap < d ≤ λ) have no affordable oracle.
             PathPair::FallbackParity => (3..=self.dw_cap).contains(&d) || d > self.lambda,
+            // Winner-id replay exists only for table-backed degrees; the
+            // deltas themselves may push the edited net out of λ, which
+            // the pair covers via the ladder fallback.
+            PathPair::DeltaVsFresh => (3..=self.lambda).contains(&d),
         }
     }
 
@@ -503,6 +555,7 @@ impl Harness {
             PathPair::MmapVsOwned => self.mmap_vs_owned(net),
             PathPair::FallbackParity => self.fallback_parity(net),
             PathPair::ServedVsDirect => self.served_vs_direct(net),
+            PathPair::DeltaVsFresh => self.delta_vs_fresh(net),
             PathPair::BatchVsSerial => None, // whole-corpus pair, not per-net
         }
     }
@@ -731,6 +784,38 @@ impl Harness {
         })
     }
 
+    /// ECO pair, per-net half: route the net once, then for every delta
+    /// kind `Engine::reroute` from that outcome must match a fresh,
+    /// cache-disabled route of the edited net — frontier, witness trees
+    /// and all. Class-preserving edits take the winner-id replay path;
+    /// class-breaking ones fall through the ordinary ladder; the oracle
+    /// cannot tell and demands the same answer either way.
+    fn delta_vs_fresh(&self, net: &Net) -> Option<Divergence> {
+        let engine = self.cached.engine();
+        let prev = match engine.route(net) {
+            Ok(outcome) => outcome,
+            // A base-net error is the cache pair's divergence, not ours.
+            Err(_) => return None,
+        };
+        for (name, kind) in delta_kinds(net) {
+            let delta = NetDelta::new(net.clone(), kind);
+            let fast = engine.reroute(&prev, &delta, Session::default());
+            let reference = self.uncached.route(&delta.apply());
+            if let Some((fast_costs, reference_costs, why)) = result_mismatch(&fast, &reference) {
+                let via = fast
+                    .as_ref()
+                    .map(|o| o.provenance.source.label())
+                    .unwrap_or("error");
+                return Some(Divergence {
+                    fast: fast_costs,
+                    reference: reference_costs,
+                    detail: format!("delta {name} (reroute via {via}): {why}"),
+                });
+            }
+        }
+        None
+    }
+
     /// Replays the corpus through a fault-armed copy of the router (the
     /// batch driver, so panic isolation is under test too) and checks
     /// the ladder's service invariants: the process survives, every `Ok`
@@ -887,6 +972,44 @@ fn result_mismatch(
         (Ok(f), Err(_)) => Some((f.frontier.cost_vec(), Vec::new(), "only the reference errored")),
         (Err(_), Ok(r)) => Some((Vec::new(), r.frontier.cost_vec(), "only the fast path errored")),
     }
+}
+
+/// One deterministic edit of every [`DeltaKind`] for `net`: a rigid
+/// translate (class-preserving by construction), a last-pin nudge, a
+/// sink appended outside the bounding box, a sink removal, and a
+/// blockage covering the box's interior — the same vocabulary the wire
+/// protocol and the CLI edits file speak.
+fn delta_kinds(net: &Net) -> [(&'static str, DeltaKind); 5] {
+    let pins = net.pins();
+    let last = pins.len() - 1;
+    let min_x = pins.iter().map(|p| p.x).min().unwrap_or(0);
+    let max_x = pins.iter().map(|p| p.x).max().unwrap_or(0);
+    let min_y = pins.iter().map(|p| p.y).min().unwrap_or(0);
+    let max_y = pins.iter().map(|p| p.y).max().unwrap_or(0);
+    [
+        ("translate", DeltaKind::Translate { dx: 7, dy: -3 }),
+        (
+            "move-pin",
+            DeltaKind::MovePin {
+                index: last,
+                to: Point::new(pins[last].x + 3, pins[last].y + 2),
+            },
+        ),
+        (
+            "add-sink",
+            DeltaKind::AddSink {
+                at: Point::new(max_x + 5, min_y - 4),
+            },
+        ),
+        ("remove-sink", DeltaKind::RemoveSink { index: last.saturating_sub(1) }),
+        (
+            "blockage-mask",
+            DeltaKind::BlockageMask {
+                min: Point::new(min_x + 1, min_y + 1),
+                max: Point::new(max_x - 1, max_y - 1),
+            },
+        ),
+    ]
 }
 
 /// The eight D4 images of `net` plus one translated copy, labelled for

@@ -44,11 +44,19 @@ pub enum PathPair {
     /// trace and all. Any byte of daylight indicts the transport
     /// (framing, JSON round trip, session plumbing), never the router.
     ServedVsDirect,
+    /// ECO delta rerouting vs a fresh route of the mutated net: for
+    /// every delta kind (move-pin, add/remove-sink, translate,
+    /// blockage), `Engine::reroute` of the prior outcome must produce
+    /// the frontier a from-scratch route of the edited net produces —
+    /// whether the edit preserved the congruence class (winner-id
+    /// replay) or broke it (ladder fallback). Checked serially and
+    /// through `route_batch_deltas` at N threads.
+    DeltaVsFresh,
 }
 
 impl PathPair {
     /// Every pair, in the order the harness checks them.
-    pub const ALL: [PathPair; 8] = [
+    pub const ALL: [PathPair; 9] = [
         PathPair::LutVsNumericDw,
         PathPair::CachedVsUncached,
         PathPair::D4Translation,
@@ -56,6 +64,7 @@ impl PathPair {
         PathPair::MmapVsOwned,
         PathPair::FallbackParity,
         PathPair::ServedVsDirect,
+        PathPair::DeltaVsFresh,
         PathPair::BatchVsSerial,
     ];
 
@@ -70,6 +79,7 @@ impl PathPair {
             PathPair::MmapVsOwned => "mmap-vs-owned",
             PathPair::FallbackParity => "fallback-parity",
             PathPair::ServedVsDirect => "served-vs-direct",
+            PathPair::DeltaVsFresh => "delta-vs-fresh",
         }
     }
 
@@ -84,6 +94,7 @@ impl PathPair {
             PathPair::MmapVsOwned => "mmap-backed zero-copy table",
             PathPair::FallbackParity => "LUT-off degradation ladder",
             PathPair::ServedVsDirect => "serve-daemon wire round trip",
+            PathPair::DeltaVsFresh => "ECO delta reroute (winner-id replay)",
         }
     }
 
@@ -98,6 +109,7 @@ impl PathPair {
             PathPair::MmapVsOwned => "owned-arena table query",
             PathPair::FallbackParity => "healthy-table route / tree invariants",
             PathPair::ServedVsDirect => "in-process engine route, serialized locally",
+            PathPair::DeltaVsFresh => "fresh route of the edited net",
         }
     }
 }
