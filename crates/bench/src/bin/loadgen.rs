@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use patlabor::{Engine, Net};
 use patlabor_bench::scaling::{render_report, serve_rows_json, ReportHeader, ServeRun};
-use patlabor_serve::{scrape_metrics, RouteClient, RouteRequest};
+use patlabor_serve::{scrape_metrics, RetryPolicy, RouteClient, RouteRequest};
 
 const SEED: u64 = 0x10ad_6e4e;
 /// Valid route requests per run (the "~500 requests" of the CI job).
@@ -100,14 +100,17 @@ struct LoadOutcome {
     latencies_ns: Vec<u64>,
     ok: u64,
     degraded: u64,
+    retries: u64,
     open_to_first_us: f64,
     wall: Duration,
 }
 
 /// Closed-loop load: `CONNECTIONS` threads, each with its own
 /// connection, each round-tripping its interleaved share of `nets` one
-/// request at a time. Replies are asserted `ok` and (when `expected`
-/// is given) bit-identical to the in-process frontier.
+/// request at a time under a seeded retry budget (`overloaded` replies
+/// are retried with deterministic jittered backoff, and the retries
+/// spent are recorded in the BENCH row). Replies are asserted `ok` and
+/// (when `expected` is given) bit-identical to the in-process frontier.
 fn drive(addr: SocketAddr, nets: &[Net], expected: Option<&[String]>) -> LoadOutcome {
     // A fresh connection's first round trip, before the load starts:
     // the open-to-first-response number a cold client sees.
@@ -137,8 +140,9 @@ fn drive(addr: SocketAddr, nets: &[Net], expected: Option<&[String]>) -> LoadOut
                 scope.spawn(move || {
                     let mut client = RouteClient::connect(addr)
                         .unwrap_or_else(|e| fail(&format!("connect failed: {e}")));
+                    let policy = RetryPolicy::seeded(SEED ^ t as u64);
                     let mut latencies = Vec::new();
-                    let (mut ok, mut degraded) = (0u64, 0u64);
+                    let (mut ok, mut degraded, mut retries) = (0u64, 0u64, 0u64);
                     for i in (t..nets.len()).step_by(CONNECTIONS) {
                         let request = RouteRequest {
                             id: i as u64,
@@ -146,10 +150,11 @@ fn drive(addr: SocketAddr, nets: &[Net], expected: Option<&[String]>) -> LoadOut
                             deadline_ms: None,
                         };
                         let sent = Instant::now();
-                        let reply = client
-                            .route(&request)
+                        let (reply, spent) = client
+                            .route_with_retry(&request, &policy)
                             .unwrap_or_else(|e| fail(&format!("request {i} failed: {e}")));
                         latencies.push(sent.elapsed().as_nanos() as u64);
+                        retries += u64::from(spent);
                         check(
                             reply.get("id").and_then(|v| v.as_u64()) == Some(i as u64),
                             "reply id does not correlate",
@@ -173,6 +178,7 @@ fn drive(addr: SocketAddr, nets: &[Net], expected: Option<&[String]>) -> LoadOut
                         latencies_ns: latencies,
                         ok,
                         degraded,
+                        retries,
                         open_to_first_us: 0.0,
                         wall: Duration::ZERO,
                     }
@@ -190,6 +196,7 @@ fn drive(addr: SocketAddr, nets: &[Net], expected: Option<&[String]>) -> LoadOut
         latencies_ns: Vec::with_capacity(nets.len()),
         ok: 0,
         degraded: 0,
+        retries: 0,
         open_to_first_us,
         wall,
     };
@@ -197,6 +204,7 @@ fn drive(addr: SocketAddr, nets: &[Net], expected: Option<&[String]>) -> LoadOut
         merged.latencies_ns.append(&mut shard.latencies_ns);
         merged.ok += shard.ok;
         merged.degraded += shard.degraded;
+        merged.retries += shard.retries;
     }
     merged.latencies_ns.sort_unstable();
     merged
@@ -225,6 +233,7 @@ fn run_row(window_us: u64, outcome: &LoadOutcome, rejected: u64, mean_batch: Opt
         p99_us: quantile_us(&outcome.latencies_ns, 0.99),
         p999_us: quantile_us(&outcome.latencies_ns, 0.999),
         mean_batch,
+        retries: Some(outcome.retries),
     }
 }
 

@@ -133,6 +133,10 @@ pub struct ServeRun {
     /// Mean nets per coalesced batch (batched_nets / batches), when the
     /// daemon's metrics plane was scraped.
     pub mean_batch: Option<f64>,
+    /// Backoff retries clients spent on `overloaded` rejections before
+    /// an answer — `None` for rows measured before retry budgets
+    /// existed (absent, not zeroed, like `mean_batch`).
+    pub retries: Option<u64>,
 }
 
 impl ServeRun {
@@ -159,6 +163,9 @@ impl ServeRun {
         );
         if let Some(b) = self.mean_batch {
             let _ = write!(s, ", \"mean_batch\": {b:.2}");
+        }
+        if let Some(r) = self.retries {
+            let _ = write!(s, ", \"retries\": {r}");
         }
         s.push('}');
         s
@@ -309,6 +316,7 @@ mod tests {
                 p99_us: 900.0,
                 p999_us: 1500.0,
                 mean_batch: Some(3.2),
+                retries: Some(7),
                 ..ServeRun::default()
             },
             ServeRun::default(),
@@ -319,9 +327,12 @@ mod tests {
         assert!(json.contains("\"serve_runs\": ["));
         assert!(json.contains("\"window_us\": 200"));
         assert!(json.contains("\"mean_batch\": 3.20"));
-        // The unscraped row omits mean_batch instead of zero-filling it.
+        assert!(json.contains("\"retries\": 7"));
+        // The unscraped row omits mean_batch instead of zero-filling
+        // it, and pre-retry-budget rows omit retries the same way.
         let bare = ServeRun::default().to_json();
         assert!(!bare.contains("mean_batch"));
+        assert!(!bare.contains("retries"));
         // Splicing keeps the report a single well-formed object: the
         // notes line still closes it.
         assert!(json.trim_end().ends_with('}'));

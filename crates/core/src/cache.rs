@@ -44,6 +44,19 @@
 //! Each shard is bounded and evicts in FIFO order — congruence classes
 //! in real placements are heavily skewed, so even a crude policy keeps
 //! the hot classes resident.
+//!
+//! # Table epochs
+//!
+//! Cached values are winner ids **into a specific loaded table**: a hot
+//! table reload (DESIGN.md §17) installs a new id space, so every entry
+//! is stamped with the table epoch it was computed under. [`FrontierCache::get`]
+//! treats an entry from another epoch as a miss, and
+//! [`FrontierCache::insert_at`] drops inserts whose producing epoch is
+//! no longer current — closing the race where a route that started on
+//! the old table finishes after the swap and would otherwise poison the
+//! cache with ids from a retired id space. [`FrontierCache::set_epoch`]
+//! is the whole invalidation protocol: one atomic store, no sweep, no
+//! lock on any shard.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -234,7 +247,9 @@ pub struct ShardStats {
 
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<CacheKey, Arc<[u32]>>,
+    /// Values are `(table_epoch, winner ids)`: the ids only make sense
+    /// against the table generation they were scored under.
+    map: HashMap<CacheKey, (u64, Arc<[u32]>)>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<CacheKey>,
 }
@@ -300,6 +315,10 @@ pub struct FrontierCache {
     /// On its own padded line: read on every route, written rarely (at
     /// re-probe boundaries), and must not ride any shard's counter line.
     bypass: CachePadded<BypassState>,
+    /// The current table epoch (see the module docs). Read on every
+    /// probe and insert, written only by a hot reload, so it rides its
+    /// own padded line rather than any shard's counters.
+    epoch: CachePadded<AtomicU64>,
 }
 
 /// The adaptive bypass's state, padded as a unit.
@@ -333,7 +352,21 @@ impl FrontierCache {
             bypass_threshold_permille: config.bypass_threshold_permille as u64,
             bypass_reprobe_period: config.bypass_reprobe_period,
             bypass: CachePadded::default(),
+            epoch: CachePadded::default(),
         }
+    }
+
+    /// The table epoch entries are currently validated against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Installs a new table epoch, logically invalidating every resident
+    /// entry at once: stamped values from older epochs read as misses
+    /// and late inserts from older epochs are dropped. Called by
+    /// [`crate::Engine::reload_table`] after the table swap commits.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
     }
 
     /// The shard count this cache resolved to.
@@ -449,18 +482,20 @@ impl FrontierCache {
     }
 
     /// Looks up a winning-id list, bumping the owning shard's hit/miss
-    /// counters.
+    /// counters. An entry stamped with a different table epoch is a
+    /// miss: its ids index a retired table's candidate pool.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<[u32]>> {
+        let epoch = self.epoch();
         let state = self.shard(key);
         let shard = state.read();
         match shard.map.get(key) {
-            Some(ids) => {
+            Some((stamp, ids)) if *stamp == epoch => {
                 let ids = Arc::clone(ids);
                 drop(shard);
                 state.hits.fetch_add(1, Ordering::Relaxed);
                 Some(ids)
             }
-            None => {
+            _ => {
                 drop(shard);
                 let misses = state.misses.fetch_add(1, Ordering::Relaxed) + 1;
                 self.judge_hit_rate(misses);
@@ -469,14 +504,25 @@ impl FrontierCache {
         }
     }
 
-    /// Inserts a winning-id list, evicting the oldest entry of the target
-    /// shard when it is full.
+    /// Inserts a winning-id list at the current table epoch, evicting
+    /// the oldest entry of the target shard when it is full.
     ///
     /// A concurrent duplicate insert (two threads missing on the same key
     /// at once) overwrites with an equal value and is harmless.
     pub fn insert(&self, key: CacheKey, ids: Arc<[u32]>) {
+        self.insert_at(key, ids, self.epoch());
+    }
+
+    /// [`FrontierCache::insert`] for a producer that snapshotted the
+    /// table at `epoch`: when a reload has moved the cache past that
+    /// epoch the insert is dropped — a route that started on the old
+    /// table must not publish old-id-space winners into the new epoch.
+    pub fn insert_at(&self, key: CacheKey, ids: Arc<[u32]>, epoch: u64) {
+        if epoch != self.epoch() {
+            return;
+        }
         let mut shard = self.shard(&key).write();
-        if shard.map.insert(key.clone(), ids).is_none() {
+        if shard.map.insert(key.clone(), (epoch, ids)).is_none() {
             if shard.map.len() > self.per_shard_cap {
                 if let Some(oldest) = shard.order.pop_front() {
                     shard.map.remove(&oldest);
@@ -661,6 +707,35 @@ mod tests {
         // repeated overwrites.
         assert_eq!(cache.stats().entries, 2);
         assert!(cache.get(&k).is_none());
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_resident_entries() {
+        let cache = FrontierCache::new(&CacheConfig::default());
+        let k = key(11, &[4, 2]);
+        cache.insert(k.clone(), vec![1, 2].into());
+        assert_eq!(cache.epoch(), 0);
+        assert!(cache.get(&k).is_some());
+        cache.set_epoch(1);
+        // Same resident bytes, but the ids index a retired table: miss.
+        assert!(cache.get(&k).is_none());
+        // Re-inserting at the new epoch makes the key live again.
+        cache.insert(k.clone(), vec![3].into());
+        assert_eq!(cache.get(&k).as_deref(), Some(&[3u32][..]));
+    }
+
+    #[test]
+    fn insert_at_stale_epoch_is_dropped() {
+        let cache = FrontierCache::new(&CacheConfig::default());
+        let k = key(12, &[1]);
+        cache.set_epoch(5);
+        // A producer that snapshotted the table at epoch 4 must not
+        // publish into epoch 5's id space.
+        cache.insert_at(k.clone(), vec![9].into(), 4);
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.stats().entries, 0);
+        cache.insert_at(k.clone(), vec![9].into(), 5);
+        assert_eq!(cache.get(&k).as_deref(), Some(&[9u32][..]));
     }
 
     /// Overwrite-heavy workload: interleaving fresh inserts with repeated

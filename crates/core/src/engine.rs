@@ -22,8 +22,10 @@
 
 use std::any::Any;
 use std::cell::Cell;
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use patlabor_baselines::fallback_frontier;
@@ -95,11 +97,107 @@ impl Session {
     }
 }
 
+/// One loaded table generation: the table plus the monotone epoch it
+/// was installed under. Epoch 0 is the table the engine was built with;
+/// every successful [`Engine::reload_table`] bumps it. `Clone` is an
+/// `Arc` bump — no table bytes move.
+#[derive(Debug, Clone)]
+pub(crate) struct TableGeneration {
+    pub(crate) table: Arc<LookupTable>,
+    pub(crate) epoch: u64,
+}
+
+/// The engine's swappable table slot (DESIGN.md §17).
+///
+/// Readers snapshot the current generation — an `Arc` bump under a
+/// briefly-held read lock — at route entry and never touch the lock
+/// again, so in-flight routes finish on the generation they started
+/// on while a reload installs the next one. The lock is only ever held
+/// across pointer-sized work; table validation happens off-slot.
+#[derive(Debug)]
+pub(crate) struct TableSlot {
+    slot: RwLock<TableGeneration>,
+}
+
+impl TableSlot {
+    fn new(table: Arc<LookupTable>) -> Self {
+        TableSlot {
+            slot: RwLock::new(TableGeneration { table, epoch: 0 }),
+        }
+    }
+
+    /// The current generation. Poisoning is shrugged off: the guarded
+    /// state is two words that are never left half-written.
+    pub(crate) fn snapshot(&self) -> TableGeneration {
+        self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Commits a validated table as the next generation and returns its
+    /// epoch. The cache epoch is advanced *inside* the write section,
+    /// before the new table becomes snapshottable: a route that
+    /// snapshots the new generation can therefore never hit an entry
+    /// stamped by the old one.
+    fn install(&self, table: Arc<LookupTable>, cache: Option<&FrontierCache>) -> u64 {
+        let mut slot = self.slot.write().unwrap_or_else(|e| e.into_inner());
+        let epoch = slot.epoch + 1;
+        if let Some(cache) = cache {
+            cache.set_epoch(epoch);
+        }
+        slot.table = table;
+        slot.epoch = epoch;
+        epoch
+    }
+}
+
+impl Clone for TableSlot {
+    /// A detached slot over the same current generation (fresh lock):
+    /// builder rebuilds and explicit engine deep-copies must not share
+    /// reload state with the original.
+    fn clone(&self) -> Self {
+        TableSlot {
+            slot: RwLock::new(self.snapshot()),
+        }
+    }
+}
+
+/// Why [`Engine::reload_table`] refused to swap. The old table keeps
+/// serving in every case — a failed reload is an observation, never an
+/// outage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadError {
+    /// The candidate file failed the same structural validation
+    /// [`LookupTable::open_mmap`] enforces (magic, section table,
+    /// checksum, arena invariants). The string is the loader's report.
+    Validation(String),
+    /// The candidate is a well-formed table for a different λ; swapping
+    /// it would silently change which degrees are tabulated.
+    LambdaMismatch {
+        /// λ of the table currently serving.
+        current: u8,
+        /// λ of the rejected candidate.
+        proposed: u8,
+    },
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadError::Validation(detail) => write!(f, "table validation failed: {detail}"),
+            ReloadError::LambdaMismatch { current, proposed } => write!(
+                f,
+                "lambda mismatch: serving table has lambda {current}, candidate has lambda {proposed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
 /// Everything the engine shares between requests. One allocation,
 /// behind the engine's `Arc`.
 #[derive(Debug, Clone)]
 pub(crate) struct EngineInner {
-    pub(crate) table: LookupTable,
+    pub(crate) table: TableSlot,
     pub(crate) policy: Policy,
     pub(crate) config: RouterConfig,
     /// Present iff `config.cache.enabled`. Shared (not deep-copied) by
@@ -166,7 +264,7 @@ impl Engine {
     fn assemble(table: LookupTable, config: RouterConfig) -> Self {
         Engine {
             inner: Arc::new(EngineInner {
-                table,
+                table: TableSlot::new(Arc::new(table)),
                 policy: Policy::default(),
                 cache: Self::build_cache(&config),
                 config,
@@ -234,9 +332,48 @@ impl Engine {
         self.map_inner(|inner| inner.clock = clock)
     }
 
-    /// The lookup tables backing this engine.
-    pub fn table(&self) -> &LookupTable {
-        &self.inner.table
+    /// The lookup tables backing this engine — a snapshot of the
+    /// current generation. A concurrent [`Engine::reload_table`] does
+    /// not invalidate the returned handle; it keeps the generation it
+    /// captured alive.
+    pub fn table(&self) -> Arc<LookupTable> {
+        self.inner.table.snapshot().table
+    }
+
+    /// The epoch of the currently serving table generation: 0 at build,
+    /// +1 per successful [`Engine::reload_table`]. Exposed by the serve
+    /// layer as the `patlabor_table_epoch` gauge.
+    pub fn table_epoch(&self) -> u64 {
+        self.inner.table.snapshot().epoch
+    }
+
+    /// Hot-swaps the serving table from a v4 file (DESIGN.md §17).
+    ///
+    /// The candidate is opened and validated **off the hot path** with
+    /// the same invariants [`LookupTable::open_mmap`] enforces (magic,
+    /// section table, word-striped checksum, arena bounds); only a
+    /// candidate that passes and matches the serving λ is committed.
+    /// The commit is an epoch'd pointer swap: in-flight routes finish
+    /// on the generation they snapshotted at entry, the frontier cache
+    /// is invalidated wholesale by the epoch bump (no sweep), and late
+    /// inserts from old-generation routes are dropped by their stale
+    /// epoch stamp. On any error the old table keeps serving.
+    ///
+    /// Returns the new generation's epoch.
+    pub fn reload_table(&self, path: impl AsRef<Path>) -> Result<u64, ReloadError> {
+        let candidate = LookupTable::open_mmap(path)
+            .map_err(|e| ReloadError::Validation(e.to_string()))?;
+        let current = self.inner.table.snapshot().table.lambda();
+        if candidate.lambda() != current {
+            return Err(ReloadError::LambdaMismatch {
+                current,
+                proposed: candidate.lambda(),
+            });
+        }
+        Ok(self
+            .inner
+            .table
+            .install(Arc::new(candidate), self.inner.cache.as_deref()))
     }
 
     /// The active pin-selection policy.
@@ -267,9 +404,10 @@ impl Engine {
         self.inner.cache.as_ref().map(|c| c.shard_stats())
     }
 
-    /// Whether routing is exact for this degree.
+    /// Whether routing is exact for this degree (against the currently
+    /// serving table generation).
     pub fn is_exact_for(&self, degree: usize) -> bool {
-        degree <= self.inner.table.lambda() as usize
+        degree <= self.inner.table.snapshot().table.lambda() as usize
     }
 
     /// Routes one net under the engine-level configuration alone
@@ -318,6 +456,13 @@ impl Engine {
             return Ok(outcome(frontier, degree, RouteSource::ClosedForm, counters, trace));
         }
 
+        // Snapshot the table generation once: this route runs start to
+        // finish against one table even if a hot reload commits midway,
+        // and its cache inserts carry the snapshot's epoch so they are
+        // dropped rather than published into a newer generation.
+        let generation = inner.table.snapshot();
+        let table = &*generation.table;
+
         let res = inner.config.resilience;
         let deadline = session.deadline.or(res.deadline);
         let budget =
@@ -332,9 +477,8 @@ impl Engine {
         let mut panic_payload: Option<Box<dyn Any + Send>> = None;
         let mut table_error: Option<RouteError> = None;
 
-        if degree <= inner.table.lambda() as usize {
-            let class = inner
-                .table
+        if degree <= table.lambda() as usize {
+            let class = table
                 .classify(net)
                 .ok_or(RouteError::UnclassifiableDegree { degree })?;
 
@@ -351,7 +495,7 @@ impl Engine {
                         let ids = cache.get(&key).ok_or(RungOutcome::Unavailable)?;
                         counters.cache_hits = 1;
                         counters.trees_materialized = ids.len() as u32;
-                        let mut frontier = inner.table.query_ids(net, &class, &ids);
+                        let mut frontier = table.query_ids(net, &class, &ids);
                         if ctx.fires(FaultKind::CorruptedRow, Rung::Cache) {
                             frontier = corrupt_first_cost(frontier);
                         }
@@ -385,7 +529,7 @@ impl Engine {
                     if ctx.fires(FaultKind::MissingDegree, Rung::Lut) {
                         table_error.get_or_insert(RouteError::MissingDegree {
                             degree: degree as u8,
-                            lambda: inner.table.lambda(),
+                            lambda: table.lambda(),
                         });
                         return Err(RungOutcome::MissingDegree);
                     }
@@ -396,7 +540,7 @@ impl Engine {
                         });
                         return Err(RungOutcome::MissingPattern);
                     }
-                    let (mut frontier, winners) = match lut_query(inner, net, &class, counters) {
+                    let (mut frontier, winners) = match lut_query(table, net, &class, counters) {
                         Ok(r) => r,
                         Err(e) => {
                             let outcome = if matches!(e, RouteError::MissingDegree { .. }) {
@@ -419,7 +563,7 @@ impl Engine {
             match outcome_ {
                 Ok((frontier, winners)) => {
                     if let Some(cache) = inner.cache.as_ref().filter(|c| !c.bypassed()) {
-                        cache.insert(CacheKey::from_class(&class), winners.into());
+                        cache.insert_at(CacheKey::from_class(&class), winners.into(), generation.epoch);
                     }
                     trace.push(Rung::Lut, RungOutcome::Served);
                     return Ok(outcome(
@@ -481,7 +625,7 @@ impl Engine {
                     let checks = Cell::new(0u32);
                     let result = local_search_cancellable(
                         net,
-                        &inner.table,
+                        table,
                         &inner.policy,
                         &inner.config.local_search,
                         &|| {
@@ -603,13 +747,15 @@ impl Engine {
     /// candidate is scored on this path (`candidates_scored` stays 0).
     fn replay_reuse(&self, delta: &NetDelta, mutated: &Net, staleness: u32) -> Option<RouteOutcome> {
         let inner = &*self.inner;
+        let generation = inner.table.snapshot();
+        let table = &*generation.table;
         let base = &delta.base;
         let degree = mutated.degree();
-        if degree != base.degree() || degree < 3 || degree > inner.table.lambda() as usize {
+        if degree != base.degree() || degree < 3 || degree > table.lambda() as usize {
             return None;
         }
         let cache = inner.cache.as_ref().filter(|c| !c.skip_probe())?;
-        let class = inner.table.classify(mutated)?;
+        let class = table.classify(mutated)?;
         let key = CacheKey::from_class(&class);
         // A rigid translate is class-preserving by theorem (the
         // canonical pattern key and gap vector are translation
@@ -618,7 +764,7 @@ impl Engine {
         // most common ECO edit. Every other kind must prove
         // preservation by canonicalizing both sides.
         if !matches!(delta.kind, DeltaKind::Translate { .. }) {
-            let base_class = inner.table.classify(base)?;
+            let base_class = table.classify(base)?;
             if key != CacheKey::from_class(&base_class) {
                 return None; // the edit broke the congruence class
             }
@@ -630,7 +776,7 @@ impl Engine {
         let ids = cache.get(&key)?;
         counters.cache_hits = 1;
         counters.trees_materialized = ids.len() as u32;
-        let frontier = inner.table.query_ids(mutated, &class, &ids);
+        let frontier = table.query_ids(mutated, &class, &ids);
         if inner.config.resilience.validate_frontiers && !frontier_consistent(&frontier) {
             return None;
         }
@@ -651,17 +797,17 @@ impl Engine {
 /// stage calls as [`LookupTable::query_witnesses`], so the frontier
 /// (including tie-break order) is bit-identical to it.
 fn lut_query(
-    inner: &EngineInner,
+    table: &LookupTable,
     net: &Net,
     class: &NetClass,
     counters: &mut StageCounters,
 ) -> Result<(ParetoSet<RoutingTree>, Vec<u32>), RouteError> {
-    let Some(ids) = inner.table.candidate_ids(class) else {
+    let Some(ids) = table.candidate_ids(class) else {
         let degree = class.degree();
-        return Err(if inner.table.pattern_count(degree) == 0 {
+        return Err(if table.pattern_count(degree) == 0 {
             RouteError::MissingDegree {
                 degree,
-                lambda: inner.table.lambda(),
+                lambda: table.lambda(),
             }
         } else {
             RouteError::MissingPattern {
@@ -671,13 +817,13 @@ fn lut_query(
         });
     };
     counters.candidates_scored = ids.len() as u32;
-    let survivors = inner.table.score_candidates(class, ids);
+    let survivors = table.score_candidates(class, ids);
     counters.trees_materialized = survivors.len() as u32;
     let mut winners = Vec::with_capacity(survivors.len());
     let entries: Vec<(Cost, RoutingTree)> = survivors
         .into_iter()
         .map(|(cost, id)| {
-            let tree = inner.table.materialize(net, class, id);
+            let tree = table.materialize(net, class, id);
             winners.push(id);
             (cost, tree)
         })
@@ -896,6 +1042,86 @@ mod tests {
             }
         }
         assert!(flipped > 0, "two seeds should disagree on some net at p=0.5");
+    }
+
+    #[test]
+    fn hot_reload_swaps_table_and_invalidates_cache() {
+        let dir = std::env::temp_dir().join("patlabor_engine_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reload_swap.plut");
+        LutBuilder::new(4).threads(2).build().save(&path).unwrap();
+
+        let engine = engine4();
+        let net = net3();
+        assert_eq!(engine.table_epoch(), 0);
+        assert_eq!(engine.route(&net).unwrap().provenance.source, RouteSource::ExactLut);
+        assert_eq!(engine.route(&net).unwrap().provenance.source, RouteSource::CacheHit);
+
+        let epoch = engine.reload_table(&path).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.table_epoch(), 1);
+        // The epoch bump logically emptied the cache: the first route on
+        // the new generation re-queries the LUT and re-publishes, with a
+        // frontier identical to the pre-reload one (same λ, same net).
+        let fresh = engine.route(&net).unwrap();
+        assert_eq!(fresh.provenance.source, RouteSource::ExactLut);
+        assert_eq!(engine.route(&net).unwrap().provenance.source, RouteSource::CacheHit);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_reload_leaves_old_table_serving() {
+        let dir = std::env::temp_dir().join("patlabor_engine_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corrupt = dir.join("reload_corrupt.plut");
+        std::fs::write(&corrupt, b"not a lookup table at all").unwrap();
+
+        let engine = engine4();
+        let net = net3();
+        engine.route(&net).unwrap();
+        let err = engine.reload_table(&corrupt).unwrap_err();
+        assert!(matches!(err, ReloadError::Validation(_)), "got {err}");
+        assert_eq!(engine.table_epoch(), 0, "failed reload must not bump the epoch");
+        // Cache entries from before the failed attempt are still live.
+        assert_eq!(engine.route(&net).unwrap().provenance.source, RouteSource::CacheHit);
+
+        // A structurally valid table for the wrong λ is also refused.
+        let wrong = dir.join("reload_wrong_lambda.plut");
+        LutBuilder::new(3).threads(2).build().save(&wrong).unwrap();
+        let err = engine.reload_table(&wrong).unwrap_err();
+        assert_eq!(
+            err,
+            ReloadError::LambdaMismatch { current: 4, proposed: 3 }
+        );
+        assert_eq!(engine.table_epoch(), 0);
+
+        std::fs::remove_file(&corrupt).ok();
+        std::fs::remove_file(&wrong).ok();
+    }
+
+    #[test]
+    fn inflight_style_insert_from_old_epoch_is_dropped() {
+        // Simulate the reload race at the cache API level: a route that
+        // snapshotted epoch 0 finishes after the swap and tries to
+        // publish — the stale-stamped insert must vanish.
+        let dir = std::env::temp_dir().join("patlabor_engine_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reload_race.plut");
+        LutBuilder::new(4).threads(2).build().save(&path).unwrap();
+
+        let engine = engine4();
+        let net = net3();
+        engine.route(&net).unwrap(); // warm at epoch 0
+        engine.reload_table(&path).unwrap();
+        let stats = engine.cache_stats().unwrap();
+        // Probe after swap: resident entry is epoch-stale, reads as miss.
+        let outcome = engine.route(&net).unwrap();
+        assert_eq!(outcome.provenance.source, RouteSource::ExactLut);
+        let after = engine.cache_stats().unwrap();
+        assert_eq!(after.misses, stats.misses + 1);
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

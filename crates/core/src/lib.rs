@@ -60,7 +60,7 @@ mod router;
 
 pub use batch::{BatchConfig, BatchStats, WorkerStats};
 pub use eco::{DeltaJob, DeltaKind, EcoConfig, NetDelta};
-pub use engine::{Engine, Session};
+pub use engine::{Engine, ReloadError, Session};
 pub use cache::{CacheConfig, CacheStats, ShardStats};
 pub use pad::CachePadded;
 pub use pipeline::{

@@ -191,8 +191,9 @@ impl PatLabor {
         PatLabor { engine: self.engine.with_clock(clock) }
     }
 
-    /// The lookup tables backing this router.
-    pub fn table(&self) -> &LookupTable {
+    /// The lookup tables backing this router — a snapshot of the
+    /// engine's current table generation (see [`Engine::reload_table`]).
+    pub fn table(&self) -> Arc<LookupTable> {
         self.engine.table()
     }
 

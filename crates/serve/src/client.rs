@@ -91,6 +91,91 @@ impl RouteClient {
         self.writer.flush()?;
         self.writer.get_ref().shutdown(std::net::Shutdown::Write)
     }
+
+    /// Round-trips one request under `policy`: `overloaded` rejections
+    /// are retried (sleeping out the backoff) until the budget runs
+    /// out. Returns the final reply plus how many retries were spent —
+    /// the loadgen records that per request so BENCH rows show retry
+    /// pressure, not just terminal failures.
+    pub fn route_with_retry(
+        &mut self,
+        request: &RouteRequest,
+        policy: &RetryPolicy,
+    ) -> io::Result<(Json, u32)> {
+        let mut retries = 0;
+        loop {
+            let reply = self.route(request)?;
+            let overloaded = reply.get("error").and_then(Json::as_str) == Some("overloaded");
+            if !overloaded || retries >= policy.budget {
+                return Ok((reply, retries));
+            }
+            let hint = reply
+                .get("retry_after_ms")
+                .and_then(Json::as_i64)
+                .map(|ms| ms.max(0) as u64);
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(
+                request.id,
+                retries,
+                hint,
+            )));
+            retries += 1;
+        }
+    }
+}
+
+/// A deterministic retry budget for `overloaded` rejections: capped
+/// exponential backoff with seeded jitter, floored at the server's
+/// `retry_after_ms` hint. Deterministic so bench reruns with the same
+/// seed replay the same retry schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Most retries spent per request before the rejection is final.
+    pub budget: u32,
+    /// First-attempt backoff, milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff, milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed; same seed → same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { budget: 3, base_ms: 2, cap_ms: 250, seed: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with everything default but the seed.
+    pub fn seeded(seed: u64) -> Self {
+        RetryPolicy { seed, ..Self::default() }
+    }
+
+    /// The backoff before retry number `attempt` (0-based) of request
+    /// `id`, honouring the server's `retry_after_ms` hint as a floor.
+    /// Pure: the schedule is a function of (seed, id, attempt, hint).
+    pub fn backoff_ms(&self, id: u64, attempt: u32, retry_after_ms: Option<u64>) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cap_ms);
+        // Full jitter over the exponential window, never below half of
+        // it (so backoff still backs off).
+        let h = splitmix64(self.seed ^ id.rotate_left(32) ^ u64::from(attempt));
+        let jittered = exp / 2 + h % (exp / 2 + 1);
+        jittered.max(retry_after_ms.unwrap_or(0)).min(
+            self.cap_ms.max(retry_after_ms.unwrap_or(0)),
+        )
+    }
+}
+
+/// SplitMix64 finalizer — the client-side twin of the chaos plane's
+/// hash, kept local so the client stays dependency-free.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// One HTTP/1.1 request against the adapter; returns (status, body).
@@ -143,4 +228,35 @@ pub fn http_post_route(addr: SocketAddr, body: &[u8]) -> io::Result<(u16, String
 /// POSTs an ECO reroute-request JSON body to the adapter's `/reroute`.
 pub fn http_post_reroute(addr: SocketAddr, body: &[u8]) -> io::Result<(u16, String)> {
     http_request(addr, "POST", "/reroute", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_seed_sensitive() {
+        let a = RetryPolicy::seeded(7);
+        let b = RetryPolicy::seeded(7);
+        let c = RetryPolicy::seeded(8);
+        let schedule =
+            |p: &RetryPolicy| (0..4).map(|i| p.backoff_ms(42, i, None)).collect::<Vec<_>>();
+        assert_eq!(schedule(&a), schedule(&b));
+        assert_ne!(schedule(&a), schedule(&c));
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_cap_and_hint() {
+        let p = RetryPolicy { budget: 8, base_ms: 2, cap_ms: 100, seed: 3 };
+        for attempt in 0..10 {
+            let exp = p.base_ms.saturating_mul(1 << attempt.min(16)).min(p.cap_ms);
+            let ms = p.backoff_ms(1, attempt, None);
+            // Jitter stays inside [exp/2, exp] and never exceeds cap.
+            assert!(ms >= exp / 2 && ms <= exp, "attempt {attempt}: {ms} vs exp {exp}");
+            assert!(ms <= p.cap_ms);
+        }
+        // The server's hint is a floor even when it exceeds the cap.
+        assert!(p.backoff_ms(1, 0, Some(500)) >= 500);
+        assert!(p.backoff_ms(1, 0, Some(1)) >= 1);
+    }
 }

@@ -16,6 +16,8 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
+use crate::chaos::TransportFaultKind;
+use crate::metrics::Metrics;
 use crate::server::{self, Shared};
 use crate::wire::MAX_FRAME;
 
@@ -57,6 +59,13 @@ pub(crate) fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         }
         let Ok(stream) = stream else { continue };
         let conn_id = server::next_conn_id(shared);
+        // Same watchdog deadlines as the socket protocol. For HTTP the
+        // read deadline doubles as a keep-alive idle cap: a connection
+        // that sends nothing for a full stall budget is closed (HTTP
+        // clients reconnect; framed-protocol clients are the ones with
+        // legitimate long-lived idle connections).
+        let _ = stream.set_read_timeout(Some(shared.config.read_stall));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
         server::register_conn(shared, conn_id, &stream);
         let worker = {
             let shared = Arc::clone(shared);
@@ -71,12 +80,30 @@ pub(crate) fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
 }
 
 fn handle_conn(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
+    let chaos = &shared.config.chaos;
     if let Ok(read_half) = stream.try_clone() {
         let mut reader = BufReader::new(read_half);
         let mut writer = BufWriter::new(stream);
+        let mut seq = 0u64;
         while let Ok(Some(request)) = read_request(&mut reader) {
+            if !chaos.is_empty() && chaos.fires(TransportFaultKind::DelayRead, conn_id, seq)
+            {
+                Metrics::add(
+                    &shared.metrics.chaos_injected[TransportFaultKind::DelayRead.index()],
+                    1,
+                );
+                std::thread::sleep(chaos.delay());
+            }
             let keep_alive = request.keep_alive;
-            let response = dispatch(shared, &request);
+            let response = dispatch(shared, conn_id, &request);
+            if let Some(kind) = chaos.write_fault(conn_id, seq) {
+                Metrics::add(&shared.metrics.chaos_injected[kind.index()], 1);
+                inject_response_fault(kind, &mut writer, &response, chaos.delay());
+                // Crash-only: a damaged response is only ever seen on a
+                // connection that closes right after.
+                break;
+            }
+            seq += 1;
             if write_response(&mut writer, &response, keep_alive).is_err() {
                 break;
             }
@@ -92,7 +119,53 @@ fn handle_conn(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
     server::deregister_conn(shared, conn_id);
 }
 
-fn dispatch(shared: &Arc<Shared>, request: &Request) -> Response {
+/// The HTTP mirror of the framed writer's fault injection: the torn
+/// and stalled variants advertise the full `Content-Length` but send
+/// half the body, so the client's framing layer (not just its parser)
+/// must notice the damage.
+fn inject_response_fault(
+    kind: TransportFaultKind,
+    writer: &mut BufWriter<TcpStream>,
+    response: &Response,
+    delay: std::time::Duration,
+) {
+    let torn = |writer: &mut BufWriter<TcpStream>| {
+        let _ = write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            response.status,
+            response.reason,
+            response.content_type,
+            response.body.len(),
+        );
+        let _ = writer.write_all(&response.body[..response.body.len() / 2]);
+        let _ = writer.flush();
+    };
+    match kind {
+        TransportFaultKind::Disconnect => {}
+        TransportFaultKind::TornWrite => torn(writer),
+        TransportFaultKind::StallWrite => {
+            torn(writer);
+            std::thread::sleep(delay);
+        }
+        TransportFaultKind::CorruptWrite => {
+            let mut corrupted = response.body.clone();
+            for byte in corrupted.iter_mut().take(8) {
+                *byte ^= 0xA5;
+            }
+            let damaged = Response {
+                status: response.status,
+                reason: response.reason,
+                content_type: response.content_type,
+                body: corrupted,
+            };
+            let _ = write_response(writer, &damaged, false);
+        }
+        TransportFaultKind::DelayRead => {}
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, conn_id: u64, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/metrics") => Response::text(200, "OK", &server::render_metrics(shared)),
         ("GET", "/healthz") => Response::text(200, "OK", "ok\n"),
@@ -100,13 +173,13 @@ fn dispatch(shared: &Arc<Shared>, request: &Request) -> Response {
             status: 200,
             reason: "OK",
             content_type: "application/json",
-            body: server::http_route(shared, &request.body),
+            body: server::http_route(shared, conn_id, &request.body),
         },
         ("POST", "/reroute") => Response {
             status: 200,
             reason: "OK",
             content_type: "application/json",
-            body: server::http_reroute(shared, &request.body),
+            body: server::http_reroute(shared, conn_id, &request.body),
         },
         ("GET" | "POST", _) => Response::text(404, "Not Found", "not found\n"),
         _ => Response::text(405, "Method Not Allowed", "method not allowed\n"),

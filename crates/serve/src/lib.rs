@@ -16,12 +16,17 @@
 //!   `malformed`, `route`).
 //! - [`metrics`] — lock-free counters and a log₂ latency histogram,
 //!   rendered as Prometheus text for `/metrics`.
-//! - [`server`] — the daemon: per-connection reader/writer threads,
+//! - [`chaos`] — the seed-deterministic transport fault plane: torn
+//!   and corrupted frames, stalled writes, delayed reads, mid-reply
+//!   disconnects, injectable into both transports for soak testing.
+//! - [`server`] — the daemon: per-connection reader/writer threads
+//!   with read/write watchdog deadlines and bounded reply buffers,
 //!   bounded admission queue, a coalescing batcher that closes
-//!   accumulation windows into [`Engine::route_batch_sessions`], and
-//!   drain-then-exit shutdown.
+//!   accumulation windows into [`Engine::route_batch_sessions`],
+//!   epoch-guarded hot table reload, and drain-then-exit shutdown.
 //! - [`client`] — a pipelining client for benches, tests, and the
-//!   differential verifier.
+//!   differential verifier, with a seeded retry budget for
+//!   `overloaded` rejections.
 //!
 //! Everything here is std-only by design (mirroring `patlabor`'s
 //! `core::pad` discipline): no async runtime, no serde, no HTTP
@@ -36,6 +41,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![deny(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 mod http;
 pub mod json;
@@ -43,13 +49,16 @@ pub mod metrics;
 pub mod server;
 pub mod wire;
 
+pub use chaos::{TransportFault, TransportFaultKind, TransportPlane};
 pub use client::{
-    http_post_reroute, http_post_route, http_request, scrape_metrics, RouteClient,
+    http_post_reroute, http_post_route, http_request, scrape_metrics, RetryPolicy,
+    RouteClient,
 };
 pub use json::{parse, Json, ParseError};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use server::{serve, ServeConfig, ServeSummary, Server, RETRY_AFTER_CAP_MS};
 pub use wire::{
-    parse_any_request, parse_request, parse_reroute_request, read_frame, result_to_json,
-    write_frame, RerouteRequest, Request, RouteRequest, MAX_FRAME,
+    parse_any_request, parse_request, parse_reload_request, parse_reroute_request,
+    read_frame, result_to_json, write_frame, ReloadRequest, RerouteRequest, Request,
+    RouteRequest, MAX_FRAME,
 };

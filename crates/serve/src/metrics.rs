@@ -15,6 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use patlabor::{CacheStats, Rung};
 
+use crate::chaos::TransportFaultKind;
+
 use std::fmt::Write as _;
 
 /// Latency histogram with power-of-two buckets.
@@ -127,6 +129,23 @@ pub struct Metrics {
     pub served_by: [AtomicU64; Rung::COUNT],
     /// Enqueue-to-reply latency of successful responses.
     pub latency: LatencyHistogram,
+    /// Connections killed by the mid-frame read watchdog (a peer sent
+    /// part of a frame and stalled past the stall budget).
+    pub read_timeouts: AtomicU64,
+    /// Connections whose write half hit the socket write deadline
+    /// (the peer stopped reading its replies).
+    pub write_timeouts: AtomicU64,
+    /// Slow clients evicted because their bounded reply buffer filled
+    /// (the batcher never blocks on one connection).
+    pub evicted: AtomicU64,
+    /// Successful hot table reloads.
+    pub reloads: AtomicU64,
+    /// Rejected hot table reloads — the old table kept serving.
+    pub reload_failed: AtomicU64,
+    /// The serving table generation (gauge; 0 = the boot table).
+    pub table_epoch: AtomicU64,
+    /// Chaos-plane injections by [`TransportFaultKind::index`].
+    pub chaos_injected: [AtomicU64; TransportFaultKind::COUNT],
 }
 
 impl Metrics {
@@ -223,6 +242,61 @@ impl Metrics {
                 "patlabor_served_by_rung_total{{rung=\"{}\"}} {}",
                 rung.label(),
                 Self::get(&self.served_by[rung.index()])
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP patlabor_conn_timeouts_total Connections killed by a socket deadline, by side."
+        );
+        let _ = writeln!(out, "# TYPE patlabor_conn_timeouts_total counter");
+        let _ = writeln!(
+            out,
+            "patlabor_conn_timeouts_total{{side=\"read\"}} {}",
+            Self::get(&self.read_timeouts)
+        );
+        let _ = writeln!(
+            out,
+            "patlabor_conn_timeouts_total{{side=\"write\"}} {}",
+            Self::get(&self.write_timeouts)
+        );
+        counter(
+            &mut out,
+            "patlabor_evicted_total",
+            "Slow clients evicted (bounded reply buffer filled).",
+            Self::get(&self.evicted),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP patlabor_reloads_total Hot table reload attempts, by result."
+        );
+        let _ = writeln!(out, "# TYPE patlabor_reloads_total counter");
+        let _ = writeln!(
+            out,
+            "patlabor_reloads_total{{result=\"ok\"}} {}",
+            Self::get(&self.reloads)
+        );
+        let _ = writeln!(
+            out,
+            "patlabor_reloads_total{{result=\"failed\"}} {}",
+            Self::get(&self.reload_failed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP patlabor_table_epoch The serving table generation (0 = boot table)."
+        );
+        let _ = writeln!(out, "# TYPE patlabor_table_epoch gauge");
+        let _ = writeln!(out, "patlabor_table_epoch {}", Self::get(&self.table_epoch));
+        let _ = writeln!(
+            out,
+            "# HELP patlabor_chaos_injected_total Transport faults injected by the chaos plane, by kind."
+        );
+        let _ = writeln!(out, "# TYPE patlabor_chaos_injected_total counter");
+        for kind in TransportFaultKind::ALL {
+            let _ = writeln!(
+                out,
+                "patlabor_chaos_injected_total{{kind=\"{}\"}} {}",
+                kind.label(),
+                Self::get(&self.chaos_injected[kind.index()])
             );
         }
         let _ = writeln!(
@@ -358,6 +432,14 @@ mod tests {
             "patlabor_queue_depth 0",
             "patlabor_cache_hit_rate 0.75",
             "patlabor_batches_total 0",
+            "patlabor_conn_timeouts_total{side=\"read\"} 0",
+            "patlabor_conn_timeouts_total{side=\"write\"} 0",
+            "patlabor_evicted_total 0",
+            "patlabor_reloads_total{result=\"ok\"} 0",
+            "patlabor_reloads_total{result=\"failed\"} 0",
+            "patlabor_table_epoch 0",
+            "patlabor_chaos_injected_total{kind=\"torn-write\"} 0",
+            "patlabor_chaos_injected_total{kind=\"corrupt-write\"} 0",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

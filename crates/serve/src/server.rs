@@ -41,21 +41,25 @@
 //! [`Server::shutdown`] joins everything and returns the final
 //! [`ResilienceReport`].
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Write as _};
+use std::io::{self, Read as _, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use patlabor::{DeltaJob, Engine, Net, NetDelta, ResilienceReport, RouteResult, RungOutcome, Session};
+use patlabor::{
+    DeltaJob, Engine, Net, NetDelta, ResilienceReport, RouteResult, Rung, RungOutcome, Session,
+};
 
+use crate::chaos::{TransportFaultKind, TransportPlane};
 use crate::http;
 use crate::metrics::Metrics;
 use crate::wire::{
-    malformed_json, overloaded_json, parse_any_request, parse_request, parse_reroute_request,
-    read_frame, result_to_json, shutting_down_json, write_frame, Request,
+    evicted_json, malformed_json, overloaded_json, parse_any_request, parse_request,
+    parse_reroute_request, reload_failed_json, reload_ok_json, reloading_json, result_to_json,
+    shutting_down_json, write_frame, Request, MAX_FRAME,
 };
 
 /// Server tuning.
@@ -87,6 +91,26 @@ pub struct ServeConfig {
     /// `[1, RETRY_AFTER_CAP_MS]` — so a client backing off by the hint
     /// retries roughly when the queue has actually drained.
     pub retry_after_ms: u64,
+    /// Mid-frame read stall budget (the watchdog): a peer that has
+    /// sent part of a frame and then stalls longer than this is
+    /// evicted with a `read` timeout metric and a closed connection.
+    /// A connection **idle at a frame boundary** may wait forever —
+    /// long-lived clients that route occasionally are legitimate.
+    pub read_stall: Duration,
+    /// Socket write deadline: a peer that stops reading its replies
+    /// holds the writer at most this long before the connection is
+    /// closed (`write` timeout metric). This is what keeps one stalled
+    /// peer from holding drain hostage.
+    pub write_timeout: Duration,
+    /// Bounded per-connection reply buffer, in frames. When a client
+    /// falls this far behind its replies, the batcher drops the reply
+    /// and evicts the connection instead of blocking the window —
+    /// per-connection memory is bounded by construction.
+    pub reply_buffer: usize,
+    /// The transport fault plane (chaos injection). Empty — the
+    /// default — means every hook short-circuits; see
+    /// [`TransportPlane`].
+    pub chaos: TransportPlane,
 }
 
 /// Upper clamp on computed `retry_after_ms` hints. A second of backoff
@@ -121,6 +145,10 @@ impl Default for ServeConfig {
             max_batch: 64,
             queue_depth: 1024,
             retry_after_ms: 5,
+            read_stall: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
+            reply_buffer: 128,
+            chaos: TransportPlane::default(),
         }
     }
 }
@@ -137,7 +165,12 @@ struct Pending {
     job: Job,
     session: Session,
     enqueued: Instant,
-    reply: mpsc::Sender<Vec<u8>>,
+    /// Bounded: a full buffer means the client stopped reading and is
+    /// evicted rather than buffered into.
+    reply: mpsc::SyncSender<Vec<u8>>,
+    /// The owning connection, for slow-client eviction through the
+    /// registry.
+    conn: u64,
 }
 
 /// Queue state guarded by one mutex: the pending requests and the
@@ -152,10 +185,10 @@ struct QueueState {
 
 pub(crate) struct Shared {
     engine: Engine,
-    config: ServeConfig,
+    pub(crate) config: ServeConfig,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     report: Mutex<ResilienceReport>,
     /// Live connections by id, for shutdown unblocking. Entries are
     /// removed when the connection finishes — keeping a clone of the
@@ -171,6 +204,9 @@ pub(crate) struct Shared {
     /// Zero until the first window closes; read by admission control to
     /// compute `retry_after_ms`.
     drain_ns_per_net: AtomicU64,
+    /// Guards against concurrent hot reloads: a second reload verb
+    /// while one validates answers `"reloading"` instead of racing.
+    reload_in_flight: AtomicBool,
 }
 
 /// Mutex lock that shrugs off poisoning: the protected state (a queue
@@ -331,9 +367,23 @@ impl Shared {
             report.record(result);
             self.fold_result_metrics(pending, result);
             let payload = result_to_json(pending.session.id, result).render();
-            // A receiver gone (client disconnected mid-flight) is not an
-            // error; the route still counted.
-            let _ = pending.reply.send(payload.into_bytes());
+            match pending.reply.try_send(payload.into_bytes()) {
+                Ok(()) => {}
+                // The client stopped draining replies: drop the reply
+                // and close its connection rather than park the batcher
+                // (every other window would pay for one slow peer). The
+                // crash-only contract holds — the request is not
+                // answered, but its connection is visibly closed.
+                Err(mpsc::TrySendError::Full(_)) => {
+                    Metrics::add(&self.metrics.evicted, 1);
+                    if let Some(conn) = lock(&self.conns).get(&pending.conn) {
+                        let _ = conn.shutdown(Shutdown::Both);
+                    }
+                }
+                // Receiver gone (client disconnected mid-flight): not an
+                // error; the route still counted.
+                Err(mpsc::TrySendError::Disconnected(_)) => {}
+            }
         }
     }
 
@@ -361,22 +411,45 @@ impl Shared {
         }
     }
 
-    /// One connection's read loop: parse frames, admit, send immediate
-    /// rejections through the writer channel.
-    fn run_reader(&self, stream: TcpStream, reply_tx: mpsc::Sender<Vec<u8>>) {
+    /// One connection's read loop: parse frames (under the mid-frame
+    /// stall watchdog), admit, send immediate rejections through the
+    /// writer channel. `conn_id` keys the chaos plane's read-side
+    /// decisions and the eviction registry.
+    fn run_reader(&self, conn_id: u64, stream: TcpStream, reply_tx: mpsc::SyncSender<Vec<u8>>) {
+        let chaos = &self.config.chaos;
         let mut reader = io::BufReader::new(stream);
+        let mut frame_seq = 0u64;
         loop {
-            let payload = match read_frame(&mut reader) {
+            let payload = match read_frame_watchdog(&mut reader) {
                 Ok(Some(p)) => p,
                 // Clean EOF, torn frame or reset: either way this
                 // connection is done reading.
-                Ok(None) | Err(_) => return,
+                Ok(None) | Err(ReadFrameError::Io) => return,
+                // The watchdog fired: the peer stalled mid-frame past
+                // the budget. Best-effort eviction notice, then close
+                // the read side; replies already owed still flow out.
+                Err(ReadFrameError::Stalled) => {
+                    Metrics::add(&self.metrics.read_timeouts, 1);
+                    let notice = evicted_json(0, "mid-frame read stalled past the watchdog budget");
+                    let _ = reply_tx.try_send(notice.render().into_bytes());
+                    return;
+                }
             };
+            if !chaos.is_empty() && chaos.fires(TransportFaultKind::DelayRead, conn_id, frame_seq) {
+                Metrics::add(
+                    &self.metrics.chaos_injected[TransportFaultKind::DelayRead.index()],
+                    1,
+                );
+                std::thread::sleep(chaos.delay());
+            }
+            frame_seq += 1;
             let request = match parse_any_request(&payload) {
                 Ok(r) => r,
                 Err(m) => {
                     Metrics::add(&self.metrics.malformed, 1);
-                    let _ = reply_tx.send(malformed_json(&m).render().into_bytes());
+                    if reply_tx.try_send(malformed_json(&m).render().into_bytes()).is_err() {
+                        return;
+                    }
                     continue;
                 }
             };
@@ -387,6 +460,21 @@ impl Shared {
                     r.deadline_ms,
                     Job::Reroute { delta: r.delta, prior_edits: r.prior_edits },
                 ),
+                // The admin verb is handled inline on this connection's
+                // reader thread: validation is file I/O, never touches
+                // the batcher, and a per-connection stall here harms
+                // only the connection that asked for it.
+                Request::Reload(r) => {
+                    let json = match self.reload(&r.path) {
+                        ReloadOutcome::Swapped(epoch) => reload_ok_json(r.id, epoch),
+                        ReloadOutcome::InFlight => reloading_json(r.id),
+                        ReloadOutcome::Rejected(detail) => reload_failed_json(r.id, &detail),
+                    };
+                    if reply_tx.try_send(json.render().into_bytes()).is_err() {
+                        return;
+                    }
+                    continue;
+                }
             };
             let mut session = Session::new(id);
             if let Some(ms) = deadline_ms {
@@ -397,27 +485,135 @@ impl Shared {
                 session,
                 enqueued: Instant::now(),
                 reply: reply_tx.clone(),
+                conn: conn_id,
             };
             match self.submit(pending) {
                 Ok(()) => {}
                 Err(Rejection::Overloaded { retry_after_ms }) => {
                     Metrics::add(&self.metrics.rejected, 1);
                     let json = overloaded_json(id, retry_after_ms);
-                    let _ = reply_tx.send(json.render().into_bytes());
+                    if reply_tx.try_send(json.render().into_bytes()).is_err() {
+                        return;
+                    }
                 }
                 Err(Rejection::ShuttingDown) => {
                     Metrics::add(&self.metrics.shed_shutdown, 1);
-                    let _ = reply_tx.send(shutting_down_json(id).render().into_bytes());
+                    if reply_tx.try_send(shutting_down_json(id).render().into_bytes()).is_err() {
+                        return;
+                    }
                 }
             }
         }
     }
+
+    /// The guarded hot-reload path shared by the wire verb and
+    /// [`Server::reload_table`] (the CLI's SIGHUP handler). Updates the
+    /// reload metrics and the table-epoch gauge; on any rejection the
+    /// old table keeps serving.
+    pub(crate) fn reload(&self, path: &str) -> ReloadOutcome {
+        if self.reload_in_flight.swap(true, Ordering::AcqRel) {
+            return ReloadOutcome::InFlight;
+        }
+        let outcome = match self.engine.reload_table(path) {
+            Ok(epoch) => {
+                Metrics::add(&self.metrics.reloads, 1);
+                self.metrics.table_epoch.store(epoch, Ordering::Relaxed);
+                ReloadOutcome::Swapped(epoch)
+            }
+            Err(e) => {
+                Metrics::add(&self.metrics.reload_failed, 1);
+                ReloadOutcome::Rejected(e.to_string())
+            }
+        };
+        self.reload_in_flight.store(false, Ordering::Release);
+        outcome
+    }
+}
+
+/// What a hot-reload attempt did.
+pub(crate) enum ReloadOutcome {
+    /// The candidate passed validation and is now serving; carries the
+    /// new table epoch.
+    Swapped(u64),
+    /// Another reload is validating right now; retry shortly.
+    InFlight,
+    /// The candidate was rejected; the old table keeps serving.
+    Rejected(String),
+}
+
+/// Why [`read_frame_watchdog`] gave up on a connection. The I/O
+/// details are deliberately dropped: the reader's only move either way
+/// is to stop, and only the stall distinction changes metrics.
+enum ReadFrameError {
+    /// The mid-frame stall watchdog fired.
+    Stalled,
+    /// Ordinary I/O failure (reset, torn frame, oversized prefix).
+    Io,
+}
+
+/// [`crate::wire::read_frame`] under the mid-frame stall watchdog.
+///
+/// The socket's read timeout (set at accept to the configured
+/// `read_stall`) converts a stalled peer into `WouldBlock`/`TimedOut`
+/// errors. At a frame boundary with nothing read those are an **idle**
+/// connection and we simply wait again — long-lived clients are
+/// legitimate. Once any byte of a frame has arrived, a timeout means
+/// the peer stalled mid-frame past the budget: that is the attack (or
+/// failure) the watchdog exists for, and the connection is evicted.
+fn read_frame_watchdog(
+    reader: &mut io::BufReader<TcpStream>,
+) -> Result<Option<Vec<u8>>, ReadFrameError> {
+    let mut prefix = [0u8; 4];
+    if read_exact_watchdog(reader, &mut prefix, true)?.is_none() {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(ReadFrameError::Io);
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_watchdog(reader, &mut payload, false)?;
+    Ok(Some(payload))
+}
+
+/// Fills `buf` from the reader. `idle_ok` marks a frame boundary:
+/// there, a clean EOF returns `None` and timeouts loop forever;
+/// mid-frame, EOF is an I/O error and a timeout trips the watchdog.
+fn read_exact_watchdog(
+    reader: &mut io::BufReader<TcpStream>,
+    buf: &mut [u8],
+    idle_ok: bool,
+) -> Result<Option<()>, ReadFrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && idle_ok {
+                    return Ok(None);
+                }
+                return Err(ReadFrameError::Io);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 && idle_ok {
+                    continue;
+                }
+                return Err(ReadFrameError::Stalled);
+            }
+            Err(_) => return Err(ReadFrameError::Io),
+        }
+    }
+    Ok(Some(()))
 }
 
 /// Handles a request payload arriving over the HTTP adapter (`POST
 /// /route`): same admission, same queue, but the reply is awaited
 /// inline (HTTP is request/response, not pipelined).
-pub(crate) fn http_route(shared: &Arc<Shared>, body: &[u8]) -> Vec<u8> {
+pub(crate) fn http_route(shared: &Arc<Shared>, conn_id: u64, body: &[u8]) -> Vec<u8> {
     let request = match parse_request(body) {
         Ok(r) => r,
         Err(m) => {
@@ -425,12 +621,12 @@ pub(crate) fn http_route(shared: &Arc<Shared>, body: &[u8]) -> Vec<u8> {
             return malformed_json(&m).render().into_bytes();
         }
     };
-    submit_and_await(shared, request.id, request.deadline_ms, Job::Route(request.net))
+    submit_and_await(shared, conn_id, request.id, request.deadline_ms, Job::Route(request.net))
 }
 
 /// The HTTP adapter's ECO verb (`POST /reroute`): same admission, same
 /// coalescing windows as the socket protocol's reroute frames.
-pub(crate) fn http_reroute(shared: &Arc<Shared>, body: &[u8]) -> Vec<u8> {
+pub(crate) fn http_reroute(shared: &Arc<Shared>, conn_id: u64, body: &[u8]) -> Vec<u8> {
     let request = match parse_reroute_request(body) {
         Ok(r) => r,
         Err(m) => {
@@ -440,15 +636,20 @@ pub(crate) fn http_reroute(shared: &Arc<Shared>, body: &[u8]) -> Vec<u8> {
     };
     submit_and_await(
         shared,
+        conn_id,
         request.id,
         request.deadline_ms,
         Job::Reroute { delta: request.delta, prior_edits: request.prior_edits },
     )
 }
 
-/// Shared HTTP tail: admit one job and await its reply inline.
+/// Shared HTTP tail: admit one job and await its reply inline. A
+/// capacity of one is always enough — HTTP is request/response, so at
+/// most one reply is ever owed and `try_send` in the batcher can never
+/// find this channel full.
 fn submit_and_await(
     shared: &Arc<Shared>,
+    conn_id: u64,
     id: u64,
     deadline_ms: Option<u64>,
     job: Job,
@@ -457,12 +658,13 @@ fn submit_and_await(
     if let Some(ms) = deadline_ms {
         session = session.with_deadline(Duration::from_millis(ms));
     }
-    let (tx, rx) = mpsc::channel();
+    let (tx, rx) = mpsc::sync_channel(1);
     let pending = Pending {
         job,
         session,
         enqueued: Instant::now(),
         reply: tx,
+        conn: conn_id,
     };
     match shared.submit(pending) {
         Ok(()) => match rx.recv() {
@@ -542,6 +744,19 @@ pub struct ServeSummary {
     pub rejected: u64,
     /// Frames rejected as malformed.
     pub malformed: u64,
+    /// Successful route responses sent.
+    pub responses: u64,
+    /// Responses by degradation-ladder rung; the chaos soak asserts
+    /// the sum equals `responses` (no rung double-counts or leaks).
+    pub served_by: [u64; Rung::COUNT],
+    /// Connections evicted for a full reply buffer or a stalled read.
+    pub evicted: u64,
+    /// Mid-frame read watchdog firings.
+    pub read_timeouts: u64,
+    /// Write deadline firings (peer stopped reading).
+    pub write_timeouts: u64,
+    /// Transport faults injected by the chaos plane, summed over kinds.
+    pub chaos_injected: u64,
 }
 
 /// Starts serving `engine` per `config`. Binds synchronously (so the
@@ -572,7 +787,12 @@ pub fn serve(engine: Engine, config: ServeConfig) -> io::Result<Server> {
         conn_threads: Mutex::new(Vec::new()),
         next_conn: AtomicU64::new(0),
         drain_ns_per_net: AtomicU64::new(0),
+        reload_in_flight: AtomicBool::new(false),
     });
+    shared
+        .metrics
+        .table_epoch
+        .store(shared.engine.table_epoch(), Ordering::Relaxed);
 
     let batcher = {
         let shared = Arc::clone(&shared);
@@ -617,8 +837,15 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         }
         let Ok(stream) = stream else { continue };
         let conn_id = next_conn_id(shared);
+        // Watchdog deadlines on every accepted socket: the read timeout
+        // is the mid-frame stall budget (idle at a frame boundary waits
+        // forever, see `read_frame_watchdog`); the write timeout bounds
+        // a peer that stops reading while replies are owed.
+        let _ = stream.set_read_timeout(Some(shared.config.read_stall));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
         register_conn(shared, conn_id, &stream);
-        let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+        let (reply_tx, reply_rx) =
+            mpsc::sync_channel::<Vec<u8>>(shared.config.reply_buffer.max(1));
         let write_half = stream.try_clone();
         // Writer: sole owner of the socket's write half; drains the
         // reply channel until every sender (reader + queued requests)
@@ -631,15 +858,37 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 .spawn(move || {
                     if let Ok(write_half) = write_half {
                         let mut out = io::BufWriter::new(write_half);
+                        let mut frame_seq = 0u64;
                         while let Ok(payload) = reply_rx.recv() {
-                            if write_frame(&mut out, &payload).is_err() {
+                            let verdict =
+                                shared.config.chaos.write_fault(conn_id, frame_seq);
+                            frame_seq += 1;
+                            if let Some(kind) = verdict {
+                                Metrics::add(
+                                    &shared.metrics.chaos_injected[kind.index()],
+                                    1,
+                                );
+                                inject_write_fault(
+                                    kind,
+                                    &mut out,
+                                    &payload,
+                                    shared.config.chaos.delay(),
+                                );
+                                // Every write-side fault is crash-only:
+                                // the peer only ever observes a damaged
+                                // frame on a connection that is closing.
+                                break;
+                            }
+                            if let Err(e) = write_frame(&mut out, &payload) {
+                                note_write_error(&shared, &e);
                                 break;
                             }
                             // Flush per reply: replies are
                             // latency-sensitive and pipelining gains come
                             // from the coalescer, not from batching
                             // socket writes.
-                            if out.flush().is_err() {
+                            if let Err(e) = out.flush() {
+                                note_write_error(&shared, &e);
                                 break;
                             }
                         }
@@ -654,7 +903,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             std::thread::Builder::new()
                 .name(format!("patlabor-conn-{conn_id}-r"))
                 .spawn(move || {
-                    shared.run_reader(stream, reply_tx);
+                    shared.run_reader(conn_id, stream, reply_tx);
                 })
         };
         let mut threads = lock(&shared.conn_threads);
@@ -664,6 +913,57 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         if let Ok(h) = reader {
             threads.push(h);
         }
+    }
+}
+
+/// Counts a writer-side failure against the watchdog metric when it
+/// was the write deadline firing (a peer that stopped reading).
+fn note_write_error(shared: &Shared, e: &io::Error) {
+    if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+        Metrics::add(&shared.metrics.write_timeouts, 1);
+    }
+}
+
+/// Applies one write-side transport fault to the outgoing frame. The
+/// caller closes the connection immediately after, so damaged bytes
+/// are only ever seen on a dying connection (crash-only contract).
+fn inject_write_fault(
+    kind: TransportFaultKind,
+    out: &mut io::BufWriter<TcpStream>,
+    payload: &[u8],
+    delay: Duration,
+) {
+    match kind {
+        // Vanish mid-reply: the peer sees the connection close with no
+        // frame at all.
+        TransportFaultKind::Disconnect => {}
+        // Torn frame: full length prefix, half the payload, then FIN.
+        TransportFaultKind::TornWrite => {
+            let _ = out.write_all(&(payload.len() as u32).to_le_bytes());
+            let _ = out.write_all(&payload[..payload.len() / 2]);
+            let _ = out.flush();
+        }
+        // Partial write then stall: like a torn frame but the peer
+        // waits out the delay before seeing FIN — exercises client
+        // read deadlines.
+        TransportFaultKind::StallWrite => {
+            let _ = out.write_all(&(payload.len() as u32).to_le_bytes());
+            let _ = out.write_all(&payload[..payload.len() / 2]);
+            let _ = out.flush();
+            std::thread::sleep(delay);
+        }
+        // Flipped bytes inside an otherwise well-formed frame: the
+        // peer's parser, not its framing layer, must catch this.
+        TransportFaultKind::CorruptWrite => {
+            let mut corrupted = payload.to_vec();
+            for byte in corrupted.iter_mut().take(8) {
+                *byte ^= 0xA5;
+            }
+            let _ = write_frame(out, &corrupted);
+            let _ = out.flush();
+        }
+        // Read-side fault; never returned by `write_fault`.
+        TransportFaultKind::DelayRead => {}
     }
 }
 
@@ -737,10 +1037,33 @@ impl Server {
             .shared
             .engine
             .stamp_report_cache_health(*lock(&self.shared.report));
+        let metrics = &self.shared.metrics;
+        let mut served_by = [0u64; Rung::COUNT];
+        for (slot, counter) in served_by.iter_mut().zip(metrics.served_by.iter()) {
+            *slot = Metrics::get(counter);
+        }
         ServeSummary {
             report,
-            rejected: Metrics::get(&self.shared.metrics.rejected),
-            malformed: Metrics::get(&self.shared.metrics.malformed),
+            rejected: Metrics::get(&metrics.rejected),
+            malformed: Metrics::get(&metrics.malformed),
+            responses: Metrics::get(&metrics.responses),
+            served_by,
+            evicted: Metrics::get(&metrics.evicted),
+            read_timeouts: Metrics::get(&metrics.read_timeouts),
+            write_timeouts: Metrics::get(&metrics.write_timeouts),
+            chaos_injected: metrics.chaos_injected.iter().map(Metrics::get).sum(),
+        }
+    }
+
+    /// Hot-reloads the serving table from `path` — the programmatic
+    /// twin of the wire `reload` verb, used by the CLI's SIGHUP
+    /// handler. Validation runs off the hot path; on any error the old
+    /// table keeps serving. Returns the new table epoch on success.
+    pub fn reload_table(&self, path: &str) -> Result<u64, String> {
+        match self.shared.reload(path) {
+            ReloadOutcome::Swapped(epoch) => Ok(epoch),
+            ReloadOutcome::InFlight => Err("another reload is already in flight".to_string()),
+            ReloadOutcome::Rejected(detail) => Err(detail),
         }
     }
 }

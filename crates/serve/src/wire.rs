@@ -26,6 +26,13 @@
 //!   "degraded":false,"trace":["lut:served"],
 //!   "frontier":[{"w":19,"d":14},...]}`
 //!
+//! Admin verb (hot reload): `{"id": 7, "reload": "/path/to.plut"}` —
+//! validates the file off the hot path and atomically swaps the
+//! serving table (DESIGN.md §17). Success responds
+//! `{"id":7,"ok":true,"reloaded":true,"epoch":N}`; a rejected
+//! candidate leaves the old table serving and responds with the
+//! `"reload-failed"` error below.
+//!
 //! Response (failure): `{"id":7,"ok":false,"error":E,...}` where `E` is
 //! one of the documented vocabulary:
 //! * `"overloaded"` — admission control rejected the request; carries
@@ -35,6 +42,15 @@
 //!   echoes the request's when one could be recovered, else 0.
 //! * `"route"` — the engine's structured [`RouteError`]; carries
 //!   `detail`.
+//! * `"evicted"` — the server is closing this connection (mid-frame
+//!   read stall past the watchdog budget, or the bounded reply buffer
+//!   filled); carries `detail`. Sent best-effort before the close —
+//!   a hard-stalled peer may see only the close.
+//! * `"reloading"` — a hot table reload is already in flight; retry
+//!   the reload verb after it settles.
+//! * `"reload-failed"` — the reload candidate was rejected (failed
+//!   validation or λ mismatch); carries `detail`. The previous table
+//!   is still serving.
 //!
 //! The same serialization (`outcome_to_json`/`result_to_json`) backs
 //! `route --json` in the CLI, so scripted consumers see one format
@@ -156,12 +172,33 @@ impl RerouteRequest {
     }
 }
 
-/// Either verb the socket protocol accepts: the presence of an
-/// `"edit"` key selects the reroute path.
+/// A parsed hot-reload admin request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReloadRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Path of the v4 table file to validate and swap in.
+    pub path: String,
+}
+
+impl ReloadRequest {
+    /// Encodes the request as its wire JSON.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_string(), Json::Int(self.id as i64)),
+            ("reload".to_string(), Json::Str(self.path.clone())),
+        ])
+    }
+}
+
+/// Any verb the socket protocol accepts: the presence of an `"edit"`
+/// key selects the reroute path, a `"reload"` key the admin path, and
+/// anything else is a plain route.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     Route(RouteRequest),
     Reroute(RerouteRequest),
+    Reload(ReloadRequest),
 }
 
 /// Serializes a [`DeltaKind`] into the wire edit grammar.
@@ -336,15 +373,39 @@ pub fn parse_reroute_request(payload: &[u8]) -> Result<RerouteRequest, Malformed
     })
 }
 
-/// Parses either verb: a frame carrying `"edit"` is a reroute,
-/// anything else takes the route path (whose errors are unchanged).
+/// Parses a hot-reload admin frame's payload.
+pub fn parse_reload_request(payload: &[u8]) -> Result<ReloadRequest, MalformedRequest> {
+    let text = std::str::from_utf8(payload).map_err(|e| MalformedRequest {
+        id: 0,
+        detail: format!("frame is not UTF-8: {e}"),
+    })?;
+    let value = parse(text).map_err(|e| MalformedRequest {
+        id: 0,
+        detail: e.to_string(),
+    })?;
+    let id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let path = value
+        .get("reload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| MalformedRequest {
+            id,
+            detail: "\"reload\" must be a path string".to_string(),
+        })?;
+    Ok(ReloadRequest {
+        id,
+        path: path.to_string(),
+    })
+}
+
+/// Parses any verb: a frame carrying `"edit"` is a reroute, one
+/// carrying `"reload"` is the admin path, anything else takes the
+/// route path (whose errors are unchanged).
 pub fn parse_any_request(payload: &[u8]) -> Result<Request, MalformedRequest> {
-    let is_reroute = std::str::from_utf8(payload)
-        .ok()
-        .and_then(|t| parse(t).ok())
-        .is_some_and(|v| v.get("edit").is_some());
-    if is_reroute {
+    let value = std::str::from_utf8(payload).ok().and_then(|t| parse(t).ok());
+    if value.as_ref().is_some_and(|v| v.get("edit").is_some()) {
         parse_reroute_request(payload).map(Request::Reroute)
+    } else if value.as_ref().is_some_and(|v| v.get("reload").is_some()) {
+        parse_reload_request(payload).map(Request::Reload)
     } else {
         parse_request(payload).map(Request::Route)
     }
@@ -430,6 +491,48 @@ pub fn shutting_down_json(id: u64) -> Json {
     ])
 }
 
+/// The slow-client eviction notice (`"error": "evicted"`): the server
+/// is closing this connection. Sent best-effort before the close.
+pub fn evicted_json(id: u64, detail: &str) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str("evicted".to_string())),
+        ("detail".to_string(), Json::Str(detail.to_string())),
+    ])
+}
+
+/// The concurrent-reload rejection (`"error": "reloading"`): an admin
+/// reload is already in flight.
+pub fn reloading_json(id: u64) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str("reloading".to_string())),
+    ])
+}
+
+/// The rejected-candidate reload response (`"error": "reload-failed"`):
+/// the old table is still serving.
+pub fn reload_failed_json(id: u64, detail: &str) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str("reload-failed".to_string())),
+        ("detail".to_string(), Json::Str(detail.to_string())),
+    ])
+}
+
+/// The successful hot-reload response.
+pub fn reload_ok_json(id: u64, epoch: u64) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Int(id as i64)),
+        ("ok".to_string(), Json::Bool(true)),
+        ("reloaded".to_string(), Json::Bool(true)),
+        ("epoch".to_string(), Json::Int(epoch as i64)),
+    ])
+}
+
 /// The unparseable-frame rejection (`"error": "malformed"`).
 pub fn malformed_json(m: &MalformedRequest) -> Json {
     Json::Obj(vec![
@@ -509,14 +612,14 @@ mod tests {
             // The verb dispatcher sends it down the reroute path.
             match parse_any_request(payload.as_bytes()).unwrap() {
                 Request::Reroute(r) => assert_eq!(r, req),
-                Request::Route(_) => panic!("edit frame took the route path"),
+                other => panic!("edit frame took the wrong path: {other:?}"),
             }
         }
         // A plain route frame still takes the route path.
         let plain = RouteRequest { id: 1, net: net3(), deadline_ms: None };
         match parse_any_request(plain.to_json().render().as_bytes()).unwrap() {
             Request::Route(r) => assert_eq!(r, plain),
-            Request::Reroute(_) => panic!("route frame took the reroute path"),
+            other => panic!("route frame took the wrong path: {other:?}"),
         }
     }
 
@@ -596,5 +699,42 @@ mod tests {
         );
         let m = MalformedRequest { id: 3, detail: "x".to_string() };
         assert_eq!(malformed_json(&m).get("error").unwrap().as_str(), Some("malformed"));
+        assert_eq!(
+            evicted_json(4, "read stall").get("error").unwrap().as_str(),
+            Some("evicted")
+        );
+        assert_eq!(
+            evicted_json(4, "read stall").get("detail").unwrap().as_str(),
+            Some("read stall")
+        );
+        assert_eq!(
+            reloading_json(5).get("error").unwrap().as_str(),
+            Some("reloading")
+        );
+        assert_eq!(
+            reload_failed_json(6, "bad checksum").get("error").unwrap().as_str(),
+            Some("reload-failed")
+        );
+        let ok = reload_ok_json(7, 3);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(ok.get("epoch").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn reload_requests_round_trip_and_dispatch() {
+        let req = ReloadRequest {
+            id: 11,
+            path: "/tmp/next.plut".to_string(),
+        };
+        let payload = req.to_json().render();
+        assert_eq!(parse_reload_request(payload.as_bytes()).unwrap(), req);
+        match parse_any_request(payload.as_bytes()).unwrap() {
+            Request::Reload(r) => assert_eq!(r, req),
+            other => panic!("reload frame took the wrong path: {other:?}"),
+        }
+        // A non-string reload value is malformed with the id recovered.
+        let m = parse_any_request(br#"{"id": 12, "reload": 7}"#).unwrap_err();
+        assert_eq!(m.id, 12);
+        assert!(m.detail.contains("reload"), "{}", m.detail);
     }
 }

@@ -518,3 +518,334 @@ fn http_adapter_serves_metrics_and_routes() {
 
     server.shutdown();
 }
+
+/// A peer that stalls mid-frame past the watchdog budget is evicted —
+/// with the documented `"evicted"` notice before the close — and never
+/// blocks drain.
+#[test]
+fn mid_frame_stall_evicts_without_blocking_drain() {
+    use std::io::Write as _;
+
+    let server = serve(
+        test_engine(),
+        ServeConfig {
+            window: Duration::ZERO,
+            read_stall: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let metrics = server.metrics();
+
+    // A healthy client keeps routing while the stalled one is evicted.
+    let mut healthy = RouteClient::connect(server.addr()).expect("connect healthy");
+    let net = suite(0x66, 1).remove(0);
+    let reply = healthy
+        .route(&RouteRequest { id: 1, net: net.clone(), deadline_ms: None })
+        .expect("healthy route");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+    // The stalled peer: a 100-byte frame prefix, 10 bytes of payload,
+    // then silence. Idle-at-boundary is legal forever; this is not.
+    let mut stalled = std::net::TcpStream::connect(server.addr()).expect("connect stalled");
+    stalled.write_all(&100u32.to_le_bytes()).expect("prefix");
+    stalled.write_all(&[0u8; 10]).expect("partial payload");
+    stalled.flush().expect("flush");
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            patlabor_serve::Metrics::get(&metrics.read_timeouts) == 1
+        }),
+        "the read watchdog never fired"
+    );
+
+    // The eviction notice arrives as a well-formed frame, then EOF.
+    let mut reader = std::io::BufReader::new(stalled);
+    let payload = patlabor_serve::read_frame(&mut reader)
+        .expect("read eviction notice")
+        .expect("notice frame before close");
+    let notice = patlabor_serve::parse(std::str::from_utf8(&payload).expect("utf8"))
+        .expect("notice json");
+    assert_eq!(notice.get("error").and_then(Json::as_str), Some("evicted"));
+    assert!(patlabor_serve::read_frame(&mut reader).expect("eof").is_none());
+
+    // Drain is not held hostage by the evicted connection.
+    let started = Instant::now();
+    let summary = server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "drain blocked on an evicted connection"
+    );
+    assert_eq!(summary.read_timeouts, 1);
+    assert_eq!(summary.report.nets, 1);
+}
+
+/// Deterministic splitmix64 for the garbage corpus — the tests' own
+/// copy so the corpus is stable across runs and platforms.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded torn/truncated-frame corpus against both transports: random
+/// garbage, oversized prefixes, and frames cut mid-payload must never
+/// wedge the server — a fresh client always routes afterwards.
+#[test]
+fn torn_frame_corpus_never_wedges_either_transport() {
+    use std::io::Write as _;
+
+    let server = serve(
+        test_engine(),
+        ServeConfig {
+            http_addr: Some("127.0.0.1:0".to_string()),
+            window: Duration::ZERO,
+            read_stall: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let http = server.http_addr().expect("http enabled");
+
+    for seed in 0..8u64 {
+        // Socket protocol: garbage bytes, length-prefix lies, torn tails.
+        let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+        let len = (mix(seed) % 64 + 1) as usize;
+        let bytes: Vec<u8> = (0..len).map(|i| (mix(seed ^ i as u64) & 0xFF) as u8).collect();
+        match seed % 3 {
+            // Raw garbage (whatever prefix it implies).
+            0 => stream.write_all(&bytes).expect("garbage"),
+            // An honest prefix for a frame that never finishes.
+            1 => {
+                stream.write_all(&(bytes.len() as u32 + 7).to_le_bytes()).expect("prefix");
+                stream.write_all(&bytes).expect("torn payload");
+            }
+            // A prefix larger than MAX_FRAME.
+            _ => stream
+                .write_all(&(patlabor_serve::MAX_FRAME as u32 + 1).to_le_bytes())
+                .expect("oversized prefix"),
+        }
+        stream.flush().expect("flush");
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        // Drain whatever the server says until it hangs up; it must
+        // hang up rather than hang.
+        let mut reader = std::io::BufReader::new(stream);
+        while let Ok(Some(_)) = patlabor_serve::read_frame(&mut reader) {}
+
+        // HTTP adapter: the same garbage as a raw request stream.
+        let mut stream = std::net::TcpStream::connect(http).expect("connect http");
+        stream.write_all(&bytes).expect("http garbage");
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut sink = String::new();
+        use std::io::Read as _;
+        let _ = stream.read_to_string(&mut sink);
+    }
+
+    // The server survived the corpus: both transports still answer.
+    let net = suite(0x77, 1).remove(0);
+    let mut client = RouteClient::connect(server.addr()).expect("connect after corpus");
+    let reply = client
+        .route(&RouteRequest { id: 9, net: net.clone(), deadline_ms: None })
+        .expect("route after corpus");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let (status, body) = patlabor_serve::http_request(http, "GET", "/healthz", &[]).expect("GET");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    server.shutdown();
+}
+
+/// The wire `reload` verb hot-swaps the table under an epoch: answers
+/// are identical across the swap, a corrupt candidate is rejected with
+/// `"reload-failed"` while the old table keeps serving, and the epoch
+/// gauge tracks installs.
+#[test]
+fn hot_reload_over_the_wire_swaps_and_rejects() {
+    use std::io::Write as _;
+
+    let dir = std::env::temp_dir().join("patlabor_serve_reload_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("hot.lut");
+
+    let engine = test_engine();
+    engine.table().save(&path).expect("save table");
+    let server = serve(
+        engine.clone(),
+        ServeConfig { window: Duration::ZERO, ..ServeConfig::default() },
+    )
+    .expect("bind");
+
+    let mut client = RouteClient::connect(server.addr()).expect("connect");
+    let net = suite(0x88, 24)
+        .into_iter()
+        .find(|n| (3..=4).contains(&n.degree()))
+        .expect("tabulated net");
+    let before = client
+        .route(&RouteRequest { id: 1, net: net.clone(), deadline_ms: None })
+        .expect("route before reload");
+
+    // Reload from the freshly saved file: epoch 0 → 1.
+    let reload = patlabor_serve::ReloadRequest { id: 2, path: path.display().to_string() };
+    client.send_raw(reload.to_json().render().as_bytes()).expect("send reload");
+    let reply = client.recv().expect("recv").expect("reload reply");
+    assert_eq!(reply.get("reloaded").and_then(Json::as_bool), Some(true), "{}", reply.render());
+    assert_eq!(reply.get("epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        patlabor_serve::Metrics::get(&server.metrics().table_epoch),
+        1,
+        "the epoch gauge must track the install"
+    );
+
+    // Same question, same answer, new table generation.
+    let after = client
+        .route(&RouteRequest { id: 3, net: net.clone(), deadline_ms: None })
+        .expect("route after reload");
+    assert_eq!(frontier_fields(&after), frontier_fields(&before));
+
+    // A corrupt candidate is rejected; the old table keeps serving.
+    let corrupt = dir.join("corrupt.lut");
+    std::fs::File::create(&corrupt)
+        .and_then(|mut f| f.write_all(b"not a lookup table"))
+        .expect("write corrupt file");
+    let reload = patlabor_serve::ReloadRequest { id: 4, path: corrupt.display().to_string() };
+    client.send_raw(reload.to_json().render().as_bytes()).expect("send corrupt reload");
+    let reply = client.recv().expect("recv").expect("reload reply");
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("reload-failed"));
+    let still = client
+        .route(&RouteRequest { id: 5, net: net.clone(), deadline_ms: None })
+        .expect("route after failed reload");
+    assert_eq!(frontier_fields(&still), frontier_fields(&before));
+    assert_eq!(
+        patlabor_serve::Metrics::get(&server.metrics().reload_failed),
+        1
+    );
+    assert_eq!(patlabor_serve::Metrics::get(&server.metrics().table_epoch), 1);
+
+    server.shutdown();
+}
+
+/// A client that stops draining its replies hits the bounded reply
+/// buffer and is evicted — the batcher never blocks on it. A stalled
+/// write (chaos `stall-write` at probability 1) parks the writer so
+/// the buffer actually fills.
+#[test]
+fn full_reply_buffer_evicts_instead_of_blocking() {
+    let chaos = patlabor_serve::TransportPlane::seeded(0x51)
+        .with_spec("stall-write:1.0")
+        .expect("spec")
+        .with_delay(Duration::from_millis(500));
+    let server = serve(
+        test_engine(),
+        ServeConfig {
+            window: Duration::ZERO,
+            reply_buffer: 1,
+            chaos,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let metrics = server.metrics();
+
+    let mut client = RouteClient::connect(server.addr()).expect("connect");
+    for (i, net) in suite(0x99, 6).iter().enumerate() {
+        client
+            .send(&RouteRequest { id: i as u64, net: net.clone(), deadline_ms: None })
+            .expect("send");
+    }
+    // Reply 1 parks the writer in the injected stall, reply 2 fills
+    // the buffer, some later reply must find it full and evict.
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            patlabor_serve::Metrics::get(&metrics.evicted) >= 1
+        }),
+        "a full reply buffer never evicted the connection"
+    );
+    let summary = server.shutdown();
+    assert!(summary.evicted >= 1);
+    assert!(summary.chaos_injected >= 1);
+}
+
+/// Drain under an active fault schedule: SIGINT-style `begin_shutdown`
+/// while faults fire, and the crash-only ledger must still balance —
+/// every response the server counts sits in exactly one ladder rung,
+/// and drain completes within a bound.
+#[test]
+fn drain_under_chaos_keeps_the_ledger_balanced() {
+    let chaos = patlabor_serve::TransportPlane::seeded(0xC4A05)
+        .with_spec("torn-write:0.08")
+        .and_then(|p| p.with_spec("corrupt-write:0.08"))
+        .and_then(|p| p.with_spec("disconnect:0.05"))
+        .and_then(|p| p.with_spec("delay-read:0.10"))
+        .expect("specs")
+        .with_delay(Duration::from_millis(5));
+    let server = serve(
+        test_engine(),
+        ServeConfig {
+            window: Duration::from_millis(1),
+            read_stall: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            chaos,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    const CLIENTS: u64 = 4;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut answered = 0u64;
+                let nets = suite(0xAB + t, 40);
+                // Reconnect whenever chaos kills the connection; every
+                // request is answered or its connection observably dies.
+                let mut it = nets.iter().enumerate();
+                let mut current = it.next();
+                'outer: while current.is_some() {
+                    let Ok(mut client) = RouteClient::connect(addr) else {
+                        break;
+                    };
+                    while let Some((i, net)) = current {
+                        let request = RouteRequest {
+                            id: t * 1_000 + i as u64,
+                            net: net.clone(),
+                            deadline_ms: None,
+                        };
+                        match client.route(&request) {
+                            Ok(reply) => {
+                                if reply.get("error").is_none() {
+                                    answered += 1;
+                                }
+                                current = it.next();
+                            }
+                            // Torn, corrupt, or closed — the connection
+                            // is dead either way; move on with a fresh
+                            // one and retry this net once.
+                            Err(_) => continue 'outer,
+                        }
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // SIGINT mid-chaos: drain starts while clients and faults are
+    // still active. Undelivered clients see `shutting-down` or a
+    // closed connection, never a hang.
+    std::thread::sleep(Duration::from_millis(100));
+    server.begin_shutdown();
+    let answered: u64 = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    assert!(answered > 0, "chaos at these rates must let most requests through");
+
+    let started = Instant::now();
+    let summary = server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain under chaos exceeded its bound"
+    );
+    assert!(summary.chaos_injected > 0, "the schedule never fired");
+    // The crash-only ledger: every counted response sits in exactly
+    // one rung, and clients never saw more answers than were sent.
+    assert_eq!(summary.served_by.iter().sum::<u64>(), summary.responses);
+    assert!(answered <= summary.responses);
+}

@@ -22,9 +22,11 @@
 
 #![forbid(unsafe_code)]
 
+mod chaos;
 mod report;
 mod shrink;
 
+pub use chaos::{chaos_soak, ChaosSoakConfig, ChaosSoakReport};
 pub use report::{CheckSummary, Counterexample, PathPair, SmokeReport, VerifyReport};
 pub use shrink::shrink_net;
 

@@ -104,7 +104,7 @@ fn pareto_ks_and_local_search_are_both_usable() {
         .find(|n| n.degree() >= 12)
         .expect("suite contains a large net");
     let ls = router().route_frontier(&net);
-    let ks = patlabor::ks::pareto_ks(&net, router().table());
+    let ks = patlabor::ks::pareto_ks(&net, &router().table());
     assert!(!ls.is_empty() && !ks.is_empty());
     // Both are valid candidate sets; their union is still a frontier of
     // valid trees.
